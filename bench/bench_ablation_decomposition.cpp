@@ -1,0 +1,55 @@
+// Ablation of the data decomposition (generalising the paper's N=1200
+// comparison): heterogeneous speed-proportional decomposition (Eq. 3) vs
+// equal decomposition, across problem sizes and both stencil variants.
+// Equal decomposition makes the IPCs the stragglers and throws away the
+// effective parallelism -- the paper notes that 6 Sparc2s alone then beat
+// all 12 processors.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/decompose.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::paper_testbed();
+  const ProcessorConfig all{6, 6};
+  const ProcessorConfig sparc_only{6, 0};
+
+  for (const bool overlap : {false, true}) {
+    Table table({"N", "balanced 12p ms", "equal 12p ms",
+                 "6 Sparc2s ms", "equal worse by", "6-Sparc2 beats equal"});
+    for (std::int64_t n : bench::paper_sizes()) {
+      const apps::StencilConfig cfg{.n = static_cast<int>(n),
+                                    .iterations = 10,
+                                    .overlap = overlap};
+      const ComputationSpec spec = apps::make_stencil_spec(cfg);
+      ExecutionOptions options;
+      options.compute_jitter = 0.01;
+
+      const Placement placement = contiguous_placement(net, all);
+      const PartitionVector balanced =
+          balanced_partition(net, all, clusters_by_speed(net), n);
+      const PartitionVector equal =
+          equal_partition(static_cast<int>(placement.size()), n);
+      const double t_bal =
+          average_elapsed_ms(net, spec, placement, balanced, options, 3);
+      const double t_eq =
+          average_elapsed_ms(net, spec, placement, equal, options, 3);
+      const double t_sparc = bench::measured_stencil_ms(net, cfg, sparc_only);
+
+      table.add_row({std::to_string(n), bench::ms(t_bal), bench::ms(t_eq),
+                     bench::ms(t_sparc),
+                     format_double(t_eq / t_bal, 2) + "x",
+                     t_sparc < t_eq ? "yes" : "no"});
+    }
+    std::printf("%s\n",
+                table
+                    .render(std::string("Decomposition ablation (") +
+                            (overlap ? "STEN-2" : "STEN-1") +
+                            ", 6 Sparc2 + 6 IPC)")
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Eq. 6 seen from both sides: the estimator's T_comp / T_comm / T_overlap
+// decomposition against the executor's measured per-cycle breakdown
+// (compute time from the task accounting; communication exposure =
+// elapsed - compute of the slowest rank).  STEN-2's exposure collapsing
+// toward zero while STEN-1's stays at T_comm is the overlap mechanism the
+// paper's min-rule models.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/decompose.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::paper_testbed();
+  const CalibrationResult calibration = bench::calibrate_testbed(net);
+  const AvailabilitySnapshot snapshot = bench::idle_snapshot(net);
+
+  for (const bool overlap : {false, true}) {
+    Table table({"N", "config", "est T_comp", "est T_comm", "est overlap",
+                 "est T_c", "meas compute/cyc", "meas exposure/cyc",
+                 "meas T_c"});
+    for (const std::int64_t n : bench::paper_sizes()) {
+      const apps::StencilConfig cfg{.n = static_cast<int>(n),
+                                    .iterations = 10,
+                                    .overlap = overlap};
+      const ComputationSpec spec = apps::make_stencil_spec(cfg);
+      CycleEstimator estimator(net, calibration.db, spec);
+      const PartitionResult plan = partition(estimator, snapshot);
+
+      const ExecutionResult run = execute(net, spec, plan.placement,
+                                          plan.estimate.partition, {});
+      // Slowest rank's compute; the rest of its cycle is exposure.
+      SimTime compute = SimTime::zero();
+      for (const SimTime t : run.rank_compute) {
+        compute = std::max(compute, t);
+      }
+      const double compute_cyc =
+          compute.as_millis() / cfg.iterations;
+      const double total_cyc = run.elapsed.as_millis() / cfg.iterations;
+
+      table.add_row(
+          {std::to_string(n),
+           "(" + std::to_string(plan.config[0]) + "," +
+               std::to_string(plan.config[1]) + ")",
+           format_double(plan.estimate.t_comp_ms, 1),
+           format_double(plan.estimate.t_comm_ms, 1),
+           format_double(plan.estimate.t_overlap_ms, 1),
+           format_double(plan.estimate.t_c_ms, 1),
+           format_double(compute_cyc, 1),
+           format_double(total_cyc - compute_cyc, 1),
+           format_double(total_cyc, 1)});
+    }
+    std::printf("%s\n",
+                table
+                    .render(std::string("Per-cycle breakdown (") +
+                            (overlap ? "STEN-2" : "STEN-1") +
+                            ", partitioner's configuration), ms")
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Eq. 1 calibration: benchmark the topology-specific communication programs
+// on the simulated testbed and fit the cost functions, reproducing the
+// constants of Section 6:
+//
+//   T_comm[C1,1-D] ~ (-.0055 + .00283 P1) b + 1.1 P1   (msec)
+//   T_comm[C2,1-D] ~ (-.0123 + .00457 P2) b + 1.9 P2
+//   T_router       ~ .0006 b
+//
+// Also reports the fits for every other supported topology and the
+// residual quality (r^2) of each fit.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::paper_testbed();
+  const CalibrationResult calibration =
+      bench::calibrate_testbed(net, /*all_topos=*/true);
+
+  struct PaperFit {
+    ClusterId cluster;
+    double c1, c2, c3, c4;
+  };
+  const PaperFit paper[] = {
+      {0, 0.0, 1.1, -0.0055, 0.00283},
+      {1, 0.0, 1.9, -0.0123, 0.00457},
+  };
+
+  Table table({"cluster", "topology", "c1", "c2 (x p)", "c3 (x b)",
+               "c4 (x b p)", "r^2", "paper c2/c3/c4"});
+  for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+    for (Topology t : all_topologies()) {
+      if (!calibration.db.has_comm(c, t)) continue;
+      const Eq1Fit& fit = calibration.db.comm_fit(c, t);
+      std::string ref = "-";
+      if (t == Topology::OneD) {
+        ref = format_double(paper[c].c2, 2) + " / " +
+              format_double(paper[c].c3, 4) + " / " +
+              format_double(paper[c].c4, 5);
+      }
+      table.add_row({net.cluster(c).name(), to_string(t),
+                     format_double(fit.c1, 3), format_double(fit.c2, 3),
+                     format_double(fit.c3, 5), format_double(fit.c4, 5),
+                     format_double(fit.r2, 4), ref});
+    }
+  }
+  std::printf("%s\n",
+              table.render("Fitted Eq. 1 communication cost functions "
+                           "(msec; paper's 1-D constants for reference)")
+                  .c_str());
+
+  const LineFit router = benchmark_router(net, 0, 1, CalibrationParams{});
+  std::printf("T_router[C1,C2](b) ~ %.5f * b %+.3f  (r^2 %.4f); "
+              "paper: 0.00060 * b\n",
+              router.slope, router.intercept, router.r2);
+
+  // Coercion appears once formats differ; show it on the mixed testbed.
+  const Network mixed = presets::coercion_testbed();
+  const LineFit coerce =
+      benchmark_coercion(mixed, 0, 1, CalibrationParams{});
+  std::printf("T_coerce[sparc2,i860](b) ~ %.6f * b %+.4f  (r^2 %.4f)\n",
+              coerce.slope, coerce.intercept, coerce.r2);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig. 3: the canonical relationship between T_c and the number of
+// processors -- region A (too little parallelism), a minimum at p_ideal,
+// region B (granularity too small, too many processors).
+//
+// For each problem size we sweep p = 1..12 along the heuristic's fill order
+// (Sparc2s first, then IPCs), printing the estimator's T_c, the measured
+// per-cycle time from the simulator, and an ASCII curve.  The binary-search
+// partitioner's p_ideal is marked; with a unimodal curve it must coincide
+// with the sweep minimum of the estimate.
+//
+// Optional arg: csv=<path> dumps the series for plotting.
+#include <cstdio>
+#include <fstream>
+
+#include "bench/common.hpp"
+#include "core/decompose.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace netpart {
+namespace {
+
+ProcessorConfig fill_order_config(int p) {
+  return {std::min(p, 6), std::max(0, p - 6)};
+}
+
+}  // namespace
+}  // namespace netpart
+
+int main(int argc, char** argv) {
+  using namespace netpart;
+  const Config args = Config::from_args(argc, argv);
+  const Network net = presets::paper_testbed();
+  const CalibrationResult calibration = bench::calibrate_testbed(net);
+  const AvailabilitySnapshot snapshot = bench::idle_snapshot(net);
+
+  std::ofstream csv_file;
+  std::unique_ptr<CsvWriter> csv;
+  if (const auto path = args.get("csv")) {
+    csv_file.open(*path);
+    csv = std::make_unique<CsvWriter>(
+        csv_file, std::vector<std::string>{"variant", "n", "p", "tc_est_ms",
+                                           "tc_measured_ms"});
+  }
+
+  for (const bool overlap : {false, true}) {
+    for (const std::int64_t n : bench::paper_sizes()) {
+      const apps::StencilConfig cfg{.n = static_cast<int>(n),
+                                    .iterations = 10,
+                                    .overlap = overlap};
+      const ComputationSpec spec = apps::make_stencil_spec(cfg);
+      CycleEstimator estimator(net, calibration.db, spec);
+      const PartitionResult chosen = partition(estimator, snapshot);
+      const int p_ideal = config_total(chosen.config);
+
+      Table table({"p", "config", "T_c est (ms)", "T_c measured (ms)",
+                   "curve"});
+      double min_est = 1e300;
+      std::vector<double> ests;
+      for (int p = 1; p <= 12; ++p) {
+        ests.push_back(
+            estimator.estimate(fill_order_config(p)).t_c_ms);
+        min_est = std::min(min_est, ests.back());
+      }
+      for (int p = 1; p <= 12; ++p) {
+        const ProcessorConfig config = fill_order_config(p);
+        const double est = ests[static_cast<std::size_t>(p - 1)];
+        const double measured =
+            bench::measured_stencil_ms(net, cfg, config) / cfg.iterations;
+        const int bar =
+            static_cast<int>(40.0 * min_est / est + 0.5);  // taller = better
+        std::string curve(static_cast<std::size_t>(bar), '*');
+        if (p == p_ideal) curve += "  <- p_ideal (binary search)";
+        table.add_row({std::to_string(p),
+                       "(" + std::to_string(config[0]) + "," +
+                           std::to_string(config[1]) + ")",
+                       format_double(est, 2), format_double(measured, 2),
+                       curve});
+        if (csv) {
+          csv->write_row({overlap ? "STEN-2" : "STEN-1", std::to_string(n),
+                          std::to_string(p), format_double(est, 4),
+                          format_double(measured, 4)});
+        }
+      }
+      std::printf(
+          "%s\n",
+          table
+              .render("Fig. 3 " + std::string(overlap ? "STEN-2" : "STEN-1") +
+                      ", N=" + std::to_string(n) +
+                      ": T_c vs processors (region A left of minimum, "
+                      "region B right)")
+              .c_str());
+    }
+  }
+  return 0;
+}

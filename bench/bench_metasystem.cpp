@@ -1,0 +1,73 @@
+// Extension study (Section 7): the metasystem environment.
+//
+// "We also plan to demonstrate that our approach is applicable to a
+//  metasystem environment that may contain machines of different classes
+//  such as multicomputers and workstations together."
+//
+// An 8-node multicomputer (fast nodes, 80 Mbit/s internal interconnect)
+// sits next to the 6 Sparc2 + 6 IPC workstation clusters; assumption 1
+// (equal segment bandwidth) is relaxed, which the per-cluster calibration
+// absorbs.  The partitioner should saturate the multicomputer first and
+// recruit workstations only when the problem outgrows it.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/decompose.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::metasystem();
+  std::printf("%s\n", net.describe().c_str());
+
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult calibration = calibrate(net, params);
+  const AvailabilitySnapshot snapshot = bench::idle_snapshot(net);
+
+  // How much faster is the multicomputer's fabric?  (fitted per byte.)
+  std::printf("fitted 1-D c4 (ms per byte*proc): multicomputer %.5f, "
+              "sparc2 %.5f, ipc %.5f\n\n",
+              calibration.db.comm_fit(0, Topology::OneD).c4,
+              calibration.db.comm_fit(1, Topology::OneD).c4,
+              calibration.db.comm_fit(2, Topology::OneD).c4);
+
+  Table table({"N", "mc", "sparc2", "ipc", "T_c est ms", "measured ms",
+               "vs workstations-only ms"});
+  const Network workstations = presets::paper_testbed();
+  CalibrationParams wparams;
+  wparams.topologies = {Topology::OneD};
+  const CalibrationResult wcal = calibrate(workstations, wparams);
+  const AvailabilitySnapshot wsnap = bench::idle_snapshot(workstations);
+
+  for (const std::int64_t n : {300, 1200, 4800}) {
+    const apps::StencilConfig cfg{.n = static_cast<int>(n),
+                                  .iterations = 10,
+                                  .overlap = false};
+    const ComputationSpec spec = apps::make_stencil_spec(cfg);
+
+    CycleEstimator estimator(net, calibration.db, spec);
+    const PartitionResult plan = partition(estimator, snapshot);
+    ExecutionOptions options;
+    const double measured = average_elapsed_ms(
+        net, spec, plan.placement, plan.estimate.partition, options, 1);
+
+    CycleEstimator westimator(workstations, wcal.db, spec);
+    const PartitionResult wplan = partition(westimator, wsnap);
+    const double wmeasured =
+        average_elapsed_ms(workstations, spec, wplan.placement,
+                           wplan.estimate.partition, options, 1);
+
+    table.add_row({std::to_string(n), std::to_string(plan.config[0]),
+                   std::to_string(plan.config[1]),
+                   std::to_string(plan.config[2]),
+                   format_double(plan.estimate.t_c_ms, 2),
+                   bench::ms(measured), bench::ms(wmeasured)});
+  }
+  std::printf("%s\n",
+              table.render("Metasystem partitioning (stencil): "
+                           "multicomputer first, workstations on demand")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Section 6 overhead claim: partitioning costs O(K log2 P) objective
+// evaluations and microseconds of wall time -- trivially amortised against
+// elapsed times in the hundreds to thousands of milliseconds.
+//
+// google-benchmark micro-benchmarks of the estimator and the full
+// partitioner, over the paper testbed and larger random networks.
+#include <benchmark/benchmark.h>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/partitioner.hpp"
+#include "net/availability.hpp"
+#include "net/presets.hpp"
+
+namespace netpart {
+namespace {
+
+struct Setup {
+  Network net;
+  CalibrationResult calibration;
+  ComputationSpec spec;
+  AvailabilitySnapshot snapshot;
+
+  static Setup paper(int n) {
+    Network net = presets::paper_testbed();
+    CalibrationParams params;
+    params.topologies = {Topology::OneD};
+    CalibrationResult cal = calibrate(net, params);
+    ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    AvailabilitySnapshot snap =
+        gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+    return Setup{std::move(net), std::move(cal), std::move(spec),
+                 std::move(snap)};
+  }
+
+  static Setup random(int clusters, int per_cluster, int n) {
+    Rng rng(77);
+    Network net = presets::random_network(rng, clusters, per_cluster);
+    CalibrationParams params;
+    params.topologies = {Topology::OneD};
+    CalibrationResult cal = calibrate(net, params);
+    ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    AvailabilitySnapshot snap =
+        gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+    return Setup{std::move(net), std::move(cal), std::move(spec),
+                 std::move(snap)};
+  }
+};
+
+void BM_EstimateOnce(benchmark::State& state) {
+  const Setup s = Setup::paper(static_cast<int>(state.range(0)));
+  CycleEstimator estimator(s.net, s.calibration.db, s.spec);
+  const ProcessorConfig config{6, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(config).t_c_ms);
+  }
+}
+BENCHMARK(BM_EstimateOnce)->Arg(60)->Arg(1200);
+
+void BM_PartitionPaperTestbed(benchmark::State& state) {
+  const Setup s = Setup::paper(static_cast<int>(state.range(0)));
+  CycleEstimator estimator(s.net, s.calibration.db, s.spec);
+  std::uint64_t evals = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const PartitionResult result = partition(estimator, s.snapshot);
+    benchmark::DoNotOptimize(result.estimate.t_c_ms);
+    evals += result.evaluations;
+    ++runs;
+  }
+  state.counters["evaluations"] =
+      static_cast<double>(evals) / static_cast<double>(runs);
+}
+BENCHMARK(BM_PartitionPaperTestbed)->Arg(60)->Arg(300)->Arg(600)->Arg(1200);
+
+void BM_PartitionRandomNetwork(benchmark::State& state) {
+  const Setup s =
+      Setup::random(static_cast<int>(state.range(0)), 8, 2400);
+  CycleEstimator estimator(s.net, s.calibration.db, s.spec);
+  std::uint64_t evals = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const PartitionResult result = partition(estimator, s.snapshot);
+    benchmark::DoNotOptimize(result.estimate.t_c_ms);
+    evals += result.evaluations;
+    ++runs;
+  }
+  state.counters["evaluations"] =
+      static_cast<double>(evals) / static_cast<double>(runs);
+  state.counters["K"] = static_cast<double>(state.range(0));
+  state.counters["P"] = static_cast<double>(s.snapshot.total());
+}
+BENCHMARK(BM_PartitionRandomNetwork)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_ExhaustivePartition(benchmark::State& state) {
+  const Setup s =
+      Setup::random(static_cast<int>(state.range(0)), 6, 2400);
+  CycleEstimator estimator(s.net, s.calibration.db, s.spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exhaustive_partition(estimator, s.snapshot).estimate.t_c_ms);
+  }
+}
+BENCHMARK(BM_ExhaustivePartition)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace netpart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Partitioner scalability beyond the paper's 2-cluster testbed: networks
+// of 2..10 clusters (up to ~60 processors), stencil sizes spanning three
+// orders of magnitude.  Reports the chosen processor counts, the
+// evaluation budget (the paper's K log2 P bound), and wall-clock cost of
+// one partitioning call.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netpart;
+  Table table({"K", "P", "N", "chosen p", "evals", "K*log2P",
+               "partition wall us"});
+
+  for (const int k : {2, 4, 6, 10}) {
+    Rng rng(static_cast<std::uint64_t>(k) * 1021);
+    const Network net = presets::random_network(rng, k, 6);
+    CalibrationParams params;
+    params.topologies = {Topology::OneD};
+    const CalibrationResult cal = calibrate(net, params);
+    const AvailabilitySnapshot snap = bench::idle_snapshot(net);
+
+    for (const int n : {120, 1200, 12000}) {
+      const ComputationSpec spec = apps::make_stencil_spec(
+          apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+      CycleEstimator est(net, cal.db, spec);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const PartitionResult r = partition(est, snap);
+      const double wall_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+
+      const double bound =
+          k * std::log2(static_cast<double>(snap.total()));
+      table.add_row({std::to_string(k), std::to_string(snap.total()),
+                     std::to_string(n),
+                     std::to_string(config_total(r.config)),
+                     std::to_string(r.evaluations),
+                     format_double(bound, 1),
+                     format_double(wall_us, 1)});
+    }
+  }
+  std::printf("%s\n",
+              table.render("Partitioner scaling over cluster count and "
+                           "problem size")
+                  .c_str());
+  return 0;
+}

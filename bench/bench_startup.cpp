@@ -1,0 +1,50 @@
+// Startup amortisation (Section 5's T_elapsed = I*T_c + T_startup).
+//
+// The paper assumes "the computation is of sufficient granularity to
+// amortize the startup costs".  This bench quantifies that: for each
+// problem size, the measured initial scatter (rank 0 distributes every
+// block) against I*T_c, and the iteration count at which startup drops
+// below 5% of the total.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/decompose.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::paper_testbed();
+
+  Table table({"N", "config", "T_startup ms", "T_c ms", "startup = 5% at I",
+               "I=10 startup share"});
+  for (std::int64_t n : bench::paper_sizes()) {
+    const apps::StencilConfig cfg{.n = static_cast<int>(n),
+                                  .iterations = 10,
+                                  .overlap = false};
+    const ComputationSpec spec = apps::make_stencil_spec(cfg);
+    const ProcessorConfig config{6, 6};
+    const Placement placement = contiguous_placement(net, config);
+    const PartitionVector part = balanced_partition(
+        net, config, clusters_by_speed(net), n);
+
+    ExecutionOptions options;
+    options.pdu_bytes = 4 * n;  // one float row per PDU
+    const ExecutionResult run = execute(net, spec, placement, part, options);
+    const double startup = run.startup.as_millis();
+    const double per_cycle = run.elapsed.as_millis() / cfg.iterations;
+    const int amortized_at =
+        static_cast<int>(startup / (0.05 * per_cycle) + 1.0);
+    table.add_row(
+        {std::to_string(n), "(6,6)", bench::ms(startup),
+         bench::ms(per_cycle), std::to_string(amortized_at),
+         format_double(100.0 * startup /
+                           (startup + run.elapsed.as_millis()),
+                       1) +
+             "%"});
+  }
+  std::printf("%s\n",
+              table.render("Startup (initial scatter) vs per-cycle cost")
+                  .c_str());
+  return 0;
+}

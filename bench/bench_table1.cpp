@@ -1,0 +1,81 @@
+// Table 1: output of the partitioning algorithm for STEN-1 and STEN-2.
+//
+// For each problem size the partitioner chooses (P1, P2) -- Sparc2s and
+// IPCs -- and the per-processor PDU counts (A1, A2).  The paper's reference
+// values are printed alongside.  Note: the paper's printed A-values for
+// N=1200 (171/86) are inconsistent with P1=P2=6 (they sum to 1542 rows);
+// Eq. 3 gives 133/67, which is what a correct implementation reports.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+namespace netpart {
+namespace {
+
+struct PaperRow {
+  std::int64_t n;
+  int p1, p2;
+  std::int64_t a1, a2;
+};
+
+// Reference values from the paper (Table 1).
+const PaperRow kPaperSten1[] = {
+    {60, 1, 0, 60, 0}, {300, 6, 0, 50, 0}, {600, 6, 4, 75, 38},
+    {1200, 6, 6, 171, 86},  // printed values; see header comment
+};
+const PaperRow kPaperSten2[] = {
+    {60, 2, 0, 30, 0}, {300, 6, 2, 43, 21}, {600, 6, 6, 67, 33},
+    {1200, 6, 6, 171, 86},
+};
+
+void run_variant(const Network& net, const CostModelDb& db, bool overlap,
+                 const PaperRow* paper, Table& table) {
+  const AvailabilitySnapshot snapshot = bench::idle_snapshot(net);
+  for (std::size_t i = 0; i < bench::paper_sizes().size(); ++i) {
+    const std::int64_t n = bench::paper_sizes()[i];
+    const apps::StencilConfig cfg{.n = static_cast<int>(n),
+                                  .iterations = 10,
+                                  .overlap = overlap};
+    const ComputationSpec spec = apps::make_stencil_spec(cfg);
+    CycleEstimator estimator(net, db, spec);
+    const PartitionResult result = partition(estimator, snapshot);
+
+    const int p1 = result.config[0];
+    const int p2 = result.config[1];
+    const std::int64_t a1 = p1 > 0 ? result.estimate.partition.at(0) : 0;
+    const std::int64_t a2 =
+        p2 > 0 ? result.estimate.partition.at(p1) : 0;
+    table.add_row({std::to_string(n), std::to_string(p1),
+                   std::to_string(p2), std::to_string(a1),
+                   std::to_string(a2),
+                   std::to_string(paper[i].p1) + "/" +
+                       std::to_string(paper[i].p2),
+                   std::to_string(paper[i].a1) + "/" +
+                       std::to_string(paper[i].a2),
+                   std::to_string(result.evaluations)});
+  }
+}
+
+}  // namespace
+}  // namespace netpart
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::paper_testbed();
+  const CalibrationResult calibration = bench::calibrate_testbed(net);
+
+  for (const bool overlap : {false, true}) {
+    Table table({"N", "P1", "P2", "A1", "A2", "paper P1/P2", "paper A1/A2",
+                 "evals"});
+    run_variant(net, calibration.db, overlap,
+                overlap ? kPaperSten2 : kPaperSten1, table);
+    std::printf("%s\n",
+                table
+                    .render(std::string("Table 1 (") +
+                            (overlap ? "STEN-2" : "STEN-1") +
+                            "): partitioning algorithm output")
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Topology ablation: how the decomposition's communication structure
+// changes the processor-count decision.
+//
+// Three variants of the same N x N relaxation:
+//   1-D rows  : border = 4N bytes, constant in p       (the paper's code)
+//   2-D blocks: border = 4*sqrt(A_i), shrinks with p   ("b depends on A_i")
+//   ring      : one 4N-byte forward per cycle
+//
+// With shrinking borders the granularity limit moves right: the 2-D
+// decomposition keeps additional processors profitable at sizes where the
+// 1-D code has saturated.  Estimated T_c per cycle across the fill order,
+// plus the partitioner's choice, per topology.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/decompose.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace netpart {
+namespace {
+
+ComputationSpec make_ring_variant(int n, int iterations) {
+  ComputationPhaseSpec grid;
+  grid.name = "grid";
+  grid.num_pdus = [n] { return static_cast<std::int64_t>(n); };
+  grid.ops_per_pdu = [n] { return 5.0 * n; };
+  CommunicationPhaseSpec forward;
+  forward.name = "forward";
+  forward.topology = [] { return Topology::Ring; };
+  forward.bytes_per_message = [n](std::int64_t) {
+    return static_cast<std::int64_t>(4) * n;
+  };
+  return ComputationSpec("ring-relax", {grid}, {forward}, iterations);
+}
+
+}  // namespace
+}  // namespace netpart
+
+int main() {
+  using namespace netpart;
+  const Network net = presets::paper_testbed();
+  const CalibrationResult calibration =
+      bench::calibrate_testbed(net, /*all_topos=*/true);
+  const AvailabilitySnapshot snapshot = bench::idle_snapshot(net);
+
+  for (const int n : {300, 1200}) {
+    Table table({"p", "config", "1-D rows T_c", "2-D blocks T_c",
+                 "ring T_c"});
+    const ComputationSpec one_d = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    const ComputationSpec two_d = apps::make_stencil2d_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    const ComputationSpec ring = make_ring_variant(n, 10);
+    CycleEstimator est1(net, calibration.db, one_d);
+    CycleEstimator est2(net, calibration.db, two_d);
+    CycleEstimator est3(net, calibration.db, ring);
+
+    for (int p = 1; p <= 12; ++p) {
+      const ProcessorConfig config{std::min(p, 6), std::max(0, p - 6)};
+      table.add_row({std::to_string(p),
+                     "(" + std::to_string(config[0]) + "," +
+                         std::to_string(config[1]) + ")",
+                     format_double(est1.estimate(config).t_c_ms, 2),
+                     format_double(est2.estimate(config).t_c_ms, 2),
+                     format_double(est3.estimate(config).t_c_ms, 2)});
+    }
+    std::printf("%s\n",
+                table
+                    .render("Estimated T_c per cycle, N=" +
+                            std::to_string(n) +
+                            " (same computation, three decompositions)")
+                    .c_str());
+
+    const PartitionResult r1 = partition(est1, snapshot);
+    const PartitionResult r2 = partition(est2, snapshot);
+    const PartitionResult r3 = partition(est3, snapshot);
+    std::printf("partitioner: 1-D -> (%d,%d), 2-D -> (%d,%d), "
+                "ring -> (%d,%d)\n\n",
+                r1.config[0], r1.config[1], r2.config[0], r2.config[1],
+                r3.config[0], r3.config[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "bench/common.hpp"
+
+#include "core/decompose.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart::bench {
+
+const std::vector<std::int64_t>& paper_sizes() {
+  static const std::vector<std::int64_t> kSizes = {60, 300, 600, 1200};
+  return kSizes;
+}
+
+CalibrationResult calibrate_testbed(const Network& net, bool all_topos) {
+  CalibrationParams params;
+  if (!all_topos) {
+    params.topologies = {Topology::OneD};
+  }
+  return calibrate(net, params);
+}
+
+AvailabilitySnapshot idle_snapshot(const Network& net) {
+  return gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+}
+
+std::vector<NamedConfig> table2_configs() {
+  return {
+      {"1 Sparc2", {1, 0}},          {"2 Sparc2s", {2, 0}},
+      {"4 Sparc2s", {4, 0}},         {"6 Sparc2s", {6, 0}},
+      {"6 Sparc2s + 2 IPCs", {6, 2}}, {"6 Sparc2s + 4 IPCs", {6, 4}},
+      {"6 Sparc2s + 6 IPCs", {6, 6}},
+  };
+}
+
+double measured_stencil_ms(const Network& net,
+                           const apps::StencilConfig& cfg,
+                           const ProcessorConfig& config, int runs) {
+  const ComputationSpec spec = apps::make_stencil_spec(cfg);
+  const Placement placement = contiguous_placement(net, config);
+  const PartitionVector partition =
+      balanced_partition(net, config, clusters_by_speed(net), cfg.n);
+  ExecutionOptions options;
+  options.compute_jitter = 0.01;  // light load variation, as on a real net
+  return average_elapsed_ms(net, spec, placement, partition, options, runs);
+}
+
+std::string ms(double v) { return format_double(v, 0); }
+
+}  // namespace netpart::bench

@@ -1,0 +1,45 @@
+// Shared setup for the paper-reproduction benchmarks: the Section 6 testbed,
+// its calibration, and the stencil configurations of Tables 1 and 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/partitioner.hpp"
+#include "exec/executor.hpp"
+#include "net/availability.hpp"
+#include "net/presets.hpp"
+#include "util/config.hpp"
+
+namespace netpart::bench {
+
+/// The paper's problem sizes.
+const std::vector<std::int64_t>& paper_sizes();
+
+/// Calibrate the Section 6 testbed (1-D topology only unless `all_topos`).
+CalibrationResult calibrate_testbed(const Network& net,
+                                    bool all_topos = false);
+
+/// Availability snapshot with every processor idle (the paper benchmarks a
+/// lightly loaded network).
+AvailabilitySnapshot idle_snapshot(const Network& net);
+
+/// The Table 2 column layout: the seven configurations the paper measures.
+struct NamedConfig {
+  std::string label;
+  ProcessorConfig config;  // {sparc2, ipc}
+};
+std::vector<NamedConfig> table2_configs();
+
+/// Measured elapsed time (ms) of a stencil variant under a configuration,
+/// averaged over `runs` executions (compute jitter makes runs differ).
+double measured_stencil_ms(const Network& net,
+                           const apps::StencilConfig& cfg,
+                           const ProcessorConfig& config, int runs = 3);
+
+/// Format helper: fixed 1-decimal milliseconds.
+std::string ms(double v);
+
+}  // namespace netpart::bench

@@ -1,0 +1,39 @@
+# Benchmark binaries: one per table/figure of the paper plus ablations.
+# Defined at top level so the binary dir bench/ holds only executables.
+
+add_library(np_bench_common STATIC bench/common.cpp)
+target_link_libraries(np_bench_common PUBLIC
+  np_util np_net np_sim np_mmps np_topo np_calib np_dp np_core np_exec
+  np_apps)
+target_include_directories(np_bench_common PUBLIC ${CMAKE_SOURCE_DIR})
+
+function(np_add_bench name)
+  add_executable(${name} ${ARGN})
+  target_link_libraries(${name} PRIVATE np_bench_common)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+np_add_bench(bench_table1 bench/bench_table1.cpp)
+np_add_bench(bench_table2 bench/bench_table2.cpp)
+np_add_bench(bench_fig1_network bench/bench_fig1_network.cpp)
+np_add_bench(bench_fig2_partition bench/bench_fig2_partition.cpp)
+np_add_bench(bench_fig3_tc_curve bench/bench_fig3_tc_curve.cpp)
+np_add_bench(bench_costfit bench/bench_costfit.cpp)
+np_add_bench(bench_ablation_locality bench/bench_ablation_locality.cpp)
+np_add_bench(bench_ablation_decomposition
+             bench/bench_ablation_decomposition.cpp)
+np_add_bench(bench_gauss bench/bench_gauss.cpp)
+np_add_bench(bench_particles bench/bench_particles.cpp)
+
+np_add_bench(bench_overhead bench/bench_overhead.cpp)
+target_link_libraries(bench_overhead PRIVATE benchmark::benchmark)
+np_add_bench(bench_adaptive bench/bench_adaptive.cpp)
+np_add_bench(bench_general bench/bench_general.cpp)
+np_add_bench(bench_startup bench/bench_startup.cpp)
+np_add_bench(bench_metasystem bench/bench_metasystem.cpp)
+np_add_bench(bench_topology_scaling bench/bench_topology_scaling.cpp)
+np_add_bench(bench_mmps_latency bench/bench_mmps_latency.cpp)
+np_add_bench(bench_protocol bench/bench_protocol.cpp)
+np_add_bench(bench_breakdown bench/bench_breakdown.cpp)
+np_add_bench(bench_scaling bench/bench_scaling.cpp)

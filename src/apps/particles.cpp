@@ -1,0 +1,278 @@
+#include "apps/particles.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mmps/coercion.hpp"
+#include "mmps/system.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netpart::apps {
+
+namespace {
+
+/// Spring force on particle i from its neighbours.  `left`/`right` are the
+/// neighbouring positions; particles at the chain ends have one-sided
+/// forces.  The arithmetic is written so the distributed version evaluates
+/// the exact same expression in the same order (bit-identical results).
+double chain_force(double left, double here, double right, bool has_left,
+                   bool has_right, double stiffness, double rest) {
+  double force = 0.0;
+  if (has_left) {
+    force += stiffness * ((here - left) - rest) * -1.0;
+  }
+  if (has_right) {
+    force += stiffness * ((right - here) - rest);
+  }
+  return force;
+}
+
+}  // namespace
+
+ComputationSpec make_particle_spec(const ParticleConfig& config) {
+  NP_REQUIRE(config.count >= 2, "need at least two particles");
+  NP_REQUIRE(config.iterations >= 1, "need at least one step");
+  const int count = config.count;
+
+  ComputationPhaseSpec forces;
+  forces.name = "forces";
+  forces.num_pdus = [count] { return static_cast<std::int64_t>(count); };
+  forces.ops_per_pdu = [] { return 9.0; };
+  forces.op_kind = OpKind::FloatingPoint;
+
+  CommunicationPhaseSpec ghosts;
+  ghosts.name = "ghosts";
+  ghosts.topology = [] { return Topology::OneD; };
+  ghosts.bytes_per_message = [](std::int64_t) {
+    return static_cast<std::int64_t>(8);  // one boundary position
+  };
+
+  return ComputationSpec("particles", {forces}, {ghosts},
+                         config.iterations);
+}
+
+ParticleState make_initial_particles(const ParticleConfig& config,
+                                     std::uint64_t seed) {
+  ParticleState state;
+  state.position.resize(static_cast<std::size_t>(config.count));
+  state.velocity.assign(static_cast<std::size_t>(config.count), 0.0);
+  Rng rng(seed);
+  for (int i = 0; i < config.count; ++i) {
+    state.position[static_cast<std::size_t>(i)] =
+        config.rest_length * i +
+        0.1 * config.rest_length * (2.0 * rng.next_double() - 1.0);
+  }
+  return state;
+}
+
+ParticleState run_sequential_particles(const ParticleConfig& config,
+                                       std::uint64_t seed) {
+  ParticleState state = make_initial_particles(config, seed);
+  const int n = config.count;
+  std::vector<double> next_pos(state.position.size());
+  for (int it = 0; it < config.iterations; ++it) {
+    for (int i = 0; i < n; ++i) {
+      const bool has_left = i > 0;
+      const bool has_right = i < n - 1;
+      const double left =
+          has_left ? state.position[static_cast<std::size_t>(i - 1)] : 0.0;
+      const double right =
+          has_right ? state.position[static_cast<std::size_t>(i + 1)] : 0.0;
+      const double f = chain_force(
+          left, state.position[static_cast<std::size_t>(i)], right, has_left,
+          has_right, config.stiffness, config.rest_length);
+      state.velocity[static_cast<std::size_t>(i)] += f * config.dt;
+      next_pos[static_cast<std::size_t>(i)] =
+          state.position[static_cast<std::size_t>(i)] +
+          state.velocity[static_cast<std::size_t>(i)] * config.dt;
+    }
+    state.position.swap(next_pos);
+  }
+  return state;
+}
+
+namespace {
+
+struct ParticleRank {
+  int rank = 0;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::vector<double> pos;  ///< owned positions
+  std::vector<double> vel;
+  std::vector<double> next_pos;
+  double ghost_left = 0.0;
+  double ghost_right = 0.0;
+  int iter = 0;
+  int ghosts_expected = 0;
+  int ghosts_arrived = 0;
+  bool waiting = false;
+};
+
+class ParticleRunner {
+ public:
+  ParticleRunner(const Network& network, const Placement& placement,
+                 const PartitionVector& partition,
+                 const ParticleConfig& config, std::uint64_t seed,
+                 const sim::NetSimParams& sim_params)
+      : config_(config),
+        placement_(placement),
+        net_(engine_, network, sim_params, Rng(seed ^ 0xBEEF)),
+        mmps_(net_),
+        flop_ms_(build_flop_ms(network, placement)) {
+    partition.validate(config.count);
+    const ParticleState init = make_initial_particles(config, seed);
+    const auto ranges = partition.block_ranges();
+    ranks_.resize(placement.size());
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      ParticleRank& pr = ranks_[r];
+      pr.rank = static_cast<int>(r);
+      pr.lo = ranges[r].first;
+      pr.hi = ranges[r].second;
+      pr.pos.assign(init.position.begin() + pr.lo,
+                    init.position.begin() + pr.hi);
+      pr.vel.assign(init.velocity.begin() + pr.lo,
+                    init.velocity.begin() + pr.hi);
+      pr.next_pos.resize(pr.pos.size());
+      pr.ghosts_expected =
+          (r > 0 ? 1 : 0) + (r + 1 < ranks_.size() ? 1 : 0);
+    }
+  }
+
+  DistributedParticlesResult run() {
+    for (ParticleRank& pr : ranks_) {
+      engine_.schedule_at(SimTime::zero(),
+                          [this, &pr] { start_iteration(pr); });
+    }
+    engine_.run();
+    NP_ASSERT(mmps_.unclaimed() == 0);
+
+    DistributedParticlesResult result;
+    result.elapsed = finish_;
+    result.messages = net_.messages_delivered();
+    result.state.position.resize(
+        static_cast<std::size_t>(config_.count));
+    result.state.velocity.resize(
+        static_cast<std::size_t>(config_.count));
+    for (const ParticleRank& pr : ranks_) {
+      std::copy(pr.pos.begin(), pr.pos.end(),
+                result.state.position.begin() + pr.lo);
+      std::copy(pr.vel.begin(), pr.vel.end(),
+                result.state.velocity.begin() + pr.lo);
+    }
+    return result;
+  }
+
+ private:
+  static std::vector<double> build_flop_ms(const Network& network,
+                                           const Placement& placement) {
+    std::vector<double> out;
+    out.reserve(placement.size());
+    for (const ProcessorRef& ref : placement) {
+      out.push_back(
+          network.cluster(ref.cluster).type().flop_time.as_millis());
+    }
+    return out;
+  }
+
+  void start_iteration(ParticleRank& pr) {
+    if (pr.iter == config_.iterations) {
+      finish_ = std::max(finish_, engine_.now());
+      return;
+    }
+    const ProcessorRef me = placement_[static_cast<std::size_t>(pr.rank)];
+
+    // Post ghost receives, then send our boundary positions.
+    const auto install = [this, &pr](bool from_left) {
+      return [this, &pr, from_left](mmps::Message msg) {
+        const std::vector<double> v = mmps::decode_array<double>(msg.payload);
+        NP_ASSERT(v.size() == 1);
+        (from_left ? pr.ghost_left : pr.ghost_right) = v[0];
+        ++pr.ghosts_arrived;
+        if (pr.waiting && pr.ghosts_arrived == pr.ghosts_expected) {
+          pr.waiting = false;
+          integrate(pr);
+        }
+      };
+    };
+    if (pr.rank > 0) {
+      mmps_.recv(me, placement_[static_cast<std::size_t>(pr.rank - 1)],
+                 pr.iter, install(/*from_left=*/true));
+      const double boundary[] = {pr.pos.front()};
+      mmps_.send(me, placement_[static_cast<std::size_t>(pr.rank - 1)],
+                 pr.iter,
+                 mmps::encode_array(std::span<const double>(boundary)));
+    }
+    if (pr.rank + 1 < static_cast<int>(ranks_.size())) {
+      mmps_.recv(me, placement_[static_cast<std::size_t>(pr.rank + 1)],
+                 pr.iter, install(/*from_left=*/false));
+      const double boundary[] = {pr.pos.back()};
+      mmps_.send(me, placement_[static_cast<std::size_t>(pr.rank + 1)],
+                 pr.iter,
+                 mmps::encode_array(std::span<const double>(boundary)));
+    }
+
+    const SimTime ready = net_.host(me).busy_until();
+    engine_.schedule_at(std::max(ready, engine_.now()), [this, &pr] {
+      if (pr.ghosts_arrived < pr.ghosts_expected) {
+        pr.waiting = true;
+        return;
+      }
+      integrate(pr);
+    });
+  }
+
+  void integrate(ParticleRank& pr) {
+    const std::int64_t count = pr.hi - pr.lo;
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::int64_t g = pr.lo + i;
+      const bool has_left = g > 0;
+      const bool has_right = g < config_.count - 1;
+      const double left =
+          i > 0 ? pr.pos[static_cast<std::size_t>(i - 1)] : pr.ghost_left;
+      const double right = i < count - 1
+                               ? pr.pos[static_cast<std::size_t>(i + 1)]
+                               : pr.ghost_right;
+      const double f = chain_force(left, pr.pos[static_cast<std::size_t>(i)],
+                                   right, has_left, has_right,
+                                   config_.stiffness, config_.rest_length);
+      pr.vel[static_cast<std::size_t>(i)] += f * config_.dt;
+      pr.next_pos[static_cast<std::size_t>(i)] =
+          pr.pos[static_cast<std::size_t>(i)] +
+          pr.vel[static_cast<std::size_t>(i)] * config_.dt;
+    }
+    pr.pos.swap(pr.next_pos);
+
+    const double ms = flop_ms_[static_cast<std::size_t>(pr.rank)] * 9.0 *
+                      static_cast<double>(count);
+    const ProcessorRef me = placement_[static_cast<std::size_t>(pr.rank)];
+    const SimTime end =
+        net_.host(me).reserve(engine_.now(), SimTime::millis(ms));
+    ++pr.iter;
+    pr.ghosts_arrived = 0;
+    engine_.schedule_at(end, [this, &pr] { start_iteration(pr); });
+  }
+
+  ParticleConfig config_;
+  const Placement& placement_;
+  sim::Engine engine_;
+  sim::NetSim net_;
+  mmps::System mmps_;
+  std::vector<double> flop_ms_;
+  std::vector<ParticleRank> ranks_;
+  SimTime finish_;
+};
+
+}  // namespace
+
+DistributedParticlesResult run_distributed_particles(
+    const Network& network, const Placement& placement,
+    const PartitionVector& partition, const ParticleConfig& config,
+    std::uint64_t seed, const sim::NetSimParams& sim_params) {
+  NP_REQUIRE(!placement.empty(), "placement must be non-empty");
+  ParticleRunner runner(network, placement, partition, config, seed,
+                        sim_params);
+  return runner.run();
+}
+
+}  // namespace netpart::apps

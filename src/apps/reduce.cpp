@@ -1,0 +1,199 @@
+#include "apps/reduce.hpp"
+
+#include <memory>
+
+#include "mmps/coercion.hpp"
+#include "mmps/system.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netpart::apps {
+
+ComputationSpec make_reduce_spec(const ReduceConfig& config) {
+  NP_REQUIRE(config.count >= 2, "need at least two values");
+  const std::int64_t count = config.count;
+
+  ComputationPhaseSpec local;
+  local.name = "local-sum";
+  local.num_pdus = [count] { return count; };
+  local.ops_per_pdu = [] { return 1.0; };  // one add per value
+  local.op_kind = OpKind::FloatingPoint;
+
+  CommunicationPhaseSpec combine;
+  combine.name = "combine";
+  combine.topology = [] { return Topology::Tree; };
+  combine.bytes_per_message = [](std::int64_t) {
+    return std::int64_t{8};  // one double partial
+  };
+
+  return ComputationSpec("reduce", {local}, {combine}, config.iterations);
+}
+
+std::vector<double> make_reduce_input(std::int64_t count,
+                                      std::uint64_t seed) {
+  std::vector<double> values(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (double& v : values) {
+    v = 2.0 * rng.next_double() - 1.0;
+  }
+  return values;
+}
+
+double sequential_sum(const std::vector<double>& values) {
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc;
+}
+
+namespace {
+
+struct ReduceRank {
+  int rank = 0;
+  double local = 0.0;     ///< local block sum (computed once per iteration)
+  double combined = 0.0;  ///< local + children partials
+  int children_expected = 0;
+  int children_arrived = 0;
+  int iter = 0;
+  bool local_done = false;
+};
+
+class ReduceRunner {
+ public:
+  ReduceRunner(const Network& network, const Placement& placement,
+               const PartitionVector& partition, const ReduceConfig& config,
+               std::uint64_t seed, const sim::NetSimParams& sim_params)
+      : config_(config),
+        placement_(placement),
+        net_(engine_, network, sim_params, Rng(seed ^ 0x7EE5)),
+        mmps_(net_),
+        flop_ms_(build_flop_ms(network, placement)) {
+    partition.validate(config.count);
+    const std::vector<double> input =
+        make_reduce_input(config.count, seed);
+    const auto ranges = partition.block_ranges();
+    const int p = static_cast<int>(placement.size());
+    ranks_.resize(placement.size());
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      ReduceRank& rr = ranks_[r];
+      rr.rank = static_cast<int>(r);
+      double sum = 0.0;
+      for (std::int64_t i = ranges[r].first; i < ranges[r].second; ++i) {
+        sum += input[static_cast<std::size_t>(i)];
+      }
+      rr.local = sum;
+      const int left = 2 * rr.rank + 1;
+      const int right = 2 * rr.rank + 2;
+      rr.children_expected = (left < p ? 1 : 0) + (right < p ? 1 : 0);
+    }
+    blocks_ = ranges;
+  }
+
+  DistributedReduceResult run() {
+    for (ReduceRank& rr : ranks_) {
+      engine_.schedule_at(SimTime::zero(),
+                          [this, &rr] { start_iteration(rr); });
+    }
+    engine_.run();
+    NP_ASSERT(mmps_.unclaimed() == 0);
+    DistributedReduceResult result;
+    result.value = root_value_;
+    result.elapsed = finish_;
+    result.messages = net_.messages_delivered();
+    return result;
+  }
+
+ private:
+  static std::vector<double> build_flop_ms(const Network& network,
+                                           const Placement& placement) {
+    std::vector<double> out;
+    out.reserve(placement.size());
+    for (const ProcessorRef& ref : placement) {
+      out.push_back(
+          network.cluster(ref.cluster).type().flop_time.as_millis());
+    }
+    return out;
+  }
+
+  void start_iteration(ReduceRank& rr) {
+    if (rr.iter == config_.iterations) {
+      finish_ = std::max(finish_, engine_.now());
+      return;
+    }
+    // Local block sum: one add per owned value.
+    const std::int64_t count =
+        blocks_[static_cast<std::size_t>(rr.rank)].second -
+        blocks_[static_cast<std::size_t>(rr.rank)].first;
+    const ProcessorRef me = placement_[static_cast<std::size_t>(rr.rank)];
+    const SimTime end = net_.host(me).reserve(
+        engine_.now(),
+        SimTime::millis(flop_ms_[static_cast<std::size_t>(rr.rank)] *
+                        static_cast<double>(count)));
+    rr.combined = rr.local;
+    rr.children_arrived = 0;
+    rr.local_done = false;
+
+    // Children partials may arrive at any time; post the receives now.
+    const int p = static_cast<int>(ranks_.size());
+    for (const int child : {2 * rr.rank + 1, 2 * rr.rank + 2}) {
+      if (child >= p) continue;
+      mmps_.recv(me, placement_[static_cast<std::size_t>(child)], rr.iter,
+                 [this, &rr](mmps::Message msg) {
+                   const auto v = mmps::decode_array<double>(msg.payload);
+                   NP_ASSERT(v.size() == 1);
+                   rr.combined += v[0];
+                   ++rr.children_arrived;
+                   maybe_forward(rr);
+                 });
+    }
+    engine_.schedule_at(end, [this, &rr] {
+      rr.local_done = true;
+      maybe_forward(rr);
+    });
+  }
+
+  /// Once the local sum and all children partials are in, forward up the
+  /// tree (or record the result at the root) and begin the next iteration.
+  void maybe_forward(ReduceRank& rr) {
+    if (!rr.local_done || rr.children_arrived != rr.children_expected) {
+      return;
+    }
+    const ProcessorRef me = placement_[static_cast<std::size_t>(rr.rank)];
+    if (rr.rank == 0) {
+      root_value_ = rr.combined;
+    } else {
+      const int parent = (rr.rank - 1) / 2;
+      const double payload[] = {rr.combined};
+      mmps_.send(me, placement_[static_cast<std::size_t>(parent)], rr.iter,
+                 mmps::encode_array(std::span<const double>(payload)));
+    }
+    ++rr.iter;
+    const SimTime ready = net_.host(me).busy_until();
+    engine_.schedule_at(std::max(ready, engine_.now()),
+                        [this, &rr] { start_iteration(rr); });
+  }
+
+  ReduceConfig config_;
+  const Placement& placement_;
+  sim::Engine engine_;
+  sim::NetSim net_;
+  mmps::System mmps_;
+  std::vector<double> flop_ms_;
+  std::vector<ReduceRank> ranks_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> blocks_;
+  double root_value_ = 0.0;
+  SimTime finish_;
+};
+
+}  // namespace
+
+DistributedReduceResult run_distributed_reduce(
+    const Network& network, const Placement& placement,
+    const PartitionVector& partition, const ReduceConfig& config,
+    std::uint64_t seed, const sim::NetSimParams& sim_params) {
+  NP_REQUIRE(!placement.empty(), "placement must be non-empty");
+  ReduceRunner runner(network, placement, partition, config, seed,
+                      sim_params);
+  return runner.run();
+}
+
+}  // namespace netpart::apps

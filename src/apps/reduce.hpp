@@ -1,0 +1,55 @@
+// Parallel global reduction over the tree topology.
+//
+// A classic data parallel primitive (the related-work systems of Reeves et
+// al. specialised in exactly these): each task reduces its block of values
+// locally, then partial sums combine up a binary tree to rank 0.  The PDU
+// is one value; communication is one 8-byte partial per tree edge per
+// cycle; iterations model repeated reductions (e.g. convergence tests in an
+// outer solver loop).
+//
+// Exercises the Tree topology end to end: calibration, estimation,
+// execution, and a functional MMPS implementation whose result is compared
+// against the sequential sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/partition_vector.hpp"
+#include "dp/phases.hpp"
+#include "net/network.hpp"
+#include "sim/netsim.hpp"
+#include "topo/placement.hpp"
+
+namespace netpart::apps {
+
+struct ReduceConfig {
+  std::int64_t count = 100000;  ///< values to reduce
+  int iterations = 20;          ///< repeated reductions
+};
+
+/// Annotated computation for the partitioner and executor.
+ComputationSpec make_reduce_spec(const ReduceConfig& config);
+
+/// Deterministic test data.
+std::vector<double> make_reduce_input(std::int64_t count,
+                                      std::uint64_t seed);
+
+/// Sequential reference sum (left-to-right order).
+double sequential_sum(const std::vector<double>& values);
+
+struct DistributedReduceResult {
+  double value = 0.0;  ///< the tree-combined sum at rank 0
+  SimTime elapsed;
+  std::uint64_t messages = 0;
+};
+
+/// Functional tree reduction over MMPS.  The combination order differs
+/// from sequential (tree vs linear), so the result matches up to floating
+/// point reassociation, not bit-exactly.
+DistributedReduceResult run_distributed_reduce(
+    const Network& network, const Placement& placement,
+    const PartitionVector& partition, const ReduceConfig& config,
+    std::uint64_t seed = 2, const sim::NetSimParams& sim_params = {});
+
+}  // namespace netpart::apps

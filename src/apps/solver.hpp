@@ -1,0 +1,56 @@
+// Iterative Jacobi solver with convergence monitoring.
+//
+// The stencil of Section 6 plus the piece real solvers add: a global
+// residual norm every sweep.  That makes this the library's only
+// application with *two* communication phases --
+//
+//   borders : 1-D topology, 4N bytes   (halo exchange)
+//   norm    : tree topology, 8 bytes   (residual reduction)
+//
+// -- so the partitioner's dominant-phase rule (Section 4: only the phase
+// with the largest communication complexity drives the estimate) is
+// exercised by a real program: `borders` dominates, and the tree phase
+// rides along.  The functional implementation runs both phases through
+// MMPS and reproduces the sequential sweep + norm bit-for-bit at the root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/partition_vector.hpp"
+#include "dp/phases.hpp"
+#include "net/network.hpp"
+#include "sim/netsim.hpp"
+#include "topo/placement.hpp"
+
+namespace netpart::apps {
+
+struct SolverConfig {
+  int n = 120;           ///< grid dimension
+  int iterations = 10;   ///< sweeps (each followed by a norm reduction)
+};
+
+/// Annotated computation: one computation phase, two communication phases.
+ComputationSpec make_solver_spec(const SolverConfig& config);
+
+/// Sequential reference: returns the residual-norm series (sum over
+/// interior points of |new - old| after each sweep) and leaves the final
+/// grid in `grid`.
+std::vector<double> run_sequential_solver(const SolverConfig& config,
+                                          std::vector<float>& grid);
+
+struct DistributedSolverResult {
+  std::vector<float> grid;        ///< final grid
+  std::vector<double> residuals;  ///< norm after each sweep (at rank 0)
+  SimTime elapsed;
+  std::uint64_t messages = 0;
+};
+
+/// Functional distributed run: halo exchange per sweep, then a tree
+/// reduction of the per-rank residual contributions.
+DistributedSolverResult run_distributed_solver(
+    const Network& network, const Placement& placement,
+    const PartitionVector& partition, const SolverConfig& config,
+    const sim::NetSimParams& sim_params = {});
+
+}  // namespace netpart::apps

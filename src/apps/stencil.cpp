@@ -1,0 +1,474 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "exec/threaded.hpp"
+#include "mmps/coercion.hpp"
+#include "mmps/system.hpp"
+#include "util/error.hpp"
+
+namespace netpart::apps {
+
+ComputationSpec make_stencil_spec(const StencilConfig& config) {
+  NP_REQUIRE(config.n >= 3, "stencil needs at least a 3x3 grid");
+  const int n = config.n;
+
+  ComputationPhaseSpec grid;
+  grid.name = "grid";
+  grid.num_pdus = [n] { return static_cast<std::int64_t>(n); };
+  grid.ops_per_pdu = [n] { return 5.0 * n; };
+  grid.op_kind = OpKind::FloatingPoint;
+
+  CommunicationPhaseSpec borders;
+  borders.name = "borders";
+  borders.topology = [] { return Topology::OneD; };
+  borders.bytes_per_message = [n](std::int64_t) {
+    return static_cast<std::int64_t>(4) * n;  // one row of 4-byte points
+  };
+  if (config.overlap) {
+    borders.overlap_with = "grid";
+  }
+
+  return ComputationSpec(config.overlap ? "STEN-2" : "STEN-1", {grid},
+                         {borders}, config.iterations);
+}
+
+ComputationSpec make_stencil2d_spec(const StencilConfig& config) {
+  NP_REQUIRE(config.n >= 3, "stencil needs at least a 3x3 grid");
+  const std::int64_t n = config.n;
+
+  ComputationPhaseSpec grid;
+  grid.name = "grid";
+  grid.num_pdus = [n] { return n * n; };
+  grid.ops_per_pdu = [] { return 9.0; };  // 9-point update per cell
+  grid.op_kind = OpKind::FloatingPoint;
+
+  CommunicationPhaseSpec borders;
+  borders.name = "borders";
+  borders.topology = [] { return Topology::TwoD; };
+  borders.bytes_per_message = [](std::int64_t a_i) {
+    // One side of an approximately square block of a_i cells, 4 bytes per
+    // point.
+    const auto side = static_cast<std::int64_t>(
+        std::sqrt(static_cast<double>(a_i)) + 0.5);
+    return 4 * std::max<std::int64_t>(side, 1);
+  };
+  if (config.overlap) {
+    borders.overlap_with = "grid";
+  }
+
+  return ComputationSpec(config.overlap ? "STEN2D-2" : "STEN2D-1", {grid},
+                         {borders}, config.iterations);
+}
+
+std::vector<float> make_initial_grid(int n) {
+  NP_REQUIRE(n >= 3, "stencil needs at least a 3x3 grid");
+  std::vector<float> grid(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int j = 0; j < n; ++j) {
+    grid[static_cast<std::size_t>(j)] = 100.0f;  // top boundary row
+  }
+  return grid;
+}
+
+void sequential_sweep(std::vector<float>& grid, std::vector<float>& scratch,
+                      int n) {
+  NP_REQUIRE(grid.size() == static_cast<std::size_t>(n) * n,
+             "grid size mismatch");
+  scratch = grid;
+  const auto at = [n](const std::vector<float>& g, int i, int j) {
+    return g[static_cast<std::size_t>(i) * n + j];
+  };
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) {
+      scratch[static_cast<std::size_t>(i) * n + j] =
+          0.25f * (at(grid, i - 1, j) + at(grid, i + 1, j) +
+                   at(grid, i, j - 1) + at(grid, i, j + 1));
+    }
+  }
+  grid.swap(scratch);
+}
+
+std::vector<float> run_sequential(const StencilConfig& config) {
+  std::vector<float> grid = make_initial_grid(config.n);
+  std::vector<float> scratch;
+  for (int it = 0; it < config.iterations; ++it) {
+    sequential_sweep(grid, scratch, config.n);
+  }
+  return grid;
+}
+
+namespace {
+
+/// Per-rank state of the distributed stencil.  Row storage includes a ghost
+/// row above and below the owned block: local row r maps to global row
+/// lo + r - 1.
+struct RankState {
+  int rank = 0;
+  int lo = 0;  ///< first owned global row
+  int hi = 0;  ///< one past last owned global row
+  std::vector<float> cur;   ///< (rows + 2) x n, ghosts at local 0 and rows+1
+  std::vector<float> next;
+  int iter = 0;
+  int ghosts_expected = 0;
+  int ghosts_arrived = 0;
+  bool waiting = false;
+};
+
+class StencilRunner {
+ public:
+  StencilRunner(const Network& network, const Placement& placement,
+                const PartitionVector& partition,
+                const StencilConfig& config,
+                const sim::NetSimParams& sim_params)
+      : n_(config.n),
+        iterations_(config.iterations),
+        overlap_(config.overlap),
+        placement_(placement),
+        net_(engine_, network, sim_params, Rng(11)),
+        mmps_(net_),
+        flop_ms_(build_flop_ms(network, placement)) {
+    partition.validate(config.n);
+    const std::vector<float> init = make_initial_grid(n_);
+    const auto ranges = partition.block_ranges();
+    ranks_.resize(placement.size());
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      RankState& rs = ranks_[r];
+      rs.rank = static_cast<int>(r);
+      rs.lo = static_cast<int>(ranges[r].first);
+      rs.hi = static_cast<int>(ranges[r].second);
+      const int rows = rs.hi - rs.lo;
+      rs.cur.assign(static_cast<std::size_t>(rows + 2) * n_, 0.0f);
+      rs.next = rs.cur;
+      for (int row = rs.lo; row < rs.hi; ++row) {
+        std::copy_n(init.begin() + static_cast<std::ptrdiff_t>(row) * n_, n_,
+                    rs.cur.begin() +
+                        static_cast<std::ptrdiff_t>(row - rs.lo + 1) * n_);
+      }
+      rs.ghosts_expected = (r > 0 ? 1 : 0) +
+                           (r + 1 < ranks_.size() ? 1 : 0);
+    }
+  }
+
+  DistributedStencilResult run() {
+    for (RankState& rs : ranks_) {
+      engine_.schedule_at(SimTime::zero(),
+                          [this, &rs] { start_iteration(rs); });
+    }
+    engine_.run();
+    NP_ASSERT(mmps_.unclaimed() == 0);
+
+    DistributedStencilResult result;
+    result.elapsed = finish_;
+    result.messages = net_.messages_delivered();
+    result.grid.assign(static_cast<std::size_t>(n_) * n_, 0.0f);
+    for (const RankState& rs : ranks_) {
+      for (int row = rs.lo; row < rs.hi; ++row) {
+        std::copy_n(rs.cur.begin() +
+                        static_cast<std::ptrdiff_t>(row - rs.lo + 1) * n_,
+                    n_,
+                    result.grid.begin() +
+                        static_cast<std::ptrdiff_t>(row) * n_);
+      }
+    }
+    return result;
+  }
+
+ private:
+  static std::vector<double> build_flop_ms(const Network& network,
+                                           const Placement& placement) {
+    std::vector<double> out;
+    out.reserve(placement.size());
+    for (const ProcessorRef& ref : placement) {
+      out.push_back(network.cluster(ref.cluster).type().flop_time.as_millis());
+    }
+    return out;
+  }
+
+  float* row_ptr(std::vector<float>& buf, int local_row) {
+    return buf.data() + static_cast<std::ptrdiff_t>(local_row) * n_;
+  }
+
+  void start_iteration(RankState& rs) {
+    if (rs.iter == iterations_) {
+      finish_ = std::max(finish_, engine_.now());
+      return;
+    }
+    post_recvs(rs);
+    send_borders(rs);
+    // Resume once the host finishes initiating the sends.
+    const SimTime ready =
+        net_.host(placement_[static_cast<std::size_t>(rs.rank)])
+            .busy_until();
+    engine_.schedule_at(std::max(ready, engine_.now()), [this, &rs] {
+      if (overlap_) {
+        compute_then_wait(rs);
+      } else {
+        wait_then_compute(rs);
+      }
+    });
+  }
+
+  void send_borders(RankState& rs) {
+    const ProcessorRef me = placement_[static_cast<std::size_t>(rs.rank)];
+    const int rows = rs.hi - rs.lo;
+    if (rs.rank > 0) {
+      const std::span<const float> row(row_ptr(rs.cur, 1), n_);
+      mmps_.send(me, placement_[static_cast<std::size_t>(rs.rank - 1)],
+                 rs.iter, mmps::encode_array(row));
+    }
+    if (rs.rank + 1 < static_cast<int>(ranks_.size())) {
+      const std::span<const float> row(row_ptr(rs.cur, rows), n_);
+      mmps_.send(me, placement_[static_cast<std::size_t>(rs.rank + 1)],
+                 rs.iter, mmps::encode_array(row));
+    }
+  }
+
+  void post_recvs(RankState& rs) {
+    const ProcessorRef me = placement_[static_cast<std::size_t>(rs.rank)];
+    const int rows = rs.hi - rs.lo;
+    const auto install = [this, &rs](int local_row) {
+      return [this, &rs, local_row](mmps::Message msg) {
+        const std::vector<float> row = mmps::decode_array<float>(msg.payload);
+        NP_ASSERT(static_cast<int>(row.size()) == n_);
+        std::copy(row.begin(), row.end(), row_ptr(rs.cur, local_row));
+        ++rs.ghosts_arrived;
+        if (rs.waiting && rs.ghosts_arrived == rs.ghosts_expected) {
+          rs.waiting = false;
+          compute_border_rows(rs);
+        }
+      };
+    };
+    if (rs.rank > 0) {
+      mmps_.recv(me, placement_[static_cast<std::size_t>(rs.rank - 1)],
+                 rs.iter, install(0));
+    }
+    if (rs.rank + 1 < static_cast<int>(ranks_.size())) {
+      mmps_.recv(me, placement_[static_cast<std::size_t>(rs.rank + 1)],
+                 rs.iter, install(rows + 1));
+    }
+  }
+
+  /// STEN-1: block for ghosts, then compute the whole owned block.
+  void wait_then_compute(RankState& rs) {
+    if (rs.ghosts_arrived < rs.ghosts_expected) {
+      rs.waiting = true;
+      return;
+    }
+    compute_rows(rs, rs.lo, rs.hi, [this, &rs] { finish_iteration(rs); });
+  }
+
+  /// STEN-2: compute rows that need no ghosts while borders are in flight,
+  /// then the two border rows once the ghosts arrive.
+  void compute_then_wait(RankState& rs) {
+    const int interior_lo = rs.lo + 1;
+    const int interior_hi = rs.hi - 1;
+    compute_rows(rs, interior_lo, interior_hi, [this, &rs] {
+      if (rs.ghosts_arrived < rs.ghosts_expected) {
+        rs.waiting = true;
+        return;
+      }
+      compute_border_rows(rs);
+    });
+  }
+
+  void compute_border_rows(RankState& rs) {
+    if (overlap_) {
+      // The interior is done; finish the first and last owned rows.
+      compute_rows(rs, rs.lo, std::min(rs.lo + 1, rs.hi),
+                   [this, &rs] {
+                     compute_rows(rs, std::max(rs.hi - 1, rs.lo + 1), rs.hi,
+                                  [this, &rs] { finish_iteration(rs); });
+                   });
+    } else {
+      compute_rows(rs, rs.lo, rs.hi, [this, &rs] { finish_iteration(rs); });
+    }
+  }
+
+  /// Relax owned global rows [glo, ghi) into `next`, charging host time at
+  /// 5 flops per point, then invoke the continuation.
+  void compute_rows(RankState& rs, int glo, int ghi,
+                    std::function<void()> done) {
+    glo = std::max(glo, rs.lo);
+    ghi = std::min(ghi, rs.hi);
+    int updated = 0;
+    for (int row = glo; row < ghi; ++row) {
+      if (row == 0 || row == n_ - 1) continue;  // fixed global boundary
+      ++updated;
+      const int lr = row - rs.lo + 1;
+      const float* above = row_ptr(rs.cur, lr - 1);
+      const float* here = row_ptr(rs.cur, lr);
+      const float* below = row_ptr(rs.cur, lr + 1);
+      float* out = row_ptr(rs.next, lr);
+      out[0] = here[0];
+      out[n_ - 1] = here[n_ - 1];
+      for (int j = 1; j < n_ - 1; ++j) {
+        out[j] = 0.25f * (above[j] + below[j] + here[j - 1] + here[j + 1]);
+      }
+    }
+    const double ms =
+        flop_ms_[static_cast<std::size_t>(rs.rank)] * 5.0 * n_ * updated;
+    const SimTime end =
+        net_.host(placement_[static_cast<std::size_t>(rs.rank)])
+            .reserve(engine_.now(), SimTime::millis(ms));
+    engine_.schedule_at(end, std::move(done));
+  }
+
+  void finish_iteration(RankState& rs) {
+    // Rows that were not relaxed (global boundary) carry over unchanged.
+    const int rows = rs.hi - rs.lo;
+    if (rs.lo == 0) {
+      std::copy_n(row_ptr(rs.cur, 1), n_, row_ptr(rs.next, 1));
+    }
+    if (rs.hi == n_) {
+      std::copy_n(row_ptr(rs.cur, rows), n_, row_ptr(rs.next, rows));
+    }
+    rs.cur.swap(rs.next);
+    ++rs.iter;
+    rs.ghosts_arrived = 0;
+    start_iteration(rs);
+  }
+
+  int n_;
+  int iterations_;
+  bool overlap_;
+  const Placement& placement_;
+  sim::Engine engine_;
+  sim::NetSim net_;
+  mmps::System mmps_;
+  std::vector<double> flop_ms_;
+  std::vector<RankState> ranks_;
+  SimTime finish_;
+};
+
+}  // namespace
+
+DistributedStencilResult run_distributed_stencil(
+    const Network& network, const Placement& placement,
+    const PartitionVector& partition, const StencilConfig& config,
+    const sim::NetSimParams& sim_params) {
+  NP_REQUIRE(!placement.empty(), "placement must be non-empty");
+  StencilRunner runner(network, placement, partition, config, sim_params);
+  return runner.run();
+}
+
+ThreadedStencilResult run_threaded_stencil(const Network& network,
+                                           const Placement& placement,
+                                           const PartitionVector& partition,
+                                           const StencilConfig& config) {
+  NP_REQUIRE(!placement.empty(), "placement must be non-empty");
+  partition.validate(config.n);
+  const int n = config.n;
+  const int p = static_cast<int>(placement.size());
+  const auto ranges = partition.block_ranges();
+
+  // Emulated slowdown per rank: extra spin work relative to the fastest
+  // machine model in the placement.
+  SimTime fastest = SimTime::max();
+  for (const ProcessorRef& ref : placement) {
+    fastest = std::min(fastest,
+                       network.cluster(ref.cluster).type().flop_time);
+  }
+  std::vector<double> extra_factor;
+  for (const ProcessorRef& ref : placement) {
+    const double ratio =
+        network.cluster(ref.cluster).type().flop_time.as_seconds() /
+        fastest.as_seconds();
+    extra_factor.push_back(ratio - 1.0);
+  }
+
+  const std::vector<float> init = make_initial_grid(n);
+  ThreadedStencilResult result;
+  result.grid.assign(static_cast<std::size_t>(n) * n, 0.0f);
+  std::mutex grid_mutex;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  threaded::run_spmd(p, [&](GlobalRank rank, threaded::Comm& comm) {
+    const int lo = static_cast<int>(ranges[static_cast<std::size_t>(rank)]
+                                        .first);
+    const int hi = static_cast<int>(ranges[static_cast<std::size_t>(rank)]
+                                        .second);
+    const int rows = hi - lo;
+    std::vector<float> cur(static_cast<std::size_t>(rows + 2) * n, 0.0f);
+    for (int row = lo; row < hi; ++row) {
+      std::copy_n(init.begin() + static_cast<std::ptrdiff_t>(row) * n, n,
+                  cur.begin() +
+                      static_cast<std::ptrdiff_t>(row - lo + 1) * n);
+    }
+    std::vector<float> next = cur;
+    const auto row_at = [&](std::vector<float>& buf, int local) {
+      return buf.data() + static_cast<std::ptrdiff_t>(local) * n;
+    };
+
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      // Exchange borders (STEN-1 structure).
+      if (rank > 0) {
+        comm.send(rank, rank - 1, iter,
+                  mmps::encode_array(
+                      std::span<const float>(row_at(cur, 1), n)));
+      }
+      if (rank + 1 < p) {
+        comm.send(rank, rank + 1, iter,
+                  mmps::encode_array(
+                      std::span<const float>(row_at(cur, rows), n)));
+      }
+      if (rank > 0) {
+        const auto ghost = mmps::decode_array<float>(
+            comm.recv(rank, rank - 1, iter).payload);
+        std::copy(ghost.begin(), ghost.end(), row_at(cur, 0));
+      }
+      if (rank + 1 < p) {
+        const auto ghost = mmps::decode_array<float>(
+            comm.recv(rank, rank + 1, iter).payload);
+        std::copy(ghost.begin(), ghost.end(), row_at(cur, rows + 1));
+      }
+
+      // Compute (the same arithmetic as the simulator path).
+      int updated = 0;
+      for (int row = lo; row < hi; ++row) {
+        if (row == 0 || row == n - 1) continue;
+        ++updated;
+        const int lr = row - lo + 1;
+        const float* above = row_at(cur, lr - 1);
+        const float* here = row_at(cur, lr);
+        const float* below = row_at(cur, lr + 1);
+        float* out = row_at(next, lr);
+        out[0] = here[0];
+        out[n - 1] = here[n - 1];
+        for (int j = 1; j < n - 1; ++j) {
+          out[j] =
+              0.25f * (above[j] + below[j] + here[j - 1] + here[j + 1]);
+        }
+      }
+      if (lo == 0) std::copy_n(row_at(cur, 1), n, row_at(next, 1));
+      if (hi == n) std::copy_n(row_at(cur, rows), n, row_at(next, rows));
+      cur.swap(next);
+
+      // Emulate the slower machine models with extra spin work.
+      const double extra =
+          extra_factor[static_cast<std::size_t>(rank)];
+      if (extra > 0.0) {
+        threaded::emulate_compute(5.0 * n * updated, extra);
+      }
+    }
+
+    const std::lock_guard<std::mutex> lock(grid_mutex);
+    for (int row = lo; row < hi; ++row) {
+      std::copy_n(cur.begin() +
+                      static_cast<std::ptrdiff_t>(row - lo + 1) * n,
+                  n,
+                  result.grid.begin() +
+                      static_cast<std::ptrdiff_t>(row) * n);
+    }
+  });
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace netpart::apps

@@ -1,0 +1,68 @@
+// Offline benchmarking of the communication cost functions.
+//
+// For every (cluster, topology) pair the calibrator runs the same
+// communication-cycle programs the executor uses, over a grid of processor
+// counts and message sizes, and fits Eq. 1 by ordinary least squares.
+// Router and coercion costs are benchmarked per cluster pair.  This mirrors
+// the paper's methodology exactly; only the testbed is a simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "calib/cost_model.hpp"
+#include "net/network.hpp"
+#include "sim/netsim.hpp"
+
+namespace netpart {
+
+struct CalibrationParams {
+  /// Message sizes (bytes) in the benchmark grid.
+  std::vector<std::int64_t> message_sizes = {64, 240, 480, 1200, 2400, 4800};
+  /// Cycles averaged per (p, b) sample.
+  int cycles_per_sample = 3;
+  /// Topologies to calibrate; defaults to all supported.
+  std::vector<Topology> topologies;
+  /// Simulation parameters used during benchmarking (the paper benchmarks
+  /// on a lightly loaded network: loss defaults to zero).
+  sim::NetSimParams sim_params;
+  /// Seed for the benchmarking simulator's random streams.
+  std::uint64_t seed = 42;
+};
+
+/// One raw benchmark sample, exposed for fit-quality reporting.
+struct CommSample {
+  ClusterId cluster;
+  Topology topology;
+  int p;
+  std::int64_t bytes;
+  double cost_ms;
+};
+
+struct CalibrationResult {
+  CostModelDb db;
+  std::vector<CommSample> samples;
+};
+
+/// Benchmark the network and fit all cost functions.
+///
+/// Every cluster is swept over p = 2..size (clusters of size 1 get a
+/// two-point synthetic sweep using a neighbour's shape is NOT attempted:
+/// a singleton cluster has no intra-cluster communication and its fit is
+/// skipped).  Router and coercion fits are produced for every cluster pair.
+CalibrationResult calibrate(const Network& network,
+                            const CalibrationParams& params = {});
+
+/// Benchmark only T_router[C_a, C_b]: single-message delivery times across
+/// and within clusters, differenced to isolate the router, then fitted
+/// against message size.
+LineFit benchmark_router(const Network& network, ClusterId a, ClusterId b,
+                         const CalibrationParams& params);
+
+/// Benchmark only T_coerce[C_a, C_b]: times the receiver-side conversion
+/// routine for b-byte payloads (the paper benchmarks the coercion code
+/// standalone the same way).
+LineFit benchmark_coercion(const Network& network, ClusterId a, ClusterId b,
+                           const CalibrationParams& params);
+
+}  // namespace netpart

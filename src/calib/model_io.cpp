@@ -1,0 +1,163 @@
+#include "calib/model_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart {
+
+namespace {
+
+constexpr const char* kMagic = "netpart-costmodel";
+constexpr int kVersion = 1;
+
+/// Hex-float formatting round-trips doubles exactly.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    throw ConfigError("cost model: bad number: " + token);
+  }
+  return v;
+}
+
+std::int64_t parse_int(const std::string& token) {
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    throw ConfigError("cost model: bad integer: " + token);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string save_cost_model(const CostModelDb& db) {
+  std::ostringstream os;
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "clusters " << db.num_clusters() << '\n';
+  for (ClusterId c = 0; c < db.num_clusters(); ++c) {
+    for (Topology t : all_topologies()) {
+      if (!db.has_comm(c, t)) continue;
+      const Eq1Fit& fit = db.comm_fit(c, t);
+      os << "comm " << c << ' ' << to_string(t) << ' ' << hex_double(fit.c1)
+         << ' ' << hex_double(fit.c2) << ' ' << hex_double(fit.c3) << ' '
+         << hex_double(fit.c4) << ' ' << hex_double(fit.r2) << '\n';
+    }
+  }
+  for (ClusterId a = 0; a < db.num_clusters(); ++a) {
+    for (ClusterId b = a + 1; b < db.num_clusters(); ++b) {
+      if (const auto fit = db.router_fit(a, b)) {
+        os << "router " << a << ' ' << b << ' ' << hex_double(fit->slope)
+           << ' ' << hex_double(fit->intercept) << ' '
+           << hex_double(fit->r2) << '\n';
+      }
+      if (const auto fit = db.coerce_fit(a, b)) {
+        os << "coerce " << a << ' ' << b << ' ' << hex_double(fit->slope)
+           << ' ' << hex_double(fit->intercept) << ' '
+           << hex_double(fit->r2) << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+CostModelDb load_cost_model(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  const auto next_tokens = [&](std::vector<std::string>& tokens) {
+    while (std::getline(is, line)) {
+      if (const std::size_t hash = line.find('#');
+          hash != std::string::npos) {
+        line.resize(hash);
+      }
+      std::istringstream ls(line);
+      tokens.clear();
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> tokens;
+  if (!next_tokens(tokens) || tokens.size() != 2 || tokens[0] != kMagic) {
+    throw ConfigError("cost model: missing header");
+  }
+  if (parse_int(tokens[1]) != kVersion) {
+    throw ConfigError("cost model: unsupported version " + tokens[1]);
+  }
+  if (!next_tokens(tokens) || tokens.size() != 2 ||
+      tokens[0] != "clusters") {
+    throw ConfigError("cost model: missing cluster count");
+  }
+  CostModelDb db(static_cast<int>(parse_int(tokens[1])));
+
+  while (next_tokens(tokens)) {
+    if (tokens[0] == "comm") {
+      if (tokens.size() != 8) {
+        throw ConfigError("cost model: malformed comm line: " + line);
+      }
+      Eq1Fit fit;
+      fit.c1 = parse_double(tokens[3]);
+      fit.c2 = parse_double(tokens[4]);
+      fit.c3 = parse_double(tokens[5]);
+      fit.c4 = parse_double(tokens[6]);
+      fit.r2 = parse_double(tokens[7]);
+      db.set_comm(static_cast<ClusterId>(parse_int(tokens[1])),
+                  topology_from_string(tokens[2]), fit);
+    } else if (tokens[0] == "router" || tokens[0] == "coerce") {
+      if (tokens.size() != 6) {
+        throw ConfigError("cost model: malformed line: " + line);
+      }
+      LineFit fit;
+      fit.slope = parse_double(tokens[3]);
+      fit.intercept = parse_double(tokens[4]);
+      fit.r2 = parse_double(tokens[5]);
+      const auto a = static_cast<ClusterId>(parse_int(tokens[1]));
+      const auto b = static_cast<ClusterId>(parse_int(tokens[2]));
+      if (tokens[0] == "router") {
+        db.set_router(a, b, fit);
+      } else {
+        db.set_coerce(a, b, fit);
+      }
+    } else {
+      throw ConfigError("cost model: unknown record: " + tokens[0]);
+    }
+  }
+  return db;
+}
+
+void save_cost_model_file(const CostModelDb& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ConfigError("cannot open for writing: " + path);
+  }
+  out << save_cost_model(db);
+  if (!out.flush()) {
+    throw ConfigError("write failed: " + path);
+  }
+}
+
+CostModelDb load_cost_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_cost_model(buffer.str());
+}
+
+}  // namespace netpart

@@ -1,0 +1,33 @@
+// Persistence for calibrated cost models.
+//
+// Calibration is an offline step (the paper benchmarks each cluster type
+// once and reuses the fitted functions at every partitioning); the database
+// therefore needs a durable form.  The format is a line-oriented text file:
+//
+//   netpart-costmodel 1
+//   clusters <K>
+//   comm <cluster> <topology> <c1> <c2> <c3> <c4> <r2>
+//   router <a> <b> <slope> <intercept> <r2>
+//   coerce <a> <b> <slope> <intercept> <r2>
+//
+// '#' starts a comment.  Doubles round-trip exactly (hex float notation).
+#pragma once
+
+#include <string>
+
+#include "calib/cost_model.hpp"
+
+namespace netpart {
+
+/// Serialise a database to the text format.
+std::string save_cost_model(const CostModelDb& db);
+
+/// Parse a database from the text format.  Throws ConfigError on malformed
+/// input and InvalidArgument on semantic errors (bad cluster ids, etc.).
+CostModelDb load_cost_model(const std::string& text);
+
+/// File helpers (throw ConfigError on I/O failure).
+void save_cost_model_file(const CostModelDb& db, const std::string& path);
+CostModelDb load_cost_model_file(const std::string& path);
+
+}  // namespace netpart

@@ -1,0 +1,47 @@
+#include "core/decompose.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+PartitionVector balanced_partition(
+    const Network& net, const ProcessorConfig& config,
+    const std::vector<ClusterId>& cluster_order, std::int64_t num_pdus) {
+  validate_config(net, config);
+  NP_REQUIRE(num_pdus > 0, "num_pdus must be positive");
+  const int total_ranks = config_total(config);
+  NP_REQUIRE(num_pdus >= total_ranks,
+             "cannot give every selected processor a PDU");
+
+  // Per-rank speed weights 1/S_i, rank-major in cluster order; the
+  // integer realisation (largest-remainder, no starvation) lives in
+  // proportional_partition.
+  std::vector<double> weight;
+  weight.reserve(static_cast<std::size_t>(total_ranks));
+  for (ClusterId c : cluster_order) {
+    const int p = config[static_cast<std::size_t>(c)];
+    const double s = net.cluster(c).type().flop_time.as_seconds();
+    for (int i = 0; i < p; ++i) {
+      weight.push_back(1.0 / s);
+    }
+  }
+  return proportional_partition(weight, num_pdus);
+}
+
+PartitionVector equal_partition(int ranks, std::int64_t num_pdus) {
+  NP_REQUIRE(ranks > 0, "need at least one rank");
+  NP_REQUIRE(num_pdus >= ranks, "cannot give every rank a PDU");
+  std::vector<std::int64_t> assigned(static_cast<std::size_t>(ranks),
+                                     num_pdus / ranks);
+  const std::int64_t remainder = num_pdus % ranks;
+  for (std::int64_t r = 0; r < remainder; ++r) {
+    ++assigned[static_cast<std::size_t>(r)];
+  }
+  return PartitionVector(std::move(assigned));
+}
+
+}  // namespace netpart

@@ -1,0 +1,35 @@
+// Data-domain decomposition (Eq. 3 of the paper).
+//
+// Given a processor configuration, the load-balanced partition assigns each
+// processor PDUs in inverse proportion to its per-operation time S_i:
+//
+//   A_i = num_PDUs * (1/S_i) / sum_j P_j * (1/S_j)
+//
+// (The published equation is typeset ambiguously; this is the form that
+// reproduces every self-consistent row of Table 1, e.g. A_sparc2 =
+// 2N/(2 P_1 + P_2) when S_ipc = 2 S_sparc2.)  Real PDU counts are integers:
+// fractional assignments are floored and the remainder is distributed by
+// largest fractional part, ties to faster processors.
+#pragma once
+
+#include <cstdint>
+
+#include "dp/partition_vector.hpp"
+#include "net/network.hpp"
+#include "topo/placement.hpp"
+
+namespace netpart {
+
+/// Load-balanced decomposition for the processors selected by `config`,
+/// ordered rank-major by `cluster_order` (matching contiguous placement).
+PartitionVector balanced_partition(const Network& net,
+                                   const ProcessorConfig& config,
+                                   const std::vector<ClusterId>& cluster_order,
+                                   std::int64_t num_pdus);
+
+/// Equal decomposition baseline (the paper's N=1200 comparison): every rank
+/// receives num_pdus / P PDUs regardless of speed, remainder to the first
+/// ranks.
+PartitionVector equal_partition(int ranks, std::int64_t num_pdus);
+
+}  // namespace netpart

@@ -1,0 +1,171 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
+                               const ComputationSpec& spec)
+    : network_(network),
+      db_(db),
+      spec_(spec),
+      cluster_order_(clusters_by_speed(network)) {
+  NP_REQUIRE(db.num_clusters() == network.num_clusters(),
+             "cost model was calibrated for a different network");
+}
+
+CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
+  ++evaluations_;
+  validate_config(network_, config);
+
+  const ComputationPhaseSpec& comp = spec_.dominant_computation();
+  const std::int64_t num_pdus = comp.num_pdus();
+  const double ops_per_pdu = comp.ops_per_pdu();
+
+  PartitionVector partition =
+      balanced_partition(network_, config, cluster_order_, num_pdus);
+
+  // Eq. 4: T_comp = S_i * complexity * A_i.  Load balancing makes the
+  // products near-equal; integer rounding leaves a spread, and completion
+  // is set by the slowest processor, so take the max.
+  double t_comp = 0.0;
+  {
+    int rank = 0;
+    for (ClusterId c : cluster_order_) {
+      const ProcessorType& type = network_.cluster(c).type();
+      const double s_ms = (comp.op_kind == OpKind::FloatingPoint
+                               ? type.flop_time
+                               : type.int_time)
+                              .as_millis();
+      const int p = config[static_cast<std::size_t>(c)];
+      for (int i = 0; i < p; ++i, ++rank) {
+        t_comp = std::max(
+            t_comp, s_ms * ops_per_pdu *
+                        static_cast<double>(partition.at(rank)));
+      }
+    }
+  }
+
+  const double t_comm = comm_cost_ms(config, partition);
+
+  // T_overlap: the portion of T_comm hidden behind T_comp when the
+  // implementation overlaps the dominant phases (STEN-2).
+  const double t_overlap = spec_.dominant_phases_overlap()
+                               ? std::min(t_comp, t_comm)
+                               : 0.0;
+
+  CycleEstimate out{config, std::move(partition), t_comp, t_comm, t_overlap,
+                    0.0, 0.0};
+  out.t_c_ms = t_comp + t_comm - t_overlap;
+  out.t_elapsed_ms = out.t_c_ms * spec_.iterations();
+  return out;
+}
+
+double CycleEstimator::comm_cost_ms(const ProcessorConfig& config,
+                                    const PartitionVector& partition) const {
+  if (spec_.communication_phases().empty()) return 0.0;
+  if (config_total(config) <= 1) return 0.0;
+
+  const CommunicationPhaseSpec& comm = spec_.dominant_communication();
+  const Topology topo = comm.topology();
+
+  // Active clusters in placement order, with the max A_i of their ranks
+  // (message sizes may depend on the assignment).
+  struct Active {
+    ClusterId cluster;
+    int p;
+    std::int64_t max_a;
+  };
+  std::vector<Active> active;
+  {
+    int rank = 0;
+    for (ClusterId c : cluster_order_) {
+      const int p = config[static_cast<std::size_t>(c)];
+      if (p == 0) continue;
+      std::int64_t max_a = 0;
+      for (int i = 0; i < p; ++i, ++rank) {
+        max_a = std::max(max_a, partition.at(rank));
+      }
+      active.push_back(Active{c, p, max_a});
+    }
+  }
+  NP_ASSERT(!active.empty());
+
+  const bool bw_limited = is_bandwidth_limited(topo);
+  const int total_p = config_total(config);
+
+  // Router stations: under contiguous placement, messages cross between
+  // consecutive active clusters (chain-like topologies) or from the root
+  // cluster to every other (tree/broadcast rooted at rank 0).
+  const auto adjacency = [&](std::size_t k) -> int {
+    if (active.size() == 1) return 0;
+    switch (topo) {
+      case Topology::OneD:
+      case Topology::TwoD:
+        return (k > 0 ? 1 : 0) + (k + 1 < active.size() ? 1 : 0);
+      case Topology::Ring:
+        // Wrap-around closes the chain: every active cluster sits between
+        // two boundaries.
+        return 2;
+      case Topology::Tree:
+      case Topology::Broadcast:
+        return k == 0 ? static_cast<int>(active.size()) - 1 : 1;
+    }
+    return 0;
+  };
+
+  // Eq. 2 / Section 3: the synchronous cost is the max over clusters; each
+  // cluster's cost is evaluated at its processor count plus the routers
+  // contending on its segment (the "(b, p+1)" rule).  Bandwidth-limited
+  // topologies see the total offered load instead of the private one.
+  //
+  // A singleton cluster has no intra-cluster benchmark (nothing to
+  // measure), yet its segment still carries router traffic when it joins
+  // a spanning configuration; fall back to the most expensive fitted
+  // cluster as a conservative proxy.
+  const auto cluster_cost = [&](ClusterId c, double bytes,
+                                double p_param) -> double {
+    if (db_.has_comm(c, topo)) {
+      return db_.comm_ms(c, topo, bytes, p_param);
+    }
+    double proxy = 0.0;
+    bool found = false;
+    for (ClusterId other = 0; other < network_.num_clusters(); ++other) {
+      if (!db_.has_comm(other, topo)) continue;
+      proxy = std::max(proxy, db_.comm_ms(other, topo, bytes, p_param));
+      found = true;
+    }
+    NP_REQUIRE(found, "no communication fit for any cluster; "
+                      "run calibration first");
+    return proxy;
+  };
+
+  double worst = 0.0;
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const Active& a = active[k];
+    const double bytes =
+        static_cast<double>(comm.bytes_per_message(a.max_a));
+    const double p_param =
+        (bw_limited ? static_cast<double>(total_p)
+                    : static_cast<double>(a.p)) +
+        static_cast<double>(adjacency(k));
+    worst = std::max(worst, cluster_cost(a.cluster, bytes, p_param));
+  }
+
+  // Per-message router and coercion penalties on the boundary exchanges.
+  double penalty = 0.0;
+  for (std::size_t k = 0; k + 1 < active.size(); ++k) {
+    const ClusterId ca = active[k].cluster;
+    const ClusterId cb = active[k + 1].cluster;
+    const double bytes = static_cast<double>(comm.bytes_per_message(
+        std::max(active[k].max_a, active[k + 1].max_a)));
+    penalty = std::max(penalty, db_.router_ms(ca, cb, bytes) +
+                                    db_.coerce_ms(ca, cb, bytes));
+  }
+
+  return worst + penalty;
+}
+
+}  // namespace netpart

@@ -1,0 +1,71 @@
+// Runtime cost estimation (Eqs. 3-6 of the paper).
+//
+// For a candidate processor configuration the estimator computes the
+// load-balanced partition vector (Eq. 3) and the per-cycle elapsed time
+//
+//   T_c = T_comp + T_comm - T_overlap                  (Eq. 6)
+//   T_comp[p_i] = S_i * computational_complexity * A_i (Eq. 4)
+//   T_comm      = from the fitted cost functions       (Eqs. 1, 2, 5)
+//   T_overlap   = min(T_comp, T_comm) when the dominant phases overlap
+//
+// using only the program callbacks and the offline-calibrated cost model --
+// no network activity happens at estimation time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "calib/cost_model.hpp"
+#include "core/decompose.hpp"
+#include "dp/phases.hpp"
+#include "net/network.hpp"
+#include "topo/placement.hpp"
+
+namespace netpart {
+
+/// Cost breakdown for one processor configuration.
+struct CycleEstimate {
+  ProcessorConfig config;
+  PartitionVector partition;  ///< rank-major in the estimator's cluster order
+  double t_comp_ms = 0.0;
+  double t_comm_ms = 0.0;
+  double t_overlap_ms = 0.0;
+  double t_c_ms = 0.0;        ///< objective: estimated elapsed time per cycle
+  double t_elapsed_ms = 0.0;  ///< iterations * t_c (startup excluded)
+};
+
+class CycleEstimator {
+ public:
+  /// All referenced objects must outlive the estimator.
+  CycleEstimator(const Network& network, const CostModelDb& db,
+                 const ComputationSpec& spec);
+
+  /// Evaluate one configuration.  Throws InvalidArgument for configurations
+  /// that exceed cluster capacities or select nothing.
+  CycleEstimate estimate(const ProcessorConfig& config) const;
+
+  /// Clusters ordered fastest-first; partition vectors and placements are
+  /// rank-major in this order.
+  const std::vector<ClusterId>& cluster_order() const {
+    return cluster_order_;
+  }
+
+  /// Number of estimate() calls so far -- the paper's K*log2(P) overhead
+  /// metric counts these.
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  const ComputationSpec& spec() const { return spec_; }
+  const Network& network() const { return network_; }
+
+ private:
+  double comm_cost_ms(const ProcessorConfig& config,
+                      const PartitionVector& partition) const;
+
+  const Network& network_;
+  const CostModelDb& db_;
+  const ComputationSpec& spec_;
+  std::vector<ClusterId> cluster_order_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace netpart

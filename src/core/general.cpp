@@ -1,0 +1,114 @@
+#include "core/general.hpp"
+
+#include <limits>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace netpart {
+
+namespace {
+
+/// Hill-climb from `config` with +/-1 moves until a local minimum; returns
+/// the local minimum's objective value and mutates `config` in place.
+double hill_climb(const CycleEstimator& estimator,
+                  const AvailabilitySnapshot& snapshot,
+                  ProcessorConfig& config, std::uint64_t budget,
+                  std::uint64_t* evaluations) {
+  const auto evaluate = [&](const ProcessorConfig& c) {
+    ++*evaluations;
+    return estimator.estimate(c).t_c_ms;
+  };
+
+  double current = evaluate(config);
+  bool improved = true;
+  while (improved && *evaluations < budget) {
+    improved = false;
+    ProcessorConfig best_neighbor;
+    double best_value = current;
+    for (std::size_t c = 0; c < config.size(); ++c) {
+      for (const int delta : {+1, -1}) {
+        ProcessorConfig candidate = config;
+        candidate[c] += delta;
+        if (candidate[c] < 0 || candidate[c] > snapshot.available[c]) {
+          continue;
+        }
+        if (config_total(candidate) == 0) continue;
+        const double value = evaluate(candidate);
+        if (value < best_value - 1e-12) {
+          best_value = value;
+          best_neighbor = std::move(candidate);
+        }
+      }
+    }
+    if (!best_neighbor.empty()) {
+      config = std::move(best_neighbor);
+      current = best_value;
+      improved = true;
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+PartitionResult general_partition(const CycleEstimator& estimator,
+                                  const AvailabilitySnapshot& snapshot,
+                                  const GeneralPartitionOptions& options) {
+  const Network& net = estimator.network();
+  NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
+                 net.num_clusters(),
+             "availability snapshot does not match the network");
+  NP_REQUIRE(snapshot.total() > 0, "no processors available");
+  const std::uint64_t evals_before = estimator.evaluations();
+  std::uint64_t evaluations = 0;
+
+  // Deterministic starting points.
+  std::set<ProcessorConfig> starts;
+  starts.insert(partition(estimator, snapshot).config);
+  starts.insert(config_all_available(snapshot));
+  for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+    const int n = snapshot.available[static_cast<std::size_t>(c)];
+    if (n == 0) continue;
+    ProcessorConfig single(snapshot.available.size(), 0);
+    single[static_cast<std::size_t>(c)] = n;
+    starts.insert(std::move(single));
+  }
+
+  // Random starts widen the basin coverage.
+  Rng rng(options.seed);
+  for (int s = 0; s < options.random_starts; ++s) {
+    ProcessorConfig config(snapshot.available.size(), 0);
+    int total = 0;
+    for (std::size_t c = 0; c < config.size(); ++c) {
+      config[c] = static_cast<int>(
+          rng.next_int(0, snapshot.available[c]));
+      total += config[c];
+    }
+    if (total == 0) continue;
+    starts.insert(std::move(config));
+  }
+
+  ProcessorConfig best_config;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (const ProcessorConfig& start : starts) {
+    ProcessorConfig config = start;
+    const double value = hill_climb(estimator, snapshot, config,
+                                    options.max_evaluations, &evaluations);
+    if (value < best_value) {
+      best_value = value;
+      best_config = std::move(config);
+    }
+  }
+  NP_ASSERT(!best_config.empty());
+  NP_LOG_DEBUG << "general partitioner: T_c=" << best_value << "ms from "
+               << starts.size() << " starts";
+
+  return PartitionResult{
+      best_config, estimator.estimate(best_config),
+      contiguous_placement(net, best_config, estimator.cluster_order()),
+      estimator.cluster_order(), estimator.evaluations() - evals_before};
+}
+
+}  // namespace netpart

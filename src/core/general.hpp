@@ -1,0 +1,42 @@
+// The general partitioning problem (Section 5).
+//
+// The published heuristic is biased toward communication locality: clusters
+// are ordered by speed, considered one at a time, and abandoned at the
+// first partial allocation.  The paper notes that the general problem --
+// where extra cross-segment bandwidth can beat locality, and T_c(p) may
+// have several minima -- "requires that a system of nonlinear equations be
+// solved" and that heuristics for it were still being explored.
+//
+// This module supplies that exploration: a multi-start local search over
+// full configurations.  Starting points are the locality heuristic's
+// answer, the all-available configuration, each single-cluster
+// configuration, and a few random draws; each start hill-climbs with
+// +/-1-processor moves until no move improves T_c.  No unimodality or
+// ordering assumption is made, so it also copes with multi-minima curves.
+// The cost stays polynomial: O(starts * K * P) evaluations worst case,
+// against the exponential exhaustive search.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace netpart {
+
+struct GeneralPartitionOptions {
+  /// Random starting configurations in addition to the deterministic ones.
+  int random_starts = 4;
+  std::uint64_t seed = 1;
+  /// Safety valve on objective evaluations.
+  std::uint64_t max_evaluations = 100000;
+};
+
+/// Multi-start local search over the full configuration space.  Never
+/// returns a configuration worse than the locality heuristic's (it is one
+/// of the starting points).
+PartitionResult general_partition(
+    const CycleEstimator& estimator, const AvailabilitySnapshot& snapshot,
+    const GeneralPartitionOptions& options = {});
+
+}  // namespace netpart

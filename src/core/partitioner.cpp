@@ -1,0 +1,175 @@
+#include "core/partitioner.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace netpart {
+
+namespace {
+
+/// Memoizing objective for one cluster's search: f(p) = T_c with this
+/// cluster set to p processors and everything else fixed.
+class ClusterObjective {
+ public:
+  ClusterObjective(const CycleEstimator& estimator, ProcessorConfig config,
+                   ClusterId cluster)
+      : estimator_(estimator),
+        config_(std::move(config)),
+        cluster_(cluster),
+        cache_(static_cast<std::size_t>(
+                   estimator.network().cluster(cluster).size()) +
+               1) {}
+
+  double operator()(int p) {
+    auto& slot = cache_[static_cast<std::size_t>(p)];
+    if (!slot) {
+      config_[static_cast<std::size_t>(cluster_)] = p;
+      slot = estimator_.estimate(config_).t_c_ms;
+    }
+    return *slot;
+  }
+
+ private:
+  const CycleEstimator& estimator_;
+  ProcessorConfig config_;
+  ClusterId cluster_;
+  std::vector<std::optional<double>> cache_;
+};
+
+/// Locate the argmin of a discrete unimodal function on [lo, hi] by binary
+/// search (the paper's Fig. 3 assumption: a single global minimum).
+int unimodal_argmin(ClusterObjective& f, int lo, int hi) {
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (f(mid) <= f(mid + 1)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Plain scan, robust to multiple minima.
+int linear_argmin(ClusterObjective& f, int lo, int hi) {
+  int best = lo;
+  for (int p = lo + 1; p <= hi; ++p) {
+    if (f(p) < f(best)) best = p;
+  }
+  return best;
+}
+
+}  // namespace
+
+PartitionResult partition(const CycleEstimator& estimator,
+                          const AvailabilitySnapshot& snapshot,
+                          const PartitionOptions& options) {
+  const Network& net = estimator.network();
+  NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
+                 net.num_clusters(),
+             "availability snapshot does not match the network");
+  NP_REQUIRE(snapshot.total() > 0, "no processors available");
+
+  const std::uint64_t evals_before = estimator.evaluations();
+  ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
+  bool any_selected = false;
+
+  for (ClusterId c : estimator.cluster_order()) {
+    const int n = snapshot.available[static_cast<std::size_t>(c)];
+    if (n == 0) continue;
+
+    ClusterObjective f(estimator, config, c);
+    // The Fig. 3 unimodality assumption covers p >= 1; "use none of this
+    // cluster" (p = 0, only legal once something is selected) sits off the
+    // curve -- it removes the router crossing entirely -- so it is compared
+    // against the valley minimum explicitly rather than searched.
+    int best = options.search == PartitionOptions::Search::Binary
+                   ? unimodal_argmin(f, 1, n)
+                   : linear_argmin(f, 1, n);
+    if (any_selected && f(0) <= f(best)) {
+      best = 0;
+    }
+    config[static_cast<std::size_t>(c)] = best;
+    if (best > 0) any_selected = true;
+
+    if (options.stop_at_partial_cluster && best < n) {
+      // Communication locality rule: a partially used cluster means the
+      // granularity limit was reached; remoter processors cannot help.
+      break;
+    }
+  }
+  NP_ASSERT(any_selected);
+
+  PartitionResult result{
+      config, estimator.estimate(config),
+      contiguous_placement(net, config, estimator.cluster_order()),
+      estimator.cluster_order(), estimator.evaluations() - evals_before};
+  NP_LOG_DEBUG << "partitioner chose config with T_c="
+               << result.estimate.t_c_ms << "ms after " << result.evaluations
+               << " evaluations";
+  return result;
+}
+
+PartitionResult exhaustive_partition(const CycleEstimator& estimator,
+                                     const AvailabilitySnapshot& snapshot) {
+  const Network& net = estimator.network();
+  NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
+                 net.num_clusters(),
+             "availability snapshot does not match the network");
+  NP_REQUIRE(snapshot.total() > 0, "no processors available");
+
+  const std::uint64_t evals_before = estimator.evaluations();
+  ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
+  ProcessorConfig best_config;
+  double best_tc = std::numeric_limits<double>::infinity();
+
+  // Odometer enumeration of the product space.
+  while (true) {
+    if (config_total(config) > 0) {
+      const double tc = estimator.estimate(config).t_c_ms;
+      if (tc < best_tc) {
+        best_tc = tc;
+        best_config = config;
+      }
+    }
+    std::size_t digit = 0;
+    while (digit < config.size()) {
+      if (config[digit] <
+          snapshot.available[digit]) {
+        ++config[digit];
+        break;
+      }
+      config[digit] = 0;
+      ++digit;
+    }
+    if (digit == config.size()) break;
+  }
+  NP_ASSERT(!best_config.empty());
+
+  return PartitionResult{
+      best_config, estimator.estimate(best_config),
+      contiguous_placement(net, best_config, estimator.cluster_order()),
+      estimator.cluster_order(), estimator.evaluations() - evals_before};
+}
+
+ProcessorConfig config_single_fastest_cluster(
+    const CycleEstimator& estimator, const AvailabilitySnapshot& snapshot) {
+  ProcessorConfig config(snapshot.available.size(), 0);
+  for (ClusterId c : estimator.cluster_order()) {
+    const int n = snapshot.available[static_cast<std::size_t>(c)];
+    if (n > 0) {
+      config[static_cast<std::size_t>(c)] = n;
+      return config;
+    }
+  }
+  throw InvalidArgument("no processors available");
+}
+
+ProcessorConfig config_all_available(const AvailabilitySnapshot& snapshot) {
+  NP_REQUIRE(snapshot.total() > 0, "no processors available");
+  return snapshot.available;
+}
+
+}  // namespace netpart

@@ -1,0 +1,64 @@
+// The runtime partitioning algorithm (Section 5 of the paper).
+//
+// The heuristic orders clusters by instruction rate and considers them
+// fastest-first, preferring processor power and communication locality over
+// additional cross-segment bandwidth.  Within each cluster it locates the
+// minimum of the unimodal T_c(p) curve (Fig. 3) by binary search, assuming
+// all previously chosen clusters stay allocated.  A cluster that is not
+// fully used ends the search: remote processors cannot pay off when local
+// ones already don't.
+//
+// Worst case the objective is recomputed K*log2(P) times (K clusters,
+// P total processors); the evaluations field of the result reports the
+// actual count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/estimator.hpp"
+#include "net/availability.hpp"
+#include "topo/placement.hpp"
+
+namespace netpart {
+
+struct PartitionOptions {
+  enum class Search {
+    Binary,  ///< the paper's O(log P) unimodal search
+    Linear,  ///< scan every p (validation / multi-minima safety)
+  };
+  Search search = Search::Binary;
+
+  /// The paper's locality rule: stop considering further clusters as soon
+  /// as a cluster is left partially used.  Disable to keep trying remaining
+  /// clusters (an ablation of the heuristic).
+  bool stop_at_partial_cluster = true;
+};
+
+struct PartitionResult {
+  ProcessorConfig config;        ///< chosen P_i per cluster
+  CycleEstimate estimate;        ///< cost breakdown of the chosen config
+  Placement placement;           ///< contiguous, fastest cluster first
+  std::vector<ClusterId> cluster_order;
+  std::uint64_t evaluations = 0; ///< objective evaluations spent searching
+};
+
+/// Run the partitioning heuristic.  `snapshot` provides the available
+/// processor counts N_i from the cluster managers.  Throws InvalidArgument
+/// when no processor is available.
+PartitionResult partition(const CycleEstimator& estimator,
+                          const AvailabilitySnapshot& snapshot,
+                          const PartitionOptions& options = {});
+
+/// Reference partitioner: exhaustively enumerate every configuration
+/// (0..N_i per cluster) and return the estimator's argmin.  Exponential in
+/// the cluster count; used to validate the heuristic in ablation studies.
+PartitionResult exhaustive_partition(const CycleEstimator& estimator,
+                                     const AvailabilitySnapshot& snapshot);
+
+/// Baseline configurations for comparisons.
+ProcessorConfig config_single_fastest_cluster(
+    const CycleEstimator& estimator, const AvailabilitySnapshot& snapshot);
+ProcessorConfig config_all_available(const AvailabilitySnapshot& snapshot);
+
+}  // namespace netpart

@@ -1,0 +1,33 @@
+// Callback types for program annotations.
+//
+// The partitioner learns about the application exclusively through callback
+// functions (Section 4 of the paper): they distill the computation and
+// communication structure of the implementation and may depend on problem
+// parameters (such as the stencil's N) that are only known at runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "topo/topology.hpp"
+
+namespace netpart {
+
+/// Total primitive data units in the decomposed domain (the paper's
+/// num_PDUs).  For the row-decomposed NxN stencil this returns N.
+using NumPdusCallback = std::function<std::int64_t()>;
+
+/// Computational complexity: operations executed per PDU in one cycle of a
+/// computation phase (5N flops per row for the 5-point stencil).
+using ComplexityCallback = std::function<double()>;
+
+/// Communication complexity: bytes transmitted per message in one cycle of
+/// a communication phase.  It may depend on the number of PDUs assigned to
+/// the sending processor (A_i); the stencil's border exchange does not
+/// (always 4N bytes), but e.g. block-column codes do.
+using CommBytesCallback = std::function<std::int64_t(std::int64_t a_i)>;
+
+/// The communication topology of a phase.
+using TopologyCallback = std::function<Topology()>;
+
+}  // namespace netpart

@@ -1,0 +1,51 @@
+// Arithmetic expressions over problem parameters.
+//
+// The paper's annotations "may depend on problem parameters such as the
+// problem size (e.g., N)"; its future work is compiler-generated callbacks.
+// This module is the target representation for that: a small expression
+// language over named variables (N, A, ...) that compiles to the callback
+// signature the partitioner consumes.
+//
+// Grammar (standard precedence, left associative):
+//   expr    := term (('+' | '-') term)*
+//   term    := factor (('*' | '/') factor)*
+//   factor  := '-' factor | primary
+//   primary := number | identifier | identifier '(' args ')' | '(' expr ')'
+//   args    := expr (',' expr)*
+//
+// Functions: sqrt(x), min(x, y), max(x, y), ceil(x), floor(x), log2(x).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace netpart {
+
+/// Variable bindings for evaluation.
+using ExprEnv = std::map<std::string, double, std::less<>>;
+
+/// A parsed expression; immutable and shareable.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluate under the bindings.  Unknown identifiers and division by
+  /// zero throw InvalidArgument.
+  virtual double evaluate(const ExprEnv& env) const = 0;
+
+  /// Round-trippable rendering (fully parenthesised).
+  virtual std::string to_string() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Parse an expression; throws ConfigError with position information on
+/// syntax errors.
+ExprPtr parse_expr(std::string_view text);
+
+/// Convenience: parse and evaluate in one step.
+double evaluate_expr(std::string_view text, const ExprEnv& env);
+
+}  // namespace netpart

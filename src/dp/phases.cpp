@@ -1,0 +1,94 @@
+#include "dp/phases.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+ComputationSpec::ComputationSpec(
+    std::string name, std::vector<ComputationPhaseSpec> computation,
+    std::vector<CommunicationPhaseSpec> communication, int iterations)
+    : name_(std::move(name)),
+      computation_(std::move(computation)),
+      communication_(std::move(communication)),
+      iterations_(iterations) {
+  NP_REQUIRE(!computation_.empty(),
+             "a data parallel computation needs a computation phase");
+  NP_REQUIRE(iterations_ >= 1, "iterations must be positive");
+
+  std::set<std::string> names;
+  for (const ComputationPhaseSpec& p : computation_) {
+    NP_REQUIRE(!p.name.empty(), "computation phase needs a name");
+    NP_REQUIRE(p.num_pdus != nullptr && p.ops_per_pdu != nullptr,
+               "computation phase needs num_pdus and complexity callbacks");
+    NP_REQUIRE(names.insert(p.name).second, "duplicate phase name: " + p.name);
+  }
+  for (const CommunicationPhaseSpec& p : communication_) {
+    NP_REQUIRE(!p.name.empty(), "communication phase needs a name");
+    NP_REQUIRE(p.topology != nullptr && p.bytes_per_message != nullptr,
+               "communication phase needs topology and complexity callbacks");
+    NP_REQUIRE(names.insert(p.name).second, "duplicate phase name: " + p.name);
+    if (!p.overlap_with.empty()) {
+      bool found = false;
+      for (const ComputationPhaseSpec& c : computation_) {
+        if (c.name == p.overlap_with) found = true;
+      }
+      NP_REQUIRE(found, "overlap annotation references unknown computation "
+                        "phase: " + p.overlap_with);
+    }
+  }
+
+  // The callbacks must agree on the data domain: all computation phases
+  // decompose the same PDU set.
+  const std::int64_t pdus = computation_.front().num_pdus();
+  NP_REQUIRE(pdus > 0, "num_pdus must be positive");
+  for (const ComputationPhaseSpec& p : computation_) {
+    NP_REQUIRE(p.num_pdus() == pdus,
+               "all computation phases must share one PDU domain");
+  }
+}
+
+const ComputationPhaseSpec& ComputationSpec::dominant_computation() const {
+  const ComputationPhaseSpec* best = &computation_.front();
+  double best_complexity = -1.0;
+  for (const ComputationPhaseSpec& p : computation_) {
+    const double complexity =
+        static_cast<double>(p.num_pdus()) * p.ops_per_pdu();
+    if (complexity > best_complexity) {
+      best_complexity = complexity;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+const CommunicationPhaseSpec& ComputationSpec::dominant_communication()
+    const {
+  NP_REQUIRE(!communication_.empty(),
+             "computation has no communication phases");
+  const std::int64_t pdus = num_pdus();
+  const CommunicationPhaseSpec* best = &communication_.front();
+  std::int64_t best_bytes = -1;
+  for (const CommunicationPhaseSpec& p : communication_) {
+    const std::int64_t bytes = p.bytes_per_message(pdus);
+    if (bytes > best_bytes) {
+      best_bytes = bytes;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+bool ComputationSpec::dominant_phases_overlap() const {
+  if (communication_.empty()) return false;
+  const CommunicationPhaseSpec& comm = dominant_communication();
+  return !comm.overlap_with.empty() &&
+         comm.overlap_with == dominant_computation().name;
+}
+
+std::int64_t ComputationSpec::num_pdus() const {
+  return dominant_computation().num_pdus();
+}
+
+}  // namespace netpart

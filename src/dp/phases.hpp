@@ -1,0 +1,76 @@
+// Computation and communication phases with their annotations.
+//
+// A data parallel computation is a repeating sequence of computation and
+// communication phases.  Each phase carries the annotations of Section 4;
+// the partitioning algorithm only consults the *dominant* phases (largest
+// computational / communication complexity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dp/callbacks.hpp"
+
+namespace netpart {
+
+/// Which instruction rate a computation phase exercises.
+enum class OpKind { FloatingPoint, Integer };
+
+struct ComputationPhaseSpec {
+  std::string name;
+  NumPdusCallback num_pdus;
+  ComplexityCallback ops_per_pdu;
+  OpKind op_kind = OpKind::FloatingPoint;
+};
+
+struct CommunicationPhaseSpec {
+  std::string name;
+  TopologyCallback topology;
+  CommBytesCallback bytes_per_message;
+  /// Name of the computation phase this phase overlaps with; empty when the
+  /// implementation does not overlap (STEN-1).
+  std::string overlap_with;
+};
+
+/// The annotated structure of one data parallel computation.
+class ComputationSpec {
+ public:
+  ComputationSpec(std::string name,
+                  std::vector<ComputationPhaseSpec> computation,
+                  std::vector<CommunicationPhaseSpec> communication,
+                  int iterations);
+
+  const std::string& name() const { return name_; }
+  int iterations() const { return iterations_; }
+
+  const std::vector<ComputationPhaseSpec>& computation_phases() const {
+    return computation_;
+  }
+  const std::vector<CommunicationPhaseSpec>& communication_phases() const {
+    return communication_;
+  }
+
+  /// The computation phase with the largest per-cycle complexity
+  /// (num_pdus * ops_per_pdu), evaluated through the callbacks.
+  const ComputationPhaseSpec& dominant_computation() const;
+
+  /// The communication phase with the largest communication complexity.
+  /// Complexities that depend on A_i are compared at a_i = num_pdus (the
+  /// single-processor upper bound).
+  const CommunicationPhaseSpec& dominant_communication() const;
+
+  /// Whether the dominant communication phase overlaps the dominant
+  /// computation phase (drives the T_overlap term).
+  bool dominant_phases_overlap() const;
+
+  /// num_pdus of the dominant computation phase.
+  std::int64_t num_pdus() const;
+
+ private:
+  std::string name_;
+  std::vector<ComputationPhaseSpec> computation_;
+  std::vector<CommunicationPhaseSpec> communication_;
+  int iterations_;
+};
+
+}  // namespace netpart

@@ -1,0 +1,220 @@
+#include "dp/spec_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart {
+
+SpecTemplate::SpecTemplate(std::string name,
+                           std::map<std::string, double> params,
+                           ExprPtr iterations,
+                           std::vector<ComputePhase> compute,
+                           std::vector<CommPhase> comm)
+    : name_(std::move(name)),
+      params_(std::move(params)),
+      iterations_(std::move(iterations)),
+      compute_(std::move(compute)),
+      comm_(std::move(comm)) {
+  NP_REQUIRE(!name_.empty(), "spec needs a computation name");
+  NP_REQUIRE(iterations_ != nullptr, "spec needs an iterations count");
+  NP_REQUIRE(!compute_.empty(), "spec needs a computation phase");
+  for (const ComputePhase& p : compute_) {
+    NP_REQUIRE(p.pdus != nullptr && p.ops != nullptr,
+               "compute phase '" + p.name + "' needs pdus and ops");
+  }
+  for (const CommPhase& p : comm_) {
+    NP_REQUIRE(p.bytes != nullptr,
+               "comm phase '" + p.name + "' needs bytes");
+  }
+}
+
+ComputationSpec SpecTemplate::instantiate(
+    const std::map<std::string, double>& overrides) const {
+  ExprEnv env;
+  for (const auto& [key, value] : params_) env[key] = value;
+  for (const auto& [key, value] : overrides) {
+    NP_REQUIRE(params_.count(key) > 0,
+               "override for undeclared param: " + key);
+    env[key] = value;
+  }
+
+  const double iters = iterations_->evaluate(env);
+  NP_REQUIRE(iters >= 1.0, "iterations must be at least 1");
+
+  std::vector<ComputationPhaseSpec> compute;
+  for (const ComputePhase& p : compute_) {
+    ComputationPhaseSpec spec;
+    spec.name = p.name;
+    spec.op_kind = p.op_kind;
+    spec.num_pdus = [expr = p.pdus, env] {
+      return static_cast<std::int64_t>(expr->evaluate(env) + 0.5);
+    };
+    spec.ops_per_pdu = [expr = p.ops, env] { return expr->evaluate(env); };
+    compute.push_back(std::move(spec));
+  }
+
+  std::vector<CommunicationPhaseSpec> comm;
+  for (const CommPhase& p : comm_) {
+    CommunicationPhaseSpec spec;
+    spec.name = p.name;
+    spec.overlap_with = p.overlap_with;
+    spec.topology = [topo = p.topology] { return topo; };
+    spec.bytes_per_message = [expr = p.bytes, env](std::int64_t a_i) {
+      ExprEnv bound = env;
+      bound["A"] = static_cast<double>(a_i);
+      return static_cast<std::int64_t>(expr->evaluate(bound) + 0.5);
+    };
+    comm.push_back(std::move(spec));
+  }
+
+  return ComputationSpec(name_, std::move(compute), std::move(comm),
+                         static_cast<int>(iters + 0.5));
+}
+
+namespace {
+
+struct Line {
+  int number;
+  std::vector<std::string> tokens;
+};
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw ConfigError("spec line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<Line> tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  int number = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++number;
+    std::string_view view = raw;
+    if (const std::size_t hash = view.find('#');
+        hash != std::string_view::npos) {
+      view = view.substr(0, hash);
+    }
+    std::istringstream is{std::string(view)};
+    std::vector<std::string> tokens;
+    std::string token;
+    while (is >> token) tokens.push_back(token);
+    if (!tokens.empty()) lines.push_back(Line{number, std::move(tokens)});
+  }
+  return lines;
+}
+
+/// Join tokens [from..end) back into one expression string.
+std::string join_expr(const Line& line, std::size_t from) {
+  if (from >= line.tokens.size()) {
+    fail(line.number, "expected an expression");
+  }
+  std::string out;
+  for (std::size_t i = from; i < line.tokens.size(); ++i) {
+    if (i > from) out += ' ';
+    out += line.tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+SpecTemplate parse_spec(const std::string& text) {
+  std::string name;
+  std::map<std::string, double> params;
+  ExprPtr iterations;
+  std::vector<SpecTemplate::ComputePhase> compute;
+  std::vector<SpecTemplate::CommPhase> comm;
+
+  enum class Section { Top, Compute, Comm };
+  Section section = Section::Top;
+
+  for (const Line& line : tokenize(text)) {
+    const std::string& kw = line.tokens[0];
+
+    if (kw == "computation") {
+      if (line.tokens.size() != 2) fail(line.number, "computation <name>");
+      name = line.tokens[1];
+      section = Section::Top;
+    } else if (kw == "param") {
+      if (line.tokens.size() != 3) {
+        fail(line.number, "param <name> <default>");
+      }
+      char* end = nullptr;
+      const double v = std::strtod(line.tokens[2].c_str(), &end);
+      if (end != line.tokens[2].c_str() + line.tokens[2].size()) {
+        fail(line.number, "bad param default: " + line.tokens[2]);
+      }
+      params[line.tokens[1]] = v;
+    } else if (kw == "iterations") {
+      iterations = parse_expr(join_expr(line, 1));
+    } else if (kw == "phase") {
+      if (line.tokens.size() != 3 ||
+          (line.tokens[1] != "compute" && line.tokens[1] != "comm")) {
+        fail(line.number, "phase compute|comm <name>");
+      }
+      if (line.tokens[1] == "compute") {
+        compute.push_back(SpecTemplate::ComputePhase{
+            line.tokens[2], nullptr, nullptr, OpKind::FloatingPoint});
+        section = Section::Compute;
+      } else {
+        comm.push_back(SpecTemplate::CommPhase{
+            line.tokens[2], Topology::OneD, nullptr, ""});
+        section = Section::Comm;
+      }
+    } else if (section == Section::Compute) {
+      if (compute.empty()) fail(line.number, "no open compute phase");
+      SpecTemplate::ComputePhase& phase = compute.back();
+      if (kw == "pdus") {
+        phase.pdus = parse_expr(join_expr(line, 1));
+      } else if (kw == "ops") {
+        phase.ops = parse_expr(join_expr(line, 1));
+      } else if (kw == "opkind") {
+        if (line.tokens.size() != 2) fail(line.number, "opkind float|int");
+        if (line.tokens[1] == "float") {
+          phase.op_kind = OpKind::FloatingPoint;
+        } else if (line.tokens[1] == "int") {
+          phase.op_kind = OpKind::Integer;
+        } else {
+          fail(line.number, "opkind float|int");
+        }
+      } else {
+        fail(line.number, "unknown compute-phase key: " + kw);
+      }
+    } else if (section == Section::Comm) {
+      if (comm.empty()) fail(line.number, "no open comm phase");
+      SpecTemplate::CommPhase& phase = comm.back();
+      if (kw == "topology") {
+        if (line.tokens.size() != 2) fail(line.number, "topology <name>");
+        phase.topology = topology_from_string(line.tokens[1]);
+      } else if (kw == "bytes") {
+        phase.bytes = parse_expr(join_expr(line, 1));
+      } else if (kw == "overlap") {
+        if (line.tokens.size() != 2) {
+          fail(line.number, "overlap <compute-phase>");
+        }
+        phase.overlap_with = line.tokens[1];
+      } else {
+        fail(line.number, "unknown comm-phase key: " + kw);
+      }
+    } else {
+      fail(line.number, "unknown directive: " + kw);
+    }
+  }
+
+  return SpecTemplate(std::move(name), std::move(params),
+                      std::move(iterations), std::move(compute),
+                      std::move(comm));
+}
+
+SpecTemplate parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("cannot open spec file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+}  // namespace netpart

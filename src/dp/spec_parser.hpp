@@ -1,0 +1,82 @@
+// Annotation specification files ("compiler-generated callbacks").
+//
+// Section 4 leaves the mechanism for producing annotations open and the
+// paper's future work points at compiler generation.  This parser is that
+// mechanism's front half: a declarative spec compiled into the callback
+// functions the partitioner consumes.  Example (the paper's stencil):
+//
+//   # five-point stencil, row decomposition, STEN-1
+//   computation sten1
+//   param N 300
+//   iterations 10
+//
+//   phase compute grid
+//     pdus N
+//     ops 5*N
+//
+//   phase comm borders
+//     topology 1-D
+//     bytes 4*N
+//
+// Expressions (see dp/expr.hpp) may reference any declared param; `bytes`
+// may additionally reference A, the sending processor's PDU assignment
+// (the paper's "b may depend on A_i").  `overlap <compute-phase>` marks an
+// overlapped communication phase; `opkind int` selects the integer
+// instruction rate.  Params are defaults, overridable at instantiation
+// ("N" from the command line, say).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dp/expr.hpp"
+#include "dp/phases.hpp"
+
+namespace netpart {
+
+/// A parsed, parameterised computation description.
+class SpecTemplate {
+ public:
+  struct ComputePhase {
+    std::string name;
+    ExprPtr pdus;
+    ExprPtr ops;
+    OpKind op_kind = OpKind::FloatingPoint;
+  };
+  struct CommPhase {
+    std::string name;
+    Topology topology = Topology::OneD;
+    ExprPtr bytes;
+    std::string overlap_with;
+  };
+
+  SpecTemplate(std::string name, std::map<std::string, double> params,
+               ExprPtr iterations, std::vector<ComputePhase> compute,
+               std::vector<CommPhase> comm);
+
+  const std::string& name() const { return name_; }
+  const std::map<std::string, double>& params() const { return params_; }
+
+  /// Bind parameters (defaults overridden by `overrides`) and compile the
+  /// expressions into a ComputationSpec.  Throws on unbound variables or
+  /// non-positive pdus/iterations.
+  ComputationSpec instantiate(
+      const std::map<std::string, double>& overrides = {}) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, double> params_;
+  ExprPtr iterations_;
+  std::vector<ComputePhase> compute_;
+  std::vector<CommPhase> comm_;
+};
+
+/// Parse a spec file's contents.  Throws ConfigError with line numbers on
+/// malformed input.
+SpecTemplate parse_spec(const std::string& text);
+
+/// Parse from a file path.
+SpecTemplate parse_spec_file(const std::string& path);
+
+}  // namespace netpart

@@ -1,0 +1,149 @@
+#include "exec/adaptive.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace netpart {
+
+namespace {
+
+/// Simulate moving the PDU deltas between ranks and return the elapsed
+/// redistribution time.  Surplus ranks ship blocks to deficit ranks,
+/// matched greedily in rank order (blocks are contiguous, so adjacent
+/// transfers dominate in practice).
+SimTime redistribute(const Network& network, const Placement& placement,
+                     const PartitionVector& from, const PartitionVector& to,
+                     std::int64_t pdu_bytes,
+                     const ExecutionOptions& exec_options) {
+  if (pdu_bytes <= 0) return SimTime::zero();
+  struct Delta {
+    int rank;
+    std::int64_t count;
+  };
+  std::deque<Delta> surplus;
+  std::deque<Delta> deficit;
+  for (int r = 0; r < from.num_ranks(); ++r) {
+    const std::int64_t d = from.at(r) - to.at(r);
+    if (d > 0) surplus.push_back({r, d});
+    if (d < 0) deficit.push_back({r, -d});
+  }
+  if (surplus.empty()) return SimTime::zero();
+
+  sim::Engine engine;
+  sim::NetSim net(engine, network, exec_options.sim_params,
+                  Rng(exec_options.seed ^ 0x5EED));
+  int outstanding = 0;
+  while (!surplus.empty()) {
+    Delta& s = surplus.front();
+    NP_ASSERT(!deficit.empty());
+    Delta& d = deficit.front();
+    const std::int64_t moved = std::min(s.count, d.count);
+    ++outstanding;
+    net.send(placement[static_cast<std::size_t>(s.rank)],
+             placement[static_cast<std::size_t>(d.rank)],
+             moved * pdu_bytes, [&outstanding] { --outstanding; });
+    s.count -= moved;
+    d.count -= moved;
+    if (s.count == 0) surplus.pop_front();
+    if (d.count == 0) deficit.pop_front();
+  }
+  engine.run();
+  NP_ASSERT(outstanding == 0);
+  return engine.now();
+}
+
+AdaptiveResult run_chunked(const Network& network,
+                           const ComputationSpec& spec,
+                           const Placement& placement,
+                           const PartitionVector& initial,
+                           const ExecutionOptions& exec_options,
+                           const AdaptiveOptions& adaptive_options,
+                           bool adapt) {
+  NP_REQUIRE(adaptive_options.check_interval >= 1,
+             "check interval must be positive");
+  NP_REQUIRE(adaptive_options.imbalance_threshold > 1.0,
+             "imbalance threshold must exceed 1");
+
+  AdaptiveResult result{SimTime::zero(), SimTime::zero(), 0, initial, 0};
+  PartitionVector current = initial;
+  int iterations_left = spec.iterations();
+  int chunk_index = 0;
+
+  while (iterations_left > 0) {
+    const int chunk =
+        std::min(adaptive_options.check_interval, iterations_left);
+    const ComputationSpec chunk_spec(spec.name(), spec.computation_phases(),
+                                     spec.communication_phases(), chunk);
+    ExecutionOptions options = exec_options;
+    options.load_time_origin = exec_options.load_time_origin + result.elapsed;
+    options.pdu_bytes = 0;  // the scatter happened before iteration 0
+    options.seed = exec_options.seed + static_cast<std::uint64_t>(
+                                           997 * chunk_index);
+    const ExecutionResult run =
+        execute(network, chunk_spec, placement, current, options);
+    result.elapsed += run.elapsed;
+    result.messages_delivered += run.messages_delivered;
+    iterations_left -= chunk;
+    ++chunk_index;
+    if (!adapt || iterations_left == 0) continue;
+
+    // Observed per-PDU service times reveal the *effective* speeds.
+    SimTime busy_min = SimTime::max();
+    SimTime busy_max = SimTime::zero();
+    std::vector<double> rate(run.rank_busy.size());
+    for (std::size_t r = 0; r < run.rank_busy.size(); ++r) {
+      busy_min = std::min(busy_min, run.rank_busy[r]);
+      busy_max = std::max(busy_max, run.rank_busy[r]);
+      const double busy_ms = std::max(run.rank_busy[r].as_millis(), 1e-6);
+      rate[r] = static_cast<double>(current.at(static_cast<int>(r))) /
+                busy_ms;  // PDUs per ms of observed service
+    }
+    if (busy_max.as_millis() <
+        adaptive_options.imbalance_threshold *
+            std::max(busy_min.as_millis(), 1e-9)) {
+      continue;  // balanced enough
+    }
+
+    PartitionVector next = proportional_partition(rate, current.total());
+    if (next.values() == current.values()) continue;
+    const SimTime moved =
+        redistribute(network, placement, current, next,
+                     adaptive_options.pdu_bytes, exec_options);
+    result.elapsed += moved;
+    result.redistribution_time += moved;
+    ++result.repartitions;
+    NP_LOG_DEBUG << "repartitioned after chunk " << chunk_index << ": ["
+                 << current.to_string() << "] -> [" << next.to_string()
+                 << "] (+" << moved.as_millis() << "ms)";
+    current = std::move(next);
+  }
+
+  result.final_partition = std::move(current);
+  return result;
+}
+
+}  // namespace
+
+AdaptiveResult execute_adaptive(const Network& network,
+                                const ComputationSpec& spec,
+                                const Placement& placement,
+                                const PartitionVector& initial,
+                                const ExecutionOptions& exec_options,
+                                const AdaptiveOptions& adaptive_options) {
+  return run_chunked(network, spec, placement, initial, exec_options,
+                     adaptive_options, /*adapt=*/true);
+}
+
+AdaptiveResult execute_static_chunked(
+    const Network& network, const ComputationSpec& spec,
+    const Placement& placement, const PartitionVector& initial,
+    const ExecutionOptions& exec_options,
+    const AdaptiveOptions& adaptive_options) {
+  return run_chunked(network, spec, placement, initial, exec_options,
+                     adaptive_options, /*adapt=*/false);
+}
+
+}  // namespace netpart

@@ -1,0 +1,58 @@
+// Dynamic repartitioning (the paper's Section 7 future work).
+//
+// "A strategy to handle load imbalance due to processor sharing is also the
+//  subject of future work.  One possibility is to dynamically recompute the
+//  partition vector in the event of load imbalance."
+//
+// The adaptive executor implements exactly that: the computation runs in
+// chunks of `check_interval` iterations; after each chunk the per-rank busy
+// times are inspected, and when the slowest rank exceeds the fastest by
+// `imbalance_threshold` the partition vector is recomputed from the
+// *observed* per-PDU rates (nominal speeds are stale once another user
+// moves in).  Redistribution is not free: the surplus PDUs travel from
+// over-loaded to under-loaded ranks through the simulated network, and that
+// time is part of the total.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/executor.hpp"
+
+namespace netpart {
+
+struct AdaptiveOptions {
+  /// Iterations per chunk between imbalance checks.
+  int check_interval = 5;
+  /// Repartition when max/min per-rank busy time exceeds this.
+  double imbalance_threshold = 1.25;
+  /// Bytes per PDU, used both for redistribution traffic and the startup
+  /// scatter cost (0 = migration is free, not recommended).
+  std::int64_t pdu_bytes = 0;
+};
+
+struct AdaptiveResult {
+  SimTime elapsed;                 ///< total, including redistributions
+  SimTime redistribution_time;     ///< time spent moving PDUs
+  int repartitions = 0;            ///< how many times Eq. 3 was redone
+  PartitionVector final_partition; ///< assignment after the last chunk
+  std::uint64_t messages_delivered = 0;
+};
+
+/// Run `spec` with dynamic repartitioning.  The initial partition should be
+/// the static Eq. 3 decomposition; the adaptive loop takes it from there.
+AdaptiveResult execute_adaptive(const Network& network,
+                                const ComputationSpec& spec,
+                                const Placement& placement,
+                                const PartitionVector& initial,
+                                const ExecutionOptions& exec_options,
+                                const AdaptiveOptions& adaptive_options);
+
+/// Reference point: the same chunked execution without repartitioning
+/// (isolates the adaptation benefit from chunking artefacts).
+AdaptiveResult execute_static_chunked(
+    const Network& network, const ComputationSpec& spec,
+    const Placement& placement, const PartitionVector& initial,
+    const ExecutionOptions& exec_options,
+    const AdaptiveOptions& adaptive_options);
+
+}  // namespace netpart

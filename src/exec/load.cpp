@@ -1,0 +1,66 @@
+#include "exec/load.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+void LoadSchedule::add(ProcessorRef ref, SimTime from, double load) {
+  NP_REQUIRE(load >= 0.0, "load must be non-negative");
+  Entry entry{ref, from, std::min(load, 0.9)};
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        if (a.ref.cluster != b.ref.cluster) {
+          return a.ref.cluster < b.ref.cluster;
+        }
+        if (a.ref.index != b.ref.index) return a.ref.index < b.ref.index;
+        return a.from < b.from;
+      });
+  entries_.insert(pos, entry);
+}
+
+double LoadSchedule::load(ProcessorRef ref, SimTime t) const {
+  double current = 0.0;
+  for (const Entry& e : entries_) {
+    if (e.ref == ref && e.from <= t) {
+      current = e.load;  // entries are sorted by time within a ref
+    }
+  }
+  return current;
+}
+
+double LoadSchedule::slowdown(ProcessorRef ref, SimTime t) const {
+  return 1.0 / (1.0 - load(ref, t));
+}
+
+LoadSchedule LoadSchedule::step(const Network& net, ClusterId cluster,
+                                ProcessorIndex first_index, SimTime when,
+                                double load) {
+  LoadSchedule schedule;
+  const Cluster& c = net.cluster(cluster);
+  for (ProcessorIndex i = first_index; i < c.size(); ++i) {
+    schedule.add(ProcessorRef{cluster, i}, when, load);
+  }
+  return schedule;
+}
+
+LoadSchedule LoadSchedule::random_walk(const Network& net, Rng rng,
+                                       double mean_load, SimTime interval,
+                                       SimTime horizon) {
+  NP_REQUIRE(interval > SimTime::zero(), "interval must be positive");
+  LoadSchedule schedule;
+  for (SimTime t = SimTime::zero(); t < horizon; t += interval) {
+    for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+      for (ProcessorIndex i = 0; i < net.cluster(c).size(); ++i) {
+        const double draw =
+            mean_load == 0.0 ? 0.0 : rng.next_exponential(mean_load);
+        schedule.add(ProcessorRef{c, i}, t, std::min(draw, 0.9));
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace netpart

@@ -1,0 +1,59 @@
+// Time-varying background load.
+//
+// The paper assumes load fluctuation is small once the available processors
+// are chosen, and names "dynamically recompute the partition vector in the
+// event of load imbalance" as future work.  This module provides the
+// antagonist for that extension: a piecewise-constant per-processor load
+// schedule.  A processor under load l runs user computation at a (1 - l)
+// fraction of its nominal speed (CPU sharing with other users).
+#pragma once
+
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace netpart {
+
+class LoadSchedule {
+ public:
+  LoadSchedule() = default;
+
+  /// Set `ref`'s load to `load` (clamped to [0, 0.9]) from `from` onward,
+  /// until a later entry overrides it.
+  void add(ProcessorRef ref, SimTime from, double load);
+
+  /// Background load of `ref` at time `t`; 0 when never set.
+  double load(ProcessorRef ref, SimTime t) const;
+
+  /// Slowdown factor at time `t`: nominal duration is multiplied by
+  /// 1 / (1 - load).
+  double slowdown(ProcessorRef ref, SimTime t) const;
+
+  bool empty() const { return entries_.empty(); }
+
+  /// A step schedule: at `when`, every processor of `cluster` with index
+  /// >= first_index takes on `load`.  Models another user starting work on
+  /// part of a cluster.
+  static LoadSchedule step(const Network& net, ClusterId cluster,
+                           ProcessorIndex first_index, SimTime when,
+                           double load);
+
+  /// A drifting schedule: every `interval`, every processor's load takes a
+  /// fresh draw from a bounded exponential with the given mean.
+  static LoadSchedule random_walk(const Network& net, Rng rng,
+                                  double mean_load, SimTime interval,
+                                  SimTime horizon);
+
+ private:
+  struct Entry {
+    ProcessorRef ref;
+    SimTime from;
+    double load;
+  };
+  std::vector<Entry> entries_;  // kept sorted by (ref, from)
+};
+
+}  // namespace netpart

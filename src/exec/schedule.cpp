@@ -1,0 +1,58 @@
+#include "exec/schedule.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+std::vector<Step> default_schedule(const ComputationSpec& spec) {
+  std::vector<Step> steps;
+  const auto& comps = spec.computation_phases();
+  const auto& comms = spec.communication_phases();
+
+  // All sends are posted up front, in declaration order; non-overlapped
+  // phases complete (receive) before computation begins.
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    steps.push_back(Step{StepKind::Send, i});
+  }
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    if (comms[i].overlap_with.empty()) {
+      steps.push_back(Step{StepKind::Receive, i});
+    }
+  }
+  // Computation phases in declaration order, each followed by the receives
+  // of the communication phases overlapping it.
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    steps.push_back(Step{StepKind::Compute, c});
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+      if (comms[i].overlap_with == comps[c].name) {
+        steps.push_back(Step{StepKind::Receive, i});
+      }
+    }
+  }
+  return steps;
+}
+
+std::string to_string(const std::vector<Step>& schedule,
+                      const ComputationSpec& spec) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) os << ' ';
+    const Step& s = schedule[i];
+    switch (s.kind) {
+      case StepKind::Send:
+        os << "send(" << spec.communication_phases()[s.phase].name << ')';
+        break;
+      case StepKind::Receive:
+        os << "recv(" << spec.communication_phases()[s.phase].name << ')';
+        break;
+      case StepKind::Compute:
+        os << "compute(" << spec.computation_phases()[s.phase].name << ')';
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace netpart

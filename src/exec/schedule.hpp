@@ -1,0 +1,38 @@
+// Per-iteration task schedules.
+//
+// The executor runs each task through a sequence of steps per iteration.
+// The schedule is derived from the phase annotations: an overlapped
+// communication phase splits around its computation phase
+// (async sends -> compute -> blocking receives, the STEN-2 pattern), while
+// a non-overlapped phase completes before computation starts (STEN-1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dp/phases.hpp"
+
+namespace netpart {
+
+enum class StepKind {
+  Send,     ///< post asynchronous sends to all send-neighbours
+  Receive,  ///< block until all recv-neighbours' messages arrive
+  Compute,  ///< local computation on the assigned PDUs
+};
+
+struct Step {
+  StepKind kind;
+  /// Index into the spec's communication_phases() (Send/Receive) or
+  /// computation_phases() (Compute).
+  std::size_t phase;
+};
+
+/// Derive the per-iteration schedule from the annotations.
+std::vector<Step> default_schedule(const ComputationSpec& spec);
+
+/// Human-readable rendering for diagnostics ("send(borders) compute(grid)
+/// recv(borders)").
+std::string to_string(const std::vector<Step>& schedule,
+                      const ComputationSpec& spec);
+
+}  // namespace netpart

@@ -1,0 +1,93 @@
+#include "exec/threaded.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace netpart::threaded {
+
+Comm::Comm(int num_ranks) {
+  NP_REQUIRE(num_ranks >= 1, "need at least one rank");
+  boxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    boxes_.push_back(std::make_unique<Box>());
+  }
+}
+
+void Comm::send(GlobalRank from, GlobalRank to, std::int32_t tag,
+                std::vector<std::byte> payload) {
+  NP_REQUIRE(to >= 0 && to < size(), "bad destination rank");
+  NP_REQUIRE(from >= 0 && from < size(), "bad source rank");
+  Box& box = *boxes_[static_cast<std::size_t>(to)];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{from, tag}].push_back(
+        Message{from, tag, std::move(payload)});
+  }
+  box.ready.notify_all();
+}
+
+Message Comm::recv(GlobalRank me, GlobalRank from, std::int32_t tag) {
+  NP_REQUIRE(me >= 0 && me < size(), "bad receiver rank");
+  Box& box = *boxes_[static_cast<std::size_t>(me)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto& queue = box.queues[{from, tag}];
+  box.ready.wait(lock, [&] { return !queue.empty(); });
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_waiting_ == size()) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != generation; });
+}
+
+void run_spmd(int num_ranks, const RankBody& body) {
+  NP_REQUIRE(num_ranks >= 1, "need at least one rank");
+  NP_REQUIRE(body != nullptr, "rank body required");
+  Comm comm(num_ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (GlobalRank r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r, comm);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void emulate_compute(double ops, double speed_factor) {
+  NP_REQUIRE(speed_factor > 0.0, "speed factor must be positive");
+  // ~4 flops per loop body; volatile sink keeps the optimiser honest.
+  const auto iterations =
+      static_cast<std::int64_t>(ops * speed_factor / 4.0);
+  double acc = 1.0;
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    acc = acc * 1.0000001 + 0.0000001;
+    acc = acc - static_cast<double>(i & 1) * 1e-12;
+  }
+  static std::atomic<double> sink{0.0};
+  sink.store(acc, std::memory_order_relaxed);
+}
+
+}  // namespace netpart::threaded

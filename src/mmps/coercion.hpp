@@ -1,0 +1,80 @@
+// Data-format coercion (the XDR-style conversion layer of MMPS).
+//
+// Messages travel in a canonical network representation (big-endian, like
+// XDR).  Functionally the conversion is exact and format-independent --
+// decode(encode(x)) == x for any trivially copyable scalar -- while the
+// *cost* of converting depends on the machines involved and is modelled by
+// the simulator's coerce_per_byte / the calibrated T_coerce function.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "net/processor.hpp"
+#include "util/error.hpp"
+
+namespace netpart::mmps {
+
+/// Byte-swap a single scalar value.
+template <typename T>
+T byteswap_value(T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T) / 2; ++i) {
+    std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
+  }
+  T out;
+  std::memcpy(&out, bytes, sizeof(T));
+  return out;
+}
+
+/// The data format of the machine running this process.
+constexpr DataFormat simulation_host_format() {
+  return std::endian::native == std::endian::big ? DataFormat::BigEndian
+                                                 : DataFormat::LittleEndian;
+}
+
+/// Encode a scalar array into canonical network (big-endian) bytes.
+template <typename T>
+std::vector<std::byte> encode_array(std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(values.size() * sizeof(T));
+  constexpr bool kSwap =
+      simulation_host_format() == DataFormat::LittleEndian;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    T v = values[i];
+    if constexpr (kSwap) {
+      v = byteswap_value(v);
+    }
+    std::memcpy(out.data() + i * sizeof(T), &v, sizeof(T));
+  }
+  return out;
+}
+
+/// Decode canonical network bytes back into host scalars.
+template <typename T>
+std::vector<T> decode_array(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  NP_REQUIRE(bytes.size() % sizeof(T) == 0,
+             "payload size is not a multiple of the element size");
+  std::vector<T> out(bytes.size() / sizeof(T));
+  constexpr bool kSwap =
+      simulation_host_format() == DataFormat::LittleEndian;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    T v;
+    std::memcpy(&v, bytes.data() + i * sizeof(T), sizeof(T));
+    if constexpr (kSwap) {
+      v = byteswap_value(v);
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+}  // namespace netpart::mmps

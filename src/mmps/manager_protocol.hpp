@@ -1,0 +1,33 @@
+// The cooperative availability protocol, run as real messages.
+//
+// Before partitioning, the cluster managers determine the available
+// processors N_i (Section 5, detailed in the paper's reference [11]).
+// gather_availability() gives the result as a direct query; this module
+// runs the distributed version on the simulator so its cost can be
+// measured: a token ring over the managers accumulates the per-cluster
+// counts, and the last manager returns the full vector to the initiator,
+// which broadcasts it back out.  The paper claims this overhead "is also
+// small relative to elapsed time" -- the returned elapsed time lets
+// benchmarks and tests check that.
+#pragma once
+
+#include <cstdint>
+
+#include "net/availability.hpp"
+#include "sim/netsim.hpp"
+
+namespace netpart::mmps {
+
+struct ProtocolResult {
+  AvailabilitySnapshot snapshot;
+  SimTime elapsed;
+  std::uint64_t messages = 0;
+};
+
+/// Run the availability protocol among the managers (processor 0 of each
+/// cluster acts as its manager's host).  The simulator's engine must be
+/// idle on entry; it is drained before returning.
+ProtocolResult run_availability_protocol(
+    sim::NetSim& net, const std::vector<ClusterManager>& managers);
+
+}  // namespace netpart::mmps

@@ -1,0 +1,83 @@
+#include "mmps/system.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace netpart::mmps {
+
+System::Key System::make_key(ProcessorRef dst, ProcessorRef src,
+                             std::int32_t tag) {
+  return Key{dst.cluster, dst.index, src.cluster, src.index, tag};
+}
+
+void System::send(ProcessorRef src, ProcessorRef dst, std::int32_t tag,
+                  std::vector<std::byte> payload) {
+  const auto bytes = static_cast<std::int64_t>(payload.size());
+  PairState& pair = pairs_[PairKey{src.cluster, src.index, dst.cluster,
+                                   dst.index}];
+  const std::int64_t seq = pair.next_send++;
+  // The payload rides alongside the simulated transfer and materialises at
+  // the receiver on delivery.
+  auto carried = std::make_shared<Message>(
+      Message{src, tag, std::move(payload)});
+  net_.send(src, dst, bytes, [this, dst, seq, tag, carried] {
+    arrived(dst, seq, tag, std::move(*carried));
+  });
+}
+
+void System::arrived(ProcessorRef dst, std::int64_t seq, std::int32_t tag,
+                     Message msg) {
+  PairState& pair = pairs_[PairKey{msg.source.cluster, msg.source.index,
+                                   dst.cluster, dst.index}];
+  if (seq != pair.next_deliver) {
+    // A retransmitted predecessor is still in flight: hold this message
+    // until the sequence closes.
+    NP_ASSERT(seq > pair.next_deliver);
+    pair.held.emplace(seq, std::make_pair(tag, std::move(msg)));
+    return;
+  }
+  ++pair.next_deliver;
+  match(dst, tag, std::move(msg));
+  while (!pair.held.empty() &&
+         pair.held.begin()->first == pair.next_deliver) {
+    auto node = pair.held.extract(pair.held.begin());
+    ++pair.next_deliver;
+    match(dst, node.mapped().first, std::move(node.mapped().second));
+  }
+}
+
+void System::match(ProcessorRef dst, std::int32_t tag, Message msg) {
+  Box& box = boxes_[make_key(dst, msg.source, tag)];
+  if (!box.pending.empty()) {
+    RecvHandler handler = std::move(box.pending.front());
+    box.pending.pop_front();
+    handler(std::move(msg));
+    return;
+  }
+  box.ready.push_back(std::move(msg));
+}
+
+void System::recv(ProcessorRef dst, ProcessorRef src, std::int32_t tag,
+                  RecvHandler handler) {
+  NP_REQUIRE(handler != nullptr, "recv handler required");
+  Box& box = boxes_[make_key(dst, src, tag)];
+  if (!box.ready.empty()) {
+    Message msg = std::move(box.ready.front());
+    box.ready.pop_front();
+    handler(std::move(msg));
+    return;
+  }
+  box.pending.push_back(std::move(handler));
+}
+
+std::size_t System::unclaimed() const {
+  std::size_t count = 0;
+  for (const auto& [key, box] : boxes_) {
+    count += box.ready.size();
+  }
+  return count;
+}
+
+}  // namespace netpart::mmps

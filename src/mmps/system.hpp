@@ -1,0 +1,100 @@
+// MMPS: reliable tagged message passing over the simulated network.
+//
+// The paper's substrate [5] is a portable message-passing library over UDP
+// datagrams.  This layer provides its programming model: asynchronous
+// tagged sends, receives that match on (source, tag), reliability (the
+// simulator's fragment retransmission), and in-order delivery per
+// (source, destination) pair -- a retransmitted message can physically
+// arrive after its successors, so the receiver resequences before
+// matching, exactly as a reliable transport does.  Payloads are real
+// bytes: the functional applications (stencil, Gaussian elimination) move
+// actual data through it and verify their numerics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/netsim.hpp"
+
+namespace netpart::mmps {
+
+struct Message {
+  ProcessorRef source;
+  std::int32_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Handler invoked when a matching message has been fully received
+/// (delivery-complete time on the receiving host).
+using RecvHandler = std::function<void(Message)>;
+
+class System {
+ public:
+  explicit System(sim::NetSim& net) : net_(net) {}
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Asynchronous send; completion is not signalled to the sender (MMPS
+  /// semantics).  The payload is moved into the in-flight message.
+  void send(ProcessorRef src, ProcessorRef dst, std::int32_t tag,
+            std::vector<std::byte> payload);
+
+  /// Post a receive at `dst` matching (src, tag).  If a matching message
+  /// already arrived the handler fires immediately (same simulated time);
+  /// otherwise it fires on delivery.  Multiple receives for the same key
+  /// are served in posting order.
+  void recv(ProcessorRef dst, ProcessorRef src, std::int32_t tag,
+            RecvHandler handler);
+
+  /// Messages delivered but not yet matched by a receive (diagnostics).
+  std::size_t unclaimed() const;
+
+ private:
+  struct Key {
+    std::int32_t dst_cluster;
+    std::int32_t dst_index;
+    std::int32_t src_cluster;
+    std::int32_t src_index;
+    std::int32_t tag;
+    auto operator<=>(const Key&) const = default;
+  };
+  static Key make_key(ProcessorRef dst, ProcessorRef src, std::int32_t tag);
+
+  struct Box {
+    std::deque<Message> ready;
+    std::deque<RecvHandler> pending;
+  };
+
+  /// Resequencing state per (src, dst) pair.
+  struct PairKey {
+    std::int32_t src_cluster;
+    std::int32_t src_index;
+    std::int32_t dst_cluster;
+    std::int32_t dst_index;
+    auto operator<=>(const PairKey&) const = default;
+  };
+  struct PairState {
+    std::int64_t next_send = 0;
+    std::int64_t next_deliver = 0;
+    /// Messages that physically arrived ahead of a retransmitted
+    /// predecessor, keyed by sequence number.
+    std::map<std::int64_t, std::pair<std::int32_t, Message>> held;
+  };
+
+  /// A message's payload reached `dst` in sequence position `seq`; deliver
+  /// it (and any held successors) once its predecessors are in.
+  void arrived(ProcessorRef dst, std::int64_t seq, std::int32_t tag,
+               Message msg);
+  void match(ProcessorRef dst, std::int32_t tag, Message msg);
+
+  sim::NetSim& net_;
+  std::map<Key, Box> boxes_;
+  std::map<PairKey, PairState> pairs_;
+};
+
+}  // namespace netpart::mmps

@@ -1,0 +1,67 @@
+#include "net/availability.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+int ClusterManager::available(const Network& net) const {
+  return static_cast<int>(available_indices(net).size());
+}
+
+std::vector<ProcessorIndex> ClusterManager::available_indices(
+    const Network& net) const {
+  const Cluster& c = net.cluster(cluster_);
+  std::vector<ProcessorIndex> out;
+  out.reserve(static_cast<std::size_t>(c.size()));
+  for (ProcessorIndex i = 0; i < c.size(); ++i) {
+    if (c.processor(i).load < policy_.load_threshold) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int AvailabilitySnapshot::total() const {
+  int t = 0;
+  for (int n : available) t += n;
+  return t;
+}
+
+AvailabilitySnapshot gather_availability(
+    const Network& net, const std::vector<ClusterManager>& managers) {
+  NP_REQUIRE(static_cast<int>(managers.size()) == net.num_clusters(),
+             "need exactly one manager per cluster");
+  AvailabilitySnapshot snap;
+  snap.available.assign(static_cast<std::size_t>(net.num_clusters()), 0);
+  for (const ClusterManager& m : managers) {
+    snap.available[static_cast<std::size_t>(m.cluster())] =
+        m.available(net);
+  }
+  return snap;
+}
+
+std::vector<ClusterManager> make_managers(const Network& net,
+                                          AvailabilityPolicy policy) {
+  std::vector<ClusterManager> managers;
+  managers.reserve(static_cast<std::size_t>(net.num_clusters()));
+  for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+    managers.emplace_back(c, policy);
+  }
+  return managers;
+}
+
+void apply_random_load(Network& net, Rng& rng, double mean_load) {
+  NP_REQUIRE(mean_load >= 0.0, "mean load must be non-negative");
+  for (ClusterId cid = 0; cid < net.num_clusters(); ++cid) {
+    Cluster& c = net.cluster(cid);
+    for (ProcessorIndex i = 0; i < c.size(); ++i) {
+      const double load =
+          mean_load == 0.0 ? 0.0 : rng.next_exponential(mean_load);
+      c.processor(i).load = std::min(load, 1.0);
+    }
+  }
+}
+
+}  // namespace netpart

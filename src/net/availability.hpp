@@ -1,0 +1,66 @@
+// Cluster managers and the cooperative availability protocol.
+//
+// The paper assumes processors are shared: each cluster has a manager that
+// monitors per-processor load and applies a simple threshold policy --
+// every processor below the threshold counts as available and equal in
+// power.  Before partitioning, a cooperative algorithm run by the managers
+// gathers the per-cluster available counts N_i.
+#pragma once
+
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace netpart {
+
+/// Threshold availability policy.
+struct AvailabilityPolicy {
+  /// Processors with load strictly below this threshold are available.
+  double load_threshold = 0.10;
+};
+
+/// One cluster's manager: applies the threshold policy to its processors.
+class ClusterManager {
+ public:
+  ClusterManager(ClusterId cluster, AvailabilityPolicy policy)
+      : cluster_(cluster), policy_(policy) {}
+
+  ClusterId cluster() const { return cluster_; }
+
+  /// Count of available processors under the threshold policy.
+  int available(const Network& net) const;
+
+  /// Indices of the available processors, in cluster order (the placement
+  /// layer assigns tasks to the first P of these).
+  std::vector<ProcessorIndex> available_indices(const Network& net) const;
+
+ private:
+  ClusterId cluster_;
+  AvailabilityPolicy policy_;
+};
+
+/// Result of the cooperative availability-gathering round.
+struct AvailabilitySnapshot {
+  /// N_i: available processors per cluster, indexed by ClusterId.
+  std::vector<int> available;
+
+  int total() const;
+};
+
+/// Run the cooperative protocol: every manager reports its count, one
+/// round-robin exchange.  (On a real system this is a message round among
+/// managers; with the in-process model it reduces to querying each one.)
+AvailabilitySnapshot gather_availability(
+    const Network& net, const std::vector<ClusterManager>& managers);
+
+/// Build one manager per cluster with a common policy.
+std::vector<ClusterManager> make_managers(const Network& net,
+                                          AvailabilityPolicy policy);
+
+/// Background-load generator: assigns each processor a load drawn from a
+/// bounded exponential, modelling light sharing by other users.
+void apply_random_load(Network& net, Rng& rng, double mean_load);
+
+}  // namespace netpart

@@ -1,0 +1,92 @@
+#include "net/builder.hpp"
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+NetworkBuilder& NetworkBuilder::bandwidth_bps(double bps) {
+  NP_REQUIRE(bps > 0, "bandwidth must be positive");
+  bandwidth_bps_ = bps;
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::frame_overhead(SimTime t) {
+  NP_REQUIRE(t >= SimTime::zero(), "frame overhead must be non-negative");
+  frame_overhead_ = t;
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::router_delay(SimTime per_byte,
+                                             SimTime per_packet) {
+  NP_REQUIRE(per_byte >= SimTime::zero() && per_packet >= SimTime::zero(),
+             "router delays must be non-negative");
+  router_per_byte_ = per_byte;
+  router_per_packet_ = per_packet;
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::add_cluster(const std::string& name,
+                                            const ProcessorType& type,
+                                            int num_processors) {
+  NP_REQUIRE(num_processors > 0, "cluster must contain processors");
+  pending_.push_back(PendingCluster{name, type, num_processors,
+                                    /*bandwidth_bps=*/-1.0,
+                                    /*frame_overhead=*/SimTime::nanos(-1)});
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::add_cluster_on(
+    const std::string& name, const ProcessorType& type, int num_processors,
+    double segment_bps, SimTime segment_frame_overhead) {
+  NP_REQUIRE(num_processors > 0, "cluster must contain processors");
+  NP_REQUIRE(segment_bps > 0, "segment bandwidth must be positive");
+  NP_REQUIRE(segment_frame_overhead >= SimTime::zero(),
+             "frame overhead must be non-negative");
+  pending_.push_back(PendingCluster{name, type, num_processors, segment_bps,
+                                    segment_frame_overhead});
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::relax_equal_bandwidth() {
+  relax_equal_bandwidth_ = true;
+  return *this;
+}
+
+Network NetworkBuilder::build() const {
+  NP_REQUIRE(!pending_.empty(), "network needs at least one cluster");
+  std::vector<Cluster> clusters;
+  std::vector<Segment> segments;
+  std::vector<RouterLink> routers;
+  clusters.reserve(pending_.size());
+  segments.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const auto id = static_cast<ClusterId>(i);
+    Segment seg;
+    seg.id = static_cast<SegmentId>(i);
+    seg.bandwidth_bps = pending_[i].bandwidth_bps > 0
+                            ? pending_[i].bandwidth_bps
+                            : bandwidth_bps_;
+    seg.frame_overhead = pending_[i].frame_overhead >= SimTime::zero()
+                             ? pending_[i].frame_overhead
+                             : frame_overhead_;
+    segments.push_back(seg);
+    clusters.emplace_back(id, pending_[i].name, pending_[i].type, seg.id,
+                          pending_[i].count);
+  }
+  for (std::size_t a = 0; a < segments.size(); ++a) {
+    for (std::size_t b = a + 1; b < segments.size(); ++b) {
+      RouterLink link;
+      link.a = static_cast<SegmentId>(a);
+      link.b = static_cast<SegmentId>(b);
+      link.delay_per_byte = router_per_byte_;
+      link.delay_per_packet = router_per_packet_;
+      routers.push_back(link);
+    }
+  }
+  NetworkPolicy policy;
+  policy.require_equal_bandwidth = !relax_equal_bandwidth_;
+  return Network(std::move(clusters), std::move(segments),
+                 std::move(routers), policy);
+}
+
+}  // namespace netpart

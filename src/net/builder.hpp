@@ -1,0 +1,64 @@
+// Fluent construction of valid networks.
+//
+// The builder assigns dense ids, creates one segment per cluster, and wires
+// a router between every pair of segments, so the result always satisfies
+// the model's structural assumptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace netpart {
+
+class NetworkBuilder {
+ public:
+  NetworkBuilder() = default;
+
+  /// Channel bandwidth shared by all segments (assumption 1).
+  NetworkBuilder& bandwidth_bps(double bps);
+
+  /// Per-frame channel overhead on every segment.
+  NetworkBuilder& frame_overhead(SimTime t);
+
+  /// Router characteristics used for every inter-segment link.
+  NetworkBuilder& router_delay(SimTime per_byte, SimTime per_packet);
+
+  /// Add a homogeneous cluster on its own fresh segment.
+  NetworkBuilder& add_cluster(const std::string& name,
+                              const ProcessorType& type, int num_processors);
+
+  /// Add a cluster whose segment runs at its own bandwidth (a metasystem
+  /// component, e.g. a multicomputer's internal interconnect).  Requires
+  /// relax_equal_bandwidth() if it differs from the default.
+  NetworkBuilder& add_cluster_on(const std::string& name,
+                                 const ProcessorType& type,
+                                 int num_processors, double segment_bps,
+                                 SimTime segment_frame_overhead);
+
+  /// Opt out of assumption 1 (equal segment bandwidth).
+  NetworkBuilder& relax_equal_bandwidth();
+
+  /// Build and validate.  The builder can be reused afterwards.
+  Network build() const;
+
+ private:
+  struct PendingCluster {
+    std::string name;
+    ProcessorType type;
+    int count = 0;
+    /// Segment overrides; negative bandwidth means "use the default".
+    double bandwidth_bps = -1.0;
+    SimTime frame_overhead = SimTime::nanos(-1);
+  };
+
+  double bandwidth_bps_ = 10e6;
+  SimTime frame_overhead_ = SimTime::micros(100);
+  SimTime router_per_byte_ = SimTime::nanos(600);
+  SimTime router_per_packet_ = SimTime::micros(50);
+  bool relax_equal_bandwidth_ = false;
+  std::vector<PendingCluster> pending_;
+};
+
+}  // namespace netpart

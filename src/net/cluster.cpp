@@ -1,0 +1,29 @@
+#include "net/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+Cluster::Cluster(ClusterId id, std::string name, ProcessorType type,
+                 SegmentId segment, int num_processors)
+    : id_(id),
+      name_(std::move(name)),
+      type_(std::move(type)),
+      segment_(segment),
+      processors_(static_cast<std::size_t>(num_processors)) {
+  NP_REQUIRE(num_processors > 0, "cluster must contain processors");
+  NP_REQUIRE(type_.flop_time > SimTime::zero(),
+             "processor flop_time must be positive");
+}
+
+const Processor& Cluster::processor(ProcessorIndex i) const {
+  NP_REQUIRE(i >= 0 && i < size(), "processor index out of range");
+  return processors_[static_cast<std::size_t>(i)];
+}
+
+Processor& Cluster::processor(ProcessorIndex i) {
+  NP_REQUIRE(i >= 0 && i < size(), "processor index out of range");
+  return processors_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace netpart

@@ -1,0 +1,69 @@
+// Clusters and network segments.
+//
+// The paper's network model: the network is a set of physical segments with
+// *private* bandwidth, each segment hosts exactly one homogeneous cluster,
+// and every pair of segments is joined by a single router (messages travel
+// at most one hop).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/processor.hpp"
+#include "util/time.hpp"
+
+namespace netpart {
+
+/// A physical network segment with private bandwidth.
+struct Segment {
+  SegmentId id = -1;
+  /// Raw channel bandwidth in bits per second (10 Mbit/s for the paper's
+  /// ethernet segments).
+  double bandwidth_bps = 10e6;
+  /// Fixed per-frame channel overhead (preamble, inter-frame gap, MAC
+  /// arbitration).
+  SimTime frame_overhead = SimTime::micros(100);
+};
+
+/// A homogeneous group of processors on one segment.
+class Cluster {
+ public:
+  Cluster(ClusterId id, std::string name, ProcessorType type,
+          SegmentId segment, int num_processors);
+
+  ClusterId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const ProcessorType& type() const { return type_; }
+  SegmentId segment() const { return segment_; }
+
+  int size() const { return static_cast<int>(processors_.size()); }
+
+  const Processor& processor(ProcessorIndex i) const;
+  Processor& processor(ProcessorIndex i);
+
+  /// Instruction rate ordering key: clusters with smaller flop_time are
+  /// faster and are considered first by the partitioning heuristic.
+  SimTime flop_time() const { return type_.flop_time; }
+
+ private:
+  ClusterId id_;
+  std::string name_;
+  ProcessorType type_;
+  SegmentId segment_;
+  std::vector<Processor> processors_;
+};
+
+/// A router joining two segments.  Empirically (per the paper) a router
+/// behaves as one additional station contending for each channel plus an
+/// internal per-byte delay.
+struct RouterLink {
+  SegmentId a = -1;
+  SegmentId b = -1;
+  /// Internal forwarding delay per byte.
+  SimTime delay_per_byte = SimTime::nanos(600);  // 0.0006 ms/byte in paper
+  /// Fixed per-packet forwarding latency.
+  SimTime delay_per_packet = SimTime::micros(50);
+};
+
+}  // namespace netpart

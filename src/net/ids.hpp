@@ -1,0 +1,28 @@
+// Identifier types for the network model.
+//
+// Clusters, segments, and processors are stored in dense vectors; these
+// aliases document which index space a value lives in.  A GlobalRank
+// identifies a task slot in a running SPMD computation (assigned by the
+// placement layer), which is distinct from a processor's position within
+// its cluster.
+#pragma once
+
+#include <cstdint>
+
+namespace netpart {
+
+using ClusterId = std::int32_t;
+using SegmentId = std::int32_t;
+using ProcessorIndex = std::int32_t;  ///< index within a cluster
+using GlobalRank = std::int32_t;      ///< task rank in a running computation
+
+/// A processor named by (cluster, index-within-cluster).
+struct ProcessorRef {
+  ClusterId cluster = -1;
+  ProcessorIndex index = -1;
+
+  friend auto operator<=>(const ProcessorRef&,
+                          const ProcessorRef&) = default;
+};
+
+}  // namespace netpart

@@ -1,0 +1,133 @@
+#include "net/network.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+Network::Network(std::vector<Cluster> clusters, std::vector<Segment> segments,
+                 std::vector<RouterLink> routers, NetworkPolicy policy)
+    : clusters_(std::move(clusters)),
+      segments_(std::move(segments)),
+      routers_(std::move(routers)) {
+  NP_REQUIRE(!clusters_.empty(), "network needs at least one cluster");
+  NP_REQUIRE(!segments_.empty(), "network needs at least one segment");
+
+  // Ids must match vector positions (dense storage).
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    NP_REQUIRE(clusters_[i].id() == static_cast<ClusterId>(i),
+               "cluster ids must be dense and ordered");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    NP_REQUIRE(segments_[i].id == static_cast<SegmentId>(i),
+               "segment ids must be dense and ordered");
+  }
+
+  // Assumption 1: equal bandwidth on all segments (relaxable for
+  // metasystem configurations -- calibration fits each cluster on its own
+  // segment, so the cost model stays valid either way).
+  if (policy.require_equal_bandwidth) {
+    for (const Segment& s : segments_) {
+      NP_REQUIRE(
+          std::abs(s.bandwidth_bps - segments_[0].bandwidth_bps) < 1e-6,
+          "all segments must have equal bandwidth (assumption 1)");
+    }
+  }
+
+  // Assumption 2: each segment hosts exactly one cluster.
+  std::vector<int> clusters_on_segment(segments_.size(), 0);
+  for (const Cluster& c : clusters_) {
+    NP_REQUIRE(c.segment() >= 0 &&
+                   c.segment() < static_cast<SegmentId>(segments_.size()),
+               "cluster references an unknown segment");
+    ++clusters_on_segment[static_cast<std::size_t>(c.segment())];
+  }
+  for (int n : clusters_on_segment) {
+    NP_REQUIRE(n == 1, "each segment must host exactly one cluster "
+                       "(assumption 2)");
+  }
+
+  // Assumption 3: every pair of segments joined by exactly one router.
+  const std::size_t n = segments_.size();
+  std::vector<int> pair_count(n * n, 0);
+  for (const RouterLink& r : routers_) {
+    NP_REQUIRE(r.a >= 0 && r.a < static_cast<SegmentId>(n) && r.b >= 0 &&
+                   r.b < static_cast<SegmentId>(n) && r.a != r.b,
+               "router must join two distinct known segments");
+    const std::size_t lo = static_cast<std::size_t>(std::min(r.a, r.b));
+    const std::size_t hi = static_cast<std::size_t>(std::max(r.a, r.b));
+    ++pair_count[lo * n + hi];
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      NP_REQUIRE(pair_count[a * n + b] == 1,
+                 "every pair of segments needs exactly one router "
+                 "(assumption 3)");
+    }
+  }
+}
+
+const Cluster& Network::cluster(ClusterId id) const {
+  NP_REQUIRE(id >= 0 && id < num_clusters(), "cluster id out of range");
+  return clusters_[static_cast<std::size_t>(id)];
+}
+
+Cluster& Network::cluster(ClusterId id) {
+  NP_REQUIRE(id >= 0 && id < num_clusters(), "cluster id out of range");
+  return clusters_[static_cast<std::size_t>(id)];
+}
+
+const Segment& Network::segment(SegmentId id) const {
+  NP_REQUIRE(id >= 0 && id < num_segments(), "segment id out of range");
+  return segments_[static_cast<std::size_t>(id)];
+}
+
+std::optional<RouterLink> Network::router_between(ClusterId a,
+                                                  ClusterId b) const {
+  const SegmentId sa = cluster(a).segment();
+  const SegmentId sb = cluster(b).segment();
+  if (sa == sb) return std::nullopt;
+  for (const RouterLink& r : routers_) {
+    if ((r.a == sa && r.b == sb) || (r.a == sb && r.b == sa)) return r;
+  }
+  throw LogicError("validated network missing a router link");
+}
+
+int Network::total_processors() const {
+  int total = 0;
+  for (const Cluster& c : clusters_) total += c.size();
+  return total;
+}
+
+bool Network::needs_coercion(ClusterId a, ClusterId b) const {
+  return cluster(a).type().data_format != cluster(b).type().data_format;
+}
+
+const Cluster& Network::cluster_by_name(const std::string& name) const {
+  for (const Cluster& c : clusters_) {
+    if (c.name() == name) return c;
+  }
+  throw InvalidArgument("no cluster named " + name);
+}
+
+std::string Network::describe() const {
+  std::ostringstream os;
+  os << "heterogeneous network: " << num_clusters() << " cluster(s), "
+     << num_segments() << " segment(s), " << routers_.size()
+     << " router link(s)\n";
+  for (const Cluster& c : clusters_) {
+    os << "  cluster " << c.id() << " '" << c.name() << "': " << c.size()
+       << " x " << c.type().name << " (flop " << c.type().flop_time.as_micros()
+       << "us) on segment " << c.segment() << " ("
+       << segment(c.segment()).bandwidth_bps / 1e6 << " Mbit/s)\n";
+  }
+  for (const RouterLink& r : routers_) {
+    os << "  router: segment " << r.a << " <-> segment " << r.b << " ("
+       << r.delay_per_byte.as_nanos() << " ns/byte)\n";
+  }
+  return os.str();
+}
+
+}  // namespace netpart

@@ -1,0 +1,70 @@
+// The heterogeneous network: clusters + segments + routers.
+//
+// Network validates the paper's three structural assumptions on
+// construction:
+//   1. all segments have equal communication bandwidth,
+//   2. each segment contains a single (homogeneous) cluster,
+//   3. every pair of segments is connected by a single router.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/ids.hpp"
+
+namespace netpart {
+
+/// Which of the model's structural assumptions to enforce.  The paper
+/// names relaxing the network model as future work; the *metasystem*
+/// direction (multicomputers next to workstation clusters) needs segments
+/// of different speeds, so assumption 1 can be opted out of.  Assumptions
+/// 2 and 3 are load-bearing for the cost model and stay mandatory.
+struct NetworkPolicy {
+  bool require_equal_bandwidth = true;
+};
+
+class Network {
+ public:
+  /// Validates the structural assumptions; throws InvalidArgument if they
+  /// do not hold.
+  Network(std::vector<Cluster> clusters, std::vector<Segment> segments,
+          std::vector<RouterLink> routers, NetworkPolicy policy = {});
+
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+
+  const Cluster& cluster(ClusterId id) const;
+  Cluster& cluster(ClusterId id);
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  const Segment& segment(SegmentId id) const;
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  const std::vector<RouterLink>& routers() const { return routers_; }
+
+  /// The router joining the segments of two clusters, or nullopt when both
+  /// clusters share a segment (never happens under assumption 2, but the
+  /// API tolerates same-cluster queries).
+  std::optional<RouterLink> router_between(ClusterId a, ClusterId b) const;
+
+  /// Total processors across all clusters.
+  int total_processors() const;
+
+  /// Whether messages between the two clusters need data coercion.
+  bool needs_coercion(ClusterId a, ClusterId b) const;
+
+  /// Find a cluster by name; throws InvalidArgument if absent.
+  const Cluster& cluster_by_name(const std::string& name) const;
+
+  /// Human-readable inventory (used by the Fig. 1 bench).
+  std::string describe() const;
+
+ private:
+  std::vector<Cluster> clusters_;
+  std::vector<Segment> segments_;
+  std::vector<RouterLink> routers_;
+};
+
+}  // namespace netpart

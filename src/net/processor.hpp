@@ -1,0 +1,52 @@
+// Processor types and processor instances.
+//
+// A ProcessorType captures everything the partitioner and the simulator need
+// to know about a machine model: instruction rates (the paper's S_i), the
+// host-side messaging overheads that make communication "faster on a cluster
+// of Sun4's than on a cluster of Sun3's", and the data format used for
+// coercion decisions.
+#pragma once
+
+#include <string>
+
+#include "util/time.hpp"
+
+namespace netpart {
+
+/// Byte order of a machine's native data representation.  Messages between
+/// clusters with different formats pay a per-byte coercion cost (T_coerce).
+enum class DataFormat { BigEndian, LittleEndian };
+
+/// Static description of a machine model (e.g. "Sparc2", "IPC").
+struct ProcessorType {
+  std::string name;
+
+  /// Average time per floating-point operation (the paper's S_i; Sparc2 is
+  /// about 0.3 us, IPC about 0.6 us).
+  SimTime flop_time;
+
+  /// Average time per integer operation.
+  SimTime int_time;
+
+  /// Host software cost to push one byte through the protocol stack
+  /// (checksums, copies).  Slower CPUs send slower on the same wire.
+  SimTime comm_per_byte;
+
+  /// Host software cost per message (system call, UDP encapsulation).
+  SimTime comm_per_message;
+
+  DataFormat data_format = DataFormat::BigEndian;
+
+  /// Time to coerce one byte into another representation when receiving
+  /// from a machine with a different data format.
+  SimTime coerce_per_byte;
+};
+
+/// Dynamic state of one machine.
+struct Processor {
+  /// CPU utilisation by other users in [0, 1].  The cluster manager's
+  /// threshold policy decides availability from this.
+  double load = 0.0;
+};
+
+}  // namespace netpart

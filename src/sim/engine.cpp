@@ -1,0 +1,50 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace netpart::sim {
+
+void Engine::schedule_at(SimTime at, Action action) {
+  NP_REQUIRE(at >= now_, "cannot schedule events in the past");
+  NP_REQUIRE(action != nullptr, "event action must be callable");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void Engine::schedule_after(SimTime delay, Action action) {
+  NP_REQUIRE(delay >= SimTime::zero(), "delay must be non-negative");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime limit) {
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    step();
+  }
+  if (now_ < limit && queue_.empty()) {
+    // Idle until the limit: time advances even with nothing to do, so
+    // run_until composes with timeout-style callers.
+    now_ = limit;
+  }
+  return now_;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so re-entrant schedules are safe.
+  Entry top = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  NP_ASSERT(top.at >= now_);
+  now_ = top.at;
+  ++executed_;
+  top.action();
+  return true;
+}
+
+}  // namespace netpart::sim

@@ -1,0 +1,68 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic event loop: events fire in (time, insertion
+// sequence) order, so two runs with the same seed produce identical
+// schedules.  The engine is the substrate for the network simulator and the
+// SPMD executor; it is strictly single-threaded by design (the measurement
+// instrument must be reproducible).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace netpart::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `action` to run at absolute time `at` (>= now).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedule `action` to run `delay` from now (delay >= 0).
+  void schedule_after(SimTime delay, Action action);
+
+  /// Run events until the queue drains.  Returns the time of the last
+  /// event executed (== now()).
+  SimTime run();
+
+  /// Run events with time <= limit; later events stay queued.
+  /// Returns now(), which is min(limit, last event time).
+  SimTime run_until(SimTime limit);
+
+  /// Execute a single event if one is pending.  Returns false when idle.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed since construction (used by overhead tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace netpart::sim

@@ -1,0 +1,17 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netpart::sim {
+
+SimTime Host::reserve(SimTime ready_at, SimTime duration) {
+  NP_REQUIRE(duration >= SimTime::zero(), "duration must be non-negative");
+  const SimTime start = std::max(ready_at, busy_until_);
+  busy_until_ = start + duration;
+  total_busy_ += duration;
+  return busy_until_;
+}
+
+}  // namespace netpart::sim

@@ -1,0 +1,30 @@
+// Host CPU resource.
+//
+// Each workstation serialises its own activities (compute phases, message
+// initiation, receive processing, coercion).  Like Channel, a Host is a
+// busy-until resource; the executor and the network simulator reserve time
+// on it and schedule engine events at the reservation ends.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace netpart::sim {
+
+class Host {
+ public:
+  /// Reserve the CPU for `duration` starting no earlier than `ready_at`.
+  /// Returns the completion time.
+  SimTime reserve(SimTime ready_at, SimTime duration);
+
+  /// Time at which the CPU is next free.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Total CPU time consumed (utilisation accounting).
+  SimTime total_busy() const { return total_busy_; }
+
+ private:
+  SimTime busy_until_ = SimTime::zero();
+  SimTime total_busy_ = SimTime::zero();
+};
+
+}  // namespace netpart::sim

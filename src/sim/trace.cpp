@@ -1,0 +1,84 @@
+#include "sim/trace.hpp"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace netpart::sim {
+
+const char* TraceEvent::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::SendInitiated:
+      return "send";
+    case Kind::LegCompleted:
+      return "leg";
+    case Kind::FragmentLost:
+      return "lost";
+    case Kind::Delivered:
+      return "delivered";
+  }
+  return "?";
+}
+
+Tracer TraceLog::tracer() {
+  return [this](const TraceEvent& event) { events_.push_back(event); };
+}
+
+std::size_t TraceLog::count(TraceEvent::Kind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::int64_t TraceLog::bytes_delivered() const {
+  std::int64_t total = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceEvent::Kind::Delivered) total += e.bytes;
+  }
+  return total;
+}
+
+SimTime TraceLog::mean_latency() const {
+  // Match SendInitiated with Delivered per (src, dst) pair in FIFO order
+  // (the simulator's channels are FIFO per pair).
+  using Pair = std::pair<std::pair<int, int>, std::pair<int, int>>;
+  std::map<Pair, std::deque<SimTime>> starts;
+  std::int64_t total_ns = 0;
+  std::int64_t matched = 0;
+  for (const TraceEvent& e : events_) {
+    const Pair key{{e.src.cluster, e.src.index},
+                   {e.dst.cluster, e.dst.index}};
+    if (e.kind == TraceEvent::Kind::SendInitiated) {
+      starts[key].push_back(e.at);
+    } else if (e.kind == TraceEvent::Kind::Delivered) {
+      auto& queue = starts[key];
+      NP_ASSERT(!queue.empty());
+      total_ns += (e.at - queue.front()).as_nanos();
+      queue.pop_front();
+      ++matched;
+    }
+  }
+  if (matched == 0) return SimTime::zero();
+  return SimTime::nanos(total_ns / matched);
+}
+
+std::string TraceLog::render(std::size_t limit) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const TraceEvent& e : events_) {
+    if (shown++ == limit) {
+      os << "... (" << events_.size() - limit << " more)\n";
+      break;
+    }
+    os << e.at.as_millis() << "ms " << TraceEvent::kind_name(e.kind) << " ("
+       << e.src.cluster << ',' << e.src.index << ")->(" << e.dst.cluster
+       << ',' << e.dst.index << ") " << e.bytes << "B\n";
+  }
+  return os.str();
+}
+
+}  // namespace netpart::sim

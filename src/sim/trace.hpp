@@ -1,0 +1,64 @@
+// Message-lifecycle tracing.
+//
+// The simulator can emit an event stream describing every message's path
+// (initiation, per-channel-leg completion, retransmissions, delivery).
+// TraceLog collects the stream and renders summaries; tests use it to
+// verify the simulator's behaviour from the outside, and users debug
+// placement/contention problems with it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "util/time.hpp"
+
+namespace netpart::sim {
+
+struct TraceEvent {
+  enum class Kind {
+    SendInitiated,   ///< sender host accepted the message
+    LegCompleted,    ///< finished one channel hop
+    FragmentLost,    ///< a datagram was dropped (will retransmit)
+    Delivered,       ///< receiver host finished processing
+  };
+  Kind kind;
+  SimTime at;
+  ProcessorRef src;
+  ProcessorRef dst;
+  std::int64_t bytes = 0;
+
+  static const char* kind_name(Kind kind);
+};
+
+/// Observer callback; installed on a NetSim via set_tracer().
+using Tracer = std::function<void(const TraceEvent&)>;
+
+/// A collecting tracer with summary queries.
+class TraceLog {
+ public:
+  /// The callback to install: log.tracer() keeps a reference to the log.
+  Tracer tracer();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t count(TraceEvent::Kind kind) const;
+
+  /// Total payload bytes delivered.
+  std::int64_t bytes_delivered() const;
+
+  /// Mean latency from initiation to delivery, over completed messages
+  /// matched by (src, dst) in FIFO order.
+  SimTime mean_latency() const;
+
+  /// Render the first `limit` events, one per line.
+  std::string render(std::size_t limit = 50) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace netpart::sim

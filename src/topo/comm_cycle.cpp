@@ -1,0 +1,86 @@
+#include "topo/comm_cycle.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+namespace {
+struct CycleState {
+  /// Completion time of each directed message of the cycle.
+  std::vector<SimTime> delivered_at;
+  std::size_t remaining = 0;
+};
+}  // namespace
+
+CycleResult run_comm_cycles(sim::NetSim& net, const Placement& placement,
+                            Topology topology, std::int64_t bytes,
+                            int cycles) {
+  NP_REQUIRE(!placement.empty(), "placement must be non-empty");
+  NP_REQUIRE(cycles >= 1, "need at least one cycle");
+  NP_REQUIRE(net.engine().idle(), "engine must be idle at cycle start");
+
+  const int p = static_cast<int>(placement.size());
+  const auto messages = cycle_messages(topology, p);
+
+  CycleResult avg;
+  avg.per_rank.assign(placement.size(), SimTime::zero());
+  avg.elapsed_max = SimTime::zero();
+  avg.elapsed_mean = SimTime::zero();
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const SimTime t0 = net.engine().now();
+    auto state = std::make_shared<CycleState>();
+    state->delivered_at.assign(messages.size(), SimTime::zero());
+    state->remaining = messages.size();
+
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      const auto [from, to] = messages[m];
+      net.send(placement[static_cast<std::size_t>(from)],
+               placement[static_cast<std::size_t>(to)], bytes,
+               [state, m, &net] {
+                 state->delivered_at[m] = net.engine().now();
+                 NP_ASSERT(state->remaining > 0);
+                 --state->remaining;
+               });
+    }
+    net.engine().run();
+    NP_ASSERT(state->remaining == 0);
+
+    // A rank's communication completes when its last outgoing message has
+    // been delivered and its last incoming message has been processed.
+    std::vector<SimTime> rank_done(placement.size(), t0);
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      const auto [from, to] = messages[m];
+      auto& f = rank_done[static_cast<std::size_t>(from)];
+      auto& t = rank_done[static_cast<std::size_t>(to)];
+      f = std::max(f, state->delivered_at[m]);
+      t = std::max(t, state->delivered_at[m]);
+    }
+
+    SimTime cycle_max = SimTime::zero();
+    SimTime cycle_sum = SimTime::zero();
+    for (std::size_t r = 0; r < placement.size(); ++r) {
+      const SimTime elapsed = rank_done[r] - t0;
+      avg.per_rank[r] += elapsed;
+      cycle_max = std::max(cycle_max, elapsed);
+      cycle_sum += elapsed;
+    }
+    avg.elapsed_max += cycle_max;
+    avg.elapsed_mean +=
+        SimTime::nanos(cycle_sum.as_nanos() /
+                       static_cast<std::int64_t>(placement.size()));
+  }
+
+  const auto div = [cycles](SimTime t) {
+    return SimTime::nanos(t.as_nanos() / cycles);
+  };
+  for (SimTime& t : avg.per_rank) t = div(t);
+  avg.elapsed_max = div(avg.elapsed_max);
+  avg.elapsed_mean = div(avg.elapsed_mean);
+  return avg;
+}
+
+}  // namespace netpart

@@ -1,0 +1,56 @@
+// Task placement.
+//
+// A placement maps task ranks to processors.  The paper's strategy for the
+// 1-D topology is cluster-contiguous: ranks fill the fastest cluster first,
+// then the next, so only one task in each cluster communicates across the
+// router.  A round-robin strategy is provided as an ablation baseline -- it
+// maximises router crossings and shows why locality matters.
+#pragma once
+
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+#include "topo/topology.hpp"
+
+namespace netpart {
+
+/// A processor configuration: how many processors to use from each cluster,
+/// indexed by ClusterId (the paper's P_i).
+using ProcessorConfig = std::vector<int>;
+
+/// rank -> processor map.
+using Placement = std::vector<ProcessorRef>;
+
+/// Total processors selected by a configuration.
+int config_total(const ProcessorConfig& config);
+
+/// Validate a configuration against a network (0 <= P_i <= cluster size).
+void validate_config(const Network& net, const ProcessorConfig& config);
+
+/// Cluster-contiguous placement in the given cluster order: ranks
+/// 0..P_a-1 land on the first cluster in `cluster_order`, the next P_b on
+/// the second, and so on.  Clusters with P_i == 0 are skipped.
+Placement contiguous_placement(const Network& net,
+                               const ProcessorConfig& config,
+                               const std::vector<ClusterId>& cluster_order);
+
+/// Contiguous placement with clusters ordered fastest-first (the paper's
+/// default: matches the partitioning heuristic's cluster ordering).
+Placement contiguous_placement(const Network& net,
+                               const ProcessorConfig& config);
+
+/// Round-robin placement across clusters (ablation baseline).
+Placement round_robin_placement(const Network& net,
+                                const ProcessorConfig& config);
+
+/// Clusters sorted by instruction rate, fastest (smallest flop time) first.
+/// Ties break by cluster id for determinism.
+std::vector<ClusterId> clusters_by_speed(const Network& net);
+
+/// Number of messages in one cycle of `t` that cross a router under the
+/// given placement (the locality metric).
+std::int64_t router_crossings(const Network& net, const Placement& placement,
+                              Topology t);
+
+}  // namespace netpart

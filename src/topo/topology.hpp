@@ -1,0 +1,59 @@
+// Communication topologies.
+//
+// The paper restricts applications to a common set of regular synchronous
+// topologies (1-D, 2-D, ring, tree, broadcast); the restriction is what
+// makes accurate offline benchmarking of communication costs possible.
+// This module defines the topology set and the directed message pattern of
+// one synchronous communication cycle for each.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace netpart {
+
+enum class Topology {
+  OneD,       ///< chain: exchange with north/south neighbours
+  Ring,       ///< unidirectional ring: send to successor
+  TwoD,       ///< near-square mesh: exchange with 4-neighbourhood
+  Tree,       ///< binary tree: exchange along tree edges
+  Broadcast,  ///< root sends to every other processor
+};
+
+std::string to_string(Topology t);
+Topology topology_from_string(std::string_view name);
+
+/// All supported topologies, for parameterised tests and calibration sweeps.
+const std::vector<Topology>& all_topologies();
+
+/// Bandwidth-limited topologies (the paper's example: broadcast) cannot
+/// exploit per-segment private bandwidth: the offered load is linear in the
+/// *total* processor count, so the Eq. 2 max-over-clusters rule does not
+/// apply to them.
+bool is_bandwidth_limited(Topology t);
+
+/// Directed (sender, receiver) pairs of one synchronous communication
+/// cycle among `p` ranks.  Deterministic order: by sender rank, then by
+/// the sender's neighbour order.
+std::vector<std::pair<GlobalRank, GlobalRank>> cycle_messages(Topology t,
+                                                              int p);
+
+/// Ranks `rank` sends to during one cycle.
+std::vector<GlobalRank> send_neighbors(Topology t, GlobalRank rank, int p);
+
+/// Ranks `rank` receives from during one cycle (the transpose pattern).
+std::vector<GlobalRank> recv_neighbors(Topology t, GlobalRank rank, int p);
+
+/// Total directed messages in one cycle (== cycle_messages(t, p).size()).
+std::int64_t messages_per_cycle(Topology t, int p);
+
+/// Mesh shape used by the TwoD pattern: rows x cols with rows*cols >= p,
+/// rows <= cols, as square as possible.
+std::pair<int, int> mesh_shape(int p);
+
+}  // namespace netpart

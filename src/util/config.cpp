@@ -1,0 +1,124 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart {
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("expected key=value, got: " + arg);
+    }
+    cfg.set(std::string(trim(arg.substr(0, eq))),
+            std::string(trim(arg.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return from_args(args);
+}
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  for (const std::string& raw_line : split(text, '\n')) {
+    std::string_view line = trim(raw_line);
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ConfigError("expected key=value line, got: " +
+                        std::string(line));
+    }
+    cfg.set(std::string(trim(line.substr(0, eq))),
+            std::string(trim(line.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  NP_REQUIRE(!key.empty(), "config key must be non-empty");
+  entries_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key,
+                           const std::string& dflt) const {
+  return get(key).value_or(dflt);
+}
+
+std::int64_t Config::get_int_or(const std::string& key,
+                                std::int64_t dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "' is not an integer: " + *v);
+  }
+  return parsed;
+}
+
+double Config::get_double_or(const std::string& key, double dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "' is not a number: " + *v);
+  }
+  return parsed;
+}
+
+bool Config::get_bool_or(const std::string& key, bool dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  throw ConfigError("config key '" + key + "' is not a boolean: " + *v);
+}
+
+std::vector<std::int64_t> Config::get_int_list_or(
+    const std::string& key, std::vector<std::int64_t> dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  std::vector<std::int64_t> out;
+  for (const std::string& piece : split(*v, ',')) {
+    const std::string_view t = trim(piece);
+    if (t.empty()) continue;
+    char* end = nullptr;
+    const std::string tmp(t);
+    const long long parsed = std::strtoll(tmp.c_str(), &end, 10);
+    if (end == tmp.c_str() || *end != '\0') {
+      throw ConfigError("config key '" + key +
+                        "' has a non-integer element: " + tmp);
+    }
+    out.push_back(parsed);
+  }
+  if (out.empty()) {
+    throw ConfigError("config key '" + key + "' is an empty list");
+  }
+  return out;
+}
+
+}  // namespace netpart

@@ -1,0 +1,48 @@
+// Key-value configuration.
+//
+// Bench binaries and examples accept small "key=value" overrides (problem
+// size, seed, iteration count) either from argv or a file with one entry per
+// line ('#' comments).  Typed getters validate and convert.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netpart {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens; later duplicates win.  Tokens without '='
+  /// throw ConfigError.
+  static Config from_args(const std::vector<std::string>& args);
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parse file contents (not a path): one key=value per line, '#' comments.
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool contains(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t dflt) const;
+  double get_double_or(const std::string& key, double dflt) const;
+  bool get_bool_or(const std::string& key, bool dflt) const;
+
+  /// Comma-separated list of integers, e.g. "60,300,600,1200".
+  std::vector<std::int64_t> get_int_list_or(
+      const std::string& key, std::vector<std::int64_t> dflt) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace netpart

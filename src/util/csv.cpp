@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), width_(headers.size()) {
+  NP_REQUIRE(width_ > 0, "csv needs at least one column");
+  write_row(headers);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  NP_REQUIRE(cells.size() == width_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace netpart

@@ -1,0 +1,30 @@
+// Minimal CSV writer: bench binaries optionally dump machine-readable series
+// alongside the ASCII tables so plots can be regenerated.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netpart {
+
+/// Streams rows of comma-separated values with proper quoting.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  /// Write one row; must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ostream& os_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace netpart

@@ -1,0 +1,64 @@
+// Error handling primitives for the netpart library.
+//
+// The library throws exceptions derived from netpart::Error for programmer
+// errors and unsatisfiable requests.  Hot paths (the simulator event loop)
+// use NP_ASSERT, which is active in all build types: the simulator is the
+// measurement instrument, and a silently-corrupt instrument is worse than a
+// crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace netpart {
+
+/// Base class for all netpart errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A request that cannot be satisfied (e.g. partitioning an empty network).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation; indicates a bug in the library itself.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Configuration file / key errors.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw LogicError(std::string("assertion failed: ") + expr + " at " + file +
+                   ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace netpart
+
+/// Always-on assertion: throws netpart::LogicError on failure.
+#define NP_ASSERT(expr)                                            \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::netpart::detail::assert_fail(#expr, __FILE__, __LINE__);   \
+    }                                                              \
+  } while (false)
+
+/// Argument validation: throws netpart::InvalidArgument with a message.
+#define NP_REQUIRE(expr, msg)                          \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      throw ::netpart::InvalidArgument(                \
+          std::string(msg) + " (violated: " #expr ")"); \
+    }                                                  \
+  } while (false)

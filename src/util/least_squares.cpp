@@ -1,0 +1,117 @@
+#include "util/least_squares.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace netpart {
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n) {
+  NP_REQUIRE(a.size() == n * n && b.size() == n, "solve_linear shape");
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      throw LogicError("solve_linear: singular system");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[pivot * n + c], a[col * n + c]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      acc -= a[ri * n + c] * x[c];
+    }
+    x[ri] = acc / a[ri * n + ri];
+  }
+  return x;
+}
+
+std::vector<double> least_squares(std::span<const std::vector<double>> rows,
+                                  std::span<const double> ys,
+                                  std::size_t num_params) {
+  NP_REQUIRE(rows.size() == ys.size(), "least_squares: rows/ys mismatch");
+  NP_REQUIRE(rows.size() >= num_params,
+             "least_squares: underdetermined system");
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<double> xtx(num_params * num_params, 0.0);
+  std::vector<double> xty(num_params, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    NP_REQUIRE(rows[r].size() == num_params, "least_squares: ragged row");
+    for (std::size_t i = 0; i < num_params; ++i) {
+      xty[i] += rows[r][i] * ys[r];
+      for (std::size_t j = 0; j < num_params; ++j) {
+        xtx[i * num_params + j] += rows[r][i] * rows[r][j];
+      }
+    }
+  }
+  return solve_linear(std::move(xtx), std::move(xty), num_params);
+}
+
+Eq1Fit fit_eq1(std::span<const Sample2D> samples) {
+  NP_REQUIRE(samples.size() >= 4, "fit_eq1: need >= 4 samples");
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  rows.reserve(samples.size());
+  ys.reserve(samples.size());
+  for (const Sample2D& s : samples) {
+    rows.push_back({1.0, s.p, s.b, s.b * s.p});
+    ys.push_back(s.cost);
+  }
+  const std::vector<double> beta = least_squares(rows, ys, 4);
+  Eq1Fit fit;
+  fit.c1 = beta[0];
+  fit.c2 = beta[1];
+  fit.c3 = beta[2];
+  fit.c4 = beta[3];
+  std::vector<double> pred;
+  pred.reserve(samples.size());
+  for (const Sample2D& s : samples) {
+    pred.push_back(fit.evaluate(s.b, s.p));
+  }
+  fit.r2 = r_squared(ys, pred);
+  return fit;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  NP_REQUIRE(xs.size() == ys.size() && xs.size() >= 2, "fit_line shape");
+  std::vector<std::vector<double>> rows;
+  rows.reserve(xs.size());
+  for (double x : xs) rows.push_back({1.0, x});
+  const std::vector<double> beta =
+      least_squares(rows, ys, 2);
+  LineFit fit;
+  fit.intercept = beta[0];
+  fit.slope = beta[1];
+  std::vector<double> pred;
+  pred.reserve(xs.size());
+  for (double x : xs) pred.push_back(fit.intercept + fit.slope * x);
+  fit.r2 = r_squared(ys, pred);
+  return fit;
+}
+
+}  // namespace netpart

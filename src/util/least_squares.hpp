@@ -1,0 +1,65 @@
+// Ordinary least squares for small design matrices.
+//
+// The calibration layer fits the paper's Eq. 1 cost model
+//     T(b, p) = c1 + c2*p + c3*b + c4*b*p
+// from benchmark samples: a 4-parameter linear model.  The systems are tiny
+// (tens of samples, <= 8 parameters), so we solve the normal equations with
+// partially-pivoted Gaussian elimination rather than pulling in a LAPACK
+// dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netpart {
+
+/// Solve min ||X beta - y||^2 for beta.
+///
+/// `rows` holds the design matrix row-major; every row must have
+/// `num_params` entries and `ys` one observation per row.  Throws
+/// InvalidArgument on shape mismatch and LogicError if the normal equations
+/// are singular (collinear design).
+std::vector<double> least_squares(std::span<const std::vector<double>> rows,
+                                  std::span<const double> ys,
+                                  std::size_t num_params);
+
+/// Solve the square linear system A x = b in place (partial pivoting).
+/// A is n x n row-major.  Throws LogicError if singular.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n);
+
+/// One observation of a bivariate linear-in-parameters model.
+struct Sample2D {
+  double p = 0.0;      ///< number of processors
+  double b = 0.0;      ///< bytes per message
+  double cost = 0.0;   ///< observed cost
+};
+
+/// Fitted coefficients of Eq. 1: cost = c1 + c2*p + b*(c3 + c4*p).
+struct Eq1Fit {
+  double c1 = 0.0;  ///< fixed latency
+  double c2 = 0.0;  ///< per-processor latency
+  double c3 = 0.0;  ///< per-byte cost
+  double c4 = 0.0;  ///< per-byte-per-processor cost
+  double r2 = 0.0;  ///< goodness of fit on the training samples
+
+  double evaluate(double b, double p) const {
+    return c1 + c2 * p + b * (c3 + c4 * p);
+  }
+};
+
+/// Fit Eq. 1 to samples.  Requires >= 4 samples spanning at least two
+/// distinct p values and two distinct b values.
+Eq1Fit fit_eq1(std::span<const Sample2D> samples);
+
+/// Fit a one-dimensional line cost = slope*b + intercept (used for the
+/// router and coercion per-byte costs).  Requires >= 2 distinct b values.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace netpart

@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace netpart {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (level < Logger::level()) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "trace";
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace netpart

@@ -1,0 +1,48 @@
+// Deterministic random number generation.
+//
+// The simulator must be exactly reproducible: a given seed produces the same
+// event sequence on every platform.  We therefore avoid std::*_distribution
+// (whose algorithms are implementation-defined) and implement the small set
+// of distributions we need on top of SplitMix64, which is fast, well mixed,
+// and trivially portable.
+//
+// Rng::stream() derives statistically independent substreams so that, e.g.,
+// packet-loss decisions and load fluctuations never share a sequence --
+// adding a consumer of randomness cannot perturb unrelated components.
+#pragma once
+
+#include <cstdint>
+
+namespace netpart {
+
+/// SplitMix64 generator with derived substreams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Zero-mean Gaussian via Box-Muller (deterministic, portable).
+  double next_gaussian(double stddev);
+
+  /// Exponential with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Derive an independent substream; `salt` identifies the consumer.
+  Rng stream(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace netpart

@@ -1,0 +1,48 @@
+// Streaming and batch statistics used by the calibration benchmarks and the
+// experiment harnesses (the paper reports averages over multiple runs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netpart {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Half-width of the ~95% confidence interval on the mean (normal
+  /// approximation; adequate for the >= 5 repetitions the harness uses).
+  double ci95_halfwidth() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double mean(std::span<const double> xs);
+double sample_stddev(std::span<const double> xs);
+/// Linear-interpolated percentile; q in [0, 1].  Requires non-empty input.
+double percentile(std::vector<double> xs, double q);
+/// Coefficient of determination of predictions vs observations.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+}  // namespace netpart

@@ -1,0 +1,149 @@
+// Tests for the calibration pipeline and the cost-model database.
+#include <gtest/gtest.h>
+
+#include "calib/calibrate.hpp"
+#include "net/builder.hpp"
+#include "net/presets.hpp"
+#include "util/error.hpp"
+
+namespace netpart {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static const CalibrationResult& testbed_calibration() {
+    static const CalibrationResult result = [] {
+      CalibrationParams params;
+      params.topologies = {Topology::OneD, Topology::Broadcast};
+      return calibrate(presets::paper_testbed(), params);
+    }();
+    return result;
+  }
+};
+
+TEST_F(CalibrationTest, FitsHaveExcellentQuality) {
+  const CalibrationResult& cal = testbed_calibration();
+  for (ClusterId c = 0; c < 2; ++c) {
+    for (Topology t : {Topology::OneD, Topology::Broadcast}) {
+      ASSERT_TRUE(cal.db.has_comm(c, t));
+      EXPECT_GT(cal.db.comm_fit(c, t).r2, 0.99)
+          << "cluster " << c << " " << to_string(t);
+    }
+  }
+}
+
+TEST_F(CalibrationTest, ConstantsNearPaperValues) {
+  // Section 6: T_comm[C1,1-D] ~ (-.0055 + .00283 P)b + 1.1 P and
+  // T_comm[C2,1-D] ~ (-.0123 + .00457 P)b + 1.9 P.  The testbed presets
+  // are calibrated to land near these; allow 15%.
+  const Eq1Fit& c1 = testbed_calibration().db.comm_fit(0, Topology::OneD);
+  EXPECT_NEAR(c1.c2, 1.1, 0.17);
+  EXPECT_NEAR(c1.c4, 0.00283, 0.0004);
+  const Eq1Fit& c2 = testbed_calibration().db.comm_fit(1, Topology::OneD);
+  EXPECT_NEAR(c2.c2, 1.9, 0.29);
+  EXPECT_NEAR(c2.c4, 0.00457, 0.0007);
+}
+
+TEST_F(CalibrationTest, SlowerClusterCommunicatesSlower) {
+  // "Communication is faster on a cluster of Sun4's than Sun3's."
+  const CostModelDb& db = testbed_calibration().db;
+  for (double p : {2.0, 4.0, 6.0}) {
+    EXPECT_LT(db.comm_ms(0, Topology::OneD, 2400, p),
+              db.comm_ms(1, Topology::OneD, 2400, p));
+  }
+}
+
+TEST_F(CalibrationTest, RouterFitNearConfiguredDelay) {
+  const LineFit fit = benchmark_router(presets::paper_testbed(), 0, 1,
+                                       CalibrationParams{});
+  EXPECT_NEAR(fit.slope, 0.0006, 0.0002);  // paper: .0006 ms/byte
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST_F(CalibrationTest, CoercionZeroForSameFormatLinearOtherwise) {
+  const LineFit same = benchmark_coercion(presets::paper_testbed(), 0, 1,
+                                          CalibrationParams{});
+  EXPECT_DOUBLE_EQ(same.slope, 0.0);
+  const Network mixed = presets::coercion_testbed();
+  const LineFit cross = benchmark_coercion(mixed, 0, 1,
+                                           CalibrationParams{});
+  EXPECT_NEAR(cross.slope,
+              mixed.cluster(1).type().coerce_per_byte.as_millis(), 1e-9);
+}
+
+TEST_F(CalibrationTest, SamplesCoverTheGrid) {
+  const CalibrationResult& cal = testbed_calibration();
+  // 2 clusters x 2 topologies x p in 2..6 x 6 sizes.
+  EXPECT_EQ(cal.samples.size(), 2u * 2u * 5u * 6u);
+  for (const CommSample& s : cal.samples) {
+    EXPECT_GT(s.cost_ms, 0.0);
+  }
+}
+
+TEST_F(CalibrationTest, TwoProcessorClusterGetsReducedFit) {
+  NetworkBuilder b;
+  b.add_cluster("pair", presets::sparc2(), 2);
+  b.add_cluster("many", presets::sun_ipc(), 4);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(b.build(), params);
+  const Eq1Fit& fit = cal.db.comm_fit(0, Topology::OneD);
+  EXPECT_EQ(fit.c2, 0.0);  // p terms unidentifiable from a single p
+  EXPECT_EQ(fit.c4, 0.0);
+  EXPECT_GT(fit.c3, 0.0);  // but the byte slope is real
+  EXPECT_GT(cal.db.comm_ms(0, Topology::OneD, 2400, 2), 0.0);
+}
+
+TEST_F(CalibrationTest, SingletonClusterSkipped) {
+  NetworkBuilder b;
+  b.add_cluster("solo", presets::sparc2(), 1);
+  b.add_cluster("many", presets::sun_ipc(), 3);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(b.build(), params);
+  EXPECT_FALSE(cal.db.has_comm(0, Topology::OneD));
+  EXPECT_TRUE(cal.db.has_comm(1, Topology::OneD));
+}
+
+TEST(CostModelDbTest, AbsoluteValueFixup) {
+  // The paper: "for P2 = 2, T_comm ... may take on negative values; the
+  // absolute value ... is a very good approximation".
+  CostModelDb db(1);
+  Eq1Fit fit;
+  fit.c1 = 0.0;
+  fit.c2 = 1.9;
+  fit.c3 = -0.0123;
+  fit.c4 = 0.00457;
+  db.set_comm(0, Topology::OneD, fit);
+  // At P2 = 2 and the paper's largest message the fit dips negative.
+  const double raw = fit.evaluate(4800.0, 2.0);
+  EXPECT_LT(raw, 0.0);
+  EXPECT_DOUBLE_EQ(db.comm_ms(0, Topology::OneD, 4800.0, 2.0), -raw);
+}
+
+TEST(CostModelDbTest, SingleProcessorCostsNothing) {
+  CostModelDb db(1);
+  db.set_comm(0, Topology::OneD, Eq1Fit{1.0, 1.0, 0.001, 0.001, 1.0});
+  EXPECT_DOUBLE_EQ(db.comm_ms(0, Topology::OneD, 5000, 1.0), 0.0);
+}
+
+TEST(CostModelDbTest, MissingFitsThrow) {
+  CostModelDb db(2);
+  EXPECT_THROW(db.comm_fit(0, Topology::OneD), InvalidArgument);
+  EXPECT_THROW(db.comm_ms(0, Topology::OneD, 100, 4), InvalidArgument);
+  EXPECT_THROW(db.router_ms(0, 1, 100), InvalidArgument);
+  EXPECT_DOUBLE_EQ(db.router_ms(0, 0, 100), 0.0);  // same cluster: no hop
+  EXPECT_DOUBLE_EQ(db.coerce_ms(0, 1, 100), 0.0);  // absent fit: no cost
+}
+
+TEST(CostModelDbTest, PairSlotsAreSymmetric) {
+  CostModelDb db(3);
+  LineFit fit;
+  fit.slope = 0.001;
+  db.set_router(2, 1, fit);
+  EXPECT_DOUBLE_EQ(db.router_ms(1, 2, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(db.router_ms(2, 1, 1000), 1.0);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,120 @@
+// Tests for the data parallel model: phase annotations, dominant-phase
+// selection, and the partition vector.
+#include <gtest/gtest.h>
+
+#include "dp/partition_vector.hpp"
+#include "dp/phases.hpp"
+#include "util/error.hpp"
+
+namespace netpart {
+namespace {
+
+ComputationPhaseSpec comp_phase(std::string name, std::int64_t pdus,
+                                double ops) {
+  ComputationPhaseSpec p;
+  p.name = std::move(name);
+  p.num_pdus = [pdus] { return pdus; };
+  p.ops_per_pdu = [ops] { return ops; };
+  return p;
+}
+
+CommunicationPhaseSpec comm_phase(std::string name, Topology t,
+                                  std::int64_t bytes,
+                                  std::string overlap = "") {
+  CommunicationPhaseSpec p;
+  p.name = std::move(name);
+  p.topology = [t] { return t; };
+  p.bytes_per_message = [bytes](std::int64_t) { return bytes; };
+  p.overlap_with = std::move(overlap);
+  return p;
+}
+
+TEST(ComputationSpecTest, DominantPhasesByComplexity) {
+  const ComputationSpec spec(
+      "multi",
+      {comp_phase("small", 100, 10.0), comp_phase("big", 100, 500.0)},
+      {comm_phase("tiny", Topology::Ring, 8),
+       comm_phase("bulk", Topology::OneD, 4096)},
+      5);
+  EXPECT_EQ(spec.dominant_computation().name, "big");
+  EXPECT_EQ(spec.dominant_communication().name, "bulk");
+  EXPECT_EQ(spec.num_pdus(), 100);
+  EXPECT_FALSE(spec.dominant_phases_overlap());
+}
+
+TEST(ComputationSpecTest, OverlapOnlyWhenDominantPairMatches) {
+  // The bulk communication overlaps the *small* compute phase; the
+  // dominant pair does not overlap, so T_overlap must not apply.
+  const ComputationSpec spec(
+      "partial-overlap",
+      {comp_phase("small", 100, 10.0), comp_phase("big", 100, 500.0)},
+      {comm_phase("bulk", Topology::OneD, 4096, "small")}, 5);
+  EXPECT_FALSE(spec.dominant_phases_overlap());
+
+  const ComputationSpec overlapped(
+      "full-overlap", {comp_phase("big", 100, 500.0)},
+      {comm_phase("bulk", Topology::OneD, 4096, "big")}, 5);
+  EXPECT_TRUE(overlapped.dominant_phases_overlap());
+}
+
+TEST(ComputationSpecTest, ValidatesStructure) {
+  // No computation phase.
+  EXPECT_THROW(ComputationSpec("x", {}, {}, 1), InvalidArgument);
+  // Duplicate names.
+  EXPECT_THROW(
+      ComputationSpec("x",
+                      {comp_phase("a", 10, 1.0), comp_phase("a", 10, 1.0)},
+                      {}, 1),
+      InvalidArgument);
+  // Overlap referencing an unknown phase.
+  EXPECT_THROW(
+      ComputationSpec("x", {comp_phase("a", 10, 1.0)},
+                      {comm_phase("c", Topology::OneD, 8, "ghost")}, 1),
+      InvalidArgument);
+  // Disagreeing PDU domains.
+  EXPECT_THROW(
+      ComputationSpec("x",
+                      {comp_phase("a", 10, 1.0), comp_phase("b", 20, 1.0)},
+                      {}, 1),
+      InvalidArgument);
+  // Bad iteration count.
+  EXPECT_THROW(ComputationSpec("x", {comp_phase("a", 10, 1.0)}, {}, 0),
+               InvalidArgument);
+  // Missing callbacks.
+  ComputationPhaseSpec broken;
+  broken.name = "broken";
+  EXPECT_THROW(ComputationSpec("x", {broken}, {}, 1), InvalidArgument);
+}
+
+TEST(ComputationSpecTest, CallbacksMayDependOnAssignment) {
+  CommunicationPhaseSpec p = comm_phase("col", Topology::OneD, 0);
+  p.bytes_per_message = [](std::int64_t a_i) { return 8 * a_i; };
+  const ComputationSpec spec("x", {comp_phase("a", 100, 1.0)}, {p}, 1);
+  EXPECT_EQ(spec.dominant_communication().bytes_per_message(25), 200);
+}
+
+TEST(PartitionVectorTest, TotalsAndRanges) {
+  const PartitionVector pv({5, 3, 2});
+  EXPECT_EQ(pv.num_ranks(), 3);
+  EXPECT_EQ(pv.total(), 10);
+  EXPECT_EQ(pv.at(1), 3);
+  const auto ranges = pv.block_ranges();
+  EXPECT_EQ(ranges[0], (std::pair<std::int64_t, std::int64_t>{0, 5}));
+  EXPECT_EQ(ranges[1], (std::pair<std::int64_t, std::int64_t>{5, 8}));
+  EXPECT_EQ(ranges[2], (std::pair<std::int64_t, std::int64_t>{8, 10}));
+  EXPECT_EQ(pv.to_string(), "5 3 2");
+}
+
+TEST(PartitionVectorTest, Validation) {
+  const PartitionVector pv({5, 3, 2});
+  EXPECT_NO_THROW(pv.validate(10));
+  EXPECT_THROW(pv.validate(11), InvalidArgument);
+  const PartitionVector with_zero({5, 0, 5});
+  EXPECT_THROW(with_zero.validate(10), InvalidArgument);
+  EXPECT_THROW(PartitionVector({-1, 2}), InvalidArgument);
+  EXPECT_THROW(PartitionVector({}), InvalidArgument);
+  EXPECT_THROW(pv.at(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace netpart

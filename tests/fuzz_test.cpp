@@ -1,0 +1,104 @@
+// Randomised end-to-end property tests ("fuzz-lite"): random traffic
+// patterns through MMPS and random partition requests through the full
+// pipeline must uphold the library invariants for every seed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/partitioner.hpp"
+#include "mmps/system.hpp"
+#include "net/presets.hpp"
+
+namespace netpart {
+namespace {
+
+class RandomTraffic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTraffic, MmpsDeliversEverythingInOrder) {
+  const Network net = presets::paper_testbed();
+  sim::Engine engine;
+  sim::NetSimParams params;
+  params.loss_rate = 0.15;
+  params.rto = SimTime::millis(3);
+  sim::NetSim netsim(engine, net, params, Rng(GetParam()));
+  mmps::System mmps(netsim);
+  Rng rng = Rng(GetParam()).stream(1);
+
+  struct Key {
+    ProcessorRef src;
+    ProcessorRef dst;
+    std::int32_t tag;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, int> sent_count;
+  std::map<Key, int> next_expected;  // sequence encoded in payload size
+  int delivered = 0;
+  int total = 0;
+
+  const auto random_ref = [&] {
+    const auto c = static_cast<ClusterId>(rng.next_int(0, 1));
+    const auto i = static_cast<ProcessorIndex>(rng.next_int(0, 5));
+    return ProcessorRef{c, i};
+  };
+
+  for (int round = 0; round < 120; ++round) {
+    const ProcessorRef src = random_ref();
+    ProcessorRef dst = random_ref();
+    if (src == dst) dst.index = (dst.index + 1) % 6;
+    const auto tag = static_cast<std::int32_t>(rng.next_int(0, 3));
+    const Key key{src, dst, tag};
+    const int seq = sent_count[key]++;
+    ++total;
+    // Payload size encodes the per-key sequence number.
+    mmps.send(src, dst, tag,
+              std::vector<std::byte>(static_cast<std::size_t>(seq + 1)));
+    mmps.recv(dst, src, tag, [&, key](mmps::Message msg) {
+      // Per-key FIFO: sizes arrive in send order.
+      EXPECT_EQ(msg.payload.size(),
+                static_cast<std::size_t>(next_expected[key] + 1));
+      ++next_expected[key];
+      ++delivered;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(mmps.unclaimed(), 0u);
+}
+
+TEST_P(RandomTraffic, PipelineInvariantsOnRandomNetworks) {
+  Rng rng(GetParam() * 7919);
+  const Network net = presets::random_network(
+      rng, 2 + static_cast<int>(GetParam() % 4), 6);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  Rng size_rng = rng.stream(3);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = static_cast<int>(size_rng.next_int(snap.total(), 4000));
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    CycleEstimator est(net, cal.db, spec);
+    const PartitionResult r = partition(est, snap);
+    // Invariants: capacity respected, domain covered, positive estimate,
+    // placement consistent with the configuration.
+    for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+      ASSERT_LE(r.config[static_cast<std::size_t>(c)],
+                snap.available[static_cast<std::size_t>(c)]);
+    }
+    ASSERT_EQ(r.estimate.partition.total(), n);
+    ASSERT_GT(r.estimate.t_c_ms, 0.0);
+    ASSERT_EQ(static_cast<int>(r.placement.size()),
+              config_total(r.config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraffic,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace netpart

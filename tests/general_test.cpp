@@ -1,0 +1,122 @@
+// Tests for the general (multi-start local search) partitioner.
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/general.hpp"
+#include "net/presets.hpp"
+
+namespace netpart {
+namespace {
+
+struct Fixture {
+  Network net;
+  CalibrationResult cal;
+  AvailabilitySnapshot snap;
+
+  explicit Fixture(Network n)
+      : net(std::move(n)),
+        cal([&] {
+          CalibrationParams params;
+          params.topologies = {Topology::OneD};
+          return calibrate(net, params);
+        }()),
+        snap(gather_availability(net,
+                                 make_managers(net, AvailabilityPolicy{}))) {
+  }
+};
+
+ComputationSpec stencil(int n) {
+  return apps::make_stencil_spec(
+      apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+}
+
+TEST(GeneralPartitionerTest, NeverWorseThanLocalityHeuristic) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    Fixture f(presets::random_network(rng, 4, 6));
+    const ComputationSpec spec = stencil(900);
+    CycleEstimator est(f.net, f.cal.db, spec);
+    const PartitionResult heur = partition(est, f.snap);
+    const PartitionResult gen = general_partition(est, f.snap);
+    EXPECT_LE(gen.estimate.t_c_ms, heur.estimate.t_c_ms + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(GeneralPartitionerTest, MatchesExhaustiveOnSmallNetworks) {
+  int matched = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    Fixture f(presets::random_network(rng, 3, 5));
+    const ComputationSpec spec = stencil(1200);
+    CycleEstimator est(f.net, f.cal.db, spec);
+    const PartitionResult gen = general_partition(est, f.snap);
+    const PartitionResult exh = exhaustive_partition(est, f.snap);
+    EXPECT_GE(gen.estimate.t_c_ms, exh.estimate.t_c_ms - 1e-9);
+    if (gen.estimate.t_c_ms <= exh.estimate.t_c_ms * 1.001) ++matched;
+  }
+  // Local search with diverse starts should find the optimum nearly
+  // always on these small instances.
+  EXPECT_GE(matched, 7);
+}
+
+TEST(GeneralPartitionerTest, PolynomialCostOnLargeNetworks) {
+  // On a 6-cluster network the exhaustive space has prod(N_i + 1)
+  // configurations (tens of thousands); the multi-start search stays in
+  // the hundreds.  (On tiny spaces exhaustive is cheaper -- the general
+  // search exists for the spaces where it is not.)
+  Rng rng(11);
+  Fixture f(presets::random_network(rng, 6, 8));
+  const ComputationSpec spec = stencil(2400);
+  CycleEstimator est(f.net, f.cal.db, spec);
+  std::uint64_t space = 1;
+  for (int n : f.snap.available) {
+    space *= static_cast<std::uint64_t>(n + 1);
+  }
+  ASSERT_GT(space, 10000u);
+  const PartitionResult gen = general_partition(est, f.snap);
+  EXPECT_LT(gen.evaluations, space / 10);
+  EXPECT_LT(gen.evaluations, 2000u);
+}
+
+TEST(GeneralPartitionerTest, AgreesWithHeuristicOnPaperTestbed) {
+  Fixture f(presets::paper_testbed());
+  for (const int n : {60, 300, 1200}) {
+    const ComputationSpec spec = stencil(n);
+    CycleEstimator est(f.net, f.cal.db, spec);
+    const PartitionResult gen = general_partition(est, f.snap);
+    const PartitionResult exh = exhaustive_partition(est, f.snap);
+    EXPECT_NEAR(gen.estimate.t_c_ms, exh.estimate.t_c_ms,
+                1e-9 + 0.001 * exh.estimate.t_c_ms)
+        << "N=" << n;
+  }
+}
+
+TEST(GeneralPartitionerTest, DeterministicForFixedSeed) {
+  Fixture f(presets::fig1_network());
+  const ComputationSpec spec = stencil(600);
+  CycleEstimator est(f.net, f.cal.db, spec);
+  GeneralPartitionOptions options;
+  options.seed = 42;
+  const PartitionResult a = general_partition(est, f.snap, options);
+  const PartitionResult b = general_partition(est, f.snap, options);
+  EXPECT_EQ(a.config, b.config);
+}
+
+TEST(GeneralPartitionerTest, RespectsAvailability) {
+  Fixture f(presets::paper_testbed());
+  const ComputationSpec spec = stencil(1200);
+  CycleEstimator est(f.net, f.cal.db, spec);
+  AvailabilitySnapshot snap;
+  snap.available = {3, 2};
+  const PartitionResult r = general_partition(est, snap);
+  EXPECT_LE(r.config[0], 3);
+  EXPECT_LE(r.config[1], 2);
+  AvailabilitySnapshot none;
+  none.available = {0, 0};
+  EXPECT_THROW(general_partition(est, none), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace netpart

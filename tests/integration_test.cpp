@@ -1,0 +1,161 @@
+// Cross-module integration tests: the full calibrate -> annotate ->
+// partition -> execute pipeline, on several networks, with the paper's
+// headline property checked end to end -- the predicted configuration's
+// measured time is (near-)minimal among the alternatives.
+#include <gtest/gtest.h>
+
+#include "apps/gauss.hpp"
+#include "apps/particles.hpp"
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/decompose.hpp"
+#include "core/partitioner.hpp"
+#include "exec/executor.hpp"
+#include "net/presets.hpp"
+
+namespace netpart {
+namespace {
+
+struct Pipeline {
+  Network net;
+  CalibrationResult cal;
+  AvailabilitySnapshot snap;
+
+  explicit Pipeline(Network network,
+                    std::vector<Topology> topologies = {Topology::OneD})
+      : net(std::move(network)),
+        cal([&] {
+          CalibrationParams params;
+          params.topologies = std::move(topologies);
+          return calibrate(net, params);
+        }()),
+        snap(gather_availability(net,
+                                 make_managers(net, AvailabilityPolicy{}))) {
+  }
+};
+
+double measure(const Pipeline& pl, const ComputationSpec& spec,
+               const ProcessorConfig& config) {
+  const Placement placement = contiguous_placement(pl.net, config);
+  const PartitionVector part = balanced_partition(
+      pl.net, config, clusters_by_speed(pl.net), spec.num_pdus());
+  return execute(pl.net, spec, placement, part, {}).elapsed.as_millis();
+}
+
+TEST(IntegrationTest, PredictionIsNearMeasuredMinimumOnTestbed) {
+  Pipeline pl(presets::paper_testbed());
+  for (const bool overlap : {false, true}) {
+    for (const std::int64_t n : {60, 300, 600, 1200}) {
+      const ComputationSpec spec = apps::make_stencil_spec(
+          apps::StencilConfig{.n = static_cast<int>(n),
+                              .iterations = 10,
+                              .overlap = overlap});
+      CycleEstimator est(pl.net, pl.cal.db, spec);
+      const PartitionResult predicted = partition(est, pl.snap);
+      const double t_predicted = measure(pl, spec, predicted.config);
+
+      // Sweep all configurations along the fill order.
+      double best = t_predicted;
+      for (int p = 1; p <= 12; ++p) {
+        const ProcessorConfig config{std::min(p, 6), std::max(0, p - 6)};
+        best = std::min(best, measure(pl, spec, config));
+      }
+      // The paper's claim, with a 12% tolerance for the knife-edge ties
+      // its own tables exhibit (see EXPERIMENTS.md).
+      EXPECT_LE(t_predicted, 1.12 * best)
+          << "overlap=" << overlap << " N=" << n;
+    }
+  }
+}
+
+TEST(IntegrationTest, PipelineWorksOnThreeClusterNetwork) {
+  Pipeline pl(presets::fig1_network());
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(pl.net, pl.cal.db, spec);
+  const PartitionResult r = partition(est, pl.snap);
+  EXPECT_GT(config_total(r.config), 0);
+  // rs6000 is the fastest cluster: it must be used first and fully
+  // whenever any other cluster is used.
+  if (r.config[0] > 0 || r.config[1] > 0) {
+    EXPECT_EQ(r.config[2], pl.net.cluster(2).size());
+  }
+  const double measured = measure(pl, spec, r.config);
+  EXPECT_GT(measured, 0.0);
+}
+
+TEST(IntegrationTest, PipelineWorksWithCoercion) {
+  Pipeline pl(presets::coercion_testbed());
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 900, .iterations = 10, .overlap = false});
+  CycleEstimator est(pl.net, pl.cal.db, spec);
+  const PartitionResult r = partition(est, pl.snap);
+  const ExecutionResult run =
+      execute(pl.net, spec, r.placement, r.estimate.partition, {});
+  EXPECT_GT(run.elapsed.as_millis(), 0.0);
+}
+
+TEST(IntegrationTest, AnnotationExecutorAgreesWithFunctionalRun) {
+  // The annotation-level executor and the real-data MMPS implementation
+  // must report the same simulated elapsed time: they model the same
+  // program on the same network.
+  const Network net = presets::paper_testbed();
+  for (const bool overlap : {false, true}) {
+    const apps::StencilConfig cfg{.n = 120, .iterations = 10,
+                                  .overlap = overlap};
+    const ComputationSpec spec = apps::make_stencil_spec(cfg);
+    const ProcessorConfig config{4, 2};
+    const Placement placement = contiguous_placement(net, config);
+    const PartitionVector part = balanced_partition(
+        net, config, clusters_by_speed(net), cfg.n);
+    const double annotated =
+        execute(net, spec, placement, part, {}).elapsed.as_millis();
+    const double functional =
+        apps::run_distributed_stencil(net, placement, part, cfg)
+            .elapsed.as_millis();
+    EXPECT_NEAR(annotated, functional, 0.12 * annotated)
+        << "overlap=" << overlap;
+  }
+}
+
+TEST(IntegrationTest, AvailabilityRestrictsThePartitioner) {
+  Network net = presets::paper_testbed();
+  // Load up four Sparc2s: only two remain available.
+  for (int i = 0; i < 4; ++i) {
+    net.cluster(0).processor(i).load = 0.9;
+  }
+  Pipeline pl(std::move(net));
+  EXPECT_EQ(pl.snap.available[0], 2);
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(pl.net, pl.cal.db, spec);
+  const PartitionResult r = partition(est, pl.snap);
+  EXPECT_LE(r.config[0], 2);
+  EXPECT_GT(r.config[1], 0) << "with Sparc2s scarce the IPCs must help";
+}
+
+TEST(IntegrationTest, GaussAndParticlesPartitionAndRun) {
+  Pipeline pl(presets::paper_testbed(),
+              {Topology::OneD, Topology::Broadcast});
+  {
+    const ComputationSpec spec =
+        apps::make_gauss_spec(apps::GaussConfig{.n = 96});
+    CycleEstimator est(pl.net, pl.cal.db, spec);
+    const PartitionResult r = partition(est, pl.snap);
+    const ExecutionResult run =
+        execute(pl.net, spec, r.placement, r.estimate.partition, {});
+    EXPECT_GT(run.elapsed.as_millis(), 0.0);
+  }
+  {
+    const ComputationSpec spec = apps::make_particle_spec(
+        apps::ParticleConfig{.count = 5000, .iterations = 10});
+    CycleEstimator est(pl.net, pl.cal.db, spec);
+    const PartitionResult r = partition(est, pl.snap);
+    const ExecutionResult run =
+        execute(pl.net, spec, r.placement, r.estimate.partition, {});
+    EXPECT_GT(run.elapsed.as_millis(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace netpart

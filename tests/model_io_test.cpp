@@ -1,0 +1,97 @@
+// Round-trip and error tests for cost-model persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "calib/calibrate.hpp"
+#include "calib/model_io.hpp"
+#include "net/presets.hpp"
+#include "util/error.hpp"
+
+namespace netpart {
+namespace {
+
+CostModelDb sample_db() {
+  CostModelDb db(3);
+  db.set_comm(0, Topology::OneD, Eq1Fit{-0.9, 1.1, -0.0055, 0.00283, 0.999});
+  db.set_comm(2, Topology::Broadcast, Eq1Fit{0.1, 0.5, 0.001, 0.0007, 1.0});
+  LineFit router;
+  router.slope = 0.0006;
+  router.intercept = -0.01;
+  router.r2 = 0.98;
+  db.set_router(0, 1, router);
+  LineFit coerce;
+  coerce.slope = 0.00035;
+  db.set_coerce(1, 2, coerce);
+  return db;
+}
+
+TEST(ModelIoTest, RoundTripIsExact) {
+  const CostModelDb original = sample_db();
+  const CostModelDb loaded = load_cost_model(save_cost_model(original));
+  EXPECT_EQ(loaded.num_clusters(), 3);
+  ASSERT_TRUE(loaded.has_comm(0, Topology::OneD));
+  ASSERT_TRUE(loaded.has_comm(2, Topology::Broadcast));
+  EXPECT_FALSE(loaded.has_comm(1, Topology::OneD));
+  const Eq1Fit& fit = loaded.comm_fit(0, Topology::OneD);
+  // Hex-float serialisation: bit-exact doubles.
+  EXPECT_EQ(fit.c1, -0.9);
+  EXPECT_EQ(fit.c2, 1.1);
+  EXPECT_EQ(fit.c3, -0.0055);
+  EXPECT_EQ(fit.c4, 0.00283);
+  EXPECT_EQ(loaded.router_fit(0, 1)->slope, 0.0006);
+  EXPECT_TRUE(loaded.has_coerce(1, 2));
+  EXPECT_FALSE(loaded.has_router(1, 2));
+}
+
+TEST(ModelIoTest, CalibratedTestbedRoundTrips) {
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal =
+      calibrate(presets::paper_testbed(), params);
+  const CostModelDb loaded = load_cost_model(save_cost_model(cal.db));
+  for (ClusterId c = 0; c < 2; ++c) {
+    EXPECT_EQ(loaded.comm_ms(c, Topology::OneD, 2400, 5),
+              cal.db.comm_ms(c, Topology::OneD, 2400, 5));
+  }
+  EXPECT_EQ(loaded.router_ms(0, 1, 2400), cal.db.router_ms(0, 1, 2400));
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "np_model_io_test.txt")
+          .string();
+  save_cost_model_file(sample_db(), path);
+  const CostModelDb loaded = load_cost_model_file(path);
+  EXPECT_TRUE(loaded.has_comm(0, Topology::OneD));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_cost_model_file(path), ConfigError);
+}
+
+TEST(ModelIoTest, CommentsAndBlankLinesIgnored) {
+  std::string text = save_cost_model(sample_db());
+  text = "# header comment\n\n" + text + "\n# trailing\n";
+  EXPECT_NO_THROW(load_cost_model(text));
+}
+
+TEST(ModelIoTest, MalformedInputsRejected) {
+  EXPECT_THROW(load_cost_model(""), ConfigError);
+  EXPECT_THROW(load_cost_model("wrong-magic 1\nclusters 1\n"), ConfigError);
+  EXPECT_THROW(load_cost_model("netpart-costmodel 99\nclusters 1\n"),
+               ConfigError);
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters 2\ncomm 0 1-D 1\n"),
+      ConfigError);
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters 2\nbogus 0 1\n"),
+      ConfigError);
+  // Semantically invalid: cluster out of range.
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters 1\n"
+                      "comm 5 1-D 0 0 0 0 1\n"),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,169 @@
+// Unit tests for the network model: structural assumptions, builder,
+// cluster managers, availability protocol, presets.
+#include <gtest/gtest.h>
+
+#include "net/availability.hpp"
+#include "net/builder.hpp"
+#include "net/presets.hpp"
+#include "util/error.hpp"
+
+namespace netpart {
+namespace {
+
+Network two_cluster() {
+  NetworkBuilder b;
+  b.add_cluster("fast", presets::sparc2(), 4);
+  b.add_cluster("slow", presets::sun_ipc(), 3);
+  return b.build();
+}
+
+TEST(NetworkTest, BuilderProducesValidStructure) {
+  const Network net = two_cluster();
+  EXPECT_EQ(net.num_clusters(), 2);
+  EXPECT_EQ(net.num_segments(), 2);
+  EXPECT_EQ(net.total_processors(), 7);
+  EXPECT_EQ(net.routers().size(), 1u);
+  EXPECT_EQ(net.cluster(0).name(), "fast");
+  EXPECT_EQ(net.cluster_by_name("slow").size(), 3);
+  EXPECT_THROW(net.cluster_by_name("nope"), InvalidArgument);
+}
+
+TEST(NetworkTest, RouterPerPairOfSegments) {
+  NetworkBuilder b;
+  b.add_cluster("a", presets::sparc2(), 2);
+  b.add_cluster("b", presets::sun_ipc(), 2);
+  b.add_cluster("c", presets::hp9000(), 2);
+  const Network net = b.build();
+  EXPECT_EQ(net.routers().size(), 3u);  // 3 choose 2
+  EXPECT_TRUE(net.router_between(0, 2).has_value());
+  EXPECT_FALSE(net.router_between(1, 1).has_value());
+}
+
+TEST(NetworkTest, AssumptionViolationsRejected) {
+  // Assumption 1: equal bandwidth.
+  {
+    std::vector<Cluster> clusters;
+    clusters.emplace_back(0, "a", presets::sparc2(), 0, 2);
+    clusters.emplace_back(1, "b", presets::sparc2(), 1, 2);
+    std::vector<Segment> segments(2);
+    segments[0].id = 0;
+    segments[0].bandwidth_bps = 10e6;
+    segments[1].id = 1;
+    segments[1].bandwidth_bps = 100e6;  // FDDI next to ethernet
+    std::vector<RouterLink> routers{{0, 1, SimTime::nanos(600),
+                                     SimTime::micros(50)}};
+    EXPECT_THROW(Network(std::move(clusters), std::move(segments),
+                         std::move(routers)),
+                 InvalidArgument);
+  }
+  // Assumption 2: one cluster per segment.
+  {
+    std::vector<Cluster> clusters;
+    clusters.emplace_back(0, "a", presets::sparc2(), 0, 2);
+    clusters.emplace_back(1, "b", presets::sun_ipc(), 0, 2);  // same segment
+    std::vector<Segment> segments(2);
+    segments[0].id = 0;
+    segments[1].id = 1;
+    std::vector<RouterLink> routers{{0, 1, SimTime::nanos(600),
+                                     SimTime::micros(50)}};
+    EXPECT_THROW(Network(std::move(clusters), std::move(segments),
+                         std::move(routers)),
+                 InvalidArgument);
+  }
+  // Assumption 3: router per pair.
+  {
+    std::vector<Cluster> clusters;
+    clusters.emplace_back(0, "a", presets::sparc2(), 0, 2);
+    clusters.emplace_back(1, "b", presets::sun_ipc(), 1, 2);
+    std::vector<Segment> segments(2);
+    segments[0].id = 0;
+    segments[1].id = 1;
+    EXPECT_THROW(Network(std::move(clusters), std::move(segments), {}),
+                 InvalidArgument);
+  }
+}
+
+TEST(NetworkTest, CoercionOnlyAcrossFormats) {
+  const Network net = presets::coercion_testbed();
+  EXPECT_TRUE(net.needs_coercion(0, 1));
+  EXPECT_FALSE(net.needs_coercion(0, 0));
+  const Network same = presets::paper_testbed();
+  EXPECT_FALSE(same.needs_coercion(0, 1));
+}
+
+TEST(NetworkTest, DescribeMentionsEveryCluster) {
+  const std::string desc = presets::fig1_network().describe();
+  EXPECT_NE(desc.find("sun4"), std::string::npos);
+  EXPECT_NE(desc.find("hp"), std::string::npos);
+  EXPECT_NE(desc.find("rs6000"), std::string::npos);
+}
+
+TEST(ClusterTest, ValidatesArguments) {
+  EXPECT_THROW(Cluster(0, "x", presets::sparc2(), 0, 0), InvalidArgument);
+  ProcessorType broken = presets::sparc2();
+  broken.flop_time = SimTime::zero();
+  EXPECT_THROW(Cluster(0, "x", broken, 0, 2), InvalidArgument);
+  const Network net = two_cluster();
+  EXPECT_THROW(net.cluster(0).processor(99), InvalidArgument);
+}
+
+TEST(AvailabilityTest, ThresholdPolicyCounts) {
+  Network net = two_cluster();
+  net.cluster(0).processor(0).load = 0.5;   // busy
+  net.cluster(0).processor(1).load = 0.09;  // just under the threshold
+  net.cluster(0).processor(2).load = 0.10;  // at threshold -> unavailable
+  const auto managers = make_managers(net, AvailabilityPolicy{0.10});
+  const AvailabilitySnapshot snap = gather_availability(net, managers);
+  EXPECT_EQ(snap.available[0], 2);  // processors 1 and 3
+  EXPECT_EQ(snap.available[1], 3);
+  EXPECT_EQ(snap.total(), 5);
+
+  const auto indices = managers[0].available_indices(net);
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 1);
+  EXPECT_EQ(indices[1], 3);
+}
+
+TEST(AvailabilityTest, RandomLoadIsBoundedAndSeeded) {
+  Network a = two_cluster();
+  Network b = two_cluster();
+  Rng ra(21);
+  Rng rb(21);
+  apply_random_load(a, ra, 0.2);
+  apply_random_load(b, rb, 0.2);
+  for (ClusterId c = 0; c < a.num_clusters(); ++c) {
+    for (ProcessorIndex i = 0; i < a.cluster(c).size(); ++i) {
+      const double load = a.cluster(c).processor(i).load;
+      EXPECT_GE(load, 0.0);
+      EXPECT_LE(load, 1.0);
+      EXPECT_EQ(load, b.cluster(c).processor(i).load);
+    }
+  }
+}
+
+TEST(PresetsTest, PaperTestbedMatchesSection6) {
+  const Network net = presets::paper_testbed();
+  EXPECT_EQ(net.cluster(0).size(), 6);
+  EXPECT_EQ(net.cluster(1).size(), 6);
+  EXPECT_DOUBLE_EQ(net.cluster(0).type().flop_time.as_micros(), 0.3);
+  EXPECT_DOUBLE_EQ(net.cluster(1).type().flop_time.as_micros(), 0.6);
+  EXPECT_DOUBLE_EQ(net.segment(0).bandwidth_bps, 10e6);
+  // Router: the paper's 0.0006 ms/byte.
+  EXPECT_EQ(net.routers()[0].delay_per_byte.as_nanos(), 600);
+}
+
+TEST(PresetsTest, RandomNetworkIsValidAndSeeded) {
+  Rng r1(5);
+  Rng r2(5);
+  const Network a = presets::random_network(r1, 5, 8);
+  const Network b = presets::random_network(r2, 5, 8);
+  EXPECT_EQ(a.num_clusters(), 5);
+  for (ClusterId c = 0; c < a.num_clusters(); ++c) {
+    EXPECT_EQ(a.cluster(c).size(), b.cluster(c).size());
+    EXPECT_GE(a.cluster(c).size(), 2);
+    EXPECT_LE(a.cluster(c).size(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,217 @@
+// Property-based and parameterised sweeps over the core invariants:
+//
+//  * Eq. 3 partitions always cover the domain and track speed ratios.
+//  * T_c(p) along the heuristic fill order is unimodal (Fig. 3), so the
+//    binary search finds the same argmin a linear scan does.
+//  * The heuristic never beats the exhaustive optimum (sanity of both),
+//    and matches it on two-cluster networks.
+//  * Estimator monotonicity: more bytes or more iterations never reduce
+//    the estimate.
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/decompose.hpp"
+#include "core/partitioner.hpp"
+#include "exec/executor.hpp"
+#include "net/presets.hpp"
+
+namespace netpart {
+namespace {
+
+struct RandomNetCase {
+  std::uint64_t seed;
+  int clusters;
+};
+
+class RandomNetworkProperties
+    : public ::testing::TestWithParam<RandomNetCase> {
+ protected:
+  static CalibrationParams one_d_params() {
+    CalibrationParams params;
+    params.topologies = {Topology::OneD};
+    return params;
+  }
+};
+
+TEST_P(RandomNetworkProperties, BalancedPartitionInvariants) {
+  Rng rng(GetParam().seed);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 6);
+  const auto order = clusters_by_speed(net);
+  Rng config_rng = rng.stream(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
+    int total = 0;
+    for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+      config[static_cast<std::size_t>(c)] = static_cast<int>(
+          config_rng.next_int(0, net.cluster(c).size()));
+      total += config[static_cast<std::size_t>(c)];
+    }
+    if (total == 0) continue;
+    const std::int64_t pdus = config_rng.next_int(total, 5000);
+    const PartitionVector pv =
+        balanced_partition(net, config, order, pdus);
+    // Coverage and positivity.
+    ASSERT_EQ(pv.total(), pdus);
+    ASSERT_NO_THROW(pv.validate(pdus));
+    // Speed-proportionality: for any two ranks, work ratio tracks the
+    // inverse flop-time ratio within integer rounding.
+    int rank = 0;
+    std::vector<std::pair<double, std::int64_t>> entries;  // (speed, A)
+    for (ClusterId c : order) {
+      for (int i = 0; i < config[static_cast<std::size_t>(c)];
+           ++i, ++rank) {
+        entries.emplace_back(
+            1.0 / net.cluster(c).type().flop_time.as_seconds(),
+            pv.at(rank));
+      }
+    }
+    for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+      if (entries[i].first > entries[i + 1].first) {
+        EXPECT_GE(entries[i].second + 1, entries[i + 1].second);
+      }
+    }
+  }
+}
+
+TEST_P(RandomNetworkProperties, TcCurveUnimodalAndSearchesAgree) {
+  Rng rng(GetParam().seed);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 6);
+  const CalibrationResult cal = calibrate(net, one_d_params());
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+
+  for (const int n : {300, 2400}) {
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    CycleEstimator est(net, cal.db, spec);
+
+    PartitionOptions binary;
+    PartitionOptions linear;
+    linear.search = PartitionOptions::Search::Linear;
+    const PartitionResult rb = partition(est, snap, binary);
+    const PartitionResult rl = partition(est, snap, linear);
+    // Linear scan is the ground truth for the per-cluster argmin; binary
+    // search must agree whenever the curve is unimodal.  Verify both the
+    // agreement and (for the first cluster) the unimodality itself.
+    EXPECT_EQ(rb.config, rl.config) << "seed " << GetParam().seed;
+
+    const ClusterId first = est.cluster_order().front();
+    ProcessorConfig probe(static_cast<std::size_t>(net.num_clusters()), 0);
+    std::vector<double> curve;
+    for (int p = 1; p <= snap.available[static_cast<std::size_t>(first)];
+         ++p) {
+      probe[static_cast<std::size_t>(first)] = p;
+      curve.push_back(est.estimate(probe).t_c_ms);
+    }
+    // A unimodal valley has no interior local maximum.
+    int local_maxima = 0;
+    for (std::size_t i = 1; i + 1 < curve.size(); ++i) {
+      if (curve[i] > curve[i - 1] + 1e-9 && curve[i] > curve[i + 1] + 1e-9) {
+        ++local_maxima;
+      }
+    }
+    EXPECT_EQ(local_maxima, 0)
+        << "T_c(p) should fall then rise (Fig. 3), seed "
+        << GetParam().seed;
+  }
+}
+
+TEST_P(RandomNetworkProperties, HeuristicNeverBeatsExhaustive) {
+  Rng rng(GetParam().seed);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 5);
+  const CalibrationResult cal = calibrate(net, one_d_params());
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  const PartitionResult heur = partition(est, snap);
+  const PartitionResult exh = exhaustive_partition(est, snap);
+  EXPECT_GE(heur.estimate.t_c_ms, exh.estimate.t_c_ms - 1e-9);
+  EXPECT_LT(heur.evaluations, exh.evaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomNetworkProperties,
+    ::testing::Values(RandomNetCase{1, 2}, RandomNetCase{2, 2},
+                      RandomNetCase{3, 3}, RandomNetCase{4, 3},
+                      RandomNetCase{5, 4}, RandomNetCase{6, 4},
+                      RandomNetCase{7, 5}, RandomNetCase{8, 5}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_k" +
+             std::to_string(info.param.clusters);
+    });
+
+TEST_P(RandomNetworkProperties, PredictionNearMeasuredBestEndToEnd) {
+  // The paper's headline property, on networks it never saw: the
+  // predicted configuration's measured time is close to the best measured
+  // configuration along the heuristic's fill order.
+  Rng rng(GetParam().seed ^ 0xE2E);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 5);
+  const CalibrationResult cal = calibrate(net, one_d_params());
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1800, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  const PartitionResult predicted = partition(est, snap);
+
+  const auto measure = [&](const ProcessorConfig& config) {
+    const Placement placement =
+        contiguous_placement(net, config, est.cluster_order());
+    const PartitionVector part =
+        balanced_partition(net, config, est.cluster_order(), 1800);
+    return execute(net, spec, placement, part, {}).elapsed.as_millis();
+  };
+
+  const double t_predicted = measure(predicted.config);
+  // Sweep total processor counts along the fill order.
+  double best = t_predicted;
+  ProcessorConfig config(snap.available.size(), 0);
+  for (ClusterId c : est.cluster_order()) {
+    for (int i = 0; i < snap.available[static_cast<std::size_t>(c)]; ++i) {
+      ++config[static_cast<std::size_t>(c)];
+      best = std::min(best, measure(config));
+    }
+  }
+  EXPECT_LE(t_predicted, 1.25 * best) << "seed " << GetParam().seed;
+}
+
+TEST(EstimatorMonotonicity, MoreWorkNeverCheaper) {
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  double prev = 0.0;
+  for (const int n : {60, 120, 300, 600, 1200, 2400}) {
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    CycleEstimator est(net, cal.db, spec);
+    const double tc = est.estimate({6, 6}).t_c_ms;
+    EXPECT_GT(tc, prev) << "T_c must grow with problem size at fixed p";
+    prev = tc;
+  }
+}
+
+TEST(EstimatorMonotonicity, ElapsedScalesWithIterations) {
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const auto elapsed = [&](int iters) {
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = 600, .iterations = iters,
+                            .overlap = false});
+    CycleEstimator est(net, cal.db, spec);
+    return est.estimate({6, 0}).t_elapsed_ms;
+  };
+  EXPECT_NEAR(elapsed(20), 2.0 * elapsed(10), 1e-9);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,58 @@
+// End-to-end smoke test: calibrate the paper testbed, partition the stencil,
+// execute the chosen configuration, and check the pipeline holds together.
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/partitioner.hpp"
+#include "exec/executor.hpp"
+#include "net/presets.hpp"
+
+namespace netpart {
+namespace {
+
+TEST(Smoke, CalibratePartitionExecute) {
+  const Network net = presets::paper_testbed();
+  CalibrationParams cal;
+  cal.topologies = {Topology::OneD};
+  const CalibrationResult calibration = calibrate(net, cal);
+
+  const apps::StencilConfig cfg{.n = 300, .iterations = 10,
+                                .overlap = false};
+  const ComputationSpec spec = apps::make_stencil_spec(cfg);
+  CycleEstimator estimator(net, calibration.db, spec);
+
+  const auto managers = make_managers(net, AvailabilityPolicy{});
+  Network mutable_net = presets::paper_testbed();
+  const AvailabilitySnapshot snapshot =
+      gather_availability(net, managers);
+  ASSERT_EQ(snapshot.total(), 12);
+
+  const PartitionResult result = partition(estimator, snapshot);
+  EXPECT_GT(config_total(result.config), 0);
+  EXPECT_GT(result.estimate.t_c_ms, 0.0);
+
+  const ExecutionResult run = execute(net, spec, result.placement,
+                                      result.estimate.partition, {});
+  EXPECT_GT(run.elapsed.as_millis(), 0.0);
+}
+
+TEST(Smoke, DistributedStencilMatchesSequential) {
+  const Network net = presets::paper_testbed();
+  const apps::StencilConfig cfg{.n = 24, .iterations = 4, .overlap = true};
+  const ProcessorConfig config{2, 2};
+  const Placement placement = contiguous_placement(net, config);
+  const PartitionVector partition =
+      balanced_partition(net, config, clusters_by_speed(net), cfg.n);
+
+  const auto dist =
+      apps::run_distributed_stencil(net, placement, partition, cfg);
+  const auto seq = apps::run_sequential(cfg);
+  ASSERT_EQ(dist.grid.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_FLOAT_EQ(dist.grid[i], seq[i]) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace netpart

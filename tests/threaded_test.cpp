@@ -1,0 +1,131 @@
+// Tests for the real-threads SPMD backend.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "apps/stencil.hpp"
+#include "core/decompose.hpp"
+#include "exec/threaded.hpp"
+#include "net/presets.hpp"
+#include "util/error.hpp"
+
+namespace netpart {
+namespace {
+
+TEST(ThreadedCommTest, PointToPointRoundTrip) {
+  threaded::run_spmd(2, [](GlobalRank rank, threaded::Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 7, std::vector<std::byte>{std::byte{42}});
+      const threaded::Message reply = comm.recv(0, 1, 8);
+      ASSERT_EQ(reply.payload.size(), 1u);
+      EXPECT_EQ(std::to_integer<int>(reply.payload[0]), 43);
+    } else {
+      const threaded::Message msg = comm.recv(1, 0, 7);
+      EXPECT_EQ(msg.source, 0);
+      comm.send(1, 0, 8,
+                std::vector<std::byte>{
+                    std::byte{static_cast<unsigned char>(
+                        std::to_integer<int>(msg.payload[0]) + 1)}});
+    }
+  });
+}
+
+TEST(ThreadedCommTest, FifoPerKey) {
+  threaded::run_spmd(2, [](GlobalRank rank, threaded::Comm& comm) {
+    if (rank == 0) {
+      for (int i = 0; i < 50; ++i) {
+        comm.send(0, 1, 1, std::vector<std::byte>(
+                               static_cast<std::size_t>(i + 1)));
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(comm.recv(1, 0, 1).payload.size(),
+                  static_cast<std::size_t>(i + 1));
+      }
+    }
+  });
+}
+
+TEST(ThreadedCommTest, TagsDoNotCrossMatch) {
+  threaded::run_spmd(2, [](GlobalRank rank, threaded::Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 2, std::vector<std::byte>(20));
+      comm.send(0, 1, 1, std::vector<std::byte>(10));
+    } else {
+      // Receive in the opposite order of sending: matching is by tag.
+      EXPECT_EQ(comm.recv(1, 0, 1).payload.size(), 10u);
+      EXPECT_EQ(comm.recv(1, 0, 2).payload.size(), 20u);
+    }
+  });
+}
+
+TEST(ThreadedCommTest, BarrierSynchronises) {
+  constexpr int kRanks = 4;
+  std::atomic<int> phase_counter{0};
+  threaded::run_spmd(kRanks, [&](GlobalRank, threaded::Comm& comm) {
+    for (int round = 0; round < 10; ++round) {
+      ++phase_counter;
+      comm.barrier();
+      // Between barriers every rank must observe a full round's worth.
+      EXPECT_EQ(phase_counter.load() % kRanks, 0);
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(phase_counter.load(), 40);
+}
+
+TEST(ThreadedCommTest, BodyExceptionsPropagate) {
+  EXPECT_THROW(
+      threaded::run_spmd(2,
+                         [](GlobalRank rank, threaded::Comm&) {
+                           if (rank == 1) {
+                             throw InvalidArgument("boom");
+                           }
+                         }),
+      InvalidArgument);
+}
+
+TEST(ThreadedCommTest, EmulateComputeValidates) {
+  EXPECT_THROW(threaded::emulate_compute(100.0, 0.0), InvalidArgument);
+  threaded::emulate_compute(1000.0, 1.0);  // completes
+}
+
+TEST(ThreadedStencilTest, MatchesSequentialAcrossConfigs) {
+  const Network net = presets::paper_testbed();
+  const apps::StencilConfig cfg{.n = 48, .iterations = 6,
+                                .overlap = false};
+  const std::vector<float> expected = apps::run_sequential(cfg);
+  for (const ProcessorConfig& config :
+       {ProcessorConfig{1, 0}, ProcessorConfig{3, 0},
+        ProcessorConfig{4, 4}}) {
+    const Placement placement = contiguous_placement(net, config);
+    const PartitionVector part = balanced_partition(
+        net, config, clusters_by_speed(net), cfg.n);
+    const apps::ThreadedStencilResult result =
+        apps::run_threaded_stencil(net, placement, part, cfg);
+    EXPECT_EQ(result.grid, expected)
+        << config[0] << "," << config[1];
+    EXPECT_GE(result.wall_ms, 0.0);
+  }
+}
+
+TEST(ThreadedStencilTest, AgreesWithSimulatedPath) {
+  // Same partition, two entirely different runtimes (event simulator vs
+  // real threads): identical numerics.
+  const Network net = presets::paper_testbed();
+  const apps::StencilConfig cfg{.n = 36, .iterations = 8,
+                                .overlap = false};
+  const ProcessorConfig config{3, 2};
+  const Placement placement = contiguous_placement(net, config);
+  const PartitionVector part =
+      balanced_partition(net, config, clusters_by_speed(net), cfg.n);
+  const auto simulated =
+      apps::run_distributed_stencil(net, placement, part, cfg);
+  const auto threads =
+      apps::run_threaded_stencil(net, placement, part, cfg);
+  EXPECT_EQ(simulated.grid, threads.grid);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,99 @@
+// Tests for the message-lifecycle tracer.
+#include <gtest/gtest.h>
+
+#include "net/presets.hpp"
+#include "sim/netsim.hpp"
+#include "sim/trace.hpp"
+
+namespace netpart::sim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  Network net_ = presets::paper_testbed();
+  Engine engine_;
+};
+
+TEST_F(TraceTest, IntraClusterMessageLifecycle) {
+  NetSim sim(engine_, net_, NetSimParams{}, Rng(1));
+  TraceLog log;
+  sim.set_tracer(log.tracer());
+  sim.send(ProcessorRef{0, 0}, ProcessorRef{0, 1}, 1000, [] {});
+  engine_.run();
+
+  EXPECT_EQ(log.count(TraceEvent::Kind::SendInitiated), 1u);
+  EXPECT_EQ(log.count(TraceEvent::Kind::LegCompleted), 1u);
+  EXPECT_EQ(log.count(TraceEvent::Kind::FragmentLost), 0u);
+  EXPECT_EQ(log.count(TraceEvent::Kind::Delivered), 1u);
+  EXPECT_EQ(log.bytes_delivered(), 1000);
+}
+
+TEST_F(TraceTest, CrossClusterHasTwoLegs) {
+  NetSim sim(engine_, net_, NetSimParams{}, Rng(1));
+  TraceLog log;
+  sim.set_tracer(log.tracer());
+  sim.send(ProcessorRef{0, 0}, ProcessorRef{1, 0}, 2000, [] {});
+  engine_.run();
+  EXPECT_EQ(log.count(TraceEvent::Kind::LegCompleted), 2u);
+  EXPECT_EQ(log.count(TraceEvent::Kind::Delivered), 1u);
+}
+
+TEST_F(TraceTest, LossEventsAppearUnderLoss) {
+  NetSimParams params;
+  params.loss_rate = 0.4;
+  params.rto = SimTime::millis(2);
+  NetSim sim(engine_, net_, params, Rng(7));
+  TraceLog log;
+  sim.set_tracer(log.tracer());
+  for (int i = 0; i < 20; ++i) {
+    sim.send(ProcessorRef{0, 0}, ProcessorRef{0, 1}, 6000, [] {});
+  }
+  engine_.run();
+  EXPECT_EQ(log.count(TraceEvent::Kind::Delivered), 20u);
+  EXPECT_GT(log.count(TraceEvent::Kind::FragmentLost), 0u);
+  EXPECT_EQ(log.count(TraceEvent::Kind::FragmentLost),
+            sim.retransmissions());
+}
+
+TEST_F(TraceTest, MeanLatencyMatchesSingleMessage) {
+  NetSim sim(engine_, net_, NetSimParams{}, Rng(1));
+  TraceLog log;
+  sim.set_tracer(log.tracer());
+  SimTime delivered;
+  sim.send(ProcessorRef{0, 0}, ProcessorRef{0, 1}, 500,
+           [&] { delivered = engine_.now(); });
+  engine_.run();
+  // Latency = delivery - initiation-complete.
+  EXPECT_EQ(log.mean_latency(),
+            delivered - NetSimParams{}.send_initiation);
+}
+
+TEST_F(TraceTest, RenderAndTruncation) {
+  NetSim sim(engine_, net_, NetSimParams{}, Rng(1));
+  TraceLog log;
+  sim.set_tracer(log.tracer());
+  for (int i = 0; i < 10; ++i) {
+    sim.send(ProcessorRef{0, 0}, ProcessorRef{0, 1}, 100, [] {});
+  }
+  engine_.run();
+  const std::string all = log.render(1000);
+  EXPECT_NE(all.find("delivered"), std::string::npos);
+  const std::string truncated = log.render(3);
+  EXPECT_NE(truncated.find("more)"), std::string::npos);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST_F(TraceTest, NoTracerNoOverheadPath) {
+  // Smoke: tracer can be installed and removed.
+  NetSim sim(engine_, net_, NetSimParams{}, Rng(1));
+  TraceLog log;
+  sim.set_tracer(log.tracer());
+  sim.set_tracer(nullptr);
+  sim.send(ProcessorRef{0, 0}, ProcessorRef{0, 1}, 100, [] {});
+  engine_.run();
+  EXPECT_TRUE(log.events().empty());
+}
+
+}  // namespace
+}  // namespace netpart::sim

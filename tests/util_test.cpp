@@ -1,0 +1,333 @@
+// Unit tests for the util library: time, rng, statistics, least squares,
+// tables, csv, config, strings.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/least_squares.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace netpart {
+namespace {
+
+// ------------------------------------------------------------------ time
+
+TEST(SimTimeTest, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::millis(1).as_nanos(), 1000000);
+  EXPECT_EQ(SimTime::micros(1).as_nanos(), 1000);
+  EXPECT_EQ(SimTime::seconds(1).as_nanos(), 1000000000);
+  EXPECT_EQ(SimTime::zero().as_nanos(), 0);
+}
+
+TEST(SimTimeTest, ArithmeticAndComparison) {
+  const SimTime a = SimTime::millis(2);
+  const SimTime b = SimTime::millis(3);
+  EXPECT_EQ((a + b).as_millis(), 5.0);
+  EXPECT_EQ((b - a).as_millis(), 1.0);
+  EXPECT_EQ((a * 4).as_millis(), 8.0);
+  EXPECT_EQ((a * 2.5).as_millis(), 5.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::micros(2000));
+}
+
+TEST(SimTimeTest, FractionalRounding) {
+  EXPECT_EQ(SimTime::micros(0.0004).as_nanos(), 0);
+  EXPECT_EQ(SimTime::micros(0.0006).as_nanos(), 1);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, StreamsAreIndependent) {
+  Rng base(42);
+  Rng s1 = base.stream(1);
+  Rng s2 = base.stream(2);
+  // Different salts give different sequences.
+  bool any_different = false;
+  for (int i = 0; i < 16; ++i) {
+    if (s1.next_u64() != s2.next_u64()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, IntRespectsBoundsAndCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const std::int64_t v = rng.next_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++seen[static_cast<std::size_t>(v - 10)];
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 700);  // roughly uniform: expectation 1000
+  }
+}
+
+TEST(RngTest, BoolProbabilityRoughlyCorrect) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+  EXPECT_FALSE(Rng(1).next_bool(0.0));
+  EXPECT_TRUE(Rng(1).next_bool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(rng.next_gaussian(2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(rng.next_exponential(0.5));
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.05);
+  EXPECT_THROW(rng.next_exponential(0.0), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_gaussian(1.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+}
+
+TEST(StatsTest, RSquaredPerfectAndPoor) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+  const std::vector<double> flat = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_LE(r_squared(obs, flat), 0.0 + 1e-12);
+}
+
+// --------------------------------------------------------- least squares
+
+TEST(LeastSquaresTest, SolveLinearKnownSystem) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+  const auto x = solve_linear({2, 1, 1, 3}, {5, 10}, 2);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, SingularSystemThrows) {
+  EXPECT_THROW(solve_linear({1, 2, 2, 4}, {1, 2}, 2), LogicError);
+}
+
+TEST(LeastSquaresTest, Eq1RecoversPlantedConstants) {
+  std::vector<Sample2D> samples;
+  const double c1 = 0.4, c2 = 1.1, c3 = -0.005, c4 = 0.0028;
+  for (double p : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    for (double b : {240.0, 1200.0, 2400.0, 4800.0}) {
+      samples.push_back({p, b, c1 + c2 * p + b * (c3 + c4 * p)});
+    }
+  }
+  const Eq1Fit fit = fit_eq1(samples);
+  EXPECT_NEAR(fit.c1, c1, 1e-9);
+  EXPECT_NEAR(fit.c2, c2, 1e-9);
+  EXPECT_NEAR(fit.c3, c3, 1e-12);
+  EXPECT_NEAR(fit.c4, c4, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, Eq1RobustToNoise) {
+  Rng rng(5);
+  std::vector<Sample2D> samples;
+  for (double p : {2.0, 4.0, 6.0, 8.0}) {
+    for (double b : {100.0, 1000.0, 4000.0}) {
+      const double truth = 2.0 + 0.5 * p + b * (0.001 + 0.002 * p);
+      samples.push_back({p, b, truth * (1.0 + rng.next_gaussian(0.01))});
+    }
+  }
+  const Eq1Fit fit = fit_eq1(samples);
+  EXPECT_NEAR(fit.c2, 0.5, 0.2);
+  EXPECT_NEAR(fit.c4, 0.002, 2e-4);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LeastSquaresTest, LineFit) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {3, 5, 7, 9};  // y = 2x + 1
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_rule();
+  t.add_row({"333", "4"});
+  const std::string out = t.render("title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // includes the rule
+}
+
+TEST(TableTest, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+// ------------------------------------------------------------------- csv
+
+TEST(CsvTest, EscapesSpecials) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  w.write_row({"plain", "has,comma"});
+  w.write_row({"has\"quote", "multi\nline"});
+  EXPECT_EQ(os.str(),
+            "x,y\nplain,\"has,comma\"\n\"has\"\"quote\",\"multi\nline\"\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+// ---------------------------------------------------------------- config
+
+TEST(ConfigTest, ParsesArgsAndTypes) {
+  const Config cfg = Config::from_args({"n=300", "loss=0.1", "flag=true"});
+  EXPECT_EQ(cfg.get_int_or("n", 0), 300);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("loss", 0.0), 0.1);
+  EXPECT_TRUE(cfg.get_bool_or("flag", false));
+  EXPECT_EQ(cfg.get_int_or("missing", 7), 7);
+  EXPECT_THROW(Config::from_args({"no-equals"}), ConfigError);
+  EXPECT_THROW(cfg.get_int_or("loss", 0), ConfigError);
+}
+
+TEST(ConfigTest, ParsesFileFormat) {
+  const Config cfg = Config::from_string(
+      "# comment\nn = 60\nsizes = 60,300,600\n\nname = stencil # trailing\n");
+  EXPECT_EQ(cfg.get_int_or("n", 0), 60);
+  EXPECT_EQ(cfg.get_or("name", ""), "stencil");
+  const auto sizes = cfg.get_int_list_or("sizes", {});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[1], 300);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringUtilTest, SplitTrimPad) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(3.0);   // bucket 1
+  h.add(9.9);   // bucket 4
+  h.add(-5.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_THROW(h.bucket(5), InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##"), std::string::npos);
+  EXPECT_NE(out.find(" 2\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(ErrorTest, AssertMacroThrowsLogicError) {
+  EXPECT_THROW([] { NP_ASSERT(1 == 2); }(), LogicError);
+  EXPECT_NO_THROW([] { NP_ASSERT(1 == 1); }());
+}
+
+TEST(ErrorTest, RequireCarriesMessage) {
+  try {
+    NP_REQUIRE(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace netpart

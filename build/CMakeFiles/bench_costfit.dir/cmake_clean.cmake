@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costfit.dir/bench/bench_costfit.cpp.o"
+  "CMakeFiles/bench_costfit.dir/bench/bench_costfit.cpp.o.d"
+  "bench/bench_costfit"
+  "bench/bench_costfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

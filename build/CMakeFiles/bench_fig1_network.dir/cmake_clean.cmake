@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_network.dir/bench/bench_fig1_network.cpp.o"
+  "CMakeFiles/bench_fig1_network.dir/bench/bench_fig1_network.cpp.o.d"
+  "bench/bench_fig1_network"
+  "bench/bench_fig1_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tc_curve.dir/bench/bench_fig3_tc_curve.cpp.o"
+  "CMakeFiles/bench_fig3_tc_curve.dir/bench/bench_fig3_tc_curve.cpp.o.d"
+  "bench/bench_fig3_tc_curve"
+  "bench/bench_fig3_tc_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tc_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general.dir/bench/bench_general.cpp.o"
+  "CMakeFiles/bench_general.dir/bench/bench_general.cpp.o.d"
+  "bench/bench_general"
+  "bench/bench_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metasystem.dir/bench/bench_metasystem.cpp.o"
+  "CMakeFiles/bench_metasystem.dir/bench/bench_metasystem.cpp.o.d"
+  "bench/bench_metasystem"
+  "bench/bench_metasystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metasystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

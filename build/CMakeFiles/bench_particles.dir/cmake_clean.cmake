@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_particles.dir/bench/bench_particles.cpp.o"
+  "CMakeFiles/bench_particles.dir/bench/bench_particles.cpp.o.d"
+  "bench/bench_particles"
+  "bench/bench_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/np_bench_common.dir/bench/common.cpp.o.d"
+  "libnp_bench_common.a"
+  "libnp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

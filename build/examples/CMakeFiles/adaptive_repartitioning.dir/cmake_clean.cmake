@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_repartitioning.dir/adaptive_repartitioning.cpp.o"
+  "CMakeFiles/adaptive_repartitioning.dir/adaptive_repartitioning.cpp.o.d"
+  "adaptive_repartitioning"
+  "adaptive_repartitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_repartitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpart_cli.dir/netpart_cli.cpp.o"
+  "CMakeFiles/netpart_cli.dir/netpart_cli.cpp.o.d"
+  "netpart_cli"
+  "netpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_chain.dir/particle_chain.cpp.o"
+  "CMakeFiles/particle_chain.dir/particle_chain.cpp.o.d"
+  "particle_chain"
+  "particle_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

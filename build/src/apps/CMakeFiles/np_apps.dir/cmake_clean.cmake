@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_apps.dir/gauss.cpp.o"
+  "CMakeFiles/np_apps.dir/gauss.cpp.o.d"
+  "CMakeFiles/np_apps.dir/particles.cpp.o"
+  "CMakeFiles/np_apps.dir/particles.cpp.o.d"
+  "CMakeFiles/np_apps.dir/reduce.cpp.o"
+  "CMakeFiles/np_apps.dir/reduce.cpp.o.d"
+  "CMakeFiles/np_apps.dir/solver.cpp.o"
+  "CMakeFiles/np_apps.dir/solver.cpp.o.d"
+  "CMakeFiles/np_apps.dir/stencil.cpp.o"
+  "CMakeFiles/np_apps.dir/stencil.cpp.o.d"
+  "libnp_apps.a"
+  "libnp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

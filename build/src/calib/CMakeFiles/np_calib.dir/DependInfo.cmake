@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/calibrate.cpp" "src/calib/CMakeFiles/np_calib.dir/calibrate.cpp.o" "gcc" "src/calib/CMakeFiles/np_calib.dir/calibrate.cpp.o.d"
+  "/root/repo/src/calib/cost_model.cpp" "src/calib/CMakeFiles/np_calib.dir/cost_model.cpp.o" "gcc" "src/calib/CMakeFiles/np_calib.dir/cost_model.cpp.o.d"
+  "/root/repo/src/calib/model_io.cpp" "src/calib/CMakeFiles/np_calib.dir/model_io.cpp.o" "gcc" "src/calib/CMakeFiles/np_calib.dir/model_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_calib.dir/calibrate.cpp.o"
+  "CMakeFiles/np_calib.dir/calibrate.cpp.o.d"
+  "CMakeFiles/np_calib.dir/cost_model.cpp.o"
+  "CMakeFiles/np_calib.dir/cost_model.cpp.o.d"
+  "CMakeFiles/np_calib.dir/model_io.cpp.o"
+  "CMakeFiles/np_calib.dir/model_io.cpp.o.d"
+  "libnp_calib.a"
+  "libnp_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decompose.cpp" "src/core/CMakeFiles/np_core.dir/decompose.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/decompose.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/np_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/general.cpp" "src/core/CMakeFiles/np_core.dir/general.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/general.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/np_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/np_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

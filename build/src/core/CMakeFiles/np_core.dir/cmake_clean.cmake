@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_core.dir/decompose.cpp.o"
+  "CMakeFiles/np_core.dir/decompose.cpp.o.d"
+  "CMakeFiles/np_core.dir/estimator.cpp.o"
+  "CMakeFiles/np_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/np_core.dir/general.cpp.o"
+  "CMakeFiles/np_core.dir/general.cpp.o.d"
+  "CMakeFiles/np_core.dir/partitioner.cpp.o"
+  "CMakeFiles/np_core.dir/partitioner.cpp.o.d"
+  "libnp_core.a"
+  "libnp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/expr.cpp" "src/dp/CMakeFiles/np_dp.dir/expr.cpp.o" "gcc" "src/dp/CMakeFiles/np_dp.dir/expr.cpp.o.d"
+  "/root/repo/src/dp/partition_vector.cpp" "src/dp/CMakeFiles/np_dp.dir/partition_vector.cpp.o" "gcc" "src/dp/CMakeFiles/np_dp.dir/partition_vector.cpp.o.d"
+  "/root/repo/src/dp/phases.cpp" "src/dp/CMakeFiles/np_dp.dir/phases.cpp.o" "gcc" "src/dp/CMakeFiles/np_dp.dir/phases.cpp.o.d"
+  "/root/repo/src/dp/spec_parser.cpp" "src/dp/CMakeFiles/np_dp.dir/spec_parser.cpp.o" "gcc" "src/dp/CMakeFiles/np_dp.dir/spec_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_dp.dir/expr.cpp.o"
+  "CMakeFiles/np_dp.dir/expr.cpp.o.d"
+  "CMakeFiles/np_dp.dir/partition_vector.cpp.o"
+  "CMakeFiles/np_dp.dir/partition_vector.cpp.o.d"
+  "CMakeFiles/np_dp.dir/phases.cpp.o"
+  "CMakeFiles/np_dp.dir/phases.cpp.o.d"
+  "CMakeFiles/np_dp.dir/spec_parser.cpp.o"
+  "CMakeFiles/np_dp.dir/spec_parser.cpp.o.d"
+  "libnp_dp.a"
+  "libnp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/adaptive.cpp" "src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o" "gcc" "src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/exec/CMakeFiles/np_exec.dir/executor.cpp.o" "gcc" "src/exec/CMakeFiles/np_exec.dir/executor.cpp.o.d"
+  "/root/repo/src/exec/load.cpp" "src/exec/CMakeFiles/np_exec.dir/load.cpp.o" "gcc" "src/exec/CMakeFiles/np_exec.dir/load.cpp.o.d"
+  "/root/repo/src/exec/schedule.cpp" "src/exec/CMakeFiles/np_exec.dir/schedule.cpp.o" "gcc" "src/exec/CMakeFiles/np_exec.dir/schedule.cpp.o.d"
+  "/root/repo/src/exec/threaded.cpp" "src/exec/CMakeFiles/np_exec.dir/threaded.cpp.o" "gcc" "src/exec/CMakeFiles/np_exec.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_exec.dir/adaptive.cpp.o"
+  "CMakeFiles/np_exec.dir/adaptive.cpp.o.d"
+  "CMakeFiles/np_exec.dir/executor.cpp.o"
+  "CMakeFiles/np_exec.dir/executor.cpp.o.d"
+  "CMakeFiles/np_exec.dir/load.cpp.o"
+  "CMakeFiles/np_exec.dir/load.cpp.o.d"
+  "CMakeFiles/np_exec.dir/schedule.cpp.o"
+  "CMakeFiles/np_exec.dir/schedule.cpp.o.d"
+  "CMakeFiles/np_exec.dir/threaded.cpp.o"
+  "CMakeFiles/np_exec.dir/threaded.cpp.o.d"
+  "libnp_exec.a"
+  "libnp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_mmps.dir/manager_protocol.cpp.o"
+  "CMakeFiles/np_mmps.dir/manager_protocol.cpp.o.d"
+  "CMakeFiles/np_mmps.dir/system.cpp.o"
+  "CMakeFiles/np_mmps.dir/system.cpp.o.d"
+  "libnp_mmps.a"
+  "libnp_mmps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_mmps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_net.dir/availability.cpp.o"
+  "CMakeFiles/np_net.dir/availability.cpp.o.d"
+  "CMakeFiles/np_net.dir/builder.cpp.o"
+  "CMakeFiles/np_net.dir/builder.cpp.o.d"
+  "CMakeFiles/np_net.dir/cluster.cpp.o"
+  "CMakeFiles/np_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/np_net.dir/network.cpp.o"
+  "CMakeFiles/np_net.dir/network.cpp.o.d"
+  "CMakeFiles/np_net.dir/presets.cpp.o"
+  "CMakeFiles/np_net.dir/presets.cpp.o.d"
+  "libnp_net.a"
+  "libnp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

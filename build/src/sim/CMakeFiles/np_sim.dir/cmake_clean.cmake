@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_sim.dir/channel.cpp.o"
+  "CMakeFiles/np_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/np_sim.dir/engine.cpp.o"
+  "CMakeFiles/np_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/np_sim.dir/host.cpp.o"
+  "CMakeFiles/np_sim.dir/host.cpp.o.d"
+  "CMakeFiles/np_sim.dir/netsim.cpp.o"
+  "CMakeFiles/np_sim.dir/netsim.cpp.o.d"
+  "CMakeFiles/np_sim.dir/trace.cpp.o"
+  "CMakeFiles/np_sim.dir/trace.cpp.o.d"
+  "libnp_sim.a"
+  "libnp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

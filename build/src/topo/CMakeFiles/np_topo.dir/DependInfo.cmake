@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/comm_cycle.cpp" "src/topo/CMakeFiles/np_topo.dir/comm_cycle.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/comm_cycle.cpp.o.d"
+  "/root/repo/src/topo/placement.cpp" "src/topo/CMakeFiles/np_topo.dir/placement.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/placement.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/np_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_topo.dir/comm_cycle.cpp.o"
+  "CMakeFiles/np_topo.dir/comm_cycle.cpp.o.d"
+  "CMakeFiles/np_topo.dir/placement.cpp.o"
+  "CMakeFiles/np_topo.dir/placement.cpp.o.d"
+  "CMakeFiles/np_topo.dir/topology.cpp.o"
+  "CMakeFiles/np_topo.dir/topology.cpp.o.d"
+  "libnp_topo.a"
+  "libnp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_util.dir/config.cpp.o"
+  "CMakeFiles/np_util.dir/config.cpp.o.d"
+  "CMakeFiles/np_util.dir/csv.cpp.o"
+  "CMakeFiles/np_util.dir/csv.cpp.o.d"
+  "CMakeFiles/np_util.dir/histogram.cpp.o"
+  "CMakeFiles/np_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/np_util.dir/least_squares.cpp.o"
+  "CMakeFiles/np_util.dir/least_squares.cpp.o.d"
+  "CMakeFiles/np_util.dir/log.cpp.o"
+  "CMakeFiles/np_util.dir/log.cpp.o.d"
+  "CMakeFiles/np_util.dir/rng.cpp.o"
+  "CMakeFiles/np_util.dir/rng.cpp.o.d"
+  "CMakeFiles/np_util.dir/stats.cpp.o"
+  "CMakeFiles/np_util.dir/stats.cpp.o.d"
+  "CMakeFiles/np_util.dir/string_util.cpp.o"
+  "CMakeFiles/np_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/np_util.dir/table.cpp.o"
+  "CMakeFiles/np_util.dir/table.cpp.o.d"
+  "libnp_util.a"
+  "libnp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

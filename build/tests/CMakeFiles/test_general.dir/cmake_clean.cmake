@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_general.dir/general_test.cpp.o"
+  "CMakeFiles/test_general.dir/general_test.cpp.o.d"
+  "test_general"
+  "test_general.pdb"
+  "test_general[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

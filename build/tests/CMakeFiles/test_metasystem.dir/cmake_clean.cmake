@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metasystem.dir/metasystem_test.cpp.o"
+  "CMakeFiles/test_metasystem.dir/metasystem_test.cpp.o.d"
+  "test_metasystem"
+  "test_metasystem.pdb"
+  "test_metasystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metasystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmps.dir/mmps_test.cpp.o"
+  "CMakeFiles/test_mmps.dir/mmps_test.cpp.o.d"
+  "test_mmps"
+  "test_mmps.pdb"
+  "test_mmps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

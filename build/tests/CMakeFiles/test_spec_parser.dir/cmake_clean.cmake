@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_parser.dir/spec_parser_test.cpp.o"
+  "CMakeFiles/test_spec_parser.dir/spec_parser_test.cpp.o.d"
+  "test_spec_parser"
+  "test_spec_parser.pdb"
+  "test_spec_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

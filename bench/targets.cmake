@@ -37,3 +37,4 @@ np_add_bench(bench_mmps_latency bench/bench_mmps_latency.cpp)
 np_add_bench(bench_protocol bench/bench_protocol.cpp)
 np_add_bench(bench_breakdown bench/bench_breakdown.cpp)
 np_add_bench(bench_scaling bench/bench_scaling.cpp)
+np_add_bench(bench_faults bench/bench_faults.cpp)

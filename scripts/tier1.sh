@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/tier1.sh            # Release build in build/
+#   scripts/tier1.sh asan-ubsan # ASan+UBSan build in build-asan/
+#
+# Tests run in a random order (--schedule-random) so hidden inter-test
+# dependencies surface, and --repeat until-pass:1 keeps every test to a
+# single attempt -- a flaky test fails the tier instead of slipping through
+# on retry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-release}"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" \
+  --repeat until-pass:1 \
+  -j "$(nproc)"

@@ -5,11 +5,13 @@
 #include <cmath>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "exec/threaded.hpp"
 #include "mmps/coercion.hpp"
 #include "mmps/system.hpp"
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 
 namespace netpart::apps {
@@ -124,7 +126,8 @@ class StencilRunner {
   StencilRunner(const Network& network, const Placement& placement,
                 const PartitionVector& partition,
                 const StencilConfig& config,
-                const sim::NetSimParams& sim_params)
+                const sim::NetSimParams& sim_params,
+                const sim::FaultPlan* faults, SimTime fault_origin)
       : n_(config.n),
         iterations_(config.iterations),
         overlap_(config.overlap),
@@ -132,6 +135,9 @@ class StencilRunner {
         net_(engine_, network, sim_params, Rng(11)),
         mmps_(net_),
         flop_ms_(build_flop_ms(network, placement)) {
+    if (faults != nullptr && !faults->empty()) {
+      injector_.emplace(net_, *faults, fault_origin);
+    }
     partition.validate(config.n);
     const std::vector<float> init = make_initial_grid(n_);
     const auto ranges = partition.block_ranges();
@@ -155,12 +161,18 @@ class StencilRunner {
   }
 
   DistributedStencilResult run() {
+    if (injector_.has_value()) {
+      injector_->arm();
+    }
     for (RankState& rs : ranks_) {
       engine_.schedule_at(SimTime::zero(),
                           [this, &rs] { start_iteration(rs); });
     }
     engine_.run();
     NP_ASSERT(mmps_.unclaimed() == 0);
+    for (const RankState& rs : ranks_) {
+      NP_ASSERT(rs.iter == iterations_);
+    }
 
     DistributedStencilResult result;
     result.elapsed = finish_;
@@ -340,6 +352,7 @@ class StencilRunner {
   sim::Engine engine_;
   sim::NetSim net_;
   mmps::System mmps_;
+  std::optional<sim::FaultInjector> injector_;
   std::vector<double> flop_ms_;
   std::vector<RankState> ranks_;
   SimTime finish_;
@@ -350,9 +363,11 @@ class StencilRunner {
 DistributedStencilResult run_distributed_stencil(
     const Network& network, const Placement& placement,
     const PartitionVector& partition, const StencilConfig& config,
-    const sim::NetSimParams& sim_params) {
+    const sim::NetSimParams& sim_params, const sim::FaultPlan* faults,
+    SimTime fault_origin) {
   NP_REQUIRE(!placement.empty(), "placement must be non-empty");
-  StencilRunner runner(network, placement, partition, config, sim_params);
+  StencilRunner runner(network, placement, partition, config, sim_params,
+                       faults, fault_origin);
   return runner.run();
 }
 

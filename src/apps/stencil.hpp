@@ -22,6 +22,10 @@
 #include "sim/netsim.hpp"
 #include "topo/placement.hpp"
 
+namespace netpart::sim {
+struct FaultPlan;
+}  // namespace netpart::sim
+
 namespace netpart::apps {
 
 struct StencilConfig {
@@ -63,10 +67,19 @@ struct DistributedStencilResult {
 /// simulated network.  `partition` assigns rows to ranks (block
 /// decomposition, rank-major in placement order).  For STEN-2 the interior
 /// rows are computed while the borders are in flight.
+///
+/// `faults` (optional) injects a fault schedule into the run's simulator;
+/// plan times are absolute pipeline times and `fault_origin` is where this
+/// run sits on that clock.  Performance faults (slowdowns, flaps,
+/// degradations) delay the run but leave the numerics bit-identical to the
+/// sequential reference; crashing a placed host would stall the exchange,
+/// so plans here should confine crashes to before `fault_origin`.
 DistributedStencilResult run_distributed_stencil(
     const Network& network, const Placement& placement,
     const PartitionVector& partition, const StencilConfig& config,
-    const sim::NetSimParams& sim_params = {});
+    const sim::NetSimParams& sim_params = {},
+    const sim::FaultPlan* faults = nullptr,
+    SimTime fault_origin = SimTime::zero());
 
 struct ThreadedStencilResult {
   std::vector<float> grid;  ///< assembled final grid

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
+#include <string>
 
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -17,7 +20,7 @@ namespace {
 SimTime redistribute(const Network& network, const Placement& placement,
                      const PartitionVector& from, const PartitionVector& to,
                      std::int64_t pdu_bytes,
-                     const ExecutionOptions& exec_options) {
+                     const ExecutionOptions& exec_options, SimTime origin) {
   if (pdu_bytes <= 0) return SimTime::zero();
   struct Delta {
     int rank;
@@ -35,6 +38,13 @@ SimTime redistribute(const Network& network, const Placement& placement,
   sim::Engine engine;
   sim::NetSim net(engine, network, exec_options.sim_params,
                   Rng(exec_options.seed ^ 0x5EED));
+  // The PDUs travel over the same (possibly degraded) network: arm the
+  // fault plan at the pipeline time the redistribution starts.
+  std::optional<sim::FaultInjector> injector;
+  if (exec_options.faults != nullptr && !exec_options.faults->empty()) {
+    injector.emplace(net, *exec_options.faults, origin);
+    injector->arm();
+  }
   int outstanding = 0;
   while (!surplus.empty()) {
     Delta& s = surplus.front();
@@ -50,8 +60,17 @@ SimTime redistribute(const Network& network, const Placement& placement,
     if (s.count == 0) surplus.pop_front();
     if (d.count == 0) deficit.pop_front();
   }
-  engine.run();
-  NP_ASSERT(outstanding == 0);
+  // One event at a time: run() would also drain fault events scheduled
+  // past the last transfer's completion.
+  while (outstanding > 0 && !engine.idle() &&
+         engine.now() < exec_options.budget) {
+    engine.step();
+  }
+  if (outstanding != 0) {
+    throw ExecutionStalled("PDU redistribution could not complete (" +
+                           std::to_string(outstanding) +
+                           " transfers undelivered)");
+  }
   return engine.now();
 }
 
@@ -82,6 +101,7 @@ AdaptiveResult run_chunked(const Network& network,
     options.pdu_bytes = 0;  // the scatter happened before iteration 0
     options.seed = exec_options.seed + static_cast<std::uint64_t>(
                                            997 * chunk_index);
+    const SimTime chunk_start = options.load_time_origin;
     const ExecutionResult run =
         execute(network, chunk_spec, placement, current, options);
     result.elapsed += run.elapsed;
@@ -89,6 +109,14 @@ AdaptiveResult run_chunked(const Network& network,
     iterations_left -= chunk;
     ++chunk_index;
     if (!adapt || iterations_left == 0) continue;
+
+    // Fault notification: a plan event inside the chunk's window changed
+    // the effective network, so the imbalance gate is bypassed and the
+    // partition recomputed from what this chunk actually observed.
+    const bool disturbed =
+        exec_options.faults != nullptr &&
+        exec_options.faults->disturbs(chunk_start,
+                                      chunk_start + run.elapsed);
 
     // Observed per-PDU service times reveal the *effective* speeds.
     SimTime busy_min = SimTime::max();
@@ -101,17 +129,24 @@ AdaptiveResult run_chunked(const Network& network,
       rate[r] = static_cast<double>(current.at(static_cast<int>(r))) /
                 busy_ms;  // PDUs per ms of observed service
     }
-    if (busy_max.as_millis() <
-        adaptive_options.imbalance_threshold *
-            std::max(busy_min.as_millis(), 1e-9)) {
+    if (!disturbed &&
+        busy_max.as_millis() <
+            adaptive_options.imbalance_threshold *
+                std::max(busy_min.as_millis(), 1e-9)) {
       continue;  // balanced enough
     }
 
     PartitionVector next = proportional_partition(rate, current.total());
+    if (disturbed) {
+      ++result.fault_responses;
+      result.first_fault_response =
+          std::min(result.first_fault_response,
+                   exec_options.load_time_origin + result.elapsed);
+    }
     if (next.values() == current.values()) continue;
-    const SimTime moved =
-        redistribute(network, placement, current, next,
-                     adaptive_options.pdu_bytes, exec_options);
+    const SimTime moved = redistribute(
+        network, placement, current, next, adaptive_options.pdu_bytes,
+        exec_options, exec_options.load_time_origin + result.elapsed);
     result.elapsed += moved;
     result.redistribution_time += moved;
     ++result.repartitions;
@@ -135,6 +170,31 @@ AdaptiveResult execute_adaptive(const Network& network,
                                 const AdaptiveOptions& adaptive_options) {
   return run_chunked(network, spec, placement, initial, exec_options,
                      adaptive_options, /*adapt=*/true);
+}
+
+RecoveryReport evaluate_recovery(const PartitionVector& achieved,
+                                 std::span<const double> ms_per_pdu) {
+  NP_REQUIRE(static_cast<int>(ms_per_pdu.size()) == achieved.num_ranks(),
+             "need one per-PDU time per rank");
+  std::vector<double> rate(ms_per_pdu.size());
+  for (std::size_t r = 0; r < ms_per_pdu.size(); ++r) {
+    NP_REQUIRE(ms_per_pdu[r] > 0.0, "per-PDU times must be positive");
+    rate[r] = 1.0 / ms_per_pdu[r];
+  }
+  RecoveryReport report{0.0, 0.0, 1.0,
+                        proportional_partition(rate, achieved.total())};
+  const auto cycle_ms = [&ms_per_pdu](const PartitionVector& p) {
+    double worst = 0.0;
+    for (int r = 0; r < p.num_ranks(); ++r) {
+      worst = std::max(worst, static_cast<double>(p.at(r)) *
+                                  ms_per_pdu[static_cast<std::size_t>(r)]);
+    }
+    return worst;
+  };
+  report.achieved_ms = cycle_ms(achieved);
+  report.oracle_ms = cycle_ms(report.oracle);
+  report.ratio = report.achieved_ms / std::max(report.oracle_ms, 1e-12);
+  return report;
 }
 
 AdaptiveResult execute_static_chunked(

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "exec/executor.hpp"
 
@@ -36,7 +37,34 @@ struct AdaptiveResult {
   int repartitions = 0;            ///< how many times Eq. 3 was redone
   PartitionVector final_partition; ///< assignment after the last chunk
   std::uint64_t messages_delivered = 0;
+  /// Repartitions forced by a fault notification (a fault plan disturbing
+  /// the chunk's window) rather than by the imbalance threshold.
+  int fault_responses = 0;
+  /// Absolute pipeline time of the first fault-forced repartition
+  /// (SimTime::max() if none happened): the detection-to-reaction latency
+  /// is this minus the fault's onset time.
+  SimTime first_fault_response = SimTime::max();
 };
+
+/// How close the adaptive executor's final partition is to the oracle
+/// re-partition for the *effective* (post-fault) per-rank speeds.
+struct RecoveryReport {
+  /// Estimated cycle compute time max_r(A_r * ms_per_pdu_r) of the
+  /// achieved partition on the degraded network.
+  double achieved_ms = 0.0;
+  /// Same for the oracle: proportional_partition of the effective rates.
+  double oracle_ms = 0.0;
+  /// achieved / oracle; 1.0 is a perfect recovery, the chaos tier asserts
+  /// an upper bound on this.
+  double ratio = 1.0;
+  PartitionVector oracle;
+};
+
+/// Score a recovered partition against the oracle re-partition, given the
+/// effective per-PDU service time of each rank on the degraded network
+/// (nominal per-PDU time x fault slowdown x load slowdown).
+RecoveryReport evaluate_recovery(const PartitionVector& achieved,
+                                 std::span<const double> ms_per_pdu);
 
 /// Run `spec` with dynamic repartitioning.  The initial partition should be
 /// the static Eq. 3 decomposition; the adaptive loop takes it from there.

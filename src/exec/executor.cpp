@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "exec/schedule.hpp"
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -52,7 +54,14 @@ class Runner {
   }
 
   ExecutionResult run() {
+    if (options_.faults != nullptr && !options_.faults->empty()) {
+      injector_.emplace(net_, *options_.faults, options_.load_time_origin);
+      injector_->arm();
+    }
+
     // Optional startup scatter: rank 0 distributes every rank's block.
+    // Driven one event at a time: with an armed injector, run() would also
+    // execute fault events scheduled past the scatter's completion.
     SimTime start = SimTime::zero();
     if (options_.pdu_bytes > 0 && tasks_.size() > 1) {
       int remaining = static_cast<int>(tasks_.size()) - 1;
@@ -61,21 +70,36 @@ class Runner {
                   partition_.at(static_cast<int>(r)) * options_.pdu_bytes,
                   [&remaining] { --remaining; });
       }
-      engine_.run();
-      NP_ASSERT(remaining == 0);
+      while (remaining > 0 && !engine_.idle() &&
+             engine_.now() < options_.budget) {
+        engine_.step();
+      }
+      if (remaining != 0) {
+        throw ExecutionStalled("startup scatter could not complete (" +
+                               std::to_string(remaining) +
+                               " transfers undelivered)");
+      }
       start = engine_.now();
     }
 
     for (TaskState& task : tasks_) {
       engine_.schedule_at(start, [this, &task] { advance(task); });
     }
-    engine_.run();
+    engine_.run_until(options_.budget);
 
     ExecutionResult result;
     result.startup = start;
     result.elapsed = SimTime::zero();
+    int unfinished = 0;
     for (const TaskState& task : tasks_) {
-      NP_ASSERT(task.done);
+      if (!task.done) ++unfinished;
+    }
+    if (unfinished > 0) {
+      throw ExecutionStalled(std::to_string(unfinished) +
+                             " rank(s) did not finish within the "
+                             "execution budget");
+    }
+    for (const TaskState& task : tasks_) {
       result.rank_finish.push_back(task.finish - start);
       result.elapsed = std::max(result.elapsed, task.finish - start);
     }
@@ -227,6 +251,7 @@ class Runner {
   ExecutionOptions options_;
   sim::Engine engine_;
   sim::NetSim net_;
+  std::optional<sim::FaultInjector> injector_;
   Rng jitter_rng_;
   std::vector<Step> schedule_;
   std::vector<TaskState> tasks_;

@@ -16,8 +16,21 @@
 #include "exec/load.hpp"
 #include "sim/netsim.hpp"
 #include "topo/placement.hpp"
+#include "util/error.hpp"
 
 namespace netpart {
+
+namespace sim {
+struct FaultPlan;
+}  // namespace sim
+
+/// Thrown when an execution cannot finish: a fault plan (crash, permanent
+/// partition with give_up_after_max_rounds) or the sim-time budget left
+/// some rank's work undeliverable.
+class ExecutionStalled : public Error {
+ public:
+  explicit ExecutionStalled(const std::string& what) : Error(what) {}
+};
 
 struct ExecutionOptions {
   sim::NetSimParams sim_params;
@@ -36,6 +49,15 @@ struct ExecutionOptions {
   /// ExecutionResult::startup (the paper's T_startup, which its timings
   /// exclude and ours then also excludes from `elapsed`).
   std::int64_t pdu_bytes = 0;
+  /// Fault schedule injected into this run's simulator; nullptr = benign.
+  /// Plan times are absolute pipeline times -- load_time_origin maps them
+  /// onto this run's local clock, exactly as for the load schedule.  Must
+  /// outlive the execution.
+  const sim::FaultPlan* faults = nullptr;
+  /// Sim-time bound on this run's local clock; if any rank has not
+  /// finished by then, execute() throws ExecutionStalled instead of
+  /// running (or hanging) forever.
+  SimTime budget = SimTime::max();
 };
 
 struct ExecutionResult {

@@ -22,12 +22,42 @@ struct ProtocolResult {
   AvailabilitySnapshot snapshot;
   SimTime elapsed;
   std::uint64_t messages = 0;
+  /// True when the ring closed (the initiator received the full vector).
+  /// The fault-tolerant variant reports false when the sim-time budget ran
+  /// out first; the benign variant always completes.
+  bool completed = true;
+  /// Managers that never acknowledged the token (crashed peers); their
+  /// clusters report zero availability.
+  std::vector<ClusterId> dead;
 };
 
 /// Run the availability protocol among the managers (processor 0 of each
 /// cluster acts as its manager's host).  The simulator's engine must be
-/// idle on entry; it is drained before returning.
+/// idle on entry; it is drained before returning.  Assumes a benign
+/// network: a crashed manager hangs this variant -- use
+/// run_fault_tolerant_protocol under fault injection.
 ProtocolResult run_availability_protocol(
     sim::NetSim& net, const std::vector<ClusterManager>& managers);
+
+/// Tuning for the fault-tolerant protocol.
+struct ProtocolOptions {
+  /// Per-hop acknowledgement timeout (must cover a round trip including
+  /// fragment retransmissions).
+  SimTime ack_timeout = SimTime::millis(250);
+  /// Token transmissions per successor before declaring it dead.
+  int max_attempts = 3;
+  /// Overall sim-time bound; the protocol never runs past it.
+  SimTime budget = SimTime::seconds(30);
+};
+
+/// Fault-tolerant variant: every token hop is acknowledged; a successor
+/// that does not ack within `ack_timeout` is retried and, after
+/// `max_attempts` sends, declared dead and skipped (its count stays zero
+/// and it lands in ProtocolResult::dead).  The whole run is bounded by
+/// `budget` simulated time, so a crashed host can delay but never hang the
+/// engine.  The initiator (cluster 0's manager) must be alive.
+ProtocolResult run_fault_tolerant_protocol(
+    sim::NetSim& net, const std::vector<ClusterManager>& managers,
+    const ProtocolOptions& options = {});
 
 }  // namespace netpart::mmps

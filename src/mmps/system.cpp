@@ -15,44 +15,58 @@ System::Key System::make_key(ProcessorRef dst, ProcessorRef src,
 void System::send(ProcessorRef src, ProcessorRef dst, std::int32_t tag,
                   std::vector<std::byte> payload) {
   const auto bytes = static_cast<std::int64_t>(payload.size());
-  PairState& pair = pairs_[PairKey{src.cluster, src.index, dst.cluster,
-                                   dst.index}];
+  PairState& pair = core_->pairs[PairKey{src.cluster, src.index, dst.cluster,
+                                         dst.index}];
   const std::int64_t seq = pair.next_send++;
   // The payload rides alongside the simulated transfer and materialises at
-  // the receiver on delivery.
+  // the receiver on delivery.  The mailbox core is captured weakly: if the
+  // System is gone (or reset) by then, the delivery is a no-op.
   auto carried = std::make_shared<Message>(
       Message{src, tag, std::move(payload)});
-  net_.send(src, dst, bytes, [this, dst, seq, tag, carried] {
-    arrived(dst, seq, tag, std::move(*carried));
-  });
+  net_.send(src, dst, bytes,
+            [core = std::weak_ptr<Core>(core_), dst, seq, tag, carried] {
+              if (auto locked = core.lock()) {
+                arrived(*locked, dst, seq, tag, std::move(*carried));
+              }
+            });
 }
 
-void System::arrived(ProcessorRef dst, std::int64_t seq, std::int32_t tag,
-                     Message msg) {
-  PairState& pair = pairs_[PairKey{msg.source.cluster, msg.source.index,
-                                   dst.cluster, dst.index}];
+void System::arrived(Core& core, ProcessorRef dst, std::int64_t seq,
+                     std::int32_t tag, Message msg) {
+  PairState& pair = core.pairs[PairKey{msg.source.cluster, msg.source.index,
+                                       dst.cluster, dst.index}];
   if (seq != pair.next_deliver) {
     // A retransmitted predecessor is still in flight: hold this message
-    // until the sequence closes.
-    NP_ASSERT(seq > pair.next_deliver);
+    // until the sequence closes.  (After a reset() the pair state is
+    // fresh, so a late delivery of sequence n > 0 parks here harmlessly.)
+    if (seq < pair.next_deliver) return;
     pair.held.emplace(seq, std::make_pair(tag, std::move(msg)));
     return;
   }
   ++pair.next_deliver;
-  match(dst, tag, std::move(msg));
+  match(core, dst, tag, std::move(msg));
   while (!pair.held.empty() &&
          pair.held.begin()->first == pair.next_deliver) {
     auto node = pair.held.extract(pair.held.begin());
     ++pair.next_deliver;
-    match(dst, node.mapped().first, std::move(node.mapped().second));
+    match(core, dst, node.mapped().first, std::move(node.mapped().second));
   }
 }
 
-void System::match(ProcessorRef dst, std::int32_t tag, Message msg) {
-  Box& box = boxes_[make_key(dst, msg.source, tag)];
+void System::match(Core& core, ProcessorRef dst, std::int32_t tag,
+                   Message msg) {
+  Box& box = core.boxes[make_key(dst, msg.source, tag)];
   if (!box.pending.empty()) {
-    RecvHandler handler = std::move(box.pending.front());
+    RecvHandler handler = std::move(box.pending.front().handler);
     box.pending.pop_front();
+    handler(std::move(msg));
+    return;
+  }
+  const auto any =
+      core.any_pending.find(AnyKey{dst.cluster, dst.index, tag});
+  if (any != core.any_pending.end() && !any->second.empty()) {
+    RecvHandler handler = std::move(any->second.front());
+    any->second.pop_front();
     handler(std::move(msg));
     return;
   }
@@ -62,19 +76,74 @@ void System::match(ProcessorRef dst, std::int32_t tag, Message msg) {
 void System::recv(ProcessorRef dst, ProcessorRef src, std::int32_t tag,
                   RecvHandler handler) {
   NP_REQUIRE(handler != nullptr, "recv handler required");
-  Box& box = boxes_[make_key(dst, src, tag)];
+  Box& box = core_->boxes[make_key(dst, src, tag)];
   if (!box.ready.empty()) {
     Message msg = std::move(box.ready.front());
     box.ready.pop_front();
     handler(std::move(msg));
     return;
   }
-  box.pending.push_back(std::move(handler));
+  box.pending.push_back(PendingRecv{std::move(handler), 0});
+}
+
+void System::recv_with_timeout(ProcessorRef dst, ProcessorRef src,
+                               std::int32_t tag, SimTime timeout,
+                               RecvHandler handler,
+                               TimeoutHandler on_timeout) {
+  NP_REQUIRE(handler != nullptr, "recv handler required");
+  NP_REQUIRE(on_timeout != nullptr, "timeout handler required");
+  NP_REQUIRE(timeout > SimTime::zero(), "timeout must be positive");
+  const Key key = make_key(dst, src, tag);
+  Box& box = core_->boxes[key];
+  if (!box.ready.empty()) {
+    Message msg = std::move(box.ready.front());
+    box.ready.pop_front();
+    handler(std::move(msg));
+    return;
+  }
+  const std::uint64_t id = core_->next_recv_id++;
+  box.pending.push_back(PendingRecv{std::move(handler), id});
+  net_.engine().schedule_after(
+      timeout, [core = std::weak_ptr<Core>(core_), key, id,
+                on_timeout = std::move(on_timeout)] {
+        auto locked = core.lock();
+        if (!locked) return;
+        auto it = locked->boxes.find(key);
+        if (it == locked->boxes.end()) return;
+        auto& pending = it->second.pending;
+        for (auto p = pending.begin(); p != pending.end(); ++p) {
+          if (p->id == id) {
+            pending.erase(p);
+            on_timeout();
+            return;
+          }
+        }
+        // Already matched: the timeout lost the race, nothing to do.
+      });
+}
+
+void System::recv_any(ProcessorRef dst, std::int32_t tag,
+                      RecvHandler handler) {
+  NP_REQUIRE(handler != nullptr, "recv handler required");
+  // Serve the oldest already-delivered message with this (dst, tag) from
+  // any source; Key order scans sources deterministically.
+  for (auto& [key, box] : core_->boxes) {
+    if (key.dst_cluster != dst.cluster || key.dst_index != dst.index ||
+        key.tag != tag || box.ready.empty()) {
+      continue;
+    }
+    Message msg = std::move(box.ready.front());
+    box.ready.pop_front();
+    handler(std::move(msg));
+    return;
+  }
+  core_->any_pending[AnyKey{dst.cluster, dst.index, tag}].push_back(
+      std::move(handler));
 }
 
 std::size_t System::unclaimed() const {
   std::size_t count = 0;
-  for (const auto& [key, box] : boxes_) {
+  for (const auto& [key, box] : core_->boxes) {
     count += box.ready.size();
   }
   return count;

@@ -52,6 +52,66 @@ std::vector<ClusterManager> make_managers(const Network& net,
   return managers;
 }
 
+namespace {
+
+/// Final revoked/restored state per processor after replaying events with
+/// at <= upto in time order (stable for equal times: later entry wins).
+std::vector<std::pair<ProcessorRef, bool>> final_churn_state(
+    const std::vector<ChurnEvent>& events, SimTime upto) {
+  std::vector<ChurnEvent> applicable;
+  for (const ChurnEvent& e : events) {
+    if (e.at <= upto) applicable.push_back(e);
+  }
+  std::stable_sort(applicable.begin(), applicable.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+  std::vector<std::pair<ProcessorRef, bool>> state;
+  for (const ChurnEvent& e : applicable) {
+    const bool revoked = e.kind == ChurnEvent::Kind::Revoke;
+    auto it = std::find_if(state.begin(), state.end(),
+                           [&](const auto& s) { return s.first == e.ref; });
+    if (it == state.end()) {
+      state.emplace_back(e.ref, revoked);
+    } else {
+      it->second = revoked;
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+void apply_churn_to_network(Network& net,
+                            const std::vector<ChurnEvent>& events,
+                            SimTime upto) {
+  for (const auto& [ref, revoked] : final_churn_state(events, upto)) {
+    NP_REQUIRE(ref.cluster >= 0 && ref.cluster < net.num_clusters(),
+               "churn event names an unknown cluster");
+    Cluster& c = net.cluster(ref.cluster);
+    NP_REQUIRE(ref.index >= 0 && ref.index < c.size(),
+               "churn event names an unknown processor");
+    c.processor(ref.index).load = revoked ? 1.0 : 0.0;
+  }
+}
+
+AvailabilitySnapshot apply_churn(const Network& net,
+                                 AvailabilitySnapshot snapshot,
+                                 const std::vector<ChurnEvent>& events,
+                                 SimTime upto) {
+  NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
+                 net.num_clusters(),
+             "snapshot does not match the network");
+  for (const auto& [ref, revoked] : final_churn_state(events, upto)) {
+    if (!revoked) continue;
+    NP_REQUIRE(ref.cluster >= 0 && ref.cluster < net.num_clusters(),
+               "churn event names an unknown cluster");
+    int& n = snapshot.available[static_cast<std::size_t>(ref.cluster)];
+    n = std::max(0, n - 1);
+  }
+  return snapshot;
+}
+
 void apply_random_load(Network& net, Rng& rng, double mean_load) {
   NP_REQUIRE(mean_load >= 0.0, "mean load must be non-negative");
   for (ClusterId cid = 0; cid < net.num_clusters(); ++cid) {

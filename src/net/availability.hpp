@@ -12,6 +12,7 @@
 #include "net/ids.hpp"
 #include "net/network.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace netpart {
 
@@ -58,6 +59,33 @@ AvailabilitySnapshot gather_availability(
 /// Build one manager per cluster with a common policy.
 std::vector<ClusterManager> make_managers(const Network& net,
                                           AvailabilityPolicy policy);
+
+/// One availability-churn event: at `at`, `ref` is withdrawn from
+/// (revoke) or offered back to (restore) the pool of partitionable
+/// processors.  The fault-injection layer (sim/faults.hpp) produces these;
+/// a crashed host is a permanent revocation.
+struct ChurnEvent {
+  SimTime at;
+  ProcessorRef ref;
+  enum class Kind { Revoke, Restore } kind = Kind::Revoke;
+};
+
+/// Apply every churn event with at <= upto to the network itself: revoked
+/// processors are marked fully loaded (load 1.0) so the threshold policy --
+/// and therefore available_indices() and any placement built from it --
+/// excludes them; restored processors return to load 0.  Events are applied
+/// in time order (ties: later event in the list wins).
+void apply_churn_to_network(Network& net,
+                            const std::vector<ChurnEvent>& events,
+                            SimTime upto);
+
+/// Snapshot-level variant: subtract each processor whose final state by
+/// `upto` is revoked from its cluster's count (clamped at zero).  Assumes
+/// the snapshot counted those processors as available.
+AvailabilitySnapshot apply_churn(const Network& net,
+                                 AvailabilitySnapshot snapshot,
+                                 const std::vector<ChurnEvent>& events,
+                                 SimTime upto);
 
 /// Background-load generator: assigns each processor a load drawn from a
 /// bounded exponential, modelling light sharing by other users.

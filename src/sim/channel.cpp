@@ -16,12 +16,18 @@ Channel::Channel(double bandwidth_bps, SimTime frame_overhead)
 
 ChannelGrant Channel::reserve(SimTime ready_at, SimTime occupancy) {
   NP_REQUIRE(occupancy >= SimTime::zero(), "occupancy must be non-negative");
+  if (degradation_ != 1.0) occupancy = occupancy * degradation_;
   ChannelGrant grant;
   grant.start = std::max(ready_at, busy_until_);
   grant.end = grant.start + occupancy;
   busy_until_ = grant.end;
   total_busy_ += occupancy;
   return grant;
+}
+
+void Channel::set_degradation(double factor) {
+  NP_REQUIRE(factor >= 1.0, "degradation factor must be >= 1");
+  degradation_ = factor;
 }
 
 SimTime Channel::wire_time(std::int64_t bytes) const {

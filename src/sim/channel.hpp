@@ -44,11 +44,25 @@ class Channel {
   /// Total busy time accumulated (utilisation accounting).
   SimTime total_busy() const { return total_busy_; }
 
+  /// Fault state: a down (partitioned / flapping) segment still serialises
+  /// transmission attempts but drops every fragment, so the reliable layer
+  /// sees pure loss until the channel comes back.
+  bool down() const { return down_; }
+  void set_down(bool down) { down_ = down; }
+
+  /// Bandwidth degradation (>= 1): reservations occupy the medium for
+  /// `factor` times the nominal occupancy (effective bandwidth divided by
+  /// `factor`), modelling a saturated or renegotiated segment.
+  double degradation() const { return degradation_; }
+  void set_degradation(double factor);
+
  private:
   SimTime byte_time_;
   SimTime frame_overhead_;
   SimTime busy_until_ = SimTime::zero();
   SimTime total_busy_ = SimTime::zero();
+  bool down_ = false;
+  double degradation_ = 1.0;
 };
 
 }  // namespace netpart::sim

@@ -8,10 +8,16 @@ namespace netpart::sim {
 
 SimTime Host::reserve(SimTime ready_at, SimTime duration) {
   NP_REQUIRE(duration >= SimTime::zero(), "duration must be non-negative");
+  if (slowdown_ != 1.0) duration = duration * slowdown_;
   const SimTime start = std::max(ready_at, busy_until_);
   busy_until_ = start + duration;
   total_busy_ += duration;
   return busy_until_;
+}
+
+void Host::set_slowdown(double factor) {
+  NP_REQUIRE(factor >= 1.0, "slowdown factor must be >= 1");
+  slowdown_ = factor;
 }
 
 }  // namespace netpart::sim

@@ -13,6 +13,7 @@ namespace netpart::sim {
 class Host {
  public:
   /// Reserve the CPU for `duration` starting no earlier than `ready_at`.
+  /// The nominal duration is stretched by the current slowdown factor.
   /// Returns the completion time.
   SimTime reserve(SimTime ready_at, SimTime duration);
 
@@ -22,9 +23,22 @@ class Host {
   /// Total CPU time consumed (utilisation accounting).
   SimTime total_busy() const { return total_busy_; }
 
+  /// Fault state: a crashed host neither sends nor receives; the network
+  /// simulator silently drops traffic touching it (the datagram semantics
+  /// the MMPS timeout path exists to absorb).
+  bool alive() const { return alive_; }
+  void crash() { alive_ = false; }
+
+  /// Service-rate degradation (>= 1): reservations take `factor` times the
+  /// nominal duration.  Set by the fault injector for slow-host windows.
+  double slowdown() const { return slowdown_; }
+  void set_slowdown(double factor);
+
  private:
   SimTime busy_until_ = SimTime::zero();
   SimTime total_busy_ = SimTime::zero();
+  bool alive_ = true;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace netpart::sim

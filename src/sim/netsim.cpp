@@ -71,6 +71,16 @@ void NetSim::send(ProcessorRef src, ProcessorRef dst, std::int64_t bytes,
 
   // Sender host pays the asynchronous-send initiation cost.
   Host& sender = host(src);
+  if (!sender.alive()) {
+    // A crashed sender initiates nothing; the message silently vanishes
+    // (datagram semantics -- nobody is told).
+    Transit ghost;
+    ghost.src = src;
+    ghost.dst = dst;
+    ghost.bytes = bytes;
+    drop(ghost);
+    return;
+  }
   const SimTime ready =
       sender.reserve(engine_.now(), params_.send_initiation);
 
@@ -123,6 +133,11 @@ void NetSim::trace(TraceEvent::Kind kind, const Transit& t, SimTime at) {
   tracer_(TraceEvent{kind, at, t.src, t.dst, t.bytes});
 }
 
+void NetSim::drop(const Transit& t) {
+  ++dropped_;
+  trace(TraceEvent::Kind::MessageDropped, t, engine_.now());
+}
+
 void NetSim::run_leg(std::shared_ptr<Transit> t) {
   if (t->next_leg >= t->legs.size()) {
     finish_delivery(t);
@@ -156,6 +171,11 @@ void NetSim::next_fragment(std::shared_ptr<Transit> t,
       });
       return;
     }
+    if (round >= params_.max_retransmit_rounds &&
+        params_.give_up_after_max_rounds) {
+      drop(*t);
+      return;
+    }
     NP_ASSERT(round < params_.max_retransmit_rounds);
     retransmissions_ += static_cast<std::uint64_t>(lost);
     engine_.schedule_after(params_.rto, [this, t = std::move(t), lost,
@@ -173,7 +193,10 @@ void NetSim::next_fragment(std::shared_ptr<Transit> t,
       (lead ? leg.fixed : (first ? SimTime::zero() : params_.send_initiation)) +
       leg.channel->frame_overhead() + leg.per_byte * frag_bytes;
   const ChannelGrant grant = leg.channel->reserve(engine_.now(), occupancy);
-  const bool dropped = rng_.next_bool(params_.loss_rate);
+  // Draw the Bernoulli loss unconditionally so the loss pattern of the
+  // surviving traffic is independent of when channels flap.
+  const bool bernoulli_drop = rng_.next_bool(params_.loss_rate);
+  const bool dropped = bernoulli_drop || leg.channel->down();
   if (dropped) {
     trace(TraceEvent::Kind::FragmentLost, *t, grant.end);
   }
@@ -187,6 +210,12 @@ void NetSim::next_fragment(std::shared_ptr<Transit> t,
 
 void NetSim::finish_delivery(const std::shared_ptr<Transit>& t) {
   Host& receiver = host(t->dst);
+  if (!receiver.alive()) {
+    // The payload reached a dead host: nobody processes it, the delivery
+    // callback never fires.  The MMPS timeout path reports the peer.
+    drop(*t);
+    return;
+  }
   const SimTime done = receiver.reserve(
       engine_.now(), params_.recv_processing + t->coerce_cost);
   trace(TraceEvent::Kind::Delivered, *t, done);

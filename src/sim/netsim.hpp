@@ -49,6 +49,11 @@ struct NetSimParams {
   /// Cap on retransmission rounds before the simulator reports a bug (the
   /// reliable layer never gives up; this guards against loss_rate ~ 1).
   int max_retransmit_rounds = 64;
+  /// When true, a message that exhausts max_retransmit_rounds is dropped
+  /// (traced as MessageDropped) instead of tripping an assertion.  Enable
+  /// under fault injection, where a long channel partition legitimately
+  /// defeats the retransmission layer.
+  bool give_up_after_max_rounds = false;
 };
 
 /// Delivery notification: fires when the receiving host has fully processed
@@ -90,10 +95,19 @@ class NetSim {
   std::uint64_t messages_delivered() const { return delivered_; }
   /// Number of fragment retransmissions performed so far.
   std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Number of messages abandoned (dead host, retransmit cap).
+  std::uint64_t messages_dropped() const { return dropped_; }
 
   /// Install a message-lifecycle observer (see sim/trace.hpp); pass
   /// nullptr to disable.  The tracer must outlive the simulator.
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  /// Emit an event through the installed tracer (no-op without one).  The
+  /// fault injector uses this to put fault transitions on the same stream
+  /// as the message lifecycle.
+  void emit(const TraceEvent& event) {
+    if (tracer_) tracer_(event);
+  }
 
  private:
   /// One channel hop of a message's path.
@@ -146,9 +160,11 @@ class NetSim {
   std::vector<std::size_t> host_base_;   // cluster -> first host slot
   std::uint64_t delivered_ = 0;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t dropped_ = 0;
   Tracer tracer_;
 
   void trace(TraceEvent::Kind kind, const Transit& t, SimTime at);
+  void drop(const Transit& t);
 };
 
 }  // namespace netpart::sim

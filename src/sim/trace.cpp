@@ -18,6 +18,26 @@ const char* TraceEvent::kind_name(Kind kind) {
       return "lost";
     case Kind::Delivered:
       return "delivered";
+    case Kind::MessageDropped:
+      return "dropped";
+    case Kind::HostCrashed:
+      return "host-crash";
+    case Kind::HostSlowed:
+      return "host-slow";
+    case Kind::HostRestored:
+      return "host-restore";
+    case Kind::ChannelDown:
+      return "chan-down";
+    case Kind::ChannelUp:
+      return "chan-up";
+    case Kind::SegmentDegraded:
+      return "seg-degrade";
+    case Kind::SegmentRestored:
+      return "seg-restore";
+    case Kind::ProcessorRevoked:
+      return "proc-revoke";
+    case Kind::ProcessorRestored:
+      return "proc-restore";
   }
   return "?";
 }
@@ -76,7 +96,10 @@ std::string TraceLog::render(std::size_t limit) const {
     }
     os << e.at.as_millis() << "ms " << TraceEvent::kind_name(e.kind) << " ("
        << e.src.cluster << ',' << e.src.index << ")->(" << e.dst.cluster
-       << ',' << e.dst.index << ") " << e.bytes << "B\n";
+       << ',' << e.dst.index << ") " << e.bytes << "B";
+    if (e.segment >= 0) os << " seg=" << e.segment;
+    if (e.factor != 0.0) os << " x" << e.factor;
+    os << "\n";
   }
   return os.str();
 }

@@ -23,12 +23,27 @@ struct TraceEvent {
     LegCompleted,    ///< finished one channel hop
     FragmentLost,    ///< a datagram was dropped (will retransmit)
     Delivered,       ///< receiver host finished processing
+    MessageDropped,  ///< message abandoned (dead host or retransmit cap)
+    // Fault-injection events (see sim/faults.hpp).  Host faults name the
+    // affected processor in `src`; channel faults set `segment`; the rate
+    // faults carry their multiplier in `factor`.
+    HostCrashed,        ///< host failed permanently
+    HostSlowed,         ///< host service-rate degradation began
+    HostRestored,       ///< host service rate back to nominal
+    ChannelDown,        ///< segment partitioned (drops every fragment)
+    ChannelUp,          ///< segment reachable again
+    SegmentDegraded,    ///< segment bandwidth divided by `factor`
+    SegmentRestored,    ///< segment bandwidth back to nominal
+    ProcessorRevoked,   ///< availability churn: processor withdrawn
+    ProcessorRestored,  ///< availability churn: processor offered again
   };
   Kind kind;
   SimTime at;
   ProcessorRef src;
   ProcessorRef dst;
   std::int64_t bytes = 0;
+  SegmentId segment = -1;  ///< for channel/segment fault events
+  double factor = 0.0;     ///< for slowdown/degradation fault events
 
   static const char* kind_name(Kind kind);
 };

@@ -77,6 +77,32 @@ Placement round_robin_placement(const Network& net,
   return placement;
 }
 
+Placement available_placement(
+    const Network& net, const ProcessorConfig& config,
+    const std::vector<std::vector<ProcessorIndex>>& available,
+    const std::vector<ClusterId>& cluster_order) {
+  validate_config(net, config);
+  NP_REQUIRE(static_cast<int>(cluster_order.size()) == net.num_clusters(),
+             "cluster order must name every cluster");
+  NP_REQUIRE(static_cast<int>(available.size()) == net.num_clusters(),
+             "available-index lists must name every cluster");
+  Placement placement;
+  placement.reserve(static_cast<std::size_t>(config_total(config)));
+  for (ClusterId c : cluster_order) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    const int p = config[ci];
+    NP_REQUIRE(p <= static_cast<int>(available[ci].size()),
+               "configuration exceeds the cluster's available processors");
+    for (int i = 0; i < p; ++i) {
+      const ProcessorIndex idx = available[ci][static_cast<std::size_t>(i)];
+      NP_REQUIRE(idx >= 0 && idx < net.cluster(c).size(),
+                 "available index out of range");
+      placement.push_back(ProcessorRef{c, idx});
+    }
+  }
+  return placement;
+}
+
 std::int64_t router_crossings(const Network& net, const Placement& placement,
                               Topology t) {
   NP_REQUIRE(!placement.empty(), "placement must be non-empty");

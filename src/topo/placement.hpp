@@ -44,6 +44,17 @@ Placement contiguous_placement(const Network& net,
 Placement round_robin_placement(const Network& net,
                                 const ProcessorConfig& config);
 
+/// Cluster-contiguous placement restricted to available processors: like
+/// contiguous_placement, but within each cluster the ranks land on the
+/// listed indices (e.g. ClusterManager::available_indices) instead of
+/// 0..P_i-1.  After crashes or revocations, index 0 of a cluster may be
+/// gone; this keeps placements off dead hosts.  `available` is indexed by
+/// ClusterId and config[c] must not exceed available[c].size().
+Placement available_placement(
+    const Network& net, const ProcessorConfig& config,
+    const std::vector<std::vector<ProcessorIndex>>& available,
+    const std::vector<ClusterId>& cluster_order);
+
 /// Clusters sorted by instruction rate, fastest (smallest flop time) first.
 /// Ties break by cluster id for determinism.
 std::vector<ClusterId> clusters_by_speed(const Network& net);

@@ -8,6 +8,7 @@
 #include "mmps/system.hpp"
 #include "net/presets.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 
 namespace netpart::mmps {
@@ -176,6 +177,111 @@ TEST_F(MmpsSystemTest, ResequencesAfterRetransmission) {
     EXPECT_EQ(sizes[static_cast<std::size_t>(i)],
               static_cast<std::size_t>(3000 + i));
   }
+}
+
+// ------------------------------------------------------- timed receives
+
+TEST_F(MmpsSystemTest, RecvWithTimeoutFiresWhenNothingArrives) {
+  bool got = false;
+  bool timed_out = false;
+  mmps_.recv_with_timeout(b_, a_, /*tag=*/5, SimTime::millis(30),
+                          [&](Message) { got = true; },
+                          [&] { timed_out = true; });
+  engine_.run();
+  EXPECT_FALSE(got);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(engine_.now(), SimTime::millis(30));
+}
+
+TEST_F(MmpsSystemTest, RecvWithTimeoutDeliversInTimeAndNeverFiresLate) {
+  bool got = false;
+  bool timed_out = false;
+  mmps_.send(a_, b_, /*tag=*/5, std::vector<std::byte>(16));
+  mmps_.recv_with_timeout(b_, a_, 5, SimTime::seconds(1),
+                          [&](Message) { got = true; },
+                          [&] { timed_out = true; });
+  engine_.run();  // runs past the timeout event, which must be a no-op
+  EXPECT_TRUE(got);
+  EXPECT_FALSE(timed_out);
+  EXPECT_GE(engine_.now(), SimTime::seconds(1));
+}
+
+TEST_F(MmpsSystemTest, RecvWithTimeoutReportsCrashedPeer) {
+  // The fix for the blocking-receive-from-a-crashed-host hang: the
+  // receiver posts an RTO-style timed receive, the sender is dead, and the
+  // receive reports failure instead of parking the engine forever.
+  sim::FaultPlan plan;
+  plan.crashes.push_back({SimTime::zero(), c_});
+  sim::FaultInjector injector(sim_, plan);
+  injector.arm();
+  engine_.run();  // land the t=0 crash before anything is sent
+
+  bool got = false;
+  bool timed_out = false;
+  mmps_.send(c_, b_, /*tag=*/3, std::vector<std::byte>(64));  // vanishes
+  mmps_.recv_with_timeout(b_, c_, 3, SimTime::millis(100),
+                          [&](Message) { got = true; },
+                          [&] { timed_out = true; });
+  engine_.run();
+  EXPECT_FALSE(got);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(sim_.messages_dropped(), 1u);
+}
+
+TEST_F(MmpsSystemTest, TimedOutReceiveDoesNotStealALaterMessage) {
+  bool stale = false;
+  mmps_.recv_with_timeout(b_, a_, /*tag=*/9, SimTime::millis(10),
+                          [&](Message) { stale = true; }, [] {});
+  engine_.run();  // expire the timed receive
+
+  mmps_.send(a_, b_, 9, std::vector<std::byte>(32));
+  engine_.run();
+  EXPECT_FALSE(stale);
+  EXPECT_EQ(mmps_.unclaimed(), 1u);
+
+  bool fresh = false;
+  mmps_.recv(b_, a_, 9, [&](Message) { fresh = true; });
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(mmps_.unclaimed(), 0u);
+}
+
+// -------------------------------------------------- any-source receives
+
+TEST_F(MmpsSystemTest, RecvAnyMatchesAnySourceExactTakesPrecedence) {
+  mmps_.send(a_, b_, /*tag=*/4, std::vector<std::byte>(8));
+  mmps_.send(c_, b_, 4, std::vector<std::byte>(8));
+
+  std::vector<ProcessorRef> any_sources;
+  ProcessorRef exact_source{-1, -1};
+  mmps_.recv(b_, c_, 4, [&](Message msg) { exact_source = msg.source; });
+  mmps_.recv_any(b_, 4, [&](Message msg) {
+    any_sources.push_back(msg.source);
+  });
+  engine_.run();
+  EXPECT_EQ(exact_source, c_);
+  ASSERT_EQ(any_sources.size(), 1u);
+  EXPECT_EQ(any_sources[0], a_);
+  EXPECT_EQ(mmps_.unclaimed(), 0u);
+}
+
+TEST_F(MmpsSystemTest, RecvAnyServesAlreadyDeliveredMessage) {
+  mmps_.send(c_, b_, /*tag=*/6, std::vector<std::byte>(48));
+  engine_.run();
+  EXPECT_EQ(mmps_.unclaimed(), 1u);
+  std::size_t size = 0;
+  mmps_.recv_any(b_, 6, [&](Message msg) { size = msg.payload.size(); });
+  EXPECT_EQ(size, 48u);
+  EXPECT_EQ(mmps_.unclaimed(), 0u);
+}
+
+TEST_F(MmpsSystemTest, ResetCancelsReceiversAndDropsState) {
+  bool got = false;
+  mmps_.recv(b_, a_, /*tag=*/2, [&](Message) { got = true; });
+  mmps_.reset();
+  mmps_.send(a_, b_, 2, std::vector<std::byte>(16));
+  engine_.run();
+  EXPECT_FALSE(got);  // the posted receive died with the reset
+  EXPECT_EQ(mmps_.unclaimed(), 1u);  // the late message parks unclaimed
 }
 
 }  // namespace

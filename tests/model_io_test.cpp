@@ -75,6 +75,72 @@ TEST(ModelIoTest, CommentsAndBlankLinesIgnored) {
   EXPECT_NO_THROW(load_cost_model(text));
 }
 
+TEST(ModelIoTest, SaveLoadSaveIsIdempotent) {
+  const std::string once = save_cost_model(sample_db());
+  const std::string twice = save_cost_model(load_cost_model(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ModelIoTest, TruncatedInputsNeverCrashTheLoader) {
+  // Chopping the serialised form at every byte must never crash the
+  // loader: each prefix either raises a typed error or parses as a valid
+  // (smaller) database.  A cut can survive parsing only by landing at a
+  // line boundary or inside the final token of a record in a way that
+  // still reads as a number -- either way the result is well-formed.
+  const std::string text = save_cost_model(sample_db());
+  int rejected = 0;
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    const std::string prefix = text.substr(0, len);
+    try {
+      load_cost_model(prefix);
+    } catch (const ConfigError&) {
+      ++rejected;
+    } catch (const InvalidArgument&) {
+      ++rejected;
+    }
+  }
+  // Most cuts land mid-record and must be detected.
+  EXPECT_GT(rejected, static_cast<int>(text.size()) / 2);
+}
+
+TEST(ModelIoTest, DirectedTruncationsRejected) {
+  const std::string text = save_cost_model(sample_db());
+  // Mid-header cut.
+  EXPECT_THROW(load_cost_model(text.substr(0, 10)), ConfigError);
+  // A comm record cut down to too few fields.
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters 2\ncomm 0 1-D 0 0\n"),
+      ConfigError);
+}
+
+TEST(ModelIoTest, CorruptedBytesNeverCrashTheLoader) {
+  // Single-character corruption at every position: the loader must either
+  // reject the text with a typed error or parse it -- never crash or hang.
+  const std::string text = save_cost_model(sample_db());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string corrupted = text;
+    corrupted[i] = '~';
+    try {
+      load_cost_model(corrupted);
+    } catch (const ConfigError&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+}
+
+TEST(ModelIoTest, CorruptedNumericFieldsRejected) {
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters 2\n"
+                      "comm 0 1-D zzz 0 0 0 1\n"),
+      ConfigError);
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters 2\n"
+                      "router 0 1 0.5 0.1\n"),  // missing r2 field
+      ConfigError);
+  EXPECT_THROW(
+      load_cost_model("netpart-costmodel 1\nclusters x\n"), ConfigError);
+}
+
 TEST(ModelIoTest, MalformedInputsRejected) {
   EXPECT_THROW(load_cost_model(""), ConfigError);
   EXPECT_THROW(load_cost_model("wrong-magic 1\nclusters 1\n"), ConfigError);

@@ -126,6 +126,60 @@ TEST(SpecParserTest, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_spec("computation x\nparam N oops\n"), ConfigError);
 }
 
+TEST(SpecParserTest, RejectsUnknownTopology) {
+  EXPECT_THROW(
+      parse_spec("computation x\niterations 1\n"
+                 "phase compute g\n  pdus 10\n  ops 1\n"
+                 "phase comm c\n  topology 9-D\n  bytes 8\n"),
+      InvalidArgument);
+}
+
+TEST(SpecParserTest, RejectsPhaseKeysOutsideAnyPhase) {
+  EXPECT_THROW(parse_spec("computation x\niterations 1\n  pdus 10\n"),
+               ConfigError);
+  EXPECT_THROW(parse_spec("computation x\niterations 1\n  bytes 8\n"),
+               ConfigError);
+}
+
+TEST(SpecParserTest, RejectsTruncatedExpressions) {
+  EXPECT_THROW(
+      parse_spec("computation x\niterations 1\n"
+                 "phase compute g\n  pdus 5 *\n  ops 1\n"),
+      ConfigError);
+  EXPECT_THROW(
+      parse_spec("computation x\niterations\n"
+                 "phase compute g\n  pdus 10\n  ops 1\n"),
+      ConfigError);
+}
+
+TEST(SpecParserTest, OverlapWithUnknownPhaseSurfacesAtInstantiation) {
+  const SpecTemplate tmpl = parse_spec(R"(
+computation x
+iterations 1
+phase compute g
+  pdus 10
+  ops 1
+phase comm c
+  bytes 8
+  overlap nosuch
+)");
+  EXPECT_THROW(tmpl.instantiate(), InvalidArgument);
+}
+
+TEST(SpecParserTest, NonPositiveInstantiationsRejected) {
+  const SpecTemplate tmpl = parse_spec(R"(
+computation x
+param N 10
+iterations N
+phase compute g
+  pdus N
+  ops 1
+)");
+  EXPECT_NO_THROW(tmpl.instantiate());
+  EXPECT_THROW(tmpl.instantiate({{"N", 0.0}}), InvalidArgument);
+  EXPECT_THROW(tmpl.instantiate({{"N", -3.0}}), InvalidArgument);
+}
+
 TEST(SpecParserTest, UndeclaredVariableSurfacesAtInstantiation) {
   const SpecTemplate tmpl = parse_spec(R"(
 computation x

@@ -262,4 +262,5 @@ src/apps/CMakeFiles/np_apps.dir/stencil.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mmps/coercion.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/mmps/system.hpp
+ /root/repo/src/mmps/system.hpp /root/repo/src/sim/faults.hpp \
+ /root/repo/src/net/availability.hpp

@@ -20,16 +20,17 @@ src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/exec/executor.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
+ /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
  /usr/include/c++/12/ext/type_traits.h \
  /usr/include/c++/12/ext/numeric_traits.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
- /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bits/utility.h \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \
  /usr/include/c++/12/bits/iterator_concepts.h \
  /usr/include/c++/12/bits/ptr_traits.h \
@@ -42,6 +43,11 @@ src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o: \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
+ /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstddef \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
+ /root/repo/src/exec/executor.hpp /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -50,21 +56,15 @@ src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o: \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
  /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/invoke.h \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
- /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/dp/partition_vector.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
- /usr/include/c++/12/bits/ranges_base.h \
- /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /root/repo/src/dp/partition_vector.hpp /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/floatn.h \
@@ -228,6 +228,7 @@ src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp \
  /root/repo/src/util/log.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -229,4 +229,5 @@ src/exec/CMakeFiles/np_exec.dir/executor.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/exec/schedule.hpp \
+ /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp \
  /root/repo/src/util/stats.hpp

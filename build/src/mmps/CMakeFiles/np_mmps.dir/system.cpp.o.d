@@ -108,8 +108,7 @@ src/mmps/CMakeFiles/np_mmps.dir/system.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/netsim.hpp \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -214,12 +213,13 @@ src/mmps/CMakeFiles/np_mmps.dir/system.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/ids.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/optional \
- /root/repo/src/net/cluster.hpp /root/repo/src/net/processor.hpp \
- /root/repo/src/util/time.hpp /usr/include/c++/12/limits \
- /root/repo/src/util/error.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/host.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/netsim.hpp \
+ /root/repo/src/net/ids.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/optional /root/repo/src/net/cluster.hpp \
+ /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/util/error.hpp \
+ /root/repo/src/sim/channel.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

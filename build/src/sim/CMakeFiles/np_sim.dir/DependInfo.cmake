@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/channel.cpp" "src/sim/CMakeFiles/np_sim.dir/channel.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/channel.cpp.o.d"
   "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/np_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/np_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/faults.cpp.o.d"
   "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/np_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/host.cpp.o.d"
   "/root/repo/src/sim/netsim.cpp" "src/sim/CMakeFiles/np_sim.dir/netsim.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/netsim.cpp.o.d"
   "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/np_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/trace.cpp.o.d"

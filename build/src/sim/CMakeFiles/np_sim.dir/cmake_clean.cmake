@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/np_sim.dir/channel.cpp.o.d"
   "CMakeFiles/np_sim.dir/engine.cpp.o"
   "CMakeFiles/np_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/np_sim.dir/faults.cpp.o"
+  "CMakeFiles/np_sim.dir/faults.cpp.o.d"
   "CMakeFiles/np_sim.dir/host.cpp.o"
   "CMakeFiles/np_sim.dir/host.cpp.o.d"
   "CMakeFiles/np_sim.dir/netsim.cpp.o"

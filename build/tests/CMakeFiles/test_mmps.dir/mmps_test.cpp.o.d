@@ -303,4 +303,5 @@ tests/CMakeFiles/test_mmps.dir/mmps_test.cpp.o: \
  /root/repo/src/sim/channel.hpp /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/net/presets.hpp
+ /root/repo/src/util/rng.hpp /root/repo/src/net/presets.hpp \
+ /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp

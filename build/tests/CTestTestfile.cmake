@@ -8,6 +8,8 @@ include("/root/repo/build/tests/test_util[1]_include.cmake")
 include("/root/repo/build/tests/test_net[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
 include("/root/repo/build/tests/test_mmps[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
 include("/root/repo/build/tests/test_topo[1]_include.cmake")
 include("/root/repo/build/tests/test_calib[1]_include.cmake")
 include("/root/repo/build/tests/test_dp[1]_include.cmake")

@@ -1,6 +1,11 @@
 #include "bench/common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
 #include "core/decompose.hpp"
+#include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace netpart::bench {
@@ -44,5 +49,22 @@ double measured_stencil_ms(const Network& net,
 }
 
 std::string ms(double v) { return format_double(v, 0); }
+
+void write_bench_json(const std::string& path, const JsonValue& root) {
+  std::ofstream out(path);
+  NP_REQUIRE(out.good(), "cannot open bench json path: " + path);
+  out << root.dump(2);
+}
+
+double sample_quantile(std::vector<double> samples, double q) {
+  NP_REQUIRE(!samples.empty(), "sample_quantile needs samples");
+  NP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= samples.size()) return samples.back();
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
 
 }  // namespace netpart::bench

@@ -12,6 +12,7 @@
 #include "net/availability.hpp"
 #include "net/presets.hpp"
 #include "util/config.hpp"
+#include "util/json.hpp"
 
 namespace netpart::bench {
 
@@ -41,5 +42,16 @@ double measured_stencil_ms(const Network& net,
 
 /// Format helper: fixed 1-decimal milliseconds.
 std::string ms(double v);
+
+/// Write a machine-readable BENCH_*.json artifact.  Deterministic by
+/// construction (JsonValue renders members in insertion order with
+/// shortest-round-trip doubles), so re-running a bench with identical
+/// results produces a byte-identical file.
+void write_bench_json(const std::string& path, const JsonValue& root);
+
+/// Exact percentile of a raw sample set by linear interpolation between
+/// order statistics (q in [0, 1]).  Used for per-request latency tails
+/// where histogram buckets would be too coarse.
+double sample_quantile(std::vector<double> samples, double q);
 
 }  // namespace netpart::bench

@@ -38,3 +38,5 @@ np_add_bench(bench_protocol bench/bench_protocol.cpp)
 np_add_bench(bench_breakdown bench/bench_breakdown.cpp)
 np_add_bench(bench_scaling bench/bench_scaling.cpp)
 np_add_bench(bench_faults bench/bench_faults.cpp)
+np_add_bench(bench_service bench/bench_service.cpp)
+target_link_libraries(bench_service PRIVATE np_svc)

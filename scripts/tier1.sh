@@ -3,6 +3,10 @@
 #
 #   scripts/tier1.sh            # Release build in build/
 #   scripts/tier1.sh asan-ubsan # ASan+UBSan build in build-asan/
+#   scripts/tier1.sh --tsan     # TSan build in build-tsan/; runs the
+#                               # service + threaded tests (the tsan test
+#                               # preset filters to them) -- any reported
+#                               # race fails the tier
 #
 # Tests run in a random order (--schedule-random) so hidden inter-test
 # dependencies surface, and --repeat until-pass:1 keeps every test to a
@@ -12,6 +16,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="${1:-release}"
+if [[ "$preset" == "--tsan" ]]; then
+  preset="tsan"
+fi
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"

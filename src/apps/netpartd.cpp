@@ -1,0 +1,274 @@
+// netpartd: the partition service under synthetic traffic.
+//
+// Long-lived daemon shape of the library: a PartitionService fronts the
+// partitioner for N concurrent clients issuing a zipf-skewed request mix
+// (a few hot problem specs, a long tail of cold ones) while availability
+// churn bumps the epoch mid-run -- exactly the workload the decision cache,
+// request coalescing, and admission control exist for.  At the end the
+// service's own metrics registry reports throughput, hit rate, and
+// latency tails, optionally as CSV/JSON for dashboards.
+//
+// Keys:
+//   network  = paper | fig1 | coercion | metasystem   (default paper)
+//   apps     = comma list cycled across the universe   (default stencil,sten2)
+//   workers  = worker threads                          (default 4)
+//   queue    = request queue capacity                  (default 64)
+//   cache    = decision cache capacity                 (default 4096)
+//   shards   = cache shards                            (default 8)
+//   clients  = client threads                          (default 8)
+//   requests = requests per client                     (default 200)
+//   universe = distinct problem sizes                  (default 24)
+//   zipf     = skew exponent, 0 = uniform              (default 1.1)
+//   churn    = availability updates spread over the run (default 4)
+//   seed     = workload seed                           (default 1)
+//   model_in = saved cost model (skips calibration)
+//   json_out = metrics JSON path,  csv_out = metrics CSV path
+//
+// Example:
+//   netpartd clients=16 workers=4 universe=32 zipf=1.2 churn=6
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "apps/gauss.hpp"
+#include "apps/particles.hpp"
+#include "apps/reduce.hpp"
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "calib/model_io.hpp"
+#include "net/presets.hpp"
+#include "svc/service.hpp"
+#include "util/config.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace netpart {
+namespace {
+
+Network make_network(const std::string& name) {
+  if (name == "paper") return presets::paper_testbed();
+  if (name == "fig1") return presets::fig1_network();
+  if (name == "coercion") return presets::coercion_testbed();
+  if (name == "metasystem") return presets::metasystem();
+  throw ConfigError("unknown network: " + name);
+}
+
+ComputationSpec resolve_spec(const svc::PartitionRequest& request) {
+  const int n = static_cast<int>(request.n);
+  const int iterations = request.iterations;
+  if (request.spec == "stencil" || request.spec == "sten2") {
+    return apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = iterations,
+                            .overlap = request.spec == "sten2"});
+  }
+  if (request.spec == "gauss") {
+    return apps::make_gauss_spec(apps::GaussConfig{.n = n});
+  }
+  if (request.spec == "particles") {
+    return apps::make_particle_spec(
+        apps::ParticleConfig{.count = n, .iterations = iterations});
+  }
+  if (request.spec == "reduce") {
+    return apps::make_reduce_spec(
+        apps::ReduceConfig{.count = n, .iterations = iterations});
+  }
+  throw InvalidArgument("netpartd: unknown spec " + request.spec);
+}
+
+/// Zipf(s) sampler over ranks 0..k-1 by inverse CDF (deterministic: only
+/// Rng::next_double is consumed, one draw per sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(int k, double s) : cdf_(static_cast<std::size_t>(k)) {
+    double total = 0.0;
+    for (int i = 0; i < k; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<std::size_t>(i)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int draw(Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+int run(const Config& args) {
+  const Network net = make_network(args.get_or("network", "paper"));
+  std::printf("%s", net.describe().c_str());
+
+  CostModelDb db(net.num_clusters());
+  if (const auto path = args.get("model_in")) {
+    db = load_cost_model_file(*path);
+    std::printf("loaded cost model from %s\n", path->c_str());
+  } else {
+    std::printf("calibrating 1-D cost model...\n");
+    CalibrationParams params;
+    params.topologies = {Topology::OneD};
+    db = calibrate(net, params).db;
+  }
+
+  AvailabilityFeed feed(net, make_managers(net, AvailabilityPolicy{}));
+
+  svc::ServiceOptions options;
+  options.workers = static_cast<int>(args.get_int_or("workers", 4));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int_or("queue", 64));
+  options.cache_capacity =
+      static_cast<std::size_t>(args.get_int_or("cache", 4096));
+  options.cache_shards = static_cast<int>(args.get_int_or("shards", 8));
+  svc::PartitionService service(net, db, feed, resolve_spec, options);
+
+  // The request universe: `universe` problem sizes cycled across the app
+  // list, ranked by zipf popularity (rank 0 hottest).
+  const int universe = static_cast<int>(args.get_int_or("universe", 24));
+  const double zipf = args.get_double_or("zipf", 1.1);
+  const int clients = static_cast<int>(args.get_int_or("clients", 8));
+  const int per_client = static_cast<int>(args.get_int_or("requests", 200));
+  const int churn_waves = static_cast<int>(args.get_int_or("churn", 4));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  NP_REQUIRE(universe >= 1 && clients >= 1 && per_client >= 1,
+             "universe, clients, and requests must be positive");
+
+  std::vector<std::string> apps;
+  for (const std::string& a :
+       split(args.get_or("apps", "stencil,sten2"), ',')) {
+    apps.push_back(std::string(trim(a)));
+  }
+  std::vector<svc::PartitionRequest> mix;
+  mix.reserve(static_cast<std::size_t>(universe));
+  for (int k = 0; k < universe; ++k) {
+    svc::PartitionRequest request;
+    request.spec = apps[static_cast<std::size_t>(k) % apps.size()];
+    request.n = 60 + 50 * k;
+    request.iterations = 10;
+    mix.push_back(std::move(request));
+  }
+  const ZipfSampler sampler(universe, zipf);
+
+  std::printf("\n%d clients x %d requests over %d specs (zipf %.2f), "
+              "%d workers, queue %d, cache %d/%d shards, %d churn waves\n",
+              clients, per_client, universe, zipf, options.workers,
+              static_cast<int>(options.queue_capacity),
+              static_cast<int>(options.cache_capacity), options.cache_shards,
+              churn_waves);
+
+  std::atomic<int> clients_done{0};
+  std::atomic<std::uint64_t> ok{0}, overloaded{0}, failed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      Rng rng = Rng(seed).stream(static_cast<std::uint64_t>(c) + 1);
+      for (int r = 0; r < per_client; ++r) {
+        const svc::PartitionRequest& request =
+            mix[static_cast<std::size_t>(sampler.draw(rng))];
+        const svc::ServiceReply reply = service.query(request);
+        switch (reply.status) {
+          case svc::ServiceStatus::Ok: ++ok; break;
+          case svc::ServiceStatus::Overloaded: ++overloaded; break;
+          case svc::ServiceStatus::Failed: ++failed; break;
+        }
+      }
+      ++clients_done;
+    });
+  }
+
+  // Availability churn: revoke a growing slice of the largest cluster,
+  // then restore -- every wave bumps the feed's epoch and invalidates.
+  std::thread churner([&] {
+    const auto base = feed.read().first;
+    int wave = 0;
+    while (clients_done.load() < clients && wave < churn_waves) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      AvailabilitySnapshot next = base;
+      if (wave % 2 == 0) {
+        auto widest = std::max_element(next.available.begin(),
+                                       next.available.end());
+        *widest = std::max(1, *widest - 1 - wave / 2);
+      }
+      feed.update(std::move(next));
+      ++wave;
+    }
+  });
+
+  for (std::thread& t : pool) t.join();
+  churner.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  auto& m = service.metrics();
+  const svc::DecisionCache::Stats cache = service.cache().stats();
+  const std::uint64_t requests = clients * per_client;
+
+  Table table({"metric", "value"});
+  const auto row = [&table](const std::string& k, const std::string& v) {
+    table.add_row({k, v});
+  };
+  row("requests", std::to_string(requests));
+  row("throughput rps", format_double(
+          static_cast<double>(requests) / elapsed_s, 0));
+  row("ok / overloaded / failed",
+      std::to_string(ok.load()) + " / " + std::to_string(overloaded.load()) +
+          " / " + std::to_string(failed.load()));
+  row("cache hits", std::to_string(cache.hits));
+  row("hit rate %", format_double(100.0 * static_cast<double>(cache.hits) /
+                                      static_cast<double>(requests), 1));
+  row("coalesced", std::to_string(m.counter("coalesced").value()));
+  row("cold computes", std::to_string(m.counter("cold_computes").value()));
+  row("epoch bumps", std::to_string(m.counter("epoch_bumps").value()));
+  row("cache size / evictions / invalidated",
+      std::to_string(service.cache().size()) + " / " +
+          std::to_string(cache.evictions) + " / " +
+          std::to_string(cache.invalidated));
+  const QuantileSummary hit = m.latency("hit", 0.0, 200.0, 400).quantiles();
+  const QuantileSummary cold =
+      m.latency("cold", 0.0, 100000.0, 1000).quantiles();
+  row("hit p50/p95/p99 us",
+      format_double(hit.p50, 1) + " / " + format_double(hit.p95, 1) + " / " +
+          format_double(hit.p99, 1));
+  row("cold p50/p95/p99 us",
+      format_double(cold.p50, 1) + " / " + format_double(cold.p95, 1) +
+          " / " + format_double(cold.p99, 1));
+  std::printf("\n%s\n", table.render("partition service under load").c_str());
+
+  if (const auto path = args.get("json_out")) {
+    std::ofstream out(*path);
+    NP_REQUIRE(out.good(), "cannot open json_out path");
+    out << m.to_json().dump(2);
+    std::printf("metrics JSON -> %s\n", path->c_str());
+  }
+  if (const auto path = args.get("csv_out")) {
+    std::ofstream out(*path);
+    NP_REQUIRE(out.good(), "cannot open csv_out path");
+    m.write_csv(out);
+    std::printf("metrics CSV -> %s\n", path->c_str());
+  }
+  return failed.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace netpart
+
+int main(int argc, char** argv) {
+  try {
+    return netpart::run(netpart::Config::from_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "netpartd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -112,6 +112,49 @@ AvailabilitySnapshot apply_churn(const Network& net,
   return snapshot;
 }
 
+AvailabilityFeed::AvailabilityFeed(AvailabilitySnapshot initial)
+    : baseline_(initial), current_(std::move(initial)) {}
+
+AvailabilityFeed::AvailabilityFeed(
+    const Network& net, const std::vector<ClusterManager>& managers)
+    : AvailabilityFeed(gather_availability(net, managers)) {}
+
+std::uint64_t AvailabilityFeed::epoch() const {
+  std::lock_guard lock(mutex_);
+  return epoch_;
+}
+
+std::pair<AvailabilitySnapshot, std::uint64_t> AvailabilityFeed::read()
+    const {
+  std::lock_guard lock(mutex_);
+  return {current_, epoch_};
+}
+
+std::uint64_t AvailabilityFeed::update(AvailabilitySnapshot next) {
+  std::lock_guard lock(mutex_);
+  if (next.available != current_.available) {
+    current_ = std::move(next);
+    ++epoch_;
+  }
+  return epoch_;
+}
+
+std::uint64_t AvailabilityFeed::refresh(
+    const Network& net, const std::vector<ClusterManager>& managers) {
+  return update(gather_availability(net, managers));
+}
+
+std::uint64_t AvailabilityFeed::apply_churn_events(
+    const Network& net, const std::vector<ChurnEvent>& events,
+    SimTime upto) {
+  AvailabilitySnapshot base;
+  {
+    std::lock_guard lock(mutex_);
+    base = baseline_;
+  }
+  return update(apply_churn(net, std::move(base), events, upto));
+}
+
 void apply_random_load(Network& net, Rng& rng, double mean_load) {
   NP_REQUIRE(mean_load >= 0.0, "mean load must be non-negative");
   for (ClusterId cid = 0; cid < net.num_clusters(); ++cid) {

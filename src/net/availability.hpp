@@ -7,6 +7,9 @@
 // gathers the per-cluster available counts N_i.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "net/ids.hpp"
@@ -90,5 +93,53 @@ AvailabilitySnapshot apply_churn(const Network& net,
 /// Background-load generator: assigns each processor a load drawn from a
 /// bounded exponential, modelling light sharing by other users.
 void apply_random_load(Network& net, Rng& rng, double mean_load);
+
+/// Thread-safe, versioned availability source for long-lived consumers.
+///
+/// A one-shot partitioner gathers a snapshot and dies; a partition *service*
+/// outlives many availability changes and must know when cached decisions
+/// went stale.  The feed pairs the current snapshot with a monotonically
+/// increasing epoch that bumps exactly when the per-cluster counts change,
+/// so a decision computed under epoch e is valid iff the feed still reports
+/// e.  The epoch participates in the service's cache keys; a bump both
+/// prevents stale hits and triggers eviction of older entries.
+class AvailabilityFeed {
+ public:
+  /// Starts at epoch 1 with the given counts.
+  explicit AvailabilityFeed(AvailabilitySnapshot initial);
+
+  /// Convenience: gather from the managers, start at epoch 1.
+  AvailabilityFeed(const Network& net,
+                   const std::vector<ClusterManager>& managers);
+
+  std::uint64_t epoch() const;
+
+  /// The snapshot and the epoch it belongs to, read atomically.
+  std::pair<AvailabilitySnapshot, std::uint64_t> read() const;
+
+  /// Replace the snapshot; bumps the epoch only when the counts actually
+  /// differ (an identical re-gather keeps caches warm).  Returns the epoch
+  /// in force after the call.
+  std::uint64_t update(AvailabilitySnapshot next);
+
+  /// Re-run the cooperative protocol against the network's current load
+  /// state and update().
+  std::uint64_t refresh(const Network& net,
+                        const std::vector<ClusterManager>& managers);
+
+  /// Replay churn events (at <= upto) against the *initial* snapshot and
+  /// update() -- the service-facing form of apply_churn, for drivers that
+  /// never mutate the Network itself (the Network can then stay immutable
+  /// and be shared with worker threads without locking).
+  std::uint64_t apply_churn_events(const Network& net,
+                                   const std::vector<ChurnEvent>& events,
+                                   SimTime upto);
+
+ private:
+  mutable std::mutex mutex_;
+  AvailabilitySnapshot baseline_;
+  AvailabilitySnapshot current_;
+  std::uint64_t epoch_ = 1;
+};
 
 }  // namespace netpart

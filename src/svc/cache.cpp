@@ -1,0 +1,108 @@
+#include "svc/cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netpart::svc {
+
+DecisionCache::DecisionCache(std::size_t capacity, int shards) {
+  NP_REQUIRE(capacity >= 1, "cache capacity must be positive");
+  NP_REQUIRE(shards >= 1, "cache needs at least one shard");
+  const auto n = std::min<std::size_t>(static_cast<std::size_t>(shards),
+                                       capacity);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = (capacity + n - 1) / n;  // ceil: never below 1
+}
+
+DecisionCache::Shard& DecisionCache::shard_for(std::uint64_t key) const {
+  // FNV output is well mixed; fold the high half in anyway so shard count
+  // choices that divide 2^32 still spread.
+  return *shards_[(key ^ (key >> 32)) % shards_.size()];
+}
+
+std::shared_ptr<const PartitionDecision> DecisionCache::lookup(
+    std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  return it->second->decision;
+}
+
+std::shared_ptr<const PartitionDecision> DecisionCache::peek(
+    std::uint64_t key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  return it == shard.index.end() ? nullptr : it->second->decision;
+}
+
+void DecisionCache::insert(
+    std::shared_ptr<const PartitionDecision> decision) {
+  NP_ASSERT(decision != nullptr);
+  const std::uint64_t key = decision->key;
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->decision = std::move(decision);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(decision)});
+  shard.index[key] = shard.lru.begin();
+  if (shard.index.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+std::size_t DecisionCache::invalidate_before(std::uint64_t epoch) {
+  std::size_t purged = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->decision->epoch < epoch) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->stats.invalidated;
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return purged;
+}
+
+std::size_t DecisionCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+DecisionCache::Stats DecisionCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.invalidated += shard->stats.invalidated;
+  }
+  return total;
+}
+
+}  // namespace netpart::svc

@@ -1,0 +1,45 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netpart::svc {
+
+AdaptiveServiceClient::AdaptiveServiceClient(PartitionService& service,
+                                             std::string job,
+                                             std::int32_t quantum)
+    : service_(service), job_(std::move(job)), quantum_(quantum) {
+  NP_REQUIRE(quantum_ >= 1, "rate quantum must be positive");
+}
+
+std::optional<PartitionVector> AdaptiveServiceClient::repartition(
+    std::span<const double> rates, std::int64_t total_pdus) {
+  double max_rate = 0.0;
+  for (double r : rates) max_rate = std::max(max_rate, r);
+  if (rates.empty() || max_rate <= 0.0) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  PartitionRequest request;
+  request.kind = PartitionRequest::Kind::Repartition;
+  request.spec = job_;
+  request.n = total_pdus;
+  request.rate_milli.reserve(rates.size());
+  for (double r : rates) {
+    const double scaled = r / max_rate * static_cast<double>(quantum_);
+    request.rate_milli.push_back(std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(scaled))));
+  }
+
+  const ServiceReply reply = service_.query(request);
+  if (reply.status != ServiceStatus::Ok) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return reply.decision->partition;
+}
+
+}  // namespace netpart::svc

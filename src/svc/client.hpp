@@ -1,0 +1,44 @@
+// Service client for the adaptive executor.
+//
+// Bridges exec::RepartitionClient onto the partition service: observed
+// per-rank rates are quantised (fastest rank = `quantum`) into a canonical
+// Repartition request, so recurring imbalance patterns -- the common case
+// under a stable background load or a persistent slowdown -- resolve from
+// the decision cache instead of recomputing Eq. 3.  Overloaded or Failed
+// replies return nullopt, which the adaptive executor answers with its
+// inline rule: the service is an accelerator, never a hard dependency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "exec/adaptive.hpp"
+#include "svc/service.hpp"
+
+namespace netpart::svc {
+
+class AdaptiveServiceClient final : public RepartitionClient {
+ public:
+  /// `job` labels the computation (distinct jobs never share cache keys).
+  /// `quantum` sets the rate resolution: higher = more faithful to the
+  /// observed rates, lower = more cache sharing between similar patterns.
+  AdaptiveServiceClient(PartitionService& service, std::string job,
+                        std::int32_t quantum = 1000);
+
+  std::optional<PartitionVector> repartition(
+      std::span<const double> rates, std::int64_t total_pdus) override;
+
+  /// Decisions answered locally because the service shed or failed.
+  std::uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  PartitionService& service_;
+  std::string job_;
+  std::int32_t quantum_;
+  std::atomic<std::uint64_t> fallbacks_{0};
+};
+
+}  // namespace netpart::svc

@@ -1,0 +1,107 @@
+#include "svc/metrics.hpp"
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart::svc {
+
+LatencyHistogram::LatencyHistogram(double lo_us, double hi_us,
+                                   std::size_t buckets)
+    : histogram_(lo_us, hi_us, buckets) {}
+
+void LatencyHistogram::record(double us) {
+  std::lock_guard lock(mutex_);
+  histogram_.add(us);
+  stats_.add(us);
+}
+
+std::size_t LatencyHistogram::count() const {
+  std::lock_guard lock(mutex_);
+  return stats_.count();
+}
+
+double LatencyHistogram::mean_us() const {
+  std::lock_guard lock(mutex_);
+  return stats_.mean();
+}
+
+double LatencyHistogram::min_us() const {
+  std::lock_guard lock(mutex_);
+  return stats_.min();
+}
+
+double LatencyHistogram::max_us() const {
+  std::lock_guard lock(mutex_);
+  return stats_.max();
+}
+
+QuantileSummary LatencyHistogram::quantiles() const {
+  std::lock_guard lock(mutex_);
+  if (stats_.count() == 0) return {};
+  return summarize_quantiles(histogram_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::latency(const std::string& name,
+                                           double lo_us, double hi_us,
+                                           std::size_t buckets) {
+  std::lock_guard lock(mutex_);
+  auto& slot = latencies_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(lo_us, hi_us, buckets);
+  return *slot;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, c->value());
+  }
+  JsonValue latencies = JsonValue::object();
+  for (const auto& [name, h] : latencies_) {
+    const QuantileSummary q = h->quantiles();
+    latencies.set(name, JsonValue::object()
+                            .set("count", static_cast<std::uint64_t>(
+                                              h->count()))
+                            .set("mean_us", h->mean_us())
+                            .set("min_us", h->min_us())
+                            .set("max_us", h->max_us())
+                            .set("p50_us", q.p50)
+                            .set("p90_us", q.p90)
+                            .set("p95_us", q.p95)
+                            .set("p99_us", q.p99));
+  }
+  return JsonValue::object().set("counters", std::move(counters))
+      .set("latencies", std::move(latencies));
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  CsvWriter csv(os, {"kind", "name", "field", "value"});
+  for (const auto& [name, c] : counters_) {
+    csv.write_row({"counter", name, "value", std::to_string(c->value())});
+  }
+  const auto row = [&csv](const std::string& name, const std::string& field,
+                          double v) {
+    csv.write_row({"latency", name, field, format_double(v, 3)});
+  };
+  for (const auto& [name, h] : latencies_) {
+    const QuantileSummary q = h->quantiles();
+    csv.write_row({"latency", name, "count", std::to_string(h->count())});
+    row(name, "mean_us", h->mean_us());
+    row(name, "min_us", h->min_us());
+    row(name, "max_us", h->max_us());
+    row(name, "p50_us", q.p50);
+    row(name, "p90_us", q.p90);
+    row(name, "p95_us", q.p95);
+    row(name, "p99_us", q.p99);
+  }
+}
+
+}  // namespace netpart::svc

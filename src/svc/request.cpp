@@ -1,0 +1,53 @@
+#include "svc/request.hpp"
+
+#include "util/hash.hpp"
+
+namespace netpart::svc {
+
+std::uint64_t network_signature(const Network& net) {
+  Fnv1a h;
+  h.i32(net.num_clusters());
+  for (const Cluster& c : net.clusters()) {
+    const ProcessorType& t = c.type();
+    h.i32(c.id())
+        .str(c.name())
+        .i32(c.size())
+        .i32(c.segment())
+        .str(t.name)
+        .i64(t.flop_time.as_nanos())
+        .i64(t.int_time.as_nanos())
+        .i64(t.comm_per_byte.as_nanos())
+        .i64(t.comm_per_message.as_nanos())
+        .u8(t.data_format == DataFormat::BigEndian ? 0 : 1)
+        .i64(t.coerce_per_byte.as_nanos());
+  }
+  h.i32(net.num_segments());
+  for (const Segment& s : net.segments()) {
+    h.i32(s.id).f64(s.bandwidth_bps).i64(s.frame_overhead.as_nanos());
+  }
+  h.u64(static_cast<std::uint64_t>(net.routers().size()));
+  for (const RouterLink& r : net.routers()) {
+    h.i32(r.a).i32(r.b).i64(r.delay_per_byte.as_nanos()).i64(
+        r.delay_per_packet.as_nanos());
+  }
+  return h.value();
+}
+
+std::uint64_t request_key(const PartitionRequest& request,
+                          std::uint64_t network_signature,
+                          std::uint64_t epoch) {
+  Fnv1a h;
+  h.u64(network_signature)
+      .u64(epoch)
+      .u8(static_cast<std::uint8_t>(request.kind))
+      .str(request.spec)
+      .i64(request.n)
+      .i32(request.iterations)
+      .u8(request.options.search == PartitionOptions::Search::Binary ? 0 : 1)
+      .u8(request.options.stop_at_partial_cluster ? 1 : 0);
+  h.u64(static_cast<std::uint64_t>(request.rate_milli.size()));
+  for (std::int32_t r : request.rate_milli) h.i32(r);
+  return h.value();
+}
+
+}  // namespace netpart::svc

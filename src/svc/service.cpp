@@ -1,0 +1,203 @@
+#include "svc/service.hpp"
+
+#include "core/estimator.hpp"
+#include "util/error.hpp"
+
+namespace netpart::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+PartitionService::PartitionService(const Network& net, const CostModelDb& db,
+                                   AvailabilityFeed& feed,
+                                   SpecResolver resolver,
+                                   ServiceOptions options)
+    : net_(net),
+      db_(db),
+      feed_(feed),
+      resolver_(std::move(resolver)),
+      options_(std::move(options)),
+      signature_(network_signature(net)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      requests_(metrics_.counter("requests")),
+      hits_(metrics_.counter("cache_hits")),
+      coalesced_(metrics_.counter("coalesced")),
+      shed_(metrics_.counter("shed_overload")),
+      failed_(metrics_.counter("failed")),
+      cold_computes_(metrics_.counter("cold_computes")),
+      epoch_bumps_(metrics_.counter("epoch_bumps")),
+      hit_latency_(metrics_.latency("hit", 0.0, 200.0, 400)),
+      cold_latency_(metrics_.latency("cold", 0.0, 100000.0, 1000)) {
+  NP_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+  NP_REQUIRE(options_.queue_capacity >= 1,
+             "service queue capacity must be positive");
+  seen_epoch_.store(feed_.epoch(), std::memory_order_release);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PartitionService::~PartitionService() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::shared_future<ServiceReply> PartitionService::ready(ServiceReply reply) {
+  std::promise<ServiceReply> promise;
+  promise.set_value(std::move(reply));
+  return promise.get_future().share();
+}
+
+void PartitionService::observe_epoch(std::uint64_t epoch) {
+  std::uint64_t seen = seen_epoch_.load(std::memory_order_acquire);
+  while (epoch > seen) {
+    if (seen_epoch_.compare_exchange_weak(seen, epoch,
+                                          std::memory_order_acq_rel)) {
+      cache_.invalidate_before(epoch);
+      epoch_bumps_.add();
+      break;
+    }
+  }
+}
+
+std::shared_future<ServiceReply> PartitionService::submit(
+    const PartitionRequest& request) {
+  const auto t0 = Clock::now();
+  requests_.add();
+  auto [snapshot, epoch] = feed_.read();
+  observe_epoch(epoch);
+  const std::uint64_t key = request_key(request, signature_, epoch);
+
+  if (auto hit = cache_.lookup(key)) {
+    hits_.add();
+    hit_latency_.record(us_since(t0));
+    return ready(ServiceReply{ServiceStatus::Ok, std::move(hit),
+                              /*cache_hit=*/true, {}});
+  }
+
+  std::unique_lock lock(mutex_);
+  if (stopping_) {
+    lock.unlock();
+    return ready(ServiceReply{ServiceStatus::Failed, nullptr, false,
+                              "service shutting down"});
+  }
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    coalesced_.add();
+    return it->second->future;
+  }
+  // Double-checked: a worker may have completed this key between the
+  // lock-free miss above and acquiring the lock.
+  if (auto hit = cache_.peek(key)) {
+    lock.unlock();
+    hits_.add();
+    hit_latency_.record(us_since(t0));
+    return ready(ServiceReply{ServiceStatus::Ok, std::move(hit),
+                              /*cache_hit=*/true, {}});
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    lock.unlock();
+    shed_.add();
+    return ready(ServiceReply{ServiceStatus::Overloaded, nullptr, false,
+                              "request queue full"});
+  }
+  auto job = std::make_shared<Job>();
+  job->request = request;
+  job->key = key;
+  job->epoch = epoch;
+  job->snapshot = std::move(snapshot);
+  job->enqueued = t0;
+  job->future = job->promise.get_future().share();
+  inflight_.emplace(key, job);
+  queue_.push_back(job);
+  lock.unlock();
+  work_ready_.notify_one();
+  return job->future;
+}
+
+ServiceReply PartitionService::query(const PartitionRequest& request) {
+  return submit(request).get();
+}
+
+void PartitionService::worker_loop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_cold(*job);
+  }
+}
+
+void PartitionService::run_cold(Job& job) {
+  ServiceReply reply;
+  try {
+    PartitionDecision decision =
+        options_.cold_override
+            ? options_.cold_override(job.request, job.snapshot)
+            : cold_compute(job.request, job.snapshot);
+    decision.key = job.key;
+    decision.epoch = job.epoch;
+    auto shared =
+        std::make_shared<const PartitionDecision>(std::move(decision));
+    cache_.insert(shared);
+    cold_computes_.add();
+    cold_latency_.record(us_since(job.enqueued));
+    reply = ServiceReply{ServiceStatus::Ok, std::move(shared), false, {}};
+  } catch (const std::exception& e) {
+    failed_.add();
+    reply = ServiceReply{ServiceStatus::Failed, nullptr, false, e.what()};
+  }
+  {
+    std::lock_guard lock(mutex_);
+    inflight_.erase(job.key);
+  }
+  job.promise.set_value(std::move(reply));
+}
+
+PartitionDecision PartitionService::cold_compute(
+    const PartitionRequest& request,
+    const AvailabilitySnapshot& snapshot) const {
+  PartitionDecision decision;
+  if (request.kind == PartitionRequest::Kind::Repartition) {
+    NP_REQUIRE(!request.rate_milli.empty(),
+               "repartition request carries no rates");
+    std::vector<double> rates;
+    rates.reserve(request.rate_milli.size());
+    for (std::int32_t r : request.rate_milli) {
+      NP_REQUIRE(r >= 1, "quantised rates must be >= 1");
+      rates.push_back(static_cast<double>(r));
+    }
+    decision.partition = proportional_partition(rates, request.n);
+    return decision;
+  }
+  NP_REQUIRE(resolver_ != nullptr,
+             "Partition-kind request but no spec resolver registered");
+  const ComputationSpec spec = resolver_(request);
+  CycleEstimator estimator(net_, db_, spec);
+  PartitionResult result = partition(estimator, snapshot, request.options);
+  decision.partition = std::move(result.estimate.partition);
+  decision.config = std::move(result.config);
+  decision.placement = std::move(result.placement);
+  decision.t_c_ms = result.estimate.t_c_ms;
+  decision.evaluations = result.evaluations;
+  return decision;
+}
+
+}  // namespace netpart::svc

@@ -20,6 +20,9 @@ class Histogram {
   std::size_t bucket_count() const { return counts_.size(); }
   std::size_t bucket(std::size_t index) const;
 
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
   /// Lower edge of a bucket.
   double bucket_lo(std::size_t index) const;
 

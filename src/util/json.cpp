@@ -1,0 +1,157 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace netpart {
+
+JsonValue::JsonValue(bool v) : type_(Type::Bool), bool_(v) {}
+JsonValue::JsonValue(int v)
+    : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+JsonValue::JsonValue(std::int64_t v) : type_(Type::Int), int_(v) {}
+JsonValue::JsonValue(std::uint64_t v) : type_(Type::Int) {
+  NP_REQUIRE(v <= static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max()),
+             "JSON integer out of range");
+  int_ = static_cast<std::int64_t>(v);
+}
+JsonValue::JsonValue(double v) : type_(Type::Double), double_(v) {}
+JsonValue::JsonValue(const char* v) : type_(Type::String), string_(v) {}
+JsonValue::JsonValue(std::string v)
+    : type_(Type::String), string_(std::move(v)) {}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::Object;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::Array;
+  return v;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  NP_ASSERT(type_ == Type::Object);
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  NP_ASSERT(type_ == Type::Array);
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Int: {
+      char buf[24];
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), int_);
+      NP_ASSERT(ec == std::errc());
+      out.append(buf, p);
+      break;
+    }
+    case Type::Double: {
+      // JSON has no NaN/Inf; render them as null like most emitters.
+      if (!std::isfinite(double_)) {
+        out += "null";
+        break;
+      }
+      char buf[32];
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), double_);
+      NP_ASSERT(ec == std::errc());
+      out.append(buf, p);
+      break;
+    }
+    case Type::String:
+      write_escaped(out, string_);
+      break;
+    case Type::Array: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        write_escaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+}  // namespace netpart

@@ -1,0 +1,58 @@
+// Minimal deterministic JSON emitter.
+//
+// Bench results and service metrics are exported as machine-readable JSON.
+// Determinism is the point: object members render in insertion order,
+// doubles render via std::to_chars (shortest round-trip form, no locale),
+// so byte-identical inputs always produce byte-identical files and a diff
+// of two BENCH_*.json runs shows only genuine changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netpart {
+
+class JsonValue {
+ public:
+  /// Null by default.
+  JsonValue() = default;
+  JsonValue(bool v);                 // NOLINT(google-explicit-constructor)
+  JsonValue(int v);                  // NOLINT(google-explicit-constructor)
+  JsonValue(std::int64_t v);         // NOLINT(google-explicit-constructor)
+  JsonValue(std::uint64_t v);        // NOLINT(google-explicit-constructor)
+  JsonValue(double v);               // NOLINT(google-explicit-constructor)
+  JsonValue(const char* v);          // NOLINT(google-explicit-constructor)
+  JsonValue(std::string v);          // NOLINT(google-explicit-constructor)
+
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Add/replace an object member (insertion order preserved; setting an
+  /// existing key overwrites in place).  Throws LogicError on non-objects.
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Append an array element.  Throws LogicError on non-arrays.
+  JsonValue& push(JsonValue value);
+
+  /// Serialise.  indent = 0 is compact; > 0 pretty-prints with that many
+  /// spaces per level and a trailing newline at top level.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_escaped(std::string& out, const std::string& s);
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace netpart

@@ -2,12 +2,15 @@
 // tables, csv, config, strings.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/least_squares.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -310,6 +313,102 @@ TEST(HistogramTest, RenderShowsBars) {
   const std::string out = h.render(10);
   EXPECT_NE(out.find("##"), std::string::npos);
   EXPECT_NE(out.find(" 2\n"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ hash
+
+// Published FNV-1a 64-bit vectors: cache keys must be reproducible across
+// platforms, so the primitive is pinned to golden values.
+TEST(Fnv1aTest, GoldenVectors) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1aTest, StructuredFieldsAreWidthStable) {
+  // The same logical value hashed through different widths must differ
+  // (each field contributes its full fixed-width encoding)...
+  EXPECT_NE(Fnv1a().u32(7).value(), Fnv1a().u64(7).value());
+  // ...and repeated runs are bit-identical.
+  EXPECT_EQ(Fnv1a().u64(7).i32(-1).f64(0.5).value(),
+            Fnv1a().u64(7).i32(-1).f64(0.5).value());
+}
+
+TEST(Fnv1aTest, LengthPrefixPreventsConcatenationCollisions) {
+  EXPECT_NE(Fnv1a().str("ab").str("c").value(),
+            Fnv1a().str("a").str("bc").value());
+}
+
+TEST(Fnv1aTest, DoublesAreCanonicalised) {
+  // -0.0 and +0.0 compare equal, so they must hash equal.
+  EXPECT_EQ(Fnv1a().f64(0.0).value(), Fnv1a().f64(-0.0).value());
+  // Any NaN payload collapses to one canonical bit pattern.
+  const double nan1 = std::numeric_limits<double>::quiet_NaN();
+  const double nan2 = -nan1;
+  EXPECT_EQ(Fnv1a().f64(nan1).value(), Fnv1a().f64(nan2).value());
+}
+
+// ------------------------------------------------------- histogram tails
+
+TEST(HistogramQuantileTest, UniformSamplesInterpolate) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);  // one sample per bucket
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 50.0, 1.0);
+  EXPECT_NEAR(histogram_quantile(h, 0.95), 95.0, 1.0);
+  EXPECT_NEAR(histogram_quantile(h, 0.0), 0.0, 1.0);
+  EXPECT_NEAR(histogram_quantile(h, 1.0), 100.0, 1.0);
+}
+
+TEST(HistogramQuantileTest, SummaryIsMonotone) {
+  Histogram h(0.0, 10.0, 50);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.add(rng.next_double() * 10.0);
+  const QuantileSummary s = summarize_quantiles(h);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_NEAR(s.p50, 5.0, 1.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketSpike) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 8; ++i) h.add(3.5);  // all mass in bucket [3, 4)
+  EXPECT_GE(histogram_quantile(h, 0.5), 3.0);
+  EXPECT_LE(histogram_quantile(h, 0.5), 4.0);
+}
+
+TEST(HistogramQuantileTest, RejectsEmptyAndBadQ) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(histogram_quantile(h, 0.5), InvalidArgument);
+  h.add(0.5);
+  EXPECT_THROW(histogram_quantile(h, -0.1), InvalidArgument);
+  EXPECT_THROW(histogram_quantile(h, 1.1), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(JsonTest, MembersRenderInInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v.set("zebra", 1);
+  v.set("alpha", 2);
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(JsonTest, EscapesAndScalars) {
+  JsonValue v = JsonValue::object();
+  v.set("s", "a\"b\n");
+  v.set("t", true);
+  v.set("none", JsonValue());
+  v.set("half", 0.5);
+  EXPECT_EQ(v.dump(),
+            "{\"s\":\"a\\\"b\\n\",\"t\":true,\"none\":null,\"half\":0.5}");
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  JsonValue v = JsonValue::array();
+  v.push(std::numeric_limits<double>::infinity());
+  v.push(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(v.dump(), "[null,null]");
 }
 
 // ---------------------------------------------------------------- errors

@@ -232,9 +232,12 @@ CMakeFiles/bench_breakdown.dir/bench/bench_breakdown.cpp.o: \
  /root/repo/src/util/least_squares.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
- /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
- /root/repo/src/net/presets.hpp /root/repo/src/util/config.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
+ /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
+ /root/repo/src/util/config.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/json.hpp \
  /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp

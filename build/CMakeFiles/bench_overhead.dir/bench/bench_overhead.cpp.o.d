@@ -234,4 +234,7 @@ CMakeFiles/bench_overhead.dir/bench/bench_overhead.cpp.o: \
  /root/repo/src/util/least_squares.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
- /root/repo/src/net/presets.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/presets.hpp

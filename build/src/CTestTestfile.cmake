@@ -13,4 +13,5 @@ subdirs("calib")
 subdirs("dp")
 subdirs("core")
 subdirs("exec")
+subdirs("svc")
 subdirs("apps")

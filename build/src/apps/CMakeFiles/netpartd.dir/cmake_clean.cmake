@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpartd.dir/netpartd.cpp.o"
+  "CMakeFiles/netpartd.dir/netpartd.cpp.o.d"
+  "netpartd"
+  "netpartd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpartd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

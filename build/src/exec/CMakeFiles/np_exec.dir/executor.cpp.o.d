@@ -230,4 +230,7 @@ src/exec/CMakeFiles/np_exec.dir/executor.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/exec/schedule.hpp \
  /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp \
- /root/repo/src/util/stats.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/stats.hpp

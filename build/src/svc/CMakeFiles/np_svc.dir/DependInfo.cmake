@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/cache.cpp" "src/svc/CMakeFiles/np_svc.dir/cache.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/cache.cpp.o.d"
+  "/root/repo/src/svc/client.cpp" "src/svc/CMakeFiles/np_svc.dir/client.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/client.cpp.o.d"
+  "/root/repo/src/svc/metrics.cpp" "src/svc/CMakeFiles/np_svc.dir/metrics.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/metrics.cpp.o.d"
+  "/root/repo/src/svc/request.cpp" "src/svc/CMakeFiles/np_svc.dir/request.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/request.cpp.o.d"
+  "/root/repo/src/svc/service.cpp" "src/svc/CMakeFiles/np_svc.dir/service.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/np_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/np_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_svc.dir/cache.cpp.o"
+  "CMakeFiles/np_svc.dir/cache.cpp.o.d"
+  "CMakeFiles/np_svc.dir/client.cpp.o"
+  "CMakeFiles/np_svc.dir/client.cpp.o.d"
+  "CMakeFiles/np_svc.dir/metrics.cpp.o"
+  "CMakeFiles/np_svc.dir/metrics.cpp.o.d"
+  "CMakeFiles/np_svc.dir/request.cpp.o"
+  "CMakeFiles/np_svc.dir/request.cpp.o.d"
+  "CMakeFiles/np_svc.dir/service.cpp.o"
+  "CMakeFiles/np_svc.dir/service.cpp.o.d"
+  "libnp_svc.a"
+  "libnp_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

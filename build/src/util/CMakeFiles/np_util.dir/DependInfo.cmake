@@ -10,7 +10,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/config.cpp" "src/util/CMakeFiles/np_util.dir/config.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/config.cpp.o.d"
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/np_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/util/CMakeFiles/np_util.dir/hash.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/hash.cpp.o.d"
   "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/np_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/np_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/json.cpp.o.d"
   "/root/repo/src/util/least_squares.cpp" "src/util/CMakeFiles/np_util.dir/least_squares.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/least_squares.cpp.o.d"
   "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/np_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/log.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/np_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/np_util.dir/rng.cpp.o.d"

@@ -3,8 +3,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/np_util.dir/config.cpp.o.d"
   "CMakeFiles/np_util.dir/csv.cpp.o"
   "CMakeFiles/np_util.dir/csv.cpp.o.d"
+  "CMakeFiles/np_util.dir/hash.cpp.o"
+  "CMakeFiles/np_util.dir/hash.cpp.o.d"
   "CMakeFiles/np_util.dir/histogram.cpp.o"
   "CMakeFiles/np_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/np_util.dir/json.cpp.o"
+  "CMakeFiles/np_util.dir/json.cpp.o.d"
   "CMakeFiles/np_util.dir/least_squares.cpp.o"
   "CMakeFiles/np_util.dir/least_squares.cpp.o.d"
   "CMakeFiles/np_util.dir/log.cpp.o"

@@ -311,5 +311,7 @@ tests/CMakeFiles/test_chaos.dir/chaos_test.cpp.o: \
  /root/repo/src/core/decompose.hpp /root/repo/src/exec/adaptive.hpp \
  /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
  /root/repo/src/mmps/manager_protocol.hpp \
- /root/repo/src/net/availability.hpp /root/repo/src/net/presets.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/presets.hpp \
  /root/repo/src/sim/faults.hpp

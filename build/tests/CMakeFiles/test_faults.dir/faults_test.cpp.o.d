@@ -296,7 +296,9 @@ tests/CMakeFiles/test_faults.dir/faults_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/availability.hpp /root/repo/src/net/ids.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/ids.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/net/cluster.hpp \
  /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/util/rng.hpp \

@@ -309,4 +309,6 @@ tests/CMakeFiles/test_general.dir/general_test.cpp.o: \
  /root/repo/src/util/least_squares.hpp /root/repo/src/core/general.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/net/presets.hpp

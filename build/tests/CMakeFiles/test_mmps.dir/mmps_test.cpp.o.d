@@ -304,4 +304,6 @@ tests/CMakeFiles/test_mmps.dir/mmps_test.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/net/presets.hpp \
- /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp
+ /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

@@ -293,7 +293,9 @@ tests/CMakeFiles/test_net.dir/net_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/net/availability.hpp /root/repo/src/net/ids.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/ids.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/net/cluster.hpp \
  /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/util/rng.hpp \

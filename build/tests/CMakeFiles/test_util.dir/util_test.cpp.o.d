@@ -294,7 +294,8 @@ tests/CMakeFiles/test_util.dir/util_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/util/config.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/util/error.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/util/hash.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
  /root/repo/src/util/least_squares.hpp /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /root/repo/src/util/stats.hpp \
  /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp \

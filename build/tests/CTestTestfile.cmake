@@ -25,6 +25,7 @@ include("/root/repo/build/tests/test_metasystem[1]_include.cmake")
 include("/root/repo/build/tests/test_solver[1]_include.cmake")
 include("/root/repo/build/tests/test_trace[1]_include.cmake")
 include("/root/repo/build/tests/test_threaded[1]_include.cmake")
+include("/root/repo/build/tests/test_service[1]_include.cmake")
 include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
 include("/root/repo/build/tests/test_spec_parser[1]_include.cmake")
 include("/root/repo/build/tests/test_coverage[1]_include.cmake")

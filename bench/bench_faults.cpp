@@ -11,6 +11,10 @@
 // Part 2 -- the control plane under fail-stop faults.  The fault-tolerant
 // availability protocol runs with 0, 1 and 2 crashed managers: each death
 // costs ack timeouts, but the ring always terminates and reports the dead.
+//
+// Emits BENCH_faults.json with both sections plus per-phase telemetry
+// counter deltas (adaptive.*, mmps.*, partitioner.*) from the global
+// registry.
 #include <algorithm>
 #include <cstdio>
 
@@ -26,7 +30,7 @@
 namespace netpart {
 namespace {
 
-void recovery_study(const Network& net) {
+void recovery_study(const Network& net, JsonValue& root) {
   const apps::StencilConfig cfg{.n = 1200, .iterations = 40,
                                 .overlap = false};
   const ComputationSpec spec = apps::make_stencil_spec(cfg);
@@ -45,6 +49,7 @@ void recovery_study(const Network& net) {
 
   Table table({"seed", "onset ms", "react ms", "static ms", "adaptive ms",
                "oracle ratio", "final A"});
+  JsonValue seeds = JsonValue::array();
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     sim::ChaosOptions chaos;
     chaos.crashes = 0;
@@ -94,7 +99,21 @@ void recovery_study(const Network& net) {
                    react, bench::ms(fixed.elapsed.as_millis()),
                    bench::ms(adaptive.elapsed.as_millis()), ratio,
                    adaptive.final_partition.to_string()});
+
+    JsonValue row = JsonValue::object();
+    row.set("seed", static_cast<std::int64_t>(seed));
+    row.set("onset_ms", onset.as_millis());
+    if (reacted) {
+      row.set("react_ms", (adaptive.first_fault_response - onset).as_millis());
+    } else {
+      row.set("react_ms", JsonValue());
+    }
+    row.set("static_ms", fixed.elapsed.as_millis());
+    row.set("adaptive_ms", adaptive.elapsed.as_millis());
+    row.set("oracle_ratio", report.ratio);
+    seeds.push(std::move(row));
   }
+  root.set("recovery", std::move(seeds));
   std::printf("%s\n", table.render("recovery under open-ended slowdowns "
                                    "(vs fault-free static "
                                    + bench::ms(baseline.elapsed.as_millis())
@@ -102,12 +121,13 @@ void recovery_study(const Network& net) {
                           .c_str());
 }
 
-void protocol_study() {
+void protocol_study(JsonValue& root) {
   const Network net = presets::fig1_network();  // three clusters
   const std::vector<ClusterManager> managers = make_managers(net, {});
 
   Table table({"crashed managers", "elapsed ms", "messages", "dead",
                "available"});
+  JsonValue rows = JsonValue::array();
   for (int kill = 0; kill <= 2; ++kill) {
     sim::FaultPlan plan;
     for (int c = 1; c <= kill; ++c) {
@@ -137,11 +157,19 @@ void protocol_study() {
     table.add_row({std::to_string(kill),
                    bench::ms(result.elapsed.as_millis()),
                    std::to_string(result.messages), dead, avail});
+
+    JsonValue row = JsonValue::object();
+    row.set("crashed", kill);
+    row.set("elapsed_ms", result.elapsed.as_millis());
+    row.set("messages", static_cast<std::int64_t>(result.messages));
+    row.set("dead", static_cast<std::int64_t>(result.dead.size()));
+    rows.push(std::move(row));
   }
   std::printf("%s\n",
               table.render("fault-tolerant availability protocol "
                            "(ack timeout 250 ms, 3 attempts)")
                   .c_str());
+  root.set("protocol", std::move(rows));
 }
 
 }  // namespace
@@ -150,7 +178,15 @@ void protocol_study() {
 int main() {
   using namespace netpart;
   const Network net = presets::paper_testbed();
-  recovery_study(net);
-  protocol_study();
+  bench::PhaseMetrics phase_metrics;
+  JsonValue root = JsonValue::object();
+  root.set("bench", "faults");
+  recovery_study(net, root);
+  phase_metrics.phase("recovery");
+  protocol_study(root);
+  phase_metrics.phase("protocol");
+  root.set("metrics", phase_metrics.to_json());
+  bench::write_bench_json("BENCH_faults.json", root);
+  std::printf("\nresults -> BENCH_faults.json\n");
   return 0;
 }

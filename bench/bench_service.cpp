@@ -132,6 +132,8 @@ int run(const Config& args) {
   const int clients = static_cast<int>(args.get_int_or("clients", 8));
   const std::string json_out = args.get_or("json_out", "BENCH_service.json");
 
+  bench::PhaseMetrics phase_metrics;
+
   // --- Part 1: cold vs. hit latency on the paper testbed. -------------
   const Network net = presets::paper_testbed();
   const CostModelDb db = bench::calibrate_testbed(net).db;
@@ -165,6 +167,7 @@ int run(const Config& args) {
   const LatencySummary cold = summarize(cold_us);
   const LatencySummary hit = summarize(hit_us);
   const double hit_speedup = cold.p50 / hit.p50;
+  phase_metrics.phase("latency");
 
   // --- Part 2: throughput scaling on a cold-only mix. -----------------
   Rng rng(7);
@@ -178,6 +181,7 @@ int run(const Config& args) {
                                       cold_requests));
   }
   const double scaling_2w = rps[1] / rps[0];
+  phase_metrics.phase("throughput");
 
   // --- Report. ---------------------------------------------------------
   Table latency({"path", "p50 us", "p95 us", "p99 us", "mean us"});
@@ -224,6 +228,7 @@ int run(const Config& args) {
   thr.set("points", std::move(points));
   thr.set("scaling_2w_over_1w", scaling_2w);
   root.set("throughput", std::move(thr));
+  root.set("metrics", phase_metrics.to_json());
   JsonValue checks = JsonValue::object();
   checks.set("hit_5x_cheaper_than_cold", hit_speedup >= 5.0);
   checks.set("workers_scale_2_gt_1", scaling_2w > 1.0);

@@ -56,6 +56,16 @@ void write_bench_json(const std::string& path, const JsonValue& root) {
   out << root.dump(2);
 }
 
+PhaseMetrics::PhaseMetrics()
+    : last_(obs::TelemetryRegistry::global().snapshot()),
+      phases_(JsonValue::object()) {}
+
+void PhaseMetrics::phase(const std::string& name) {
+  obs::MetricsSnapshot now = obs::TelemetryRegistry::global().snapshot();
+  phases_.set(name, obs::snapshot_json(obs::snapshot_delta(last_, now)));
+  last_ = std::move(now);
+}
+
 double sample_quantile(std::vector<double> samples, double q) {
   NP_REQUIRE(!samples.empty(), "sample_quantile needs samples");
   NP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");

@@ -11,6 +11,7 @@
 #include "exec/executor.hpp"
 #include "net/availability.hpp"
 #include "net/presets.hpp"
+#include "obs/telemetry.hpp"
 #include "util/config.hpp"
 #include "util/json.hpp"
 
@@ -53,5 +54,22 @@ void write_bench_json(const std::string& path, const JsonValue& root);
 /// order statistics (q in [0, 1]).  Used for per-request latency tails
 /// where histogram buckets would be too coarse.
 double sample_quantile(std::vector<double> samples, double q);
+
+/// Per-phase telemetry for BENCH_*.json artifacts: snapshots the global
+/// registry at construction, and each phase() call records the counter
+/// deltas since the previous call under the given name.  Only changed
+/// counters appear, name-ordered, so the artifact stays small and
+/// deterministic.  Embed via `root.set("metrics", recorder.to_json())`.
+class PhaseMetrics {
+ public:
+  PhaseMetrics();
+  /// Close the window since the previous call (or construction) as `name`.
+  void phase(const std::string& name);
+  JsonValue to_json() const { return phases_; }
+
+ private:
+  obs::MetricsSnapshot last_;
+  JsonValue phases_;
+};
 
 }  // namespace netpart::bench

@@ -4,7 +4,7 @@
 add_library(np_bench_common STATIC bench/common.cpp)
 target_link_libraries(np_bench_common PUBLIC
   np_util np_net np_sim np_mmps np_topo np_calib np_dp np_core np_exec
-  np_apps)
+  np_obs np_apps)
 target_include_directories(np_bench_common PUBLIC ${CMAKE_SOURCE_DIR})
 
 function(np_add_bench name)

@@ -7,6 +7,11 @@
 #                               # service + threaded tests (the tsan test
 #                               # preset filters to them) -- any reported
 #                               # race fails the tier
+#   scripts/tier1.sh --obs      # Release build, then a telemetry smoke
+#                               # stage: netpartd --trace-out on a small
+#                               # spec, validated by trace_check (the
+#                               # trace must parse and contain the
+#                               # partitioner / service / adaptive spans)
 #
 # Tests run in a random order (--schedule-random) so hidden inter-test
 # dependencies surface, and --repeat until-pass:1 keeps every test to a
@@ -16,8 +21,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="${1:-release}"
+obs_stage=0
 if [[ "$preset" == "--tsan" ]]; then
   preset="tsan"
+elif [[ "$preset" == "--obs" ]]; then
+  preset="release"
+  obs_stage=1
 fi
 
 cmake --preset "$preset"
@@ -25,3 +34,19 @@ cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" \
   --repeat until-pass:1 \
   -j "$(nproc)"
+
+if [[ "$obs_stage" == 1 ]]; then
+  echo "== obs smoke stage =="
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+  ./build/src/apps/netpartd \
+    clients=2 requests=20 universe=8 workers=2 churn=1 \
+    --trace-out "$workdir/trace.json" \
+    --metrics-out "$workdir/metrics.txt" >/dev/null
+  ./build/src/apps/trace_check "$workdir/trace.json" \
+    partition.search svc.request svc.execute \
+    adaptive.chunk adaptive.repartition
+  grep -q "^counter partitioner.calls" "$workdir/metrics.txt" || {
+    echo "metrics.txt lacks partitioner counters" >&2; exit 1; }
+  echo "obs smoke stage ok"
+fi

@@ -24,8 +24,17 @@
 //   model_in = saved cost model (skips calibration)
 //   json_out = metrics JSON path,  csv_out = metrics CSV path
 //
+// Telemetry (also accepted as --trace-out FILE / --metrics-out FILE):
+//   trace_out   = Chrome trace-event JSON (chrome://tracing, Perfetto)
+//   metrics_out = deterministic name-ordered metrics text
+// Either flag enables the global telemetry registry and appends a traced
+// adaptive-repartitioning stage after the service run, so the trace shows
+// the full pipeline: partitioner search, service request lifecycles, and
+// an adaptive repartition with its simulated message traffic.
+//
 // Example:
 //   netpartd clients=16 workers=4 universe=32 zipf=1.2 churn=6
+//   netpartd clients=4 requests=50 --trace-out trace.json
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -41,8 +50,15 @@
 #include "apps/stencil.hpp"
 #include "calib/calibrate.hpp"
 #include "calib/model_io.hpp"
+#include "core/decompose.hpp"
+#include "exec/adaptive.hpp"
 #include "net/presets.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/sim_bridge.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/trace.hpp"
 #include "svc/service.hpp"
+#include "topo/placement.hpp"
 #include "util/config.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -103,7 +119,51 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
+/// A small adaptive pipeline under a mid-run load step, appended when
+/// telemetry export is on: it puts the adaptive.chunk / repartition /
+/// migration spans on the simulated-time track and bridges the run's
+/// (bounded) message trace into the registry so the exported file shows a
+/// complete message lifecycle next to the service's wall-clock spans.
+void traced_adaptive_stage(const Network& net) {
+  const apps::StencilConfig cfg{.n = 1200, .iterations = 40,
+                                .overlap = false};
+  const ComputationSpec spec = apps::make_stencil_spec(cfg);
+  const std::vector<ClusterId> order = clusters_by_speed(net);
+  const ClusterId c0 = order.front();
+  ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
+  config[static_cast<std::size_t>(c0)] =
+      std::min(6, net.cluster(c0).size());
+  const Placement placement = contiguous_placement(net, config, order);
+  const PartitionVector initial =
+      balanced_partition(net, config, order, cfg.n);
+
+  // Half the selected processors take on background load two simulated
+  // seconds in -- enough imbalance to force at least one repartition.
+  const LoadSchedule load = LoadSchedule::step(
+      net, c0, config[static_cast<std::size_t>(c0)] / 2,
+      SimTime::seconds(2), 0.5);
+
+  sim::TraceLog log(1 << 16);
+  ExecutionOptions exec_options;
+  exec_options.load = &load;
+  exec_options.tracer = log.tracer();
+  const AdaptiveOptions adaptive_options{.check_interval = 5,
+                                         .imbalance_threshold = 1.2,
+                                         .pdu_bytes = 4 * cfg.n};
+  const AdaptiveResult result = execute_adaptive(
+      net, spec, placement, initial, exec_options, adaptive_options);
+  obs::bridge_trace_log(log, obs::TelemetryRegistry::global());
+  std::printf("\ntraced adaptive stage: %d repartitions over %s simulated "
+              "ms\n", result.repartitions,
+              format_double(result.elapsed.as_millis(), 0).c_str());
+}
+
 int run(const Config& args) {
+  const auto trace_out = args.get("trace_out");
+  const auto metrics_out = args.get("metrics_out");
+  const bool telemetry = trace_out.has_value() || metrics_out.has_value();
+  if (telemetry) obs::TelemetryRegistry::global().set_enabled(true);
+
   const Network net = make_network(args.get_or("network", "paper"));
   std::printf("%s", net.describe().c_str());
 
@@ -258,6 +318,23 @@ int run(const Config& args) {
     m.write_csv(out);
     std::printf("metrics CSV -> %s\n", path->c_str());
   }
+
+  if (telemetry) {
+    traced_adaptive_stage(net);
+    if (trace_out) {
+      std::ofstream out(*trace_out);
+      NP_REQUIRE(out.good(), "cannot open trace_out path");
+      obs::write_chrome_trace(out, obs::TelemetryRegistry::global());
+      std::printf("trace -> %s (%zu spans)\n", trace_out->c_str(),
+                  obs::TelemetryRegistry::global().span_count());
+    }
+    if (metrics_out) {
+      std::ofstream out(*metrics_out);
+      NP_REQUIRE(out.good(), "cannot open metrics_out path");
+      out << obs::TelemetryRegistry::global().metrics_text();
+      std::printf("metrics -> %s\n", metrics_out->c_str());
+    }
+  }
   return failed.load() == 0 ? 0 : 1;
 }
 
@@ -266,7 +343,29 @@ int run(const Config& args) {
 
 int main(int argc, char** argv) {
   try {
-    return netpart::run(netpart::Config::from_args(argc, argv));
+    // Config speaks key=value; rewrite the conventional long options
+    // --trace-out FILE / --metrics-out FILE (or --flag=FILE) first.
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      bool rewritten = false;
+      for (const auto& [flag, key] :
+           {std::pair<std::string, std::string>{"--trace-out", "trace_out"},
+            {"--metrics-out", "metrics_out"}}) {
+        if (arg == flag && i + 1 < argc) {
+          tokens.push_back(key + "=" + argv[++i]);
+          rewritten = true;
+          break;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+          tokens.push_back(key + arg.substr(flag.size()));
+          rewritten = true;
+          break;
+        }
+      }
+      if (!rewritten) tokens.push_back(std::move(arg));
+    }
+    return netpart::run(netpart::Config::from_args(tokens));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "netpartd: %s\n", e.what());
     return 1;

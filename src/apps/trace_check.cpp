@@ -1,0 +1,81 @@
+// trace_check: validate a Chrome trace-event JSON file.
+//
+// CI's --obs smoke stage runs `netpartd --trace-out trace.json` and then
+// this tool, which parses the file with the util/json parser and verifies
+// it is a well-formed trace containing every span name given on the
+// command line.  Exit 0 on success; 1 with a diagnostic otherwise.
+//
+// Usage: trace_check FILE [required-span-name...]
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using netpart::JsonValue;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_check FILE [required-span-name...]\n");
+    return 1;
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const JsonValue root = JsonValue::parse(buffer.str());
+    const JsonValue* events = root.find("traceEvents");
+    if (events == nullptr) {
+      std::fprintf(stderr, "trace_check: no traceEvents array\n");
+      return 1;
+    }
+
+    std::set<std::string> span_names;
+    std::size_t spans = 0, instants = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const JsonValue& event = events->at(i);
+      const JsonValue* ph = event.find("ph");
+      const JsonValue* name = event.find("name");
+      if (ph == nullptr || name == nullptr) {
+        std::fprintf(stderr,
+                     "trace_check: event %zu lacks ph or name\n", i);
+        return 1;
+      }
+      if (ph->as_string() == "X") {
+        ++spans;
+        span_names.insert(name->as_string());
+        if (event.find("ts") == nullptr || event.find("dur") == nullptr) {
+          std::fprintf(stderr,
+                       "trace_check: span %s lacks ts/dur\n",
+                       name->as_string().c_str());
+          return 1;
+        }
+      } else if (ph->as_string() == "i") {
+        ++instants;
+      }
+    }
+
+    bool ok = true;
+    for (int a = 2; a < argc; ++a) {
+      if (span_names.count(argv[a]) == 0) {
+        std::fprintf(stderr, "trace_check: missing span %s\n", argv[a]);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("trace_check: %s ok (%zu spans, %zu instants)\n", argv[1],
+                spans, instants);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_check: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace netpart {
@@ -18,6 +20,11 @@ CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
 
 CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
   ++evaluations_;
+  static obs::Counter& evals_counter =
+      obs::TelemetryRegistry::global().counter("estimator.evaluations");
+  evals_counter.add(1);
+  obs::Span span(obs::TelemetryRegistry::global(), "estimator.estimate",
+                 "core");
   validate_config(network_, config);
 
   const ComputationPhaseSpec& comp = spec_.dominant_computation();
@@ -60,6 +67,14 @@ CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
                     0.0, 0.0};
   out.t_c_ms = t_comp + t_comm - t_overlap;
   out.t_elapsed_ms = out.t_c_ms * spec_.iterations();
+  if (span.active()) {
+    // The paper's Eq. 1 breakdown: T_c = T_comp + T_comm - T_overlap.
+    span.attr("processors", JsonValue(config_total(config)));
+    span.attr("t_comp_ms", JsonValue(t_comp));
+    span.attr("t_comm_ms", JsonValue(t_comm));
+    span.attr("t_overlap_ms", JsonValue(t_overlap));
+    span.attr("t_c_ms", JsonValue(out.t_c_ms));
+  }
   return out;
 }
 

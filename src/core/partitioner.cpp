@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -40,8 +42,10 @@ class ClusterObjective {
 
 /// Locate the argmin of a discrete unimodal function on [lo, hi] by binary
 /// search (the paper's Fig. 3 assumption: a single global minimum).
-int unimodal_argmin(ClusterObjective& f, int lo, int hi) {
+int unimodal_argmin(ClusterObjective& f, int lo, int hi,
+                    std::uint64_t& steps) {
   while (lo < hi) {
+    ++steps;
     const int mid = lo + (hi - lo) / 2;
     if (f(mid) <= f(mid + 1)) {
       hi = mid;
@@ -72,21 +76,33 @@ PartitionResult partition(const CycleEstimator& estimator,
              "availability snapshot does not match the network");
   NP_REQUIRE(snapshot.total() > 0, "no processors available");
 
+  auto& telemetry = obs::TelemetryRegistry::global();
+  static obs::Counter& calls_counter = telemetry.counter("partitioner.calls");
+  static obs::Counter& steps_counter =
+      telemetry.counter("partitioner.binary_search_steps");
+  static obs::Counter& evals_counter =
+      telemetry.counter("partitioner.cost_model_evals");
+  calls_counter.add(1);
+  obs::Span search_span(telemetry, "partition.search", "core");
+
   const std::uint64_t evals_before = estimator.evaluations();
   ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
   bool any_selected = false;
+  std::uint64_t search_steps = 0;
 
   for (ClusterId c : estimator.cluster_order()) {
     const int n = snapshot.available[static_cast<std::size_t>(c)];
     if (n == 0) continue;
 
+    const std::uint64_t cluster_evals_before = estimator.evaluations();
+    obs::Span cluster_span(telemetry, "partition.cluster", "core");
     ClusterObjective f(estimator, config, c);
     // The Fig. 3 unimodality assumption covers p >= 1; "use none of this
     // cluster" (p = 0, only legal once something is selected) sits off the
     // curve -- it removes the router crossing entirely -- so it is compared
     // against the valley minimum explicitly rather than searched.
     int best = options.search == PartitionOptions::Search::Binary
-                   ? unimodal_argmin(f, 1, n)
+                   ? unimodal_argmin(f, 1, n, search_steps)
                    : linear_argmin(f, 1, n);
     if (any_selected && f(0) <= f(best)) {
       best = 0;
@@ -94,6 +110,14 @@ PartitionResult partition(const CycleEstimator& estimator,
     config[static_cast<std::size_t>(c)] = best;
     if (best > 0) any_selected = true;
 
+    if (cluster_span.active()) {
+      cluster_span.attr("cluster", JsonValue(static_cast<std::int64_t>(c)));
+      cluster_span.attr("available", JsonValue(n));
+      cluster_span.attr("chosen", JsonValue(best));
+      cluster_span.attr("evaluations",
+                        JsonValue(estimator.evaluations() -
+                                  cluster_evals_before));
+    }
     if (options.stop_at_partial_cluster && best < n) {
       // Communication locality rule: a partially used cluster means the
       // granularity limit was reached; remoter processors cannot help.
@@ -106,6 +130,13 @@ PartitionResult partition(const CycleEstimator& estimator,
       config, estimator.estimate(config),
       contiguous_placement(net, config, estimator.cluster_order()),
       estimator.cluster_order(), estimator.evaluations() - evals_before};
+  steps_counter.add(search_steps);
+  evals_counter.add(result.evaluations);
+  if (search_span.active()) {
+    search_span.attr("evaluations", JsonValue(result.evaluations));
+    search_span.attr("binary_search_steps", JsonValue(search_steps));
+    search_span.attr("t_c_ms", JsonValue(result.estimate.t_c_ms));
+  }
   NP_LOG_DEBUG << "partitioner chose config with T_c="
                << result.estimate.t_c_ms << "ms after " << result.evaluations
                << " evaluations";

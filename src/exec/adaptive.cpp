@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/faults.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -12,6 +14,16 @@
 namespace netpart {
 
 namespace {
+
+/// Wrap a pipeline-clock tracer for a run whose simulator restarts at
+/// local time 0: shift every event by the run's pipeline-time origin.
+sim::Tracer shifted_tracer(const sim::Tracer& sink, SimTime origin) {
+  return [&sink, origin](const sim::TraceEvent& event) {
+    sim::TraceEvent shifted = event;
+    shifted.at = origin + event.at;
+    sink(shifted);
+  };
+}
 
 /// Simulate moving the PDU deltas between ranks and return the elapsed
 /// redistribution time.  Surplus ranks ship blocks to deficit ranks,
@@ -38,6 +50,9 @@ SimTime redistribute(const Network& network, const Placement& placement,
   sim::Engine engine;
   sim::NetSim net(engine, network, exec_options.sim_params,
                   Rng(exec_options.seed ^ 0x5EED));
+  if (exec_options.tracer) {
+    net.set_tracer(shifted_tracer(exec_options.tracer, origin));
+  }
   // The PDUs travel over the same (possibly degraded) network: arm the
   // fault plan at the pipeline time the redistribution starts.
   std::optional<sim::FaultInjector> injector;
@@ -86,6 +101,13 @@ AdaptiveResult run_chunked(const Network& network,
   NP_REQUIRE(adaptive_options.imbalance_threshold > 1.0,
              "imbalance threshold must exceed 1");
 
+  auto& telemetry = obs::TelemetryRegistry::global();
+  static obs::Counter& chunks_counter = telemetry.counter("adaptive.chunks");
+  static obs::Counter& repartitions_counter =
+      telemetry.counter("adaptive.repartitions");
+  static obs::Counter& fault_counter =
+      telemetry.counter("adaptive.fault_responses");
+
   AdaptiveResult result{SimTime::zero(), SimTime::zero(), 0, initial, 0};
   PartitionVector current = initial;
   int iterations_left = spec.iterations();
@@ -102,8 +124,20 @@ AdaptiveResult run_chunked(const Network& network,
     options.seed = exec_options.seed + static_cast<std::uint64_t>(
                                            997 * chunk_index);
     const SimTime chunk_start = options.load_time_origin;
+    if (exec_options.tracer) {
+      options.tracer = shifted_tracer(exec_options.tracer, chunk_start);
+    }
     const ExecutionResult run =
         execute(network, chunk_spec, placement, current, options);
+    chunks_counter.add(1);
+    {
+      obs::Span chunk_span(telemetry, "adaptive.chunk", chunk_start, "exec");
+      if (chunk_span.active()) {
+        chunk_span.attr("chunk", JsonValue(chunk_index));
+        chunk_span.attr("iterations", JsonValue(chunk));
+      }
+      chunk_span.end_at(chunk_start + run.elapsed);
+    }
     result.elapsed += run.elapsed;
     result.messages_delivered += run.messages_delivered;
     iterations_left -= chunk;
@@ -150,17 +184,34 @@ AdaptiveResult run_chunked(const Network& network,
     }();
     if (disturbed) {
       ++result.fault_responses;
+      fault_counter.add(1);
       result.first_fault_response =
           std::min(result.first_fault_response,
                    exec_options.load_time_origin + result.elapsed);
     }
     if (next.values() == current.values()) continue;
-    const SimTime moved = redistribute(
-        network, placement, current, next, adaptive_options.pdu_bytes,
-        exec_options, exec_options.load_time_origin + result.elapsed);
+    const SimTime decision_at = exec_options.load_time_origin + result.elapsed;
+    obs::Span repartition_span(telemetry, "adaptive.repartition", decision_at,
+                               "exec");
+    if (repartition_span.active()) {
+      repartition_span.attr("trigger",
+                            JsonValue(disturbed ? "fault" : "imbalance"));
+      repartition_span.attr("chunk", JsonValue(chunk_index));
+    }
+    obs::Span migration_span(telemetry, "adaptive.migration", decision_at,
+                             "exec");
+    const SimTime moved = redistribute(network, placement, current, next,
+                                       adaptive_options.pdu_bytes,
+                                       exec_options, decision_at);
+    if (migration_span.active()) {
+      migration_span.attr("moved_ms", JsonValue(moved.as_millis()));
+    }
+    migration_span.end_at(decision_at + moved);
+    repartition_span.end_at(decision_at + moved);
     result.elapsed += moved;
     result.redistribution_time += moved;
     ++result.repartitions;
+    repartitions_counter.add(1);
     NP_LOG_DEBUG << "repartitioned after chunk " << chunk_index << ": ["
                  << current.to_string() << "] -> [" << next.to_string()
                  << "] (+" << moved.as_millis() << "ms)";

@@ -58,6 +58,11 @@ struct ExecutionOptions {
   /// finished by then, execute() throws ExecutionStalled instead of
   /// running (or hanging) forever.
   SimTime budget = SimTime::max();
+  /// Observer for this run's simulator trace events (see sim/trace.hpp).
+  /// Event timestamps are on the run's local clock; callers that stitch
+  /// chunks together (the adaptive executor) shift them by the chunk's
+  /// pipeline-time origin before forwarding.  Empty = no tracing.
+  sim::Tracer tracer;
 };
 
 struct ExecutionResult {

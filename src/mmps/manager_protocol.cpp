@@ -5,6 +5,7 @@
 
 #include "mmps/coercion.hpp"
 #include "mmps/system.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace netpart::mmps {
@@ -77,6 +78,11 @@ struct Ring : std::enable_shared_from_this<Ring> {
   /// successor is retried, then declared dead and skipped.
   void send_token(ClusterId holder, ClusterId target, int attempt) {
     if (done) return;
+    if (attempt > 0) {
+      static obs::Counter& retries =
+          obs::TelemetryRegistry::global().counter("mmps.token_retries");
+      retries.add(1);
+    }
     const std::int32_t tag = target == 0 ? kResultTag : kRingTag;
     mmps.send(manager_host(holder), manager_host(target), tag, payload());
     auto self = shared_from_this();

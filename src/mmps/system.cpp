@@ -3,9 +3,18 @@
 #include <memory>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace netpart::mmps {
+
+namespace {
+
+obs::Counter& mmps_counter(const char* name) {
+  return obs::TelemetryRegistry::global().counter(name);
+}
+
+}  // namespace
 
 System::Key System::make_key(ProcessorRef dst, ProcessorRef src,
                              std::int32_t tag) {
@@ -15,6 +24,10 @@ System::Key System::make_key(ProcessorRef dst, ProcessorRef src,
 void System::send(ProcessorRef src, ProcessorRef dst, std::int32_t tag,
                   std::vector<std::byte> payload) {
   const auto bytes = static_cast<std::int64_t>(payload.size());
+  static obs::Counter& sends = mmps_counter("mmps.sends");
+  static obs::Counter& sent_bytes = mmps_counter("mmps.bytes_sent");
+  sends.add(1);
+  sent_bytes.add(static_cast<std::uint64_t>(bytes));
   PairState& pair = core_->pairs[PairKey{src.cluster, src.index, dst.cluster,
                                          dst.index}];
   const std::int64_t seq = pair.next_send++;
@@ -76,6 +89,8 @@ void System::match(Core& core, ProcessorRef dst, std::int32_t tag,
 void System::recv(ProcessorRef dst, ProcessorRef src, std::int32_t tag,
                   RecvHandler handler) {
   NP_REQUIRE(handler != nullptr, "recv handler required");
+  static obs::Counter& posted = mmps_counter("mmps.recv_posted");
+  posted.add(1);
   Box& box = core_->boxes[make_key(dst, src, tag)];
   if (!box.ready.empty()) {
     Message msg = std::move(box.ready.front());
@@ -93,6 +108,8 @@ void System::recv_with_timeout(ProcessorRef dst, ProcessorRef src,
   NP_REQUIRE(handler != nullptr, "recv handler required");
   NP_REQUIRE(on_timeout != nullptr, "timeout handler required");
   NP_REQUIRE(timeout > SimTime::zero(), "timeout must be positive");
+  static obs::Counter& posted = mmps_counter("mmps.recv_posted");
+  posted.add(1);
   const Key key = make_key(dst, src, tag);
   Box& box = core_->boxes[key];
   if (!box.ready.empty()) {
@@ -114,6 +131,9 @@ void System::recv_with_timeout(ProcessorRef dst, ProcessorRef src,
         for (auto p = pending.begin(); p != pending.end(); ++p) {
           if (p->id == id) {
             pending.erase(p);
+            static obs::Counter& timeouts =
+                mmps_counter("mmps.recv_timeouts");
+            timeouts.add(1);
             on_timeout();
             return;
           }
@@ -125,6 +145,8 @@ void System::recv_with_timeout(ProcessorRef dst, ProcessorRef src,
 void System::recv_any(ProcessorRef dst, std::int32_t tag,
                       RecvHandler handler) {
   NP_REQUIRE(handler != nullptr, "recv handler required");
+  static obs::Counter& posted = mmps_counter("mmps.recv_any_posted");
+  posted.add(1);
   // Serve the oldest already-delivered message with this (dst, tag) from
   // any source; Key order scans sources deterministically.
   for (auto& [key, box] : core_->boxes) {

@@ -1,0 +1,70 @@
+#include "obs/chrome_trace.hpp"
+
+namespace netpart::obs {
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+
+JsonValue args_json(const AttrList& attrs) {
+  JsonValue args = JsonValue::object();
+  for (const auto& [key, value] : attrs) {
+    args.set(key, value);
+  }
+  return args;
+}
+
+JsonValue process_name(int pid, const char* name) {
+  return JsonValue::object()
+      .set("name", "process_name")
+      .set("ph", "M")
+      .set("pid", pid)
+      .set("tid", 0)
+      .set("args", JsonValue::object().set("name", name));
+}
+
+}  // namespace
+
+JsonValue chrome_trace_json(const TelemetryRegistry& registry) {
+  JsonValue events = JsonValue::array();
+  events.push(process_name(kWallPid, "wall clock"));
+  events.push(process_name(kSimPid, "simulated time"));
+
+  for (const SpanRecord& span : registry.spans()) {
+    JsonValue event = JsonValue::object()
+                          .set("name", span.name)
+                          .set("cat", span.category)
+                          .set("ph", "X")
+                          .set("ts", span.start_us)
+                          .set("dur", span.dur_us)
+                          .set("pid", span.sim_clock ? kSimPid : kWallPid)
+                          .set("tid", static_cast<std::int64_t>(span.tid));
+    if (!span.attrs.empty()) event.set("args", args_json(span.attrs));
+    events.push(std::move(event));
+  }
+  for (const InstantRecord& instant : registry.instants()) {
+    JsonValue event =
+        JsonValue::object()
+            .set("name", instant.name)
+            .set("cat", instant.category)
+            .set("ph", "i")
+            .set("s", "t")
+            .set("ts", instant.ts_us)
+            .set("pid", instant.sim_clock ? kSimPid : kWallPid)
+            .set("tid", static_cast<std::int64_t>(instant.tid));
+    if (!instant.attrs.empty()) event.set("args", args_json(instant.attrs));
+    events.push(std::move(event));
+  }
+
+  return JsonValue::object()
+      .set("traceEvents", std::move(events))
+      .set("displayTimeUnit", "ms");
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const TelemetryRegistry& registry) {
+  os << chrome_trace_json(registry).dump(1);
+}
+
+}  // namespace netpart::obs

@@ -1,0 +1,24 @@
+// Chrome trace-event export (loadable in Perfetto / chrome://tracing).
+//
+// Spans render as complete events (ph "X"), instants as thread-scoped
+// instant events (ph "i").  The two clocks become two processes -- pid 1
+// "wall clock" and pid 2 "simulated time" -- named by metadata events, so
+// the viewer never interleaves wall microseconds with simulated ones.
+// Output is deterministic: metadata first, then events in recording order,
+// rendered through the insertion-ordered util/json emitter.
+#pragma once
+
+#include <ostream>
+
+#include "obs/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace netpart::obs {
+
+/// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+JsonValue chrome_trace_json(const TelemetryRegistry& registry);
+
+/// chrome_trace_json() pretty-printed to `os`.
+void write_chrome_trace(std::ostream& os, const TelemetryRegistry& registry);
+
+}  // namespace netpart::obs

@@ -1,0 +1,83 @@
+#include "obs/metrics.hpp"
+
+namespace netpart::obs {
+
+LatencyHistogram::LatencyHistogram(double lo_us, double hi_us,
+                                   std::size_t buckets)
+    : histogram_(lo_us, hi_us, buckets) {}
+
+void LatencyHistogram::record(double us) {
+  std::lock_guard lock(mutex_);
+  histogram_.add(us);
+  stats_.add(us);
+}
+
+std::size_t LatencyHistogram::count() const {
+  std::lock_guard lock(mutex_);
+  return stats_.count();
+}
+
+double LatencyHistogram::mean_us() const {
+  std::lock_guard lock(mutex_);
+  return stats_.mean();
+}
+
+double LatencyHistogram::min_us() const {
+  std::lock_guard lock(mutex_);
+  return stats_.min();
+}
+
+double LatencyHistogram::max_us() const {
+  std::lock_guard lock(mutex_);
+  return stats_.max();
+}
+
+QuantileSummary LatencyHistogram::quantiles() const {
+  std::lock_guard lock(mutex_);
+  if (stats_.count() == 0) return {};
+  return summarize_quantiles(histogram_);
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    if (value != base) delta.counters.emplace(name, value - base);
+  }
+  for (const auto& [name, value] : after.latency_counts) {
+    const auto it = before.latency_counts.find(name);
+    const std::uint64_t base =
+        it == before.latency_counts.end() ? 0 : it->second;
+    if (value != base) delta.latency_counts.emplace(name, value - base);
+  }
+  return delta;
+}
+
+JsonValue snapshot_json(const MetricsSnapshot& snapshot) {
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, value);
+  }
+  JsonValue latencies = JsonValue::object();
+  for (const auto& [name, value] : snapshot.latency_counts) {
+    latencies.set(name, value);
+  }
+  return JsonValue::object()
+      .set("counters", std::move(counters))
+      .set("latency_counts", std::move(latencies));
+}
+
+std::string snapshot_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "counter " + name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.latency_counts) {
+    out += "latency " + name + " count " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace netpart::obs

@@ -1,0 +1,84 @@
+// Telemetry primitives shared by every subsystem (see DESIGN.md §9).
+//
+// Counter and LatencyHistogram used to live in svc/metrics.hpp; they moved
+// here so the partitioner, estimator, adaptive executor, MMPS, and the
+// service all meter through one vocabulary.  Callers resolve a metric once
+// (registry mutex) and then update it lock-free (counters) or under the
+// metric's own short lock (histograms), never the registry's.
+//
+// MetricsSnapshot captures the registry's counter values and histogram
+// counts at a point in time; snapshot_delta() subtracts two snapshots so
+// benchmarks can report what one phase cost without resetting anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace netpart::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency distribution: a fixed-width histogram (drives the p50/p95/p99
+/// quantile estimates) plus exact running mean/min/max.
+class LatencyHistogram {
+ public:
+  /// Range in microseconds; samples outside clamp into the end buckets.
+  LatencyHistogram(double lo_us, double hi_us, std::size_t buckets);
+
+  void record(double us);
+
+  std::size_t count() const;
+  double mean_us() const;
+  double min_us() const;
+  double max_us() const;
+  /// Interpolated from the histogram buckets (empty summary when count==0).
+  QuantileSummary quantiles() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+  RunningStats stats_;
+};
+
+/// Point-in-time view of a registry: counter values plus per-histogram
+/// sample counts (the deterministic parts -- wall-clock latencies are
+/// excluded so two identical seeded runs snapshot identically).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> latency_counts;
+};
+
+/// after - before, keeping only entries that changed (a metric absent from
+/// `before` counts from zero).  Benchmarks wrap a phase in two snapshots
+/// and report the delta.
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+/// {"counters": {...}, "latency_counts": {...}} -- map order, so the
+/// rendering is deterministic and name-ordered.
+JsonValue snapshot_json(const MetricsSnapshot& snapshot);
+
+/// One metric per line ("counter <name> <value>" / "latency <name> count
+/// <n>"), name-ordered: byte-identical for identical snapshots.
+std::string snapshot_text(const MetricsSnapshot& snapshot);
+
+}  // namespace netpart::obs

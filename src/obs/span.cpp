@@ -1,0 +1,67 @@
+#include "obs/span.hpp"
+
+namespace netpart::obs {
+
+namespace {
+thread_local int t_span_depth = 0;
+}  // namespace
+
+Span::Span(TelemetryRegistry& registry, const char* name,
+           const char* category) {
+  if (!registry.enabled()) return;
+  registry_ = &registry;
+  name_ = name;
+  category_ = category;
+  start_us_ = registry.wall_now_us();
+  ++t_span_depth;
+}
+
+Span::Span(TelemetryRegistry& registry, const char* name, SimTime start,
+           const char* category) {
+  if (!registry.enabled()) return;
+  registry_ = &registry;
+  name_ = name;
+  category_ = category;
+  sim_clock_ = true;
+  start_us_ = start.as_micros();
+  end_us_ = start_us_;
+  ++t_span_depth;
+}
+
+Span::~Span() {
+  if (registry_ == nullptr || ended_) return;
+  finish(sim_clock_ ? end_us_ : registry_->wall_now_us());
+}
+
+void Span::attr(const char* key, JsonValue value) {
+  if (registry_ == nullptr || ended_) return;
+  attrs_.emplace_back(key, std::move(value));
+}
+
+void Span::end() {
+  if (registry_ == nullptr || ended_) return;
+  finish(sim_clock_ ? end_us_ : registry_->wall_now_us());
+}
+
+void Span::end_at(SimTime end) {
+  if (registry_ == nullptr || ended_) return;
+  finish(end.as_micros());
+}
+
+int Span::depth() { return t_span_depth; }
+
+void Span::finish(double end_us) {
+  ended_ = true;
+  --t_span_depth;
+  SpanRecord record;
+  record.name = name_;
+  record.category = category_;
+  record.sim_clock = sim_clock_;
+  record.tid = this_thread_id();
+  record.start_us = start_us_;
+  record.dur_us = end_us > start_us_ ? end_us - start_us_ : 0.0;
+  record.attrs = std::move(attrs_);
+  registry_->record_span(std::move(record));
+}
+
+}  // namespace netpart::obs

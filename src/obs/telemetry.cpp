@@ -1,0 +1,183 @@
+#include "obs/telemetry.hpp"
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart::obs {
+
+namespace {
+constexpr std::size_t kDefaultRecordCapacity = 1 << 18;  // 262144 events
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+}  // namespace
+
+std::uint32_t this_thread_id() {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TelemetryRegistry::TelemetryRegistry(bool enabled)
+    : enabled_(enabled),
+      record_capacity_(kDefaultRecordCapacity),
+      wall_origin_(std::chrono::steady_clock::now()) {}
+
+TelemetryRegistry& TelemetryRegistry::global() {
+  static TelemetryRegistry* registry =
+      new TelemetryRegistry(/*enabled=*/false);  // leaked: outlives statics
+  return *registry;
+}
+
+Counter& TelemetryRegistry::counter(const std::string& name) {
+  std::lock_guard lock(metrics_mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& TelemetryRegistry::latency(const std::string& name,
+                                             double lo_us, double hi_us,
+                                             std::size_t buckets) {
+  std::lock_guard lock(metrics_mutex_);
+  auto& slot = latencies_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(lo_us, hi_us, buckets);
+  return *slot;
+}
+
+MetricsSnapshot TelemetryRegistry::snapshot() const {
+  std::lock_guard lock(metrics_mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, c] : counters_) {
+    snapshot.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, h] : latencies_) {
+    snapshot.latency_counts.emplace(name,
+                                    static_cast<std::uint64_t>(h->count()));
+  }
+  return snapshot;
+}
+
+JsonValue TelemetryRegistry::to_json() const {
+  std::lock_guard lock(metrics_mutex_);
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, c->value());
+  }
+  JsonValue latencies = JsonValue::object();
+  for (const auto& [name, h] : latencies_) {
+    const QuantileSummary q = h->quantiles();
+    latencies.set(name,
+                  JsonValue::object()
+                      .set("count", static_cast<std::uint64_t>(h->count()))
+                      .set("mean_us", h->mean_us())
+                      .set("min_us", h->min_us())
+                      .set("max_us", h->max_us())
+                      .set("p50_us", q.p50)
+                      .set("p90_us", q.p90)
+                      .set("p95_us", q.p95)
+                      .set("p99_us", q.p99));
+  }
+  return JsonValue::object()
+      .set("counters", std::move(counters))
+      .set("latencies", std::move(latencies));
+}
+
+void TelemetryRegistry::write_csv(std::ostream& os) const {
+  std::lock_guard lock(metrics_mutex_);
+  CsvWriter csv(os, {"kind", "name", "field", "value"});
+  for (const auto& [name, c] : counters_) {
+    csv.write_row({"counter", name, "value", std::to_string(c->value())});
+  }
+  const auto row = [&csv](const std::string& name, const std::string& field,
+                          double v) {
+    csv.write_row({"latency", name, field, format_double(v, 3)});
+  };
+  for (const auto& [name, h] : latencies_) {
+    const QuantileSummary q = h->quantiles();
+    csv.write_row({"latency", name, "count", std::to_string(h->count())});
+    row(name, "mean_us", h->mean_us());
+    row(name, "min_us", h->min_us());
+    row(name, "max_us", h->max_us());
+    row(name, "p50_us", q.p50);
+    row(name, "p90_us", q.p90);
+    row(name, "p95_us", q.p95);
+    row(name, "p99_us", q.p99);
+  }
+}
+
+std::string TelemetryRegistry::metrics_text() const {
+  std::lock_guard lock(metrics_mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "counter " + name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, h] : latencies_) {
+    const QuantileSummary q = h->quantiles();
+    out += "latency " + name + " count " + std::to_string(h->count()) +
+           " mean_us " + format_double(h->mean_us(), 3) + " min_us " +
+           format_double(h->min_us(), 3) + " max_us " +
+           format_double(h->max_us(), 3) + " p50_us " +
+           format_double(q.p50, 3) + " p90_us " + format_double(q.p90, 3) +
+           " p95_us " + format_double(q.p95, 3) + " p99_us " +
+           format_double(q.p99, 3) + "\n";
+  }
+  return out;
+}
+
+void TelemetryRegistry::record_span(SpanRecord record) {
+  std::lock_guard lock(events_mutex_);
+  if (spans_.size() + instants_.size() >= record_capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(record));
+}
+
+void TelemetryRegistry::record_instant(InstantRecord record) {
+  std::lock_guard lock(events_mutex_);
+  if (spans_.size() + instants_.size() >= record_capacity_) {
+    ++dropped_;
+    return;
+  }
+  instants_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TelemetryRegistry::spans() const {
+  std::lock_guard lock(events_mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<InstantRecord> TelemetryRegistry::instants() const {
+  std::lock_guard lock(events_mutex_);
+  return {instants_.begin(), instants_.end()};
+}
+
+std::size_t TelemetryRegistry::span_count() const {
+  std::lock_guard lock(events_mutex_);
+  return spans_.size();
+}
+
+std::uint64_t TelemetryRegistry::dropped_records() const {
+  std::lock_guard lock(events_mutex_);
+  return dropped_;
+}
+
+void TelemetryRegistry::set_record_capacity(std::size_t capacity) {
+  std::lock_guard lock(events_mutex_);
+  record_capacity_ = capacity;
+}
+
+void TelemetryRegistry::clear_events() {
+  std::lock_guard lock(events_mutex_);
+  spans_.clear();
+  instants_.clear();
+  dropped_ = 0;
+}
+
+double TelemetryRegistry::wall_now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - wall_origin_)
+      .count();
+}
+
+}  // namespace netpart::obs

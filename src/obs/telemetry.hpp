@@ -1,0 +1,143 @@
+// Process-wide telemetry registry (see DESIGN.md §9).
+//
+// One TelemetryRegistry holds everything a run observes: named counters,
+// latency histograms, and the structured span/instant event buffer that the
+// Chrome-trace exporter renders.  The PartitionService keeps a private
+// instance (its counters are per-service state the tests assert on); the
+// library instrumentation in core/, exec/, svc/, and mmps/ writes to
+// TelemetryRegistry::global() so one `netpartd --trace-out` file shows the
+// partitioner search, the service request lifecycle, and the adaptive
+// executor's repartitions on a single timeline.
+//
+// Cost discipline: counters are a relaxed atomic add; spans are recorded
+// only while `enabled()` -- the disabled path is one relaxed load and no
+// allocation, so always-on instrumentation in hot paths stays free.  The
+// event buffer is capacity-bounded: once full, new records are dropped and
+// counted (`dropped_records()`), never grown without bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/time.hpp"
+
+namespace netpart::obs {
+
+/// Attribute list attached to spans and instants ("args" in Chrome trace).
+using AttrList = std::vector<std::pair<std::string, JsonValue>>;
+
+/// A completed span.  `sim_clock` separates the two timelines: wall spans
+/// are stamped in microseconds since the registry was constructed, sim
+/// spans in simulated microseconds -- the exporter renders them as two
+/// processes so Perfetto never interleaves the clocks.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  bool sim_clock = false;
+  std::uint32_t tid = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  AttrList attrs;
+};
+
+/// A point event (fault onsets, sheds, drops).
+struct InstantRecord {
+  std::string name;
+  std::string category;
+  bool sim_clock = false;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  AttrList attrs;
+};
+
+/// Stable small integer identifying the calling thread (assigned on first
+/// use, process-wide).  Chrome trace events use it as `tid`.
+std::uint32_t this_thread_id();
+
+class TelemetryRegistry {
+ public:
+  /// A locally constructed registry starts with span recording enabled;
+  /// the process-wide global() starts disabled (pay for tracing only when
+  /// a front-end like `netpartd --trace-out` opts in).
+  explicit TelemetryRegistry(bool enabled = true);
+
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  /// The process-wide registry the library instrumentation targets.
+  static TelemetryRegistry& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // --- metrics --------------------------------------------------------
+  /// Find-or-create.  References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  LatencyHistogram& latency(const std::string& name, double lo_us,
+                            double hi_us, std::size_t buckets);
+
+  MetricsSnapshot snapshot() const;
+
+  /// {"counters": {name: value...},
+  ///  "latencies": {name: {count, mean_us, min_us, max_us, p50_us...}}}
+  JsonValue to_json() const;
+
+  /// Long-form rows: kind,name,field,value (one row per exported number).
+  void write_csv(std::ostream& os) const;
+
+  /// Full metrics dump, one per line, name-ordered.  Counters render as
+  /// "counter <name> <value>"; histograms add count/mean/min/max and the
+  /// quantile estimates.  Deterministic for deterministic inputs.
+  std::string metrics_text() const;
+
+  // --- structured events ----------------------------------------------
+  void record_span(SpanRecord record);
+  void record_instant(InstantRecord record);
+
+  /// Copies (the live buffers stay locked only for the copy).
+  std::vector<SpanRecord> spans() const;
+  std::vector<InstantRecord> instants() const;
+  std::size_t span_count() const;
+
+  /// Records rejected because the event buffer was full.
+  std::uint64_t dropped_records() const;
+  /// Combined span+instant capacity; lowering it below the current size
+  /// does not evict already-recorded events.
+  void set_record_capacity(std::size_t capacity);
+
+  void clear_events();
+
+  /// Microseconds since this registry was constructed (the wall-span
+  /// timebase; small offsets keep Chrome-trace timestamps readable).
+  double wall_now_us() const;
+
+ private:
+  std::atomic<bool> enabled_;
+
+  mutable std::mutex metrics_mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
+
+  mutable std::mutex events_mutex_;
+  std::deque<SpanRecord> spans_;
+  std::deque<InstantRecord> instants_;
+  std::size_t record_capacity_;
+  std::uint64_t dropped_ = 0;
+
+  std::chrono::steady_clock::time_point wall_origin_;
+};
+
+}  // namespace netpart::obs

@@ -43,7 +43,13 @@ const char* TraceEvent::kind_name(Kind kind) {
 }
 
 Tracer TraceLog::tracer() {
-  return [this](const TraceEvent& event) { events_.push_back(event); };
+  return [this](const TraceEvent& event) {
+    if (capacity_ > 0 && events_.size() >= capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(event);
+  };
 }
 
 std::size_t TraceLog::count(TraceEvent::Kind kind) const {
@@ -76,7 +82,8 @@ SimTime TraceLog::mean_latency() const {
       starts[key].push_back(e.at);
     } else if (e.kind == TraceEvent::Kind::Delivered) {
       auto& queue = starts[key];
-      NP_ASSERT(!queue.empty());
+      // A bounded log may have dropped the initiation; skip the orphan.
+      if (queue.empty()) continue;
       total_ns += (e.at - queue.front()).as_nanos();
       queue.pop_front();
       ++matched;

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
-#include <vector>
 
 #include "net/ids.hpp"
 #include "util/time.hpp"
@@ -52,28 +52,47 @@ struct TraceEvent {
 using Tracer = std::function<void(const TraceEvent&)>;
 
 /// A collecting tracer with summary queries.
+///
+/// By default the log grows without bound -- fine for tests, ruinous for
+/// long chaos runs.  Constructing with a capacity turns it into a ring
+/// buffer: once full, the oldest event is discarded per new arrival and
+/// `dropped_events()` counts the loss (exported as the
+/// `sim.trace_dropped_events` counter by the obs bridge).
 class TraceLog {
  public:
+  /// capacity = 0 keeps every event; capacity > 0 retains only the most
+  /// recent `capacity` events.
+  explicit TraceLog(std::size_t capacity = 0) : capacity_(capacity) {}
+
   /// The callback to install: log.tracer() keeps a reference to the log.
   Tracer tracer();
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
   std::size_t count(TraceEvent::Kind kind) const;
+
+  /// Events discarded because the ring was full (0 when unbounded).
+  std::uint64_t dropped_events() const { return dropped_; }
 
   /// Total payload bytes delivered.
   std::int64_t bytes_delivered() const;
 
   /// Mean latency from initiation to delivery, over completed messages
-  /// matched by (src, dst) in FIFO order.
+  /// matched by (src, dst) in FIFO order.  Deliveries whose initiation was
+  /// dropped from the ring are skipped.
   SimTime mean_latency() const;
 
   /// Render the first `limit` events, one per line.
   std::string render(std::size_t limit = 50) const;
 
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
  private:
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
 };
 
 }  // namespace netpart::sim

@@ -1,81 +1,19 @@
-// Service observability: named counters and latency histograms.
+// Service observability, now backed by the unified telemetry layer.
 //
-// The registry hands out stable references -- callers resolve a metric
-// once (registry mutex) and then update it lock-free (counters) or under
-// the metric's own short lock (histograms), never the registry's.  Export
-// is deterministic: metrics render in name order, via the util/json
-// emitter for JSON and util/csv for CSV, so two runs of a deterministic
-// workload produce diffable output.
+// The counters/histograms that used to live here moved to src/obs/ so the
+// whole stack (partitioner, estimator, adaptive executor, MMPS, service)
+// meters through one registry type; see DESIGN.md §9.  The service keeps a
+// *private* registry instance -- its counters are per-service state -- while
+// its spans go to obs::TelemetryRegistry::global().  These aliases keep the
+// svc:: spellings working.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <ostream>
-#include <string>
-
-#include "util/histogram.hpp"
-#include "util/json.hpp"
-#include "util/stats.hpp"
+#include "obs/telemetry.hpp"
 
 namespace netpart::svc {
 
-/// Monotonic event counter.
-class Counter {
- public:
-  void add(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Latency distribution: a fixed-width histogram (drives the p50/p95/p99
-/// quantile estimates) plus exact running mean/min/max.
-class LatencyHistogram {
- public:
-  /// Range in microseconds; samples outside clamp into the end buckets.
-  LatencyHistogram(double lo_us, double hi_us, std::size_t buckets);
-
-  void record(double us);
-
-  std::size_t count() const;
-  double mean_us() const;
-  double min_us() const;
-  double max_us() const;
-  /// Interpolated from the histogram buckets (empty summary when count==0).
-  QuantileSummary quantiles() const;
-
- private:
-  mutable std::mutex mutex_;
-  Histogram histogram_;
-  RunningStats stats_;
-};
-
-class MetricsRegistry {
- public:
-  /// Find-or-create.  References stay valid for the registry's lifetime.
-  Counter& counter(const std::string& name);
-  LatencyHistogram& latency(const std::string& name, double lo_us,
-                            double hi_us, std::size_t buckets);
-
-  /// {"counters": {name: value...},
-  ///  "latencies": {name: {count, mean_us, min_us, max_us, p50_us...}}}
-  JsonValue to_json() const;
-
-  /// Long-form rows: kind,name,field,value (one row per exported number).
-  void write_csv(std::ostream& os) const;
-
- private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
-};
+using Counter = obs::Counter;
+using LatencyHistogram = obs::LatencyHistogram;
+using MetricsRegistry = obs::TelemetryRegistry;
 
 }  // namespace netpart::svc

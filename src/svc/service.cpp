@@ -1,6 +1,7 @@
 #include "svc/service.hpp"
 
 #include "core/estimator.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace netpart::svc {
@@ -76,6 +77,7 @@ void PartitionService::observe_epoch(std::uint64_t epoch) {
 std::shared_future<ServiceReply> PartitionService::submit(
     const PartitionRequest& request) {
   const auto t0 = Clock::now();
+  obs::Span span(obs::TelemetryRegistry::global(), "svc.request", "svc");
   requests_.add();
   auto [snapshot, epoch] = feed_.read();
   observe_epoch(epoch);
@@ -84,6 +86,7 @@ std::shared_future<ServiceReply> PartitionService::submit(
   if (auto hit = cache_.lookup(key)) {
     hits_.add();
     hit_latency_.record(us_since(t0));
+    span.attr("outcome", JsonValue("hit"));
     return ready(ServiceReply{ServiceStatus::Ok, std::move(hit),
                               /*cache_hit=*/true, {}});
   }
@@ -91,11 +94,13 @@ std::shared_future<ServiceReply> PartitionService::submit(
   std::unique_lock lock(mutex_);
   if (stopping_) {
     lock.unlock();
+    span.attr("outcome", JsonValue("rejected"));
     return ready(ServiceReply{ServiceStatus::Failed, nullptr, false,
                               "service shutting down"});
   }
   if (const auto it = inflight_.find(key); it != inflight_.end()) {
     coalesced_.add();
+    span.attr("outcome", JsonValue("coalesced"));
     return it->second->future;
   }
   // Double-checked: a worker may have completed this key between the
@@ -104,12 +109,14 @@ std::shared_future<ServiceReply> PartitionService::submit(
     lock.unlock();
     hits_.add();
     hit_latency_.record(us_since(t0));
+    span.attr("outcome", JsonValue("hit"));
     return ready(ServiceReply{ServiceStatus::Ok, std::move(hit),
                               /*cache_hit=*/true, {}});
   }
   if (queue_.size() >= options_.queue_capacity) {
     lock.unlock();
     shed_.add();
+    span.attr("outcome", JsonValue("shed"));
     return ready(ServiceReply{ServiceStatus::Overloaded, nullptr, false,
                               "request queue full"});
   }
@@ -124,6 +131,7 @@ std::shared_future<ServiceReply> PartitionService::submit(
   queue_.push_back(job);
   lock.unlock();
   work_ready_.notify_one();
+  span.attr("outcome", JsonValue("enqueued"));
   return job->future;
 }
 
@@ -146,6 +154,10 @@ void PartitionService::worker_loop() {
 }
 
 void PartitionService::run_cold(Job& job) {
+  obs::Span span(obs::TelemetryRegistry::global(), "svc.execute", "svc");
+  if (span.active()) {
+    span.attr("queue_wait_us", JsonValue(us_since(job.enqueued)));
+  }
   ServiceReply reply;
   try {
     PartitionDecision decision =
@@ -160,8 +172,10 @@ void PartitionService::run_cold(Job& job) {
     cold_computes_.add();
     cold_latency_.record(us_since(job.enqueued));
     reply = ServiceReply{ServiceStatus::Ok, std::move(shared), false, {}};
+    span.attr("outcome", JsonValue("ok"));
   } catch (const std::exception& e) {
     failed_.add();
+    span.attr("outcome", JsonValue("failed"));
     reply = ServiceReply{ServiceStatus::Failed, nullptr, false, e.what()};
   }
   {

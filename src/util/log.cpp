@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace netpart {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+// Serialises writers so concurrent lines (service workers, the availability
+// churner) never interleave mid-line.
+std::mutex g_write_mutex;
 }  // namespace
 
 LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
@@ -17,6 +21,9 @@ void Logger::set_level(LogLevel level) {
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (level < Logger::level()) return;
+  // One fprintf emits the whole line, and the lock keeps distinct calls
+  // from racing on the level check / stream position.
+  std::lock_guard lock(g_write_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -20,6 +20,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "apps/stencil.hpp"
@@ -29,10 +31,15 @@
 #include "mmps/manager_protocol.hpp"
 #include "net/availability.hpp"
 #include "net/presets.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/sim_bridge.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
 #include "sim/netsim.hpp"
+#include "sim/trace.hpp"
 #include "topo/placement.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace netpart {
@@ -379,6 +386,53 @@ TEST(FaultTolerantProtocolTest, BudgetBoundsARunThatCannotComplete) {
 
   EXPECT_FALSE(result.completed);
   EXPECT_EQ(result.elapsed, options.budget);
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(ChaosTraceExportTest, FaultEventsAppearInExportedTrace) {
+  // One representative seed end-to-end: a faulted execution's TraceLog,
+  // bridged into a registry and exported as Chrome trace JSON, must show
+  // the plan's performance faults as instant events alongside the message
+  // spans -- the observability contract for debugging chaos runs.
+  const Network net = presets::paper_testbed();
+  const sim::FaultPlan plan = perf_plan(/*seed=*/3, net);
+  ASSERT_FALSE(plan.slowdowns.empty());
+
+  const ProcessorConfig config{4, 3};
+  const std::vector<ClusterId> order = clusters_by_speed(net);
+  const Placement placement = contiguous_placement(net, config, order);
+  const apps::StencilConfig cfg{.n = 192, .iterations = 6};
+  const PartitionVector partition =
+      balanced_partition(net, config, order, cfg.n);
+  const ComputationSpec spec = apps::make_stencil_spec(cfg);
+
+  sim::TraceLog log;
+  ExecutionOptions options;
+  options.faults = &plan;
+  options.tracer = log.tracer();
+  (void)execute(net, spec, placement, partition, options);
+
+  obs::TelemetryRegistry registry;
+  obs::bridge_trace_log(log, registry);
+  const JsonValue parsed =
+      JsonValue::parse(obs::chrome_trace_json(registry).dump(1));
+  const JsonValue* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> instant_names;
+  std::size_t msg_spans = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "i") instant_names.insert(e.find("name")->as_string());
+    if (ph == "X" && e.find("name")->as_string() == "msg") ++msg_spans;
+  }
+  EXPECT_GT(msg_spans, 0u);
+  EXPECT_TRUE(instant_names.count("host-slow") == 1 ||
+              instant_names.count("seg-degrade") == 1 ||
+              instant_names.count("chan-down") == 1)
+      << "no fault instants in the exported trace";
 }
 
 }  // namespace

@@ -1,0 +1,350 @@
+// Tests for the unified telemetry layer (src/obs/): counters, snapshots,
+// RAII spans on both clocks, the Chrome-trace exporter (round-tripped
+// through the util/json parser), the sim TraceLog bridge, and the
+// determinism of the text export.  ObsThreadedTest matches the tsan test
+// preset's filter, so its concurrency cases also run under TSan.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/estimator.hpp"
+#include "core/partitioner.hpp"
+#include "net/availability.hpp"
+#include "net/presets.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/sim_bridge.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+
+namespace netpart {
+namespace {
+
+using obs::Span;
+using obs::TelemetryRegistry;
+
+// ------------------------------------------------------------- metrics
+
+TEST(ObsMetricsTest, CounterFindOrCreateAndAdd) {
+  TelemetryRegistry reg;
+  obs::Counter& c = reg.counter("x");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  EXPECT_EQ(&reg.counter("x"), &c);
+  EXPECT_EQ(reg.counter("y").value(), 0u);
+}
+
+TEST(ObsMetricsTest, SnapshotDeltaKeepsOnlyChanges) {
+  TelemetryRegistry reg;
+  reg.counter("stable").add(10);
+  reg.counter("moving").add(1);
+  reg.latency("lat", 0.0, 100.0, 10).record(5.0);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  reg.counter("moving").add(2);
+  reg.counter("fresh").add(7);
+  reg.latency("lat", 0.0, 100.0, 10).record(6.0);
+  const obs::MetricsSnapshot delta =
+      obs::snapshot_delta(before, reg.snapshot());
+
+  EXPECT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters.at("moving"), 2u);
+  EXPECT_EQ(delta.counters.at("fresh"), 7u);
+  EXPECT_EQ(delta.counters.count("stable"), 0u);
+  EXPECT_EQ(delta.latency_counts.at("lat"), 1u);
+}
+
+TEST(ObsMetricsTest, SnapshotTextIsNameOrdered) {
+  obs::MetricsSnapshot snap;
+  snap.counters["b"] = 2;
+  snap.counters["a"] = 1;
+  snap.latency_counts["z"] = 3;
+  EXPECT_EQ(obs::snapshot_text(snap),
+            "counter a 1\ncounter b 2\nlatency z count 3\n");
+}
+
+TEST(ObsMetricsTest, MetricsTextCoversCountersAndHistograms) {
+  TelemetryRegistry reg;
+  reg.counter("requests").add(3);
+  reg.latency("rtt", 0.0, 1000.0, 100).record(10.0);
+  const std::string text = reg.metrics_text();
+  EXPECT_NE(text.find("counter requests 3"), std::string::npos);
+  EXPECT_NE(text.find("latency rtt"), std::string::npos);
+}
+
+// --------------------------------------------------------------- spans
+
+TEST(ObsSpanTest, NestingTracksDepthAndRecordsLifo) {
+  TelemetryRegistry reg;
+  EXPECT_EQ(Span::depth(), 0);
+  {
+    Span outer(reg, "outer");
+    EXPECT_EQ(Span::depth(), 1);
+    {
+      Span inner(reg, "inner");
+      EXPECT_EQ(Span::depth(), 2);
+    }
+    EXPECT_EQ(Span::depth(), 1);
+  }
+  EXPECT_EQ(Span::depth(), 0);
+
+  const std::vector<obs::SpanRecord> spans = reg.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "inner");  // innermost ends first
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_GE(spans[1].dur_us, spans[0].dur_us);
+}
+
+TEST(ObsSpanTest, SimClockSpanUsesExplicitTimes) {
+  TelemetryRegistry reg;
+  {
+    Span span(reg, "chunk", SimTime::millis(10), "exec");
+    span.attr("k", JsonValue(1));
+    span.end_at(SimTime::millis(35));
+  }
+  const std::vector<obs::SpanRecord> spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].sim_clock);
+  EXPECT_DOUBLE_EQ(spans[0].start_us, 10000.0);
+  EXPECT_DOUBLE_EQ(spans[0].dur_us, 25000.0);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+}
+
+TEST(ObsSpanTest, SimClockSpanWithoutEndAtRecordsZeroDuration) {
+  TelemetryRegistry reg;
+  { Span span(reg, "abandoned", SimTime::millis(5)); }
+  const std::vector<obs::SpanRecord> spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].dur_us, 0.0);
+}
+
+TEST(ObsSpanTest, EndIsIdempotent) {
+  TelemetryRegistry reg;
+  Span span(reg, "once");
+  span.end();
+  span.end();
+  EXPECT_EQ(reg.span_count(), 1u);
+  EXPECT_EQ(Span::depth(), 0);
+}
+
+TEST(ObsSpanTest, DisabledRegistryRecordsNothing) {
+  TelemetryRegistry reg(/*enabled=*/false);
+  {
+    Span span(reg, "ghost");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(Span::depth(), 0);  // disabled spans never join the stack
+    span.attr("k", JsonValue(1));
+  }
+  EXPECT_EQ(reg.span_count(), 0u);
+  // Counters stay live regardless: they are always-on metering.
+  reg.counter("still_counts").add(2);
+  EXPECT_EQ(reg.counter("still_counts").value(), 2u);
+}
+
+TEST(ObsSpanTest, EnabledIsSampledAtConstruction) {
+  TelemetryRegistry reg(/*enabled=*/false);
+  reg.set_enabled(true);
+  {
+    Span span(reg, "now_on");
+    EXPECT_TRUE(span.active());
+    reg.set_enabled(false);  // flipping mid-span must not lose the record
+  }
+  EXPECT_EQ(reg.span_count(), 1u);
+}
+
+TEST(ObsSpanTest, RecordCapacityDropsAndCounts) {
+  TelemetryRegistry reg;
+  reg.set_record_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    Span span(reg, "s");
+  }
+  EXPECT_EQ(reg.span_count(), 3u);
+  EXPECT_EQ(reg.dropped_records(), 2u);
+}
+
+// -------------------------------------------------------- chrome trace
+
+TEST(ObsChromeTraceTest, RoundTripsThroughJsonParser) {
+  TelemetryRegistry reg;
+  {
+    Span wall(reg, "wall_work", "app");
+    wall.attr("n", JsonValue(42));
+  }
+  {
+    Span sim(reg, "sim_work", SimTime::millis(1), "exec");
+    sim.end_at(SimTime::millis(2));
+  }
+  obs::InstantRecord instant;
+  instant.name = "fault";
+  instant.category = "sim.event";
+  instant.sim_clock = true;
+  instant.ts_us = 1500.0;
+  reg.record_instant(std::move(instant));
+
+  const JsonValue parsed =
+      JsonValue::parse(obs::chrome_trace_json(reg).dump(1));
+  const JsonValue* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  int metadata = 0, complete = 0, instants = 0;
+  bool saw_wall = false, saw_sim = false, saw_args = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    if (ph == "X") {
+      ++complete;
+      const std::string name = e.find("name")->as_string();
+      // pid separates the clocks: 1 = wall, 2 = simulated.
+      if (name == "wall_work") {
+        saw_wall = true;
+        EXPECT_EQ(e.find("pid")->as_int(), 1);
+        saw_args = e.find("args") != nullptr;
+      }
+      if (name == "sim_work") {
+        saw_sim = true;
+        EXPECT_EQ(e.find("pid")->as_int(), 2);
+        EXPECT_DOUBLE_EQ(e.find("ts")->as_double(), 1000.0);
+        EXPECT_DOUBLE_EQ(e.find("dur")->as_double(), 1000.0);
+      }
+    }
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(metadata, 2);  // two process_name records
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(instants, 1);
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_sim);
+  EXPECT_TRUE(saw_args);
+}
+
+// ---------------------------------------------------------- sim bridge
+
+TEST(ObsSimBridgeTest, MatchesSendDeliveredPairsIntoSpans) {
+  sim::TraceLog log;
+  sim::Tracer tracer = log.tracer();
+  const ProcessorRef a{0, 0}, b{1, 0};
+  tracer({sim::TraceEvent::Kind::SendInitiated, SimTime::millis(1), a, b,
+          128});
+  tracer({sim::TraceEvent::Kind::FragmentLost, SimTime::millis(2), a, b,
+          128});
+  tracer({sim::TraceEvent::Kind::Delivered, SimTime::millis(4), a, b, 128});
+
+  TelemetryRegistry reg;
+  obs::bridge_trace_log(log, reg, SimTime::millis(100));
+
+  const std::vector<obs::SpanRecord> spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "msg");
+  EXPECT_TRUE(spans[0].sim_clock);
+  EXPECT_DOUBLE_EQ(spans[0].start_us, 101000.0);  // origin + 1ms
+  EXPECT_DOUBLE_EQ(spans[0].dur_us, 3000.0);
+  ASSERT_EQ(reg.instants().size(), 1u);
+  EXPECT_EQ(reg.instants()[0].name, "lost");
+  EXPECT_EQ(reg.counter("sim.messages_delivered").value(), 1u);
+  EXPECT_EQ(reg.counter("sim.bytes_delivered").value(), 128u);
+  EXPECT_EQ(reg.counter("sim.fragments_lost").value(), 1u);
+}
+
+TEST(ObsSimBridgeTest, ToleratesOrphanDeliveriesFromBoundedLogs) {
+  sim::TraceLog log(/*capacity=*/1);
+  sim::Tracer tracer = log.tracer();
+  const ProcessorRef a{0, 0}, b{1, 0};
+  tracer({sim::TraceEvent::Kind::SendInitiated, SimTime::millis(1), a, b,
+          64});
+  tracer({sim::TraceEvent::Kind::Delivered, SimTime::millis(2), a, b, 64});
+  EXPECT_EQ(log.dropped_events(), 1u);
+  EXPECT_EQ(log.mean_latency(), SimTime::zero());  // orphan skipped
+
+  TelemetryRegistry reg;
+  obs::bridge_trace_log(log, reg);
+  EXPECT_EQ(reg.span_count(), 0u);  // no matched pair survives the ring
+  EXPECT_EQ(reg.counter("sim.trace_dropped_events").value(), 1u);
+}
+
+// ------------------------------------------------- deterministic export
+
+TEST(ObsGoldenTest, IdenticalRunsExportByteIdenticalMetrics) {
+  // Two identical seeded partitioner runs must meter identically: the
+  // name-ordered snapshot-delta text is the golden artifact.  Uses the
+  // global registry exactly as the instrumented library does.
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CostModelDb db = calibrate(net, params).db;
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 600, .iterations = 10});
+
+  TelemetryRegistry& global = TelemetryRegistry::global();
+  const auto run_once = [&] {
+    const obs::MetricsSnapshot before = global.snapshot();
+    const CycleEstimator est(net, db, spec);
+    (void)partition(est, snap);
+    return obs::snapshot_text(obs::snapshot_delta(before, global.snapshot()));
+  };
+
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("counter partitioner.calls 1"), std::string::npos);
+  EXPECT_NE(first.find("counter partitioner.cost_model_evals"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- threading
+
+class ObsThreadedTest : public ::testing::Test {};
+
+TEST_F(ObsThreadedTest, ConcurrentCountersSumExactly) {
+  TelemetryRegistry reg;
+  constexpr int kThreads = 8, kAdds = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg] {
+      obs::Counter& c = reg.counter("shared");
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(ObsThreadedTest, ConcurrentSpansAndMetricsAreSafe) {
+  TelemetryRegistry reg;
+  constexpr int kThreads = 8, kSpans = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        Span span(reg, "work");
+        span.attr("t", JsonValue(t));
+        reg.latency("lat", 0.0, 100.0, 10).record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(reg.span_count(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  // Every span carries the stable id of the thread that recorded it.
+  for (const obs::SpanRecord& s : reg.spans()) {
+    EXPECT_EQ(s.name, "work");
+  }
+  EXPECT_EQ(reg.latency("lat", 0.0, 100.0, 10).count(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -237,9 +237,14 @@ CMakeFiles/bench_faults.dir/bench/bench_faults.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
  /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
- /root/repo/src/util/config.hpp /usr/include/c++/12/map \
+ /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/json.hpp \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp \
  /root/repo/src/exec/adaptive.hpp \
  /root/repo/src/mmps/manager_protocol.hpp /root/repo/src/sim/faults.hpp \
  /root/repo/src/util/table.hpp

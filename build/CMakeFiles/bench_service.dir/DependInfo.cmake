@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/exec/CMakeFiles/np_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
   "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"

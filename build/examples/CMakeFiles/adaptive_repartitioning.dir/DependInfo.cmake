@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
   "/root/repo/build/src/exec/CMakeFiles/np_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/np_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

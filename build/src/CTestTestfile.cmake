@@ -7,6 +7,7 @@
 subdirs("util")
 subdirs("net")
 subdirs("sim")
+subdirs("obs")
 subdirs("mmps")
 subdirs("topo")
 subdirs("calib")

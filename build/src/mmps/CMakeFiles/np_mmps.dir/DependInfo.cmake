@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

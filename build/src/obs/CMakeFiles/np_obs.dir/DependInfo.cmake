@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/chrome_trace.cpp" "src/obs/CMakeFiles/np_obs.dir/chrome_trace.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/np_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/sim_bridge.cpp" "src/obs/CMakeFiles/np_obs.dir/sim_bridge.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/sim_bridge.cpp.o.d"
+  "/root/repo/src/obs/span.cpp" "src/obs/CMakeFiles/np_obs.dir/span.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/span.cpp.o.d"
+  "/root/repo/src/obs/telemetry.cpp" "src/obs/CMakeFiles/np_obs.dir/telemetry.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_obs.dir/chrome_trace.cpp.o"
+  "CMakeFiles/np_obs.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/np_obs.dir/metrics.cpp.o"
+  "CMakeFiles/np_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/np_obs.dir/sim_bridge.cpp.o"
+  "CMakeFiles/np_obs.dir/sim_bridge.cpp.o.d"
+  "CMakeFiles/np_obs.dir/span.cpp.o"
+  "CMakeFiles/np_obs.dir/span.cpp.o.d"
+  "CMakeFiles/np_obs.dir/telemetry.cpp.o"
+  "CMakeFiles/np_obs.dir/telemetry.cpp.o.d"
+  "libnp_obs.a"
+  "libnp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

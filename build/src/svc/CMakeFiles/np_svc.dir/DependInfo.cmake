@@ -10,7 +10,6 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/svc/cache.cpp" "src/svc/CMakeFiles/np_svc.dir/cache.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/cache.cpp.o.d"
   "/root/repo/src/svc/client.cpp" "src/svc/CMakeFiles/np_svc.dir/client.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/client.cpp.o.d"
-  "/root/repo/src/svc/metrics.cpp" "src/svc/CMakeFiles/np_svc.dir/metrics.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/metrics.cpp.o.d"
   "/root/repo/src/svc/request.cpp" "src/svc/CMakeFiles/np_svc.dir/request.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/request.cpp.o.d"
   "/root/repo/src/svc/service.cpp" "src/svc/CMakeFiles/np_svc.dir/service.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/service.cpp.o.d"
   )
@@ -24,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
   "/root/repo/build/src/exec/CMakeFiles/np_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
   )
 

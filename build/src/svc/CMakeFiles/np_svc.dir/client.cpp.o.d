@@ -245,9 +245,10 @@ src/svc/CMakeFiles/np_svc.dir/client.cpp.o: /root/repo/src/svc/client.cpp \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/core/partitioner.hpp \
  /root/repo/src/core/estimator.hpp /root/repo/src/core/decompose.hpp \
- /root/repo/src/svc/metrics.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/svc/metrics.hpp /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/svc/request.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

@@ -3,8 +3,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/np_svc.dir/cache.cpp.o.d"
   "CMakeFiles/np_svc.dir/client.cpp.o"
   "CMakeFiles/np_svc.dir/client.cpp.o.d"
-  "CMakeFiles/np_svc.dir/metrics.cpp.o"
-  "CMakeFiles/np_svc.dir/metrics.cpp.o.d"
   "CMakeFiles/np_svc.dir/request.cpp.o"
   "CMakeFiles/np_svc.dir/request.cpp.o.d"
   "CMakeFiles/np_svc.dir/service.cpp.o"

@@ -313,5 +313,7 @@ tests/CMakeFiles/test_paper.dir/paper_test.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
- /root/repo/src/net/presets.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/util/json.hpp
+ /root/repo/src/net/presets.hpp /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp

@@ -325,6 +325,7 @@ tests/CMakeFiles/test_service.dir/service_test.cpp.o: \
  /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
- /root/repo/src/svc/metrics.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/svc/metrics.hpp /root/repo/src/obs/telemetry.hpp \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
  /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
  /root/repo/src/svc/request.hpp

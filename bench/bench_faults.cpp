@@ -175,8 +175,11 @@ void protocol_study(JsonValue& root) {
 }  // namespace
 }  // namespace netpart
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netpart;
+  const Config args = bench::parse_bench_args(argc, argv);
+  const std::string json_out =
+      args.get_or("json_out", "BENCH_faults.json");
   const Network net = presets::paper_testbed();
   bench::PhaseMetrics phase_metrics;
   JsonValue root = JsonValue::object();
@@ -186,7 +189,7 @@ int main() {
   protocol_study(root);
   phase_metrics.phase("protocol");
   root.set("metrics", phase_metrics.to_json());
-  bench::write_bench_json("BENCH_faults.json", root);
-  std::printf("\nresults -> BENCH_faults.json\n");
+  bench::write_bench_json(json_out, root);
+  std::printf("\nresults -> %s\n", json_out.c_str());
   return 0;
 }

@@ -1,0 +1,371 @@
+// Partition-search hot path: the evaluation engine under the microscope.
+//
+// Four sections, emitted as BENCH_partition.json:
+//
+//   * eval -- ns per cost-model evaluation, reference path (estimate(),
+//     materialises the Eq. 3 vector) vs fast path (estimate_into(), the
+//     closed-form per-cluster engine the searches run on), plus their
+//     bitwise agreement on every cost field.
+//   * alloc -- heap allocations per steady-state fast evaluation, counted
+//     by a global operator-new hook in this binary.  The contract is
+//     exactly zero once the scratch has warmed up.
+//   * search -- full partition() searches per second with one long-lived
+//     scratch, single- and multi-threaded (each thread owns its scratch;
+//     the estimator is shared read-only).
+//   * exhaustive -- the sharded product-space sweep, serial vs 4 threads,
+//     on a wider availability space; the configurations must match exactly
+//     (the merge is deterministic at every thread count).
+//
+// --smoke runs a reduced rep count and exits nonzero if the fast path
+// allocates or diverges from the reference -- tier-1 runs this on every
+// build.  Wall-clock ratios (fast >= 3x, parallel >= 2x) are reported and
+// checked in full mode only; the parallel check is skipped (and marked so)
+// when the host has a single hardware thread, where no wall-clock speedup
+// is physically possible.
+//
+// Keys: eval_reps, searches, exhaustive_size, threads, json_out, smoke.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "net/builder.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every operator new in this binary bumps a relaxed
+// counter.  Used to prove the fast path's zero-allocation contract.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace netpart {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+/// Random valid configurations (total > 0) over the snapshot.
+std::vector<ProcessorConfig> sample_configs(Rng& rng,
+                                            const AvailabilitySnapshot& snap,
+                                            int count) {
+  std::vector<ProcessorConfig> configs;
+  while (static_cast<int>(configs.size()) < count) {
+    ProcessorConfig config(snap.available.size(), 0);
+    int total = 0;
+    for (std::size_t c = 0; c < config.size(); ++c) {
+      config[c] = static_cast<int>(rng.next_int(0, snap.available[c]));
+      total += config[c];
+    }
+    if (total > 0) configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+struct Testbed {
+  Network net;
+  CalibrationResult cal;
+  AvailabilitySnapshot snap;
+  ComputationSpec spec;
+
+  Testbed(Network network, int n)
+      : net(std::move(network)),
+        cal(bench::calibrate_testbed(net)),
+        snap(bench::idle_snapshot(net)),
+        spec(apps::make_stencil_spec(
+            apps::StencilConfig{.n = n, .iterations = 10,
+                                .overlap = false})) {}
+};
+
+/// Deterministic heterogeneous network: `clusters` clusters of exactly
+/// `per_cluster` processors each, speeds spread over the paper's
+/// Sparc2/IPC range -- so the exhaustive space is exactly
+/// (per_cluster+1)^clusters.
+Network make_grid_network(int clusters, int per_cluster) {
+  NetworkBuilder b;
+  b.bandwidth_bps(10e6);
+  b.frame_overhead(SimTime::micros(50));
+  b.router_delay(SimTime::nanos(600), SimTime::micros(100));
+  for (int i = 0; i < clusters; ++i) {
+    ProcessorType t;
+    t.name = "cpu" + std::to_string(i);
+    t.flop_time = SimTime::micros(0.1 + 0.1 * i);
+    t.int_time = t.flop_time * 0.5;
+    t.comm_per_byte = SimTime::nanos(800);
+    t.comm_per_message = SimTime::micros(500);
+    t.data_format =
+        i % 2 == 0 ? DataFormat::BigEndian : DataFormat::LittleEndian;
+    t.coerce_per_byte = SimTime::nanos(400);
+    b.add_cluster(t.name, t, per_cluster);
+  }
+  return b.build();
+}
+
+int run(const Config& args) {
+  const bool smoke = args.get_bool_or("smoke", false);
+  const auto eval_reps = args.get_int_or("eval_reps", smoke ? 20000 : 200000);
+  const auto searches = args.get_int_or("searches", smoke ? 200 : 2000);
+  const auto exhaustive_size =
+      args.get_int_or("exhaustive_size", smoke ? 8 : 12);
+  const int threads = static_cast<int>(args.get_int_or("threads", 4));
+  const std::string json_out =
+      args.get_or("json_out", "BENCH_partition.json");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // The 4-cluster preset: the shape the paper's testbed generalises to.
+  Testbed bed(make_grid_network(/*clusters=*/4, /*per_cluster=*/6),
+              /*n=*/1200);
+  CycleEstimator estimator(bed.net, bed.cal.db, bed.spec);
+  Rng rng(7);
+  const std::vector<ProcessorConfig> configs =
+      sample_configs(rng, bed.snap, 64);
+
+  JsonValue root = JsonValue::object();
+  root.set("bench", "partition_hotpath");
+  root.set("meta", JsonValue::object()
+                       .set("clusters", bed.net.num_clusters())
+                       .set("processors", bed.snap.total())
+                       .set("hardware_concurrency",
+                            static_cast<std::int64_t>(hw))
+                       .set("smoke", smoke));
+
+  // --- eval: ns per evaluation, reference vs fast, bitwise agreement ----
+  EstimatorScratch scratch;
+  bool bitwise = true;
+  for (const ProcessorConfig& config : configs) {
+    const CycleEstimate ref = estimator.estimate(config);
+    const FastEstimate fast = estimator.estimate_into(config, scratch);
+    bitwise = bitwise && ref.t_comp_ms == fast.t_comp_ms &&
+              ref.t_comm_ms == fast.t_comm_ms &&
+              ref.t_overlap_ms == fast.t_overlap_ms &&
+              ref.t_c_ms == fast.t_c_ms;
+  }
+
+  const auto t_ref = Clock::now();
+  double sink = 0.0;
+  for (std::int64_t i = 0; i < eval_reps; ++i) {
+    sink += estimator
+                .estimate(configs[static_cast<std::size_t>(i) %
+                                  configs.size()])
+                .t_c_ms;
+  }
+  const double ref_ms = ms_since(t_ref);
+
+  const auto t_fast = Clock::now();
+  for (std::int64_t i = 0; i < eval_reps; ++i) {
+    sink += estimator
+                .estimate_into(configs[static_cast<std::size_t>(i) %
+                                       configs.size()],
+                               scratch)
+                .t_c_ms;
+  }
+  const double fast_ms = ms_since(t_fast);
+
+  const double ref_ns = ref_ms * 1e6 / static_cast<double>(eval_reps);
+  const double fast_ns = fast_ms * 1e6 / static_cast<double>(eval_reps);
+  const double eval_speedup = ref_ns / fast_ns;
+  root.set("eval", JsonValue::object()
+                       .set("evals", eval_reps)
+                       .set("reference_ns_per_eval", ref_ns)
+                       .set("fast_ns_per_eval", fast_ns)
+                       .set("speedup", eval_speedup)
+                       .set("bitwise_match", bitwise));
+
+  // --- alloc: the zero-allocation contract ------------------------------
+  // The scratch is warm (the loops above).  Every allocation between the
+  // two reads below is a contract violation.
+  const std::int64_t alloc_evals = smoke ? 5000 : 50000;
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (std::int64_t i = 0; i < alloc_evals; ++i) {
+    sink += estimator
+                .estimate_into(configs[static_cast<std::size_t>(i) %
+                                       configs.size()],
+                               scratch)
+                .t_c_ms;
+  }
+  const std::uint64_t fast_allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+
+  // For contrast: allocations of one reference evaluation (vector
+  // materialisation and friends).
+  const std::uint64_t ref_before =
+      g_allocations.load(std::memory_order_relaxed);
+  sink += estimator.estimate(configs[0]).t_c_ms;
+  const std::uint64_t ref_allocs =
+      g_allocations.load(std::memory_order_relaxed) - ref_before;
+
+  root.set("alloc",
+           JsonValue::object()
+               .set("fast_evals", alloc_evals)
+               .set("fast_allocations", fast_allocs)
+               .set("allocations_per_eval",
+                    static_cast<double>(fast_allocs) /
+                        static_cast<double>(alloc_evals))
+               .set("reference_allocations_per_eval", ref_allocs));
+
+  // --- search: whole partition() searches per second --------------------
+  {
+    EstimatorScratch search_scratch;
+    PartitionResult warm =
+        partition(estimator, bed.snap, {}, &search_scratch);
+    sink += warm.estimate.t_c_ms;
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < searches; ++i) {
+      sink += partition(estimator, bed.snap, {}, &search_scratch)
+                  .estimate.t_c_ms;
+    }
+    const double single_ms = ms_since(t0);
+
+    const auto t1 = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    const std::int64_t per_thread =
+        (searches + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&estimator, &bed, per_thread] {
+        EstimatorScratch local;
+        double local_sink = 0.0;
+        for (std::int64_t i = 0; i < per_thread; ++i) {
+          local_sink +=
+              partition(estimator, bed.snap, {}, &local).estimate.t_c_ms;
+        }
+        (void)local_sink;
+      });
+    }
+    for (auto& t : pool) t.join();
+    const double multi_ms = ms_since(t1);
+    const double multi_searches =
+        static_cast<double>(per_thread) * threads;
+
+    root.set("search",
+             JsonValue::object()
+                 .set("searches", searches)
+                 .set("single_thread_per_sec",
+                      static_cast<double>(searches) * 1e3 / single_ms)
+                 .set("threads", threads)
+                 .set("multi_thread_per_sec", multi_searches * 1e3 / multi_ms));
+  }
+
+  // --- exhaustive: serial vs sharded sweep ------------------------------
+  // A wider snapshot so the sweep is worth sharding (the 4-cluster preset
+  // above enumerates in microseconds): (exhaustive_size+1)^4 configs.
+  Testbed wide(make_grid_network(/*clusters=*/4,
+                                 static_cast<int>(exhaustive_size)),
+               /*n=*/2400);
+  CycleEstimator wide_estimator(wide.net, wide.cal.db, wide.spec);
+  std::uint64_t space = 1;
+  for (int n : wide.snap.available) {
+    space *= static_cast<std::uint64_t>(n) + 1;
+  }
+
+  const auto t_serial = Clock::now();
+  const PartitionResult serial =
+      exhaustive_partition(wide_estimator, wide.snap, {.threads = 1});
+  const double serial_ms = ms_since(t_serial);
+
+  const auto t_parallel = Clock::now();
+  const PartitionResult parallel =
+      exhaustive_partition(wide_estimator, wide.snap, {.threads = threads});
+  const double parallel_ms = ms_since(t_parallel);
+
+  const bool exhaustive_match = serial.config == parallel.config;
+  const double exhaustive_speedup = serial_ms / parallel_ms;
+  root.set("exhaustive",
+           JsonValue::object()
+               .set("space", static_cast<std::int64_t>(space))
+               .set("serial_ms", serial_ms)
+               .set("threads", threads)
+               .set("parallel_ms", parallel_ms)
+               .set("speedup", exhaustive_speedup)
+               .set("configs_match", exhaustive_match));
+
+  // --- checks -----------------------------------------------------------
+  const bool zero_alloc = fast_allocs == 0;
+  const bool fast_3x = eval_speedup >= 3.0;
+  const bool multi_core = hw >= 2;
+  const bool parallel_2x = exhaustive_speedup >= 2.0;
+  const bool pass = bitwise && zero_alloc && exhaustive_match &&
+                    (smoke || fast_3x) &&
+                    (smoke || !multi_core || parallel_2x);
+  root.set("checks",
+           JsonValue::object()
+               .set("bitwise_match", bitwise)
+               .set("zero_alloc_per_eval", zero_alloc)
+               .set("exhaustive_configs_match", exhaustive_match)
+               .set("fast_speedup_3x", fast_3x)
+               .set("parallel_speedup_2x",
+                    multi_core ? (parallel_2x ? "ok" : "fail")
+                               : "skipped_single_core")
+               .set("pass", pass));
+  (void)sink;
+
+  Table table({"metric", "value"});
+  table.add_row({"reference ns/eval", format_double(ref_ns, 1)});
+  table.add_row({"fast ns/eval", format_double(fast_ns, 1)});
+  table.add_row({"eval speedup", format_double(eval_speedup, 2) + "x"});
+  table.add_row({"allocations/eval (fast, steady state)",
+                  format_double(static_cast<double>(fast_allocs) /
+                                    static_cast<double>(alloc_evals),
+                                3)});
+  table.add_row({"exhaustive serial / parallel (ms)",
+                  format_double(serial_ms, 1) + " / " +
+                      format_double(parallel_ms, 1)});
+  table.add_row({"bitwise fast == reference", bitwise ? "yes" : "NO"});
+  std::printf("%s\n", table.render("partition hot path").c_str());
+
+  bench::write_bench_json(json_out, root);
+  std::printf("results -> %s\n", json_out.c_str());
+
+  if (smoke && (!bitwise || !zero_alloc || !exhaustive_match)) {
+    std::fprintf(stderr,
+                 "bench_partition_hotpath --smoke FAILED: bitwise=%d "
+                 "zero_alloc=%d exhaustive_match=%d\n",
+                 bitwise, zero_alloc, exhaustive_match);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace netpart
+
+int main(int argc, char** argv) {
+  try {
+    return netpart::run(netpart::bench::parse_bench_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_partition_hotpath: %s\n", e.what());
+    return 1;
+  }
+}

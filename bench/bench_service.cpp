@@ -244,7 +244,7 @@ int run(const Config& args) {
 
 int main(int argc, char** argv) {
   try {
-    return netpart::run(netpart::Config::from_args(argc, argv));
+    return netpart::run(netpart::bench::parse_bench_args(argc, argv));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_service: %s\n", e.what());
     return 1;

@@ -15,6 +15,33 @@ const std::vector<std::int64_t>& paper_sizes() {
   return kSizes;
 }
 
+Config parse_bench_args(int argc, const char* const* argv) {
+  std::vector<std::string> plain;
+  Config flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      flags.set("smoke", "1");
+      continue;
+    }
+    if (arg == "--json-out") {
+      NP_REQUIRE(i + 1 < argc, "--json-out needs a path argument");
+      flags.set("json_out", argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      arg.erase(0, 2);
+      std::replace(arg.begin(), arg.end(), '-', '_');
+    }
+    plain.push_back(std::move(arg));
+  }
+  Config config = Config::from_args(plain);
+  for (const auto& [key, value] : flags.entries()) {
+    config.set(key, value);  // flag spellings win over positional tokens
+  }
+  return config;
+}
+
 CalibrationResult calibrate_testbed(const Network& net, bool all_topos) {
   CalibrationParams params;
   if (!all_topos) {

@@ -20,6 +20,17 @@ namespace netpart::bench {
 /// The paper's problem sizes.
 const std::vector<std::int64_t>& paper_sizes();
 
+/// Shared bench command line.  Accepts the `key=value` tokens every bench
+/// already takes, plus flag spellings common to all benches:
+///
+///   --json-out <path> / --json-out=<path>   -> json_out=<path>
+///   --smoke                                 -> smoke=1
+///   --<key>=<value>                         -> <key>=<value> ('-' -> '_')
+///
+/// so `bench_x --json-out /tmp/x.json` and `bench_x json_out=/tmp/x.json`
+/// are equivalent.  Unknown positional tokens still throw ConfigError.
+Config parse_bench_args(int argc, const char* const* argv);
+
 /// Calibrate the Section 6 testbed (1-D topology only unless `all_topos`).
 CalibrationResult calibrate_testbed(const Network& net,
                                     bool all_topos = false);

@@ -40,3 +40,4 @@ np_add_bench(bench_scaling bench/bench_scaling.cpp)
 np_add_bench(bench_faults bench/bench_faults.cpp)
 np_add_bench(bench_service bench/bench_service.cpp)
 target_link_libraries(bench_service PRIVATE np_svc)
+np_add_bench(bench_partition_hotpath bench/bench_partition_hotpath.cpp)

@@ -12,6 +12,13 @@
 #                               # spec, validated by trace_check (the
 #                               # trace must parse and contain the
 #                               # partitioner / service / adaptive spans)
+#   scripts/tier1.sh --bench    # Release build + tests, then the full
+#                               # partition hot-path bench, emitting
+#                               # BENCH_partition.json in the repo root
+#
+# The release tier always ends with bench_partition_hotpath --smoke: a
+# fast gate that fails the tier if the estimator fast path allocates in
+# steady state or diverges bitwise from the reference path.
 #
 # Tests run in a random order (--schedule-random) so hidden inter-test
 # dependencies surface, and --repeat until-pass:1 keeps every test to a
@@ -22,11 +29,15 @@ cd "$(dirname "$0")/.."
 
 preset="${1:-release}"
 obs_stage=0
+bench_stage=0
 if [[ "$preset" == "--tsan" ]]; then
   preset="tsan"
 elif [[ "$preset" == "--obs" ]]; then
   preset="release"
   obs_stage=1
+elif [[ "$preset" == "--bench" ]]; then
+  preset="release"
+  bench_stage=1
 fi
 
 cmake --preset "$preset"
@@ -34,6 +45,19 @@ cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" \
   --repeat until-pass:1 \
   -j "$(nproc)"
+
+if [[ "$preset" == "release" ]]; then
+  echo "== perf smoke stage =="
+  smoke_json="$(mktemp)"
+  ./build/bench/bench_partition_hotpath --smoke --json-out "$smoke_json"
+  rm -f "$smoke_json"
+  echo "perf smoke stage ok"
+fi
+
+if [[ "$bench_stage" == 1 ]]; then
+  echo "== partition hot-path bench =="
+  ./build/bench/bench_partition_hotpath --json-out BENCH_partition.json
+fi
 
 if [[ "$obs_stage" == 1 ]]; then
   echo "== obs smoke stage =="

@@ -1,6 +1,7 @@
 #include "core/estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -16,23 +17,52 @@ CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
       cluster_order_(clusters_by_speed(network)) {
   NP_REQUIRE(db.num_clusters() == network.num_clusters(),
              "cost model was calibrated for a different network");
+  dominant_comp_ = &spec.dominant_computation();
+  num_pdus_ = dominant_comp_->num_pdus();
+  ops_per_pdu_ = dominant_comp_->ops_per_pdu();
+  phases_overlap_ = spec.dominant_phases_overlap();
+  if (!spec.communication_phases().empty()) {
+    dominant_comm_ = &spec.dominant_communication();
+    comm_topology_ = dominant_comm_->topology();
+    comm_bw_limited_ = is_bandwidth_limited(comm_topology_);
+    has_fit_.resize(static_cast<std::size_t>(network.num_clusters()), 0);
+    for (ClusterId c = 0; c < network.num_clusters(); ++c) {
+      if (db.has_comm(c, comm_topology_)) {
+        has_fit_[static_cast<std::size_t>(c)] = 1;
+        fitted_clusters_.push_back(c);
+      }
+    }
+  }
 }
 
 CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
-  ++evaluations_;
-  static obs::Counter& evals_counter =
-      obs::TelemetryRegistry::global().counter("estimator.evaluations");
-  evals_counter.add(1);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (!obs::TelemetryRegistry::global_enabled()) {
+    // Disabled-telemetry cost: the one relaxed load above.  The
+    // `estimator.evaluations` counter is batched per search by the
+    // partitioners instead of bumped here per evaluation.
+    return estimate_impl(config);
+  }
   obs::Span span(obs::TelemetryRegistry::global(), "estimator.estimate",
                  "core");
+  CycleEstimate out = estimate_impl(config);
+  if (span.active()) {
+    // The paper's Eq. 1 breakdown: T_c = T_comp + T_comm - T_overlap.
+    span.attr("processors", JsonValue(config_total(config)));
+    span.attr("t_comp_ms", JsonValue(out.t_comp_ms));
+    span.attr("t_comm_ms", JsonValue(out.t_comm_ms));
+    span.attr("t_overlap_ms", JsonValue(out.t_overlap_ms));
+    span.attr("t_c_ms", JsonValue(out.t_c_ms));
+  }
+  return out;
+}
+
+CycleEstimate CycleEstimator::estimate_impl(
+    const ProcessorConfig& config) const {
   validate_config(network_, config);
 
-  const ComputationPhaseSpec& comp = spec_.dominant_computation();
-  const std::int64_t num_pdus = comp.num_pdus();
-  const double ops_per_pdu = comp.ops_per_pdu();
-
   PartitionVector partition =
-      balanced_partition(network_, config, cluster_order_, num_pdus);
+      balanced_partition(network_, config, cluster_order_, num_pdus_);
 
   // Eq. 4: T_comp = S_i * complexity * A_i.  Load balancing makes the
   // products near-equal; integer rounding leaves a spread, and completion
@@ -42,14 +72,14 @@ CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
     int rank = 0;
     for (ClusterId c : cluster_order_) {
       const ProcessorType& type = network_.cluster(c).type();
-      const double s_ms = (comp.op_kind == OpKind::FloatingPoint
+      const double s_ms = (dominant_comp_->op_kind == OpKind::FloatingPoint
                                ? type.flop_time
                                : type.int_time)
                               .as_millis();
       const int p = config[static_cast<std::size_t>(c)];
       for (int i = 0; i < p; ++i, ++rank) {
         t_comp = std::max(
-            t_comp, s_ms * ops_per_pdu *
+            t_comp, s_ms * ops_per_pdu_ *
                         static_cast<double>(partition.at(rank)));
       }
     }
@@ -59,74 +89,146 @@ CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
 
   // T_overlap: the portion of T_comm hidden behind T_comp when the
   // implementation overlaps the dominant phases (STEN-2).
-  const double t_overlap = spec_.dominant_phases_overlap()
-                               ? std::min(t_comp, t_comm)
-                               : 0.0;
+  const double t_overlap =
+      phases_overlap_ ? std::min(t_comp, t_comm) : 0.0;
 
   CycleEstimate out{config, std::move(partition), t_comp, t_comm, t_overlap,
                     0.0, 0.0};
   out.t_c_ms = t_comp + t_comm - t_overlap;
   out.t_elapsed_ms = out.t_c_ms * spec_.iterations();
-  if (span.active()) {
-    // The paper's Eq. 1 breakdown: T_c = T_comp + T_comm - T_overlap.
-    span.attr("processors", JsonValue(config_total(config)));
-    span.attr("t_comp_ms", JsonValue(t_comp));
-    span.attr("t_comm_ms", JsonValue(t_comm));
-    span.attr("t_overlap_ms", JsonValue(t_overlap));
-    span.attr("t_c_ms", JsonValue(out.t_c_ms));
-  }
   return out;
 }
 
-double CycleEstimator::comm_cost_ms(const ProcessorConfig& config,
-                                    const PartitionVector& partition) const {
-  if (spec_.communication_phases().empty()) return 0.0;
-  if (config_total(config) <= 1) return 0.0;
+FastEstimate CycleEstimator::estimate_into(const ProcessorConfig& config,
+                                           EstimatorScratch& scratch) const {
+  ++scratch.evaluations;
+  validate_config(network_, config);
 
-  const CommunicationPhaseSpec& comm = spec_.dominant_communication();
-  const Topology topo = comm.topology();
+  // Active clusters in placement (rank-major) order.  clear() + push_back
+  // on retained capacity: no allocation once the buffers have grown to the
+  // network's cluster count.
+  scratch.group_weights.clear();
+  scratch.group_sizes.clear();
+  scratch.group_clusters.clear();
+  int total_p = 0;
+  for (ClusterId c : cluster_order_) {
+    const int p = config[static_cast<std::size_t>(c)];
+    if (p == 0) continue;
+    const double s = network_.cluster(c).type().flop_time.as_seconds();
+    scratch.group_weights.push_back(1.0 / s);
+    scratch.group_sizes.push_back(p);
+    scratch.group_clusters.push_back(c);
+    total_p += p;
+  }
+  // Mirror balanced_partition()'s preconditions (validate_config already
+  // guarantees total_p > 0).
+  NP_REQUIRE(num_pdus_ > 0, "num_pdus must be positive");
+  NP_REQUIRE(num_pdus_ >= total_p,
+             "cannot give every selected processor a PDU");
 
-  // Active clusters in placement order, with the max A_i of their ranks
-  // (message sizes may depend on the assignment).
-  struct Active {
-    ClusterId cluster;
-    int p;
-    std::int64_t max_a;
-  };
-  std::vector<Active> active;
-  {
+  const std::size_t groups = scratch.group_clusters.size();
+  scratch.shares.resize(groups);
+  scratch.max_a.resize(groups);
+  if (proportional_group_shares(scratch.group_weights, scratch.group_sizes,
+                                num_pdus_, scratch.shares)) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      scratch.max_a[g] =
+          scratch.shares[g].base + (scratch.shares[g].extras > 0 ? 1 : 0);
+    }
+  } else {
+    // Starvation repair engaged (extreme speed skew): the closed form
+    // cannot reproduce the donor-stealing loop, so materialise the real
+    // Eq. 3 vector once and take the per-cluster maxima from it.  Rare and
+    // allocating -- correctness over speed on this branch.
+    const PartitionVector partition =
+        balanced_partition(network_, config, cluster_order_, num_pdus_);
     int rank = 0;
-    for (ClusterId c : cluster_order_) {
-      const int p = config[static_cast<std::size_t>(c)];
-      if (p == 0) continue;
+    for (std::size_t g = 0; g < groups; ++g) {
       std::int64_t max_a = 0;
-      for (int i = 0; i < p; ++i, ++rank) {
+      for (int i = 0; i < scratch.group_sizes[g]; ++i, ++rank) {
         max_a = std::max(max_a, partition.at(rank));
       }
-      active.push_back(Active{c, p, max_a});
+      scratch.max_a[g] = max_a;
     }
   }
-  NP_ASSERT(!active.empty());
 
-  const bool bw_limited = is_bandwidth_limited(topo);
-  const int total_p = config_total(config);
+  // Eq. 4 per cluster: within a homogeneous cluster the max over ranks of
+  // s_ms * ops * A is the value at the cluster's max A (multiplication by
+  // a non-negative constant is monotone, so this is the exact same double
+  // the rank scan produces).
+  double t_comp = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const ProcessorType& type =
+        network_.cluster(scratch.group_clusters[g]).type();
+    const double s_ms = (dominant_comp_->op_kind == OpKind::FloatingPoint
+                             ? type.flop_time
+                             : type.int_time)
+                            .as_millis();
+    t_comp = std::max(t_comp, s_ms * ops_per_pdu_ *
+                                  static_cast<double>(scratch.max_a[g]));
+  }
+
+  double t_comm = 0.0;
+  if (dominant_comm_ != nullptr && total_p > 1) {
+    t_comm = comm_cost_from_groups(scratch.group_clusters.data(),
+                                   scratch.group_sizes.data(),
+                                   scratch.max_a.data(), groups, total_p);
+  }
+
+  const double t_overlap =
+      phases_overlap_ ? std::min(t_comp, t_comm) : 0.0;
+
+  FastEstimate out{t_comp, t_comm, t_overlap, 0.0, 0.0};
+  out.t_c_ms = t_comp + t_comm - t_overlap;
+  out.t_elapsed_ms = out.t_c_ms * spec_.iterations();
+  return out;
+}
+
+double CycleEstimator::cluster_cost_ms(ClusterId c, double bytes,
+                                       double p_param) const {
+  if (has_fit_[static_cast<std::size_t>(c)]) {
+    return db_.comm_ms(c, comm_topology_, bytes, p_param);
+  }
+  // A singleton cluster has no intra-cluster benchmark (nothing to
+  // measure), yet its segment still carries router traffic when it joins
+  // a spanning configuration; fall back to the most expensive fitted
+  // cluster as a conservative proxy.  The fitted-cluster list is resolved
+  // once, in the constructor, instead of rescanning has_comm per call.
+  NP_REQUIRE(!fitted_clusters_.empty(),
+             "no communication fit for any cluster; run calibration first");
+  double proxy = 0.0;
+  for (ClusterId other : fitted_clusters_) {
+    proxy = std::max(proxy, db_.comm_ms(other, comm_topology_, bytes,
+                                        p_param));
+  }
+  return proxy;
+}
+
+double CycleEstimator::comm_cost_from_groups(const ClusterId* clusters,
+                                             const int* sizes,
+                                             const std::int64_t* max_a,
+                                             std::size_t num_groups,
+                                             int total_p) const {
+  NP_ASSERT(num_groups > 0);
+  const CommunicationPhaseSpec& comm = *dominant_comm_;
+  const Topology topo = comm_topology_;
 
   // Router stations: under contiguous placement, messages cross between
   // consecutive active clusters (chain-like topologies) or from the root
   // cluster to every other (tree/broadcast rooted at rank 0).
   const auto adjacency = [&](std::size_t k) -> int {
-    if (active.size() == 1) return 0;
+    if (num_groups == 1) return 0;
     switch (topo) {
       case Topology::OneD:
       case Topology::TwoD:
-        return (k > 0 ? 1 : 0) + (k + 1 < active.size() ? 1 : 0);
+        return (k > 0 ? 1 : 0) + (k + 1 < num_groups ? 1 : 0);
       case Topology::Ring:
         // Wrap-around closes the chain: every active cluster sits between
         // two boundaries.
         return 2;
       case Topology::Tree:
       case Topology::Broadcast:
-        return k == 0 ? static_cast<int>(active.size()) - 1 : 1;
+        return k == 0 ? static_cast<int>(num_groups) - 1 : 1;
     }
     return 0;
   };
@@ -135,52 +237,60 @@ double CycleEstimator::comm_cost_ms(const ProcessorConfig& config,
   // cluster's cost is evaluated at its processor count plus the routers
   // contending on its segment (the "(b, p+1)" rule).  Bandwidth-limited
   // topologies see the total offered load instead of the private one.
-  //
-  // A singleton cluster has no intra-cluster benchmark (nothing to
-  // measure), yet its segment still carries router traffic when it joins
-  // a spanning configuration; fall back to the most expensive fitted
-  // cluster as a conservative proxy.
-  const auto cluster_cost = [&](ClusterId c, double bytes,
-                                double p_param) -> double {
-    if (db_.has_comm(c, topo)) {
-      return db_.comm_ms(c, topo, bytes, p_param);
-    }
-    double proxy = 0.0;
-    bool found = false;
-    for (ClusterId other = 0; other < network_.num_clusters(); ++other) {
-      if (!db_.has_comm(other, topo)) continue;
-      proxy = std::max(proxy, db_.comm_ms(other, topo, bytes, p_param));
-      found = true;
-    }
-    NP_REQUIRE(found, "no communication fit for any cluster; "
-                      "run calibration first");
-    return proxy;
-  };
-
   double worst = 0.0;
-  for (std::size_t k = 0; k < active.size(); ++k) {
-    const Active& a = active[k];
+  for (std::size_t k = 0; k < num_groups; ++k) {
     const double bytes =
-        static_cast<double>(comm.bytes_per_message(a.max_a));
+        static_cast<double>(comm.bytes_per_message(max_a[k]));
     const double p_param =
-        (bw_limited ? static_cast<double>(total_p)
-                    : static_cast<double>(a.p)) +
+        (comm_bw_limited_ ? static_cast<double>(total_p)
+                          : static_cast<double>(sizes[k])) +
         static_cast<double>(adjacency(k));
-    worst = std::max(worst, cluster_cost(a.cluster, bytes, p_param));
+    worst = std::max(worst, cluster_cost_ms(clusters[k], bytes, p_param));
   }
 
   // Per-message router and coercion penalties on the boundary exchanges.
   double penalty = 0.0;
-  for (std::size_t k = 0; k + 1 < active.size(); ++k) {
-    const ClusterId ca = active[k].cluster;
-    const ClusterId cb = active[k + 1].cluster;
-    const double bytes = static_cast<double>(comm.bytes_per_message(
-        std::max(active[k].max_a, active[k + 1].max_a)));
+  for (std::size_t k = 0; k + 1 < num_groups; ++k) {
+    const ClusterId ca = clusters[k];
+    const ClusterId cb = clusters[k + 1];
+    const double bytes = static_cast<double>(
+        comm.bytes_per_message(std::max(max_a[k], max_a[k + 1])));
     penalty = std::max(penalty, db_.router_ms(ca, cb, bytes) +
                                     db_.coerce_ms(ca, cb, bytes));
   }
 
   return worst + penalty;
+}
+
+double CycleEstimator::comm_cost_ms(const ProcessorConfig& config,
+                                    const PartitionVector& partition) const {
+  if (dominant_comm_ == nullptr) return 0.0;
+  const int total_p = config_total(config);
+  if (total_p <= 1) return 0.0;
+
+  // Active clusters in placement order, with the max A_i of their ranks
+  // (message sizes may depend on the assignment); the Eq. 1/2/5 math is
+  // shared with the fast path via comm_cost_from_groups.
+  std::vector<ClusterId> clusters;
+  std::vector<int> sizes;
+  std::vector<std::int64_t> max_a;
+  {
+    int rank = 0;
+    for (ClusterId c : cluster_order_) {
+      const int p = config[static_cast<std::size_t>(c)];
+      if (p == 0) continue;
+      std::int64_t cluster_max = 0;
+      for (int i = 0; i < p; ++i, ++rank) {
+        cluster_max = std::max(cluster_max, partition.at(rank));
+      }
+      clusters.push_back(c);
+      sizes.push_back(p);
+      max_a.push_back(cluster_max);
+    }
+  }
+  NP_ASSERT(!clusters.empty());
+  return comm_cost_from_groups(clusters.data(), sizes.data(), max_a.data(),
+                               clusters.size(), total_p);
 }
 
 }  // namespace netpart

@@ -10,8 +10,22 @@
 //
 // using only the program callbacks and the offline-calibrated cost model --
 // no network activity happens at estimation time.
+//
+// Two evaluation paths:
+//
+//   * estimate() -- the reference path: materialises the full Eq. 3
+//     partition vector and scans it rank by rank.  One heap-allocating
+//     call per evaluation; keep for results (the caller gets the
+//     PartitionVector) and as ground truth.
+//   * estimate_into() -- the fast path the searches hammer: Eq. 3 is
+//     evaluated in closed form per *cluster* (a balanced partition hands a
+//     homogeneous cluster only the floor/ceiling of its ideal share, see
+//     proportional_group_shares), so no per-rank vector exists and a
+//     steady-state evaluation allocates nothing.  Results are bitwise
+//     identical to estimate() -- the property tier asserts this.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,15 +48,59 @@ struct CycleEstimate {
   double t_elapsed_ms = 0.0;  ///< iterations * t_c (startup excluded)
 };
 
+/// estimate_into()'s result: the cost breakdown without the materialised
+/// partition vector (searches only compare t_c; the winner is materialised
+/// once, via estimate(), for the returned PartitionResult).
+struct FastEstimate {
+  double t_comp_ms = 0.0;
+  double t_comm_ms = 0.0;
+  double t_overlap_ms = 0.0;
+  double t_c_ms = 0.0;
+  double t_elapsed_ms = 0.0;
+};
+
+/// Reusable buffers for CycleEstimator::estimate_into() and the search
+/// drivers.  Strictly one owner thread at a time -- never share a scratch
+/// across threads (the svc worker pool keeps one per worker, the parallel
+/// exhaustive search one per shard).  Buffers grow to the network's cluster
+/// count on first use and are then reused: steady-state evaluations perform
+/// zero heap allocations.
+struct EstimatorScratch {
+  /// Fast-path evaluations recorded through this scratch.  Search drivers
+  /// read the delta across a search and merge it into the estimator's
+  /// evaluations() plus the batched `estimator.evaluations` counter.
+  std::uint64_t evaluations = 0;
+
+  // Internal buffers (estimator + partitioner use; sizes are per-network).
+  std::vector<double> group_weights;     ///< 1/S_i per active cluster
+  std::vector<int> group_sizes;          ///< P_i per active cluster
+  std::vector<ClusterId> group_clusters; ///< active cluster ids, rank order
+  std::vector<GroupShare> shares;        ///< closed-form Eq. 3 shares
+  std::vector<std::int64_t> max_a;       ///< per active cluster max A_i
+  std::vector<double> objective_cache;   ///< ClusterObjective memo (NaN=empty)
+};
+
 class CycleEstimator {
  public:
-  /// All referenced objects must outlive the estimator.
+  /// All referenced objects must outlive the estimator.  Dominant phases
+  /// and the communication-fit inventory are resolved here, once: the
+  /// spec's callbacks must be deterministic for the estimator's lifetime
+  /// (they always were in practice -- the searches assume a fixed
+  /// objective).
   CycleEstimator(const Network& network, const CostModelDb& db,
                  const ComputationSpec& spec);
 
-  /// Evaluate one configuration.  Throws InvalidArgument for configurations
-  /// that exceed cluster capacities or select nothing.
+  /// Evaluate one configuration (reference path).  Throws InvalidArgument
+  /// for configurations that exceed cluster capacities or select nothing.
   CycleEstimate estimate(const ProcessorConfig& config) const;
+
+  /// Allocation-free evaluation of one configuration through `scratch`.
+  /// Bitwise identical to estimate() on every cost field.  Thread-safe for
+  /// concurrent calls with distinct scratches; bumps scratch.evaluations
+  /// instead of this estimator's counter (callers merge, see
+  /// merge_evaluations()).
+  FastEstimate estimate_into(const ProcessorConfig& config,
+                             EstimatorScratch& scratch) const;
 
   /// Clusters ordered fastest-first; partition vectors and placements are
   /// rank-major in this order.
@@ -50,22 +108,54 @@ class CycleEstimator {
     return cluster_order_;
   }
 
-  /// Number of estimate() calls so far -- the paper's K*log2(P) overhead
-  /// metric counts these.
-  std::uint64_t evaluations() const { return evaluations_; }
+  /// Number of evaluations so far -- the paper's K*log2 P overhead metric
+  /// counts these.  estimate() bumps it directly; fast-path evaluations
+  /// arrive batched via merge_evaluations().
+  std::uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// Fold `n` scratch-counted fast-path evaluations into evaluations().
+  void merge_evaluations(std::uint64_t n) const {
+    evaluations_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   const ComputationSpec& spec() const { return spec_; }
   const Network& network() const { return network_; }
 
  private:
+  CycleEstimate estimate_impl(const ProcessorConfig& config) const;
   double comm_cost_ms(const ProcessorConfig& config,
                       const PartitionVector& partition) const;
+  /// Shared Eq. 1/2/5 evaluation once the per-cluster max A_i are known.
+  /// `clusters`/`sizes`/`max_a` describe the active clusters in placement
+  /// order; total_p is config_total(config).
+  double comm_cost_from_groups(const ClusterId* clusters, const int* sizes,
+                               const std::int64_t* max_a,
+                               std::size_t num_groups, int total_p) const;
+  /// T_comm[C](b, p) with the singleton-cluster proxy fallback resolved
+  /// against the constructor-memoized fitted-cluster list.
+  double cluster_cost_ms(ClusterId c, double bytes, double p_param) const;
 
   const Network& network_;
   const CostModelDb& db_;
   const ComputationSpec& spec_;
   std::vector<ClusterId> cluster_order_;
-  mutable std::uint64_t evaluations_ = 0;
+
+  // Constructor-resolved invariants of the spec and cost model: the hot
+  // path must not re-run phase-dominance scans, callback invocations with
+  // fixed results, or the per-call "which clusters have a fit" rescan.
+  const ComputationPhaseSpec* dominant_comp_ = nullptr;
+  std::int64_t num_pdus_ = 0;
+  double ops_per_pdu_ = 0.0;
+  const CommunicationPhaseSpec* dominant_comm_ = nullptr;  // null: no comm
+  Topology comm_topology_ = Topology::OneD;
+  bool comm_bw_limited_ = false;
+  bool phases_overlap_ = false;
+  std::vector<ClusterId> fitted_clusters_;  ///< has_comm(c, topo), id order
+  std::vector<char> has_fit_;               ///< per cluster, dominant topo
+
+  mutable std::atomic<std::uint64_t> evaluations_{0};
 };
 
 }  // namespace netpart

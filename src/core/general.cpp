@@ -3,6 +3,7 @@
 #include <limits>
 #include <set>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -12,13 +13,15 @@ namespace {
 
 /// Hill-climb from `config` with +/-1 moves until a local minimum; returns
 /// the local minimum's objective value and mutates `config` in place.
+/// Evaluations run on the estimator's fast path through `scratch` (the
+/// caller reads scratch.evaluations for the budget accounting).
 double hill_climb(const CycleEstimator& estimator,
                   const AvailabilitySnapshot& snapshot,
                   ProcessorConfig& config, std::uint64_t budget,
-                  std::uint64_t* evaluations) {
+                  std::uint64_t* evaluations, EstimatorScratch& scratch) {
   const auto evaluate = [&](const ProcessorConfig& c) {
     ++*evaluations;
-    return estimator.estimate(c).t_c_ms;
+    return estimator.estimate_into(c, scratch).t_c_ms;
   };
 
   double current = evaluate(config);
@@ -61,12 +64,14 @@ PartitionResult general_partition(const CycleEstimator& estimator,
                  net.num_clusters(),
              "availability snapshot does not match the network");
   NP_REQUIRE(snapshot.total() > 0, "no processors available");
-  const std::uint64_t evals_before = estimator.evaluations();
   std::uint64_t evaluations = 0;
+  EstimatorScratch scratch;
 
   // Deterministic starting points.
   std::set<ProcessorConfig> starts;
-  starts.insert(partition(estimator, snapshot).config);
+  const PartitionResult heuristic_start =
+      partition(estimator, snapshot, {}, &scratch);
+  starts.insert(heuristic_start.config);
   starts.insert(config_all_available(snapshot));
   for (ClusterId c = 0; c < net.num_clusters(); ++c) {
     const int n = snapshot.available[static_cast<std::size_t>(c)];
@@ -94,8 +99,9 @@ PartitionResult general_partition(const CycleEstimator& estimator,
   double best_value = std::numeric_limits<double>::infinity();
   for (const ProcessorConfig& start : starts) {
     ProcessorConfig config = start;
-    const double value = hill_climb(estimator, snapshot, config,
-                                    options.max_evaluations, &evaluations);
+    const double value =
+        hill_climb(estimator, snapshot, config, options.max_evaluations,
+                   &evaluations, scratch);
     if (value < best_value) {
       best_value = value;
       best_config = std::move(config);
@@ -105,10 +111,18 @@ PartitionResult general_partition(const CycleEstimator& estimator,
   NP_LOG_DEBUG << "general partitioner: T_c=" << best_value << "ms from "
                << starts.size() << " starts";
 
+  // Fold the climb's fast-path evaluations into the estimator's tally and
+  // the batched counter (partition() above already accounted for its own;
+  // +1 covers the final reference materialisation).
+  estimator.merge_evaluations(evaluations);
+  obs::TelemetryRegistry::global()
+      .counter("estimator.evaluations")
+      .add(evaluations + 1);
   return PartitionResult{
       best_config, estimator.estimate(best_config),
       contiguous_placement(net, best_config, estimator.cluster_order()),
-      estimator.cluster_order(), estimator.evaluations() - evals_before};
+      estimator.cluster_order(),
+      heuristic_start.evaluations + evaluations + 1};
 }
 
 }  // namespace netpart

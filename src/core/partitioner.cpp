@@ -1,6 +1,10 @@
 #include "core/partitioner.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -12,32 +16,49 @@ namespace netpart {
 namespace {
 
 /// Memoizing objective for one cluster's search: f(p) = T_c with this
-/// cluster set to p processors and everything else fixed.
+/// cluster set to p processors and everything else fixed.  Borrows the
+/// caller's config (saving/restoring the searched digit) and caches in
+/// scratch.objective_cache, so constructing one allocates nothing once the
+/// scratch has warmed up.
 class ClusterObjective {
  public:
-  ClusterObjective(const CycleEstimator& estimator, ProcessorConfig config,
-                   ClusterId cluster)
+  ClusterObjective(const CycleEstimator& estimator, ProcessorConfig& config,
+                   ClusterId cluster, EstimatorScratch& scratch)
       : estimator_(estimator),
-        config_(std::move(config)),
+        config_(config),
         cluster_(cluster),
-        cache_(static_cast<std::size_t>(
-                   estimator.network().cluster(cluster).size()) +
-               1) {}
+        saved_(config[static_cast<std::size_t>(cluster)]),
+        cache_(scratch.objective_cache),
+        scratch_(scratch) {
+    cache_.assign(static_cast<std::size_t>(
+                      estimator.network().cluster(cluster).size()) +
+                      1,
+                  std::numeric_limits<double>::quiet_NaN());
+  }
+
+  ~ClusterObjective() {
+    config_[static_cast<std::size_t>(cluster_)] = saved_;
+  }
+
+  ClusterObjective(const ClusterObjective&) = delete;
+  ClusterObjective& operator=(const ClusterObjective&) = delete;
 
   double operator()(int p) {
-    auto& slot = cache_[static_cast<std::size_t>(p)];
-    if (!slot) {
+    double& slot = cache_[static_cast<std::size_t>(p)];
+    if (std::isnan(slot)) {
       config_[static_cast<std::size_t>(cluster_)] = p;
-      slot = estimator_.estimate(config_).t_c_ms;
+      slot = estimator_.estimate_into(config_, scratch_).t_c_ms;
     }
-    return *slot;
+    return slot;
   }
 
  private:
   const CycleEstimator& estimator_;
-  ProcessorConfig config_;
+  ProcessorConfig& config_;
   ClusterId cluster_;
-  std::vector<std::optional<double>> cache_;
+  int saved_;
+  std::vector<double>& cache_;
+  EstimatorScratch& scratch_;
 };
 
 /// Locate the argmin of a discrete unimodal function on [lo, hi] by binary
@@ -69,7 +90,8 @@ int linear_argmin(ClusterObjective& f, int lo, int hi) {
 
 PartitionResult partition(const CycleEstimator& estimator,
                           const AvailabilitySnapshot& snapshot,
-                          const PartitionOptions& options) {
+                          const PartitionOptions& options,
+                          EstimatorScratch* scratch) {
   const Network& net = estimator.network();
   NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
                  net.num_clusters(),
@@ -82,10 +104,14 @@ PartitionResult partition(const CycleEstimator& estimator,
       telemetry.counter("partitioner.binary_search_steps");
   static obs::Counter& evals_counter =
       telemetry.counter("partitioner.cost_model_evals");
+  static obs::Counter& estimator_evals_counter =
+      telemetry.counter("estimator.evaluations");
   calls_counter.add(1);
   obs::Span search_span(telemetry, "partition.search", "core");
 
-  const std::uint64_t evals_before = estimator.evaluations();
+  EstimatorScratch local_scratch;
+  EstimatorScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  const std::uint64_t evals_before = sc.evaluations;
   ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
   bool any_selected = false;
   std::uint64_t search_steps = 0;
@@ -94,18 +120,24 @@ PartitionResult partition(const CycleEstimator& estimator,
     const int n = snapshot.available[static_cast<std::size_t>(c)];
     if (n == 0) continue;
 
-    const std::uint64_t cluster_evals_before = estimator.evaluations();
+    const std::uint64_t cluster_evals_before = sc.evaluations;
     obs::Span cluster_span(telemetry, "partition.cluster", "core");
-    ClusterObjective f(estimator, config, c);
-    // The Fig. 3 unimodality assumption covers p >= 1; "use none of this
-    // cluster" (p = 0, only legal once something is selected) sits off the
-    // curve -- it removes the router crossing entirely -- so it is compared
-    // against the valley minimum explicitly rather than searched.
-    int best = options.search == PartitionOptions::Search::Binary
-                   ? unimodal_argmin(f, 1, n, search_steps)
-                   : linear_argmin(f, 1, n);
-    if (any_selected && f(0) <= f(best)) {
-      best = 0;
+    int best;
+    {
+      // The objective borrows `config` and restores the searched digit on
+      // destruction; commit the winner only after it is gone.
+      ClusterObjective f(estimator, config, c, sc);
+      // The Fig. 3 unimodality assumption covers p >= 1; "use none of this
+      // cluster" (p = 0, only legal once something is selected) sits off
+      // the curve -- it removes the router crossing entirely -- so it is
+      // compared against the valley minimum explicitly rather than
+      // searched.
+      best = options.search == PartitionOptions::Search::Binary
+                 ? unimodal_argmin(f, 1, n, search_steps)
+                 : linear_argmin(f, 1, n);
+      if (any_selected && f(0) <= f(best)) {
+        best = 0;
+      }
     }
     config[static_cast<std::size_t>(c)] = best;
     if (best > 0) any_selected = true;
@@ -115,8 +147,7 @@ PartitionResult partition(const CycleEstimator& estimator,
       cluster_span.attr("available", JsonValue(n));
       cluster_span.attr("chosen", JsonValue(best));
       cluster_span.attr("evaluations",
-                        JsonValue(estimator.evaluations() -
-                                  cluster_evals_before));
+                        JsonValue(sc.evaluations - cluster_evals_before));
     }
     if (options.stop_at_partial_cluster && best < n) {
       // Communication locality rule: a partially used cluster means the
@@ -126,12 +157,17 @@ PartitionResult partition(const CycleEstimator& estimator,
   }
   NP_ASSERT(any_selected);
 
+  // Materialise the winner once via the reference path (callers get the
+  // full partition vector); +1 accounts for it in the evaluation tally.
+  const std::uint64_t fast_evals = sc.evaluations - evals_before;
+  estimator.merge_evaluations(fast_evals);
   PartitionResult result{
       config, estimator.estimate(config),
       contiguous_placement(net, config, estimator.cluster_order()),
-      estimator.cluster_order(), estimator.evaluations() - evals_before};
+      estimator.cluster_order(), fast_evals + 1};
   steps_counter.add(search_steps);
   evals_counter.add(result.evaluations);
+  estimator_evals_counter.add(result.evaluations);
   if (search_span.active()) {
     search_span.attr("evaluations", JsonValue(result.evaluations));
     search_span.attr("binary_search_steps", JsonValue(search_steps));
@@ -143,46 +179,161 @@ PartitionResult partition(const CycleEstimator& estimator,
   return result;
 }
 
+namespace {
+
+/// One worker's slice of the exhaustive sweep and its result.
+struct ExhaustiveShard {
+  std::uint64_t begin = 0;  ///< first enumeration index (inclusive)
+  std::uint64_t end = 0;    ///< last enumeration index (exclusive)
+  EstimatorScratch scratch;
+  ProcessorConfig best_config;
+  double best_tc = std::numeric_limits<double>::infinity();
+  std::uint64_t best_index = 0;
+  std::exception_ptr error;
+};
+
+/// Sweep enumeration indices [shard.begin, shard.end).  Index i maps to the
+/// mixed-radix odometer state with digit d (cluster d) equal to
+/// i / prod(N_0+1 .. N_{d-1}+1) mod (N_d+1) -- digit 0 least significant,
+/// matching the serial odometer's increment order.
+void run_exhaustive_shard(const CycleEstimator& estimator,
+                          const AvailabilitySnapshot& snapshot,
+                          ExhaustiveShard& shard) {
+  try {
+    ProcessorConfig config(snapshot.available.size(), 0);
+    std::uint64_t idx = shard.begin;
+    for (std::size_t d = 0; d < config.size(); ++d) {
+      const auto radix =
+          static_cast<std::uint64_t>(snapshot.available[d]) + 1;
+      config[d] = static_cast<int>(idx % radix);
+      idx /= radix;
+    }
+    for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+      if (config_total(config) > 0) {
+        const double tc =
+            estimator.estimate_into(config, shard.scratch).t_c_ms;
+        // Strict improvement keeps the first (lowest-index) minimum, which
+        // is what the serial scan returns on ties.
+        if (tc < shard.best_tc) {
+          shard.best_tc = tc;
+          shard.best_config = config;
+          shard.best_index = i;
+        }
+      }
+      std::size_t digit = 0;
+      while (digit < config.size()) {
+        if (config[digit] < snapshot.available[digit]) {
+          ++config[digit];
+          break;
+        }
+        config[digit] = 0;
+        ++digit;
+      }
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+  }
+}
+
+}  // namespace
+
 PartitionResult exhaustive_partition(const CycleEstimator& estimator,
-                                     const AvailabilitySnapshot& snapshot) {
+                                     const AvailabilitySnapshot& snapshot,
+                                     const ExhaustiveOptions& options) {
   const Network& net = estimator.network();
   NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
                  net.num_clusters(),
              "availability snapshot does not match the network");
   NP_REQUIRE(snapshot.total() > 0, "no processors available");
 
-  const std::uint64_t evals_before = estimator.evaluations();
-  ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()), 0);
+  auto& telemetry = obs::TelemetryRegistry::global();
+  static obs::Counter& calls_counter = telemetry.counter("partitioner.calls");
+  static obs::Counter& evals_counter =
+      telemetry.counter("partitioner.cost_model_evals");
+  static obs::Counter& estimator_evals_counter =
+      telemetry.counter("estimator.evaluations");
+  calls_counter.add(1);
+  obs::Span span(telemetry, "partition.exhaustive", "core");
+
+  // Size of the product space, with an overflow guard: the sweep is the
+  // validation oracle for small-to-medium networks, not an algorithm for
+  // astronomically wide ones.
+  std::uint64_t space = 1;
+  for (int n : snapshot.available) {
+    const auto radix = static_cast<std::uint64_t>(n) + 1;
+    NP_REQUIRE(space <= (std::uint64_t{1} << 62) / radix,
+               "configuration space too large for exhaustive enumeration");
+    space *= radix;
+  }
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    // Auto: one shard per hardware thread, but below a few thousand
+    // evaluations per shard the spawn cost dominates any speedup.
+    constexpr std::uint64_t kMinShardWork = 2048;
+    threads = static_cast<int>(std::min<std::uint64_t>(
+        std::max(1u, std::thread::hardware_concurrency()),
+        std::max<std::uint64_t>(1, space / kMinShardWork)));
+  }
+  threads = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(threads), space));
+
+  std::vector<ExhaustiveShard> shards(static_cast<std::size_t>(threads));
+  const std::uint64_t chunk = space / static_cast<std::uint64_t>(threads);
+  const std::uint64_t rem = space % static_cast<std::uint64_t>(threads);
+  std::uint64_t cursor = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].begin = cursor;
+    cursor += chunk + (s < rem ? 1 : 0);
+    shards[s].end = cursor;
+  }
+  NP_ASSERT(cursor == space);
+
+  if (threads == 1) {
+    run_exhaustive_shard(estimator, snapshot, shards[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards.size());
+    for (auto& shard : shards) {
+      pool.emplace_back([&estimator, &snapshot, &shard] {
+        run_exhaustive_shard(estimator, snapshot, shard);
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
   ProcessorConfig best_config;
   double best_tc = std::numeric_limits<double>::infinity();
-
-  // Odometer enumeration of the product space.
-  while (true) {
-    if (config_total(config) > 0) {
-      const double tc = estimator.estimate(config).t_c_ms;
-      if (tc < best_tc) {
-        best_tc = tc;
-        best_config = config;
-      }
+  std::uint64_t total_evals = 0;
+  for (auto& shard : shards) {
+    if (shard.error) std::rethrow_exception(shard.error);
+    total_evals += shard.scratch.evaluations;
+    // Shards are visited in enumeration order, so strict improvement again
+    // selects the globally first minimum -- bit-identical to serial.
+    if (shard.best_tc < best_tc) {
+      best_tc = shard.best_tc;
+      best_config = shard.best_config;
     }
-    std::size_t digit = 0;
-    while (digit < config.size()) {
-      if (config[digit] <
-          snapshot.available[digit]) {
-        ++config[digit];
-        break;
-      }
-      config[digit] = 0;
-      ++digit;
-    }
-    if (digit == config.size()) break;
   }
   NP_ASSERT(!best_config.empty());
+  estimator.merge_evaluations(total_evals);
 
-  return PartitionResult{
+  PartitionResult result{
       best_config, estimator.estimate(best_config),
       contiguous_placement(net, best_config, estimator.cluster_order()),
-      estimator.cluster_order(), estimator.evaluations() - evals_before};
+      estimator.cluster_order(), total_evals + 1};
+  evals_counter.add(result.evaluations);
+  estimator_evals_counter.add(result.evaluations);
+  if (span.active()) {
+    span.attr("threads", JsonValue(threads));
+    span.attr("space", JsonValue(static_cast<std::int64_t>(space)));
+    span.attr("evaluations", JsonValue(result.evaluations));
+    span.attr("t_c_ms", JsonValue(result.estimate.t_c_ms));
+  }
+  NP_LOG_DEBUG << "exhaustive sweep of " << space << " configs on "
+               << threads << " threads chose T_c=" << result.estimate.t_c_ms
+               << "ms";
+  return result;
 }
 
 ProcessorConfig config_single_fastest_cluster(

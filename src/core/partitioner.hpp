@@ -10,7 +10,9 @@
 //
 // Worst case the objective is recomputed K*log2(P) times (K clusters,
 // P total processors); the evaluations field of the result reports the
-// actual count.
+// actual count.  Both searches run on the estimator's allocation-free fast
+// path (estimate_into); pass a long-lived EstimatorScratch to make repeated
+// searches allocation-free end to end.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +37,14 @@ struct PartitionOptions {
   bool stop_at_partial_cluster = true;
 };
 
+struct ExhaustiveOptions {
+  /// Worker threads for the product-space sweep.  0 = one per hardware
+  /// thread; 1 = serial (useful as the determinism reference).  The sweep
+  /// is deterministic at every thread count: ties on T_c resolve to the
+  /// lowest enumeration index, exactly like the serial scan.
+  int threads = 0;
+};
+
 struct PartitionResult {
   ProcessorConfig config;        ///< chosen P_i per cluster
   CycleEstimate estimate;        ///< cost breakdown of the chosen config
@@ -45,16 +55,24 @@ struct PartitionResult {
 
 /// Run the partitioning heuristic.  `snapshot` provides the available
 /// processor counts N_i from the cluster managers.  Throws InvalidArgument
-/// when no processor is available.
+/// when no processor is available.  `scratch` (optional) supplies reusable
+/// evaluation buffers; callers that search repeatedly (the service's
+/// workers, the benches) keep one per thread so steady-state searches do
+/// not allocate.
 PartitionResult partition(const CycleEstimator& estimator,
                           const AvailabilitySnapshot& snapshot,
-                          const PartitionOptions& options = {});
+                          const PartitionOptions& options = {},
+                          EstimatorScratch* scratch = nullptr);
 
 /// Reference partitioner: exhaustively enumerate every configuration
 /// (0..N_i per cluster) and return the estimator's argmin.  Exponential in
 /// the cluster count; used to validate the heuristic in ablation studies.
+/// The enumeration is sharded across `options.threads` workers, each with
+/// its own scratch; results are merged in enumeration order, so the chosen
+/// configuration is identical at every thread count.
 PartitionResult exhaustive_partition(const CycleEstimator& estimator,
-                                     const AvailabilitySnapshot& snapshot);
+                                     const AvailabilitySnapshot& snapshot,
+                                     const ExhaustiveOptions& options = {});
 
 /// Baseline configurations for comparisons.
 ProcessorConfig config_single_fastest_cluster(

@@ -259,6 +259,21 @@ RecoveryReport evaluate_recovery(const PartitionVector& achieved,
   return report;
 }
 
+ConfigRecoveryReport evaluate_config_recovery(
+    const CycleEstimator& estimator, const AvailabilitySnapshot& snapshot,
+    const ProcessorConfig& achieved, const ExhaustiveOptions& options) {
+  ConfigRecoveryReport report;
+  report.achieved_t_c_ms = estimator.estimate(achieved).t_c_ms;
+  const PartitionResult oracle =
+      exhaustive_partition(estimator, snapshot, options);
+  report.oracle_t_c_ms = oracle.estimate.t_c_ms;
+  report.oracle_config = oracle.config;
+  report.oracle_evaluations = oracle.evaluations;
+  report.ratio =
+      report.achieved_t_c_ms / std::max(report.oracle_t_c_ms, 1e-12);
+  return report;
+}
+
 AdaptiveResult execute_static_chunked(
     const Network& network, const ComputationSpec& spec,
     const Placement& placement, const PartitionVector& initial,

@@ -18,6 +18,7 @@
 #include <optional>
 #include <span>
 
+#include "core/partitioner.hpp"
 #include "exec/executor.hpp"
 
 namespace netpart {
@@ -87,6 +88,27 @@ struct RecoveryReport {
 /// (nominal per-PDU time x fault slowdown x load slowdown).
 RecoveryReport evaluate_recovery(const PartitionVector& achieved,
                                  std::span<const double> ms_per_pdu);
+
+/// Configuration-level analogue of RecoveryReport: scores an achieved
+/// processor configuration against the exhaustive oracle over the degraded
+/// availability snapshot, on the full T_c objective (not just T_comp).
+struct ConfigRecoveryReport {
+  double achieved_t_c_ms = 0.0;  ///< estimator's T_c of the achieved config
+  double oracle_t_c_ms = 0.0;    ///< T_c of the exhaustive argmin
+  /// achieved / oracle; 1.0 means the recovered configuration is optimal
+  /// for what is left of the network.
+  double ratio = 1.0;
+  ProcessorConfig oracle_config;
+  std::uint64_t oracle_evaluations = 0;  ///< sweep size (cost of the oracle)
+};
+
+/// Score a post-fault configuration against the exhaustive ground truth.
+/// The sweep runs on the estimator's fast path, sharded per
+/// `options.threads` (see exhaustive_partition) -- wide snapshots that used
+/// to make the oracle impractical in tests are now seconds-scale.
+ConfigRecoveryReport evaluate_config_recovery(
+    const CycleEstimator& estimator, const AvailabilitySnapshot& snapshot,
+    const ProcessorConfig& achieved, const ExhaustiveOptions& options = {});
 
 /// Run `spec` with dynamic repartitioning.  The initial partition should be
 /// the static Eq. 3 decomposition; the adaptive loop takes it from there.

@@ -28,6 +28,13 @@ TelemetryRegistry& TelemetryRegistry::global() {
   return *registry;
 }
 
+void TelemetryRegistry::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+  if (this == &global()) {
+    detail_global_enabled.store(enabled, std::memory_order_relaxed);
+  }
+}
+
 Counter& TelemetryRegistry::counter(const std::string& name) {
   std::lock_guard lock(metrics_mutex_);
   auto& slot = counters_[name];

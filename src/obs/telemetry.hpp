@@ -78,10 +78,16 @@ class TelemetryRegistry {
   /// The process-wide registry the library instrumentation targets.
   static TelemetryRegistry& global();
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  void set_enabled(bool enabled) {
-    enabled_.store(enabled, std::memory_order_relaxed);
+  /// Whether global() is currently recording spans, as one relaxed atomic
+  /// load -- no initialisation guard, no registry lookup.  Hot paths (the
+  /// estimator's per-evaluation check) branch on this and skip all
+  /// telemetry work, including counter lookups, when tracing is off.
+  static bool global_enabled() {
+    return detail_global_enabled.load(std::memory_order_relaxed);
   }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled);
 
   // --- metrics --------------------------------------------------------
   /// Find-or-create.  References stay valid for the registry's lifetime.
@@ -125,6 +131,10 @@ class TelemetryRegistry {
   double wall_now_us() const;
 
  private:
+  /// Mirror of global()'s enabled_ flag.  Constant-initialised, so it is
+  /// readable without (and before) constructing the global registry.
+  static inline std::atomic<bool> detail_global_enabled{false};
+
   std::atomic<bool> enabled_;
 
   mutable std::mutex metrics_mutex_;

@@ -140,6 +140,9 @@ ServiceReply PartitionService::query(const PartitionRequest& request) {
 }
 
 void PartitionService::worker_loop() {
+  // One scratch per worker thread, reused across every cold compute this
+  // worker ever runs (see EstimatorScratch's single-owner contract).
+  EstimatorScratch scratch;
   for (;;) {
     JobPtr job;
     {
@@ -149,11 +152,11 @@ void PartitionService::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    run_cold(*job);
+    run_cold(*job, scratch);
   }
 }
 
-void PartitionService::run_cold(Job& job) {
+void PartitionService::run_cold(Job& job, EstimatorScratch& scratch) {
   obs::Span span(obs::TelemetryRegistry::global(), "svc.execute", "svc");
   if (span.active()) {
     span.attr("queue_wait_us", JsonValue(us_since(job.enqueued)));
@@ -163,7 +166,7 @@ void PartitionService::run_cold(Job& job) {
     PartitionDecision decision =
         options_.cold_override
             ? options_.cold_override(job.request, job.snapshot)
-            : cold_compute(job.request, job.snapshot);
+            : cold_compute(job.request, job.snapshot, scratch);
     decision.key = job.key;
     decision.epoch = job.epoch;
     auto shared =
@@ -186,8 +189,8 @@ void PartitionService::run_cold(Job& job) {
 }
 
 PartitionDecision PartitionService::cold_compute(
-    const PartitionRequest& request,
-    const AvailabilitySnapshot& snapshot) const {
+    const PartitionRequest& request, const AvailabilitySnapshot& snapshot,
+    EstimatorScratch& scratch) const {
   PartitionDecision decision;
   if (request.kind == PartitionRequest::Kind::Repartition) {
     NP_REQUIRE(!request.rate_milli.empty(),
@@ -205,7 +208,8 @@ PartitionDecision PartitionService::cold_compute(
              "Partition-kind request but no spec resolver registered");
   const ComputationSpec spec = resolver_(request);
   CycleEstimator estimator(net_, db_, spec);
-  PartitionResult result = partition(estimator, snapshot, request.options);
+  PartitionResult result =
+      partition(estimator, snapshot, request.options, &scratch);
   decision.partition = std::move(result.estimate.partition);
   decision.config = std::move(result.config);
   decision.placement = std::move(result.placement);

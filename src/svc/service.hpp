@@ -46,6 +46,10 @@
 #include "svc/metrics.hpp"
 #include "svc/request.hpp"
 
+namespace netpart {
+struct EstimatorScratch;  // core/estimator.hpp
+}
+
 namespace netpart::svc {
 
 enum class ServiceStatus {
@@ -122,10 +126,13 @@ class PartitionService {
   };
   using JobPtr = std::shared_ptr<Job>;
 
+  /// Each worker owns one EstimatorScratch for its lifetime: after warm-up
+  /// a cold compute's search allocates nothing in the estimator.
   void worker_loop();
-  void run_cold(Job& job);
+  void run_cold(Job& job, EstimatorScratch& scratch);
   PartitionDecision cold_compute(const PartitionRequest& request,
-                                 const AvailabilitySnapshot& snapshot) const;
+                                 const AvailabilitySnapshot& snapshot,
+                                 EstimatorScratch& scratch) const;
   /// Purge stale cache entries the first time a new epoch is observed.
   void observe_epoch(std::uint64_t epoch);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
 #include "core/decompose.hpp"
 #include "exec/adaptive.hpp"
 #include "exec/executor.hpp"
@@ -81,6 +82,32 @@ struct AdaptiveFixture {
                            .imbalance_threshold = 1.25,
                            .pdu_bytes = 4 * 1200};
 };
+
+TEST(AdaptiveTest, ConfigRecoveryScoresAgainstExhaustiveOracle) {
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(testbed(), params);
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(testbed(), cal.db, spec);
+
+  // Degraded availability: half the fast cluster is gone.
+  AvailabilitySnapshot snap;
+  snap.available = {3, 6};
+
+  // The oracle's own pick scores a perfect 1.0; a deliberately bad
+  // recovery (one slow processor) scores strictly worse.
+  const ConfigRecoveryReport self = evaluate_config_recovery(
+      est, snap, exhaustive_partition(est, snap, {.threads = 2}).config);
+  EXPECT_DOUBLE_EQ(self.ratio, 1.0);
+  EXPECT_GT(self.oracle_evaluations, 0u);
+
+  const ConfigRecoveryReport bad =
+      evaluate_config_recovery(est, snap, ProcessorConfig{0, 1});
+  EXPECT_GT(bad.ratio, 1.0);
+  EXPECT_EQ(bad.oracle_config, self.oracle_config);
+  EXPECT_DOUBLE_EQ(bad.oracle_t_c_ms, self.oracle_t_c_ms);
+}
 
 TEST(AdaptiveTest, NoLoadMeansNoRepartitions) {
   AdaptiveFixture f;

@@ -303,6 +303,54 @@ TEST(ObsGoldenTest, IdenticalRunsExportByteIdenticalMetrics) {
             std::string::npos);
 }
 
+TEST(ObsGoldenTest, ExhaustiveMetersLikeTheHeuristic) {
+  // exhaustive_partition must meter through the same counters partition()
+  // does, so heuristic-vs-oracle trace comparisons line up, and its span
+  // must carry the sweep parameters.
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CostModelDb db = calibrate(net, params).db;
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 600, .iterations = 10});
+  const CycleEstimator est(net, db, spec);
+
+  TelemetryRegistry& global = TelemetryRegistry::global();
+  const obs::MetricsSnapshot before = global.snapshot();
+  const std::size_t spans_before = global.span_count();
+  global.set_enabled(true);
+  const PartitionResult result =
+      exhaustive_partition(est, snap, {.threads = 2});
+  global.set_enabled(false);
+  const std::string delta =
+      obs::snapshot_text(obs::snapshot_delta(before, global.snapshot()));
+
+  EXPECT_NE(delta.find("counter partitioner.calls 1"), std::string::npos);
+  EXPECT_NE(delta.find("counter partitioner.cost_model_evals " +
+                       std::to_string(result.evaluations)),
+            std::string::npos);
+  EXPECT_NE(delta.find("counter estimator.evaluations " +
+                       std::to_string(result.evaluations)),
+            std::string::npos);
+
+  bool found_span = false;
+  const auto spans = global.spans();
+  for (std::size_t i = spans_before; i < spans.size(); ++i) {
+    if (spans[i].name != "partition.exhaustive") continue;
+    found_span = true;
+    bool has_threads = false, has_evals = false;
+    for (const auto& [key, value] : spans[i].attrs) {
+      has_threads = has_threads || key == "threads";
+      has_evals = has_evals || key == "evaluations";
+    }
+    EXPECT_TRUE(has_threads);
+    EXPECT_TRUE(has_evals);
+  }
+  EXPECT_TRUE(found_span);
+}
+
 // ----------------------------------------------------------- threading
 
 class ObsThreadedTest : public ::testing::Test {};

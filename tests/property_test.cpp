@@ -182,6 +182,114 @@ TEST_P(RandomNetworkProperties, PredictionNearMeasuredBestEndToEnd) {
   EXPECT_LE(t_predicted, 1.25 * best) << "seed " << GetParam().seed;
 }
 
+TEST_P(RandomNetworkProperties, FastPathBitwiseMatchesReference) {
+  // The closed-form engine must not be "close": every cost field of
+  // estimate_into() is the exact same double estimate() produces, on
+  // networks and configurations it never saw.
+  Rng rng(GetParam().seed ^ 0xFA57);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 6);
+  const CalibrationResult cal = calibrate(net, one_d_params());
+  EstimatorScratch scratch;
+  Rng config_rng = rng.stream(2);
+  for (const auto& [n, overlap] :
+       std::vector<std::pair<int, bool>>{{300, false},
+                                         {600, true},
+                                         {2400, false}}) {
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = overlap});
+    CycleEstimator est(net, cal.db, spec);
+    for (int trial = 0; trial < 25; ++trial) {
+      ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()),
+                             0);
+      int total = 0;
+      for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+        config[static_cast<std::size_t>(c)] = static_cast<int>(
+            config_rng.next_int(0, net.cluster(c).size()));
+        total += config[static_cast<std::size_t>(c)];
+      }
+      if (total == 0) continue;
+      const CycleEstimate ref = est.estimate(config);
+      const FastEstimate fast = est.estimate_into(config, scratch);
+      ASSERT_EQ(ref.t_comp_ms, fast.t_comp_ms) << "seed "
+                                               << GetParam().seed;
+      ASSERT_EQ(ref.t_comm_ms, fast.t_comm_ms) << "seed "
+                                               << GetParam().seed;
+      ASSERT_EQ(ref.t_overlap_ms, fast.t_overlap_ms)
+          << "seed " << GetParam().seed;
+      ASSERT_EQ(ref.t_c_ms, fast.t_c_ms) << "seed " << GetParam().seed;
+      ASSERT_EQ(ref.t_elapsed_ms, fast.t_elapsed_ms)
+          << "seed " << GetParam().seed;
+    }
+  }
+}
+
+TEST_P(RandomNetworkProperties, ParallelExhaustiveMatchesSerial) {
+  Rng rng(GetParam().seed);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 5);
+  const CalibrationResult cal = calibrate(net, one_d_params());
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  const PartitionResult serial =
+      exhaustive_partition(est, snap, {.threads = 1});
+  for (const int threads : {2, 3, 4}) {
+    const PartitionResult parallel =
+        exhaustive_partition(est, snap, {.threads = threads});
+    EXPECT_EQ(serial.config, parallel.config)
+        << "seed " << GetParam().seed << " threads " << threads;
+    EXPECT_EQ(serial.estimate.t_c_ms, parallel.estimate.t_c_ms);
+    EXPECT_EQ(serial.evaluations, parallel.evaluations);
+  }
+}
+
+TEST(GroupShares, MatchesProportionalPartitionExactly) {
+  // proportional_group_shares must reproduce, per homogeneous group, the
+  // exact per-rank assignment of proportional_partition: the first
+  // `extras` ranks of a group carry base+1, the rest base.
+  Rng rng(0x5A5A);
+  int closed_form = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const int groups = static_cast<int>(rng.next_int(1, 6));
+    std::vector<double> group_weights;
+    std::vector<int> group_sizes;
+    std::vector<double> rank_weights;
+    int total_ranks = 0;
+    for (int g = 0; g < groups; ++g) {
+      group_weights.push_back(0.1 + 10.0 * rng.next_double());
+      group_sizes.push_back(static_cast<int>(rng.next_int(1, 5)));
+      total_ranks += group_sizes.back();
+      for (int i = 0; i < group_sizes.back(); ++i) {
+        rank_weights.push_back(group_weights.back());
+      }
+    }
+    const std::int64_t pdus = rng.next_int(total_ranks, 4000);
+    std::vector<GroupShare> shares(static_cast<std::size_t>(groups));
+    const PartitionVector pv = proportional_partition(rank_weights, pdus);
+    if (!proportional_group_shares(group_weights, group_sizes, pdus,
+                                   shares)) {
+      continue;  // starvation repair engaged; callers materialise
+    }
+    ++closed_form;
+    int rank = 0;
+    for (int g = 0; g < groups; ++g) {
+      for (int i = 0; i < group_sizes[static_cast<std::size_t>(g)];
+           ++i, ++rank) {
+        const std::int64_t expected =
+            shares[static_cast<std::size_t>(g)].base +
+            (i < shares[static_cast<std::size_t>(g)].extras ? 1 : 0);
+        ASSERT_EQ(pv.at(rank), expected)
+            << "trial " << trial << " group " << g << " rank " << rank;
+      }
+    }
+  }
+  // The closed form must cover the overwhelming majority of draws.
+  EXPECT_GT(closed_form, 350);
+}
+
 TEST(EstimatorMonotonicity, MoreWorkNeverCheaper) {
   const Network net = presets::paper_testbed();
   CalibrationParams params;

@@ -3,10 +3,15 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
 #include "core/decompose.hpp"
+#include "core/partitioner.hpp"
 #include "exec/threaded.hpp"
+#include "net/availability.hpp"
 #include "net/presets.hpp"
 #include "util/error.hpp"
 
@@ -125,6 +130,43 @@ TEST(ThreadedStencilTest, AgreesWithSimulatedPath) {
   const auto threads =
       apps::run_threaded_stencil(net, placement, part, cfg);
   EXPECT_EQ(simulated.grid, threads.grid);
+}
+
+// Concurrency of the partition-search hot path (runs under the TSan tier:
+// suite name matches the sanitizer preset's test filter).
+TEST(ThreadedPartitionSearchTest, ConcurrentSearchesAndParallelExhaustive) {
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+
+  // One shared estimator, one scratch per thread: heuristic searches and
+  // sharded exhaustive sweeps racing on the same estimator must agree with
+  // each other and stay data-race free.
+  const PartitionResult reference = partition(est, snap);
+  const PartitionResult oracle =
+      exhaustive_partition(est, snap, {.threads = 1});
+  std::vector<std::thread> pool;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      EstimatorScratch scratch;
+      for (int i = 0; i < 5; ++i) {
+        const PartitionResult r = partition(est, snap, {}, &scratch);
+        if (r.config != reference.config) mismatches.fetch_add(1);
+      }
+      const PartitionResult x =
+          exhaustive_partition(est, snap, {.threads = 2 + (t % 2)});
+      if (x.config != oracle.config) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -226,15 +226,15 @@ CMakeFiles/bench_fig2_partition.dir/bench/bench_fig2_partition.cpp.o: \
  /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
  /root/repo/src/util/least_squares.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
- /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /root/repo/src/core/decompose.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
  /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
- /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \

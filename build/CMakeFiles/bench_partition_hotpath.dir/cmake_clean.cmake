@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_hotpath.dir/bench/bench_partition_hotpath.cpp.o"
+  "CMakeFiles/bench_partition_hotpath.dir/bench/bench_partition_hotpath.cpp.o.d"
+  "bench/bench_partition_hotpath"
+  "bench/bench_partition_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -224,8 +224,14 @@ examples/CMakeFiles/adaptive_repartitioning.dir/adaptive_repartitioning.cpp.o: \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/exec/adaptive.hpp \
- /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
- /root/repo/src/net/presets.hpp /root/repo/src/util/config.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/calib/cost_model.hpp \
+ /root/repo/src/util/least_squares.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
+ /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
+ /root/repo/src/util/config.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

@@ -223,12 +223,13 @@ examples/CMakeFiles/custom_topology.dir/custom_topology.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/core/partitioner.hpp \
- /root/repo/src/core/estimator.hpp /root/repo/src/core/decompose.hpp \
- /root/repo/src/dp/partition_vector.hpp /root/repo/src/topo/placement.hpp \
- /root/repo/src/dp/phases.hpp /root/repo/src/dp/callbacks.hpp \
- /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/estimator.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/core/decompose.hpp /root/repo/src/dp/partition_vector.hpp \
+ /root/repo/src/topo/placement.hpp /root/repo/src/dp/phases.hpp \
+ /root/repo/src/dp/callbacks.hpp /root/repo/src/net/availability.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
  /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
  /root/repo/src/util/config.hpp /usr/include/c++/12/map \

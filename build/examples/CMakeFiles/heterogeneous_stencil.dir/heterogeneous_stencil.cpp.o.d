@@ -226,10 +226,10 @@ examples/CMakeFiles/heterogeneous_stencil.dir/heterogeneous_stencil.cpp.o: \
  /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
  /root/repo/src/util/least_squares.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
- /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /root/repo/src/core/decompose.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
  /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
  /root/repo/src/util/config.hpp /usr/include/c++/12/map \

@@ -228,10 +228,11 @@ examples/CMakeFiles/netpart_cli.dir/netpart_cli.cpp.o: \
  /root/repo/src/calib/cost_model.hpp \
  /root/repo/src/util/least_squares.hpp /root/repo/src/calib/model_io.hpp \
  /root/repo/src/core/general.hpp /root/repo/src/core/partitioner.hpp \
- /root/repo/src/core/estimator.hpp /root/repo/src/core/decompose.hpp \
- /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/estimator.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dp/spec_parser.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

@@ -266,19 +266,20 @@ src/apps/CMakeFiles/netpartd.dir/netpartd.cpp.o: \
  /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
  /root/repo/src/util/least_squares.hpp /root/repo/src/calib/model_io.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/exec/adaptive.hpp \
- /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
- /root/repo/src/net/presets.hpp /root/repo/src/obs/chrome_trace.hpp \
- /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
+ /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
+ /root/repo/src/obs/chrome_trace.hpp /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/obs/sim_bridge.hpp \
  /root/repo/src/svc/service.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /root/repo/src/net/availability.hpp /root/repo/src/svc/cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/core/partitioner.hpp \
- /root/repo/src/core/estimator.hpp /root/repo/src/svc/metrics.hpp \
- /root/repo/src/svc/request.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp
+ /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/svc/metrics.hpp /root/repo/src/svc/request.hpp \
+ /root/repo/src/util/config.hpp /root/repo/src/util/string_util.hpp \
+ /root/repo/src/util/table.hpp

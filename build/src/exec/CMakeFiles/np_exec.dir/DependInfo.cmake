@@ -23,6 +23,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
   "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/np_calib.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

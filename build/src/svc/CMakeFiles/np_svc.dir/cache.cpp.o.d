@@ -210,9 +210,9 @@ src/svc/CMakeFiles/np_svc.dir/cache.cpp.o: /root/repo/src/svc/cache.cpp \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/partitioner.hpp \
  /usr/include/c++/12/optional /root/repo/src/core/estimator.hpp \
- /root/repo/src/calib/cost_model.hpp /root/repo/src/net/ids.hpp \
- /root/repo/src/topo/topology.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/atomic /root/repo/src/calib/cost_model.hpp \
+ /root/repo/src/net/ids.hpp /root/repo/src/topo/topology.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/least_squares.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/core/decompose.hpp /root/repo/src/dp/partition_vector.hpp \

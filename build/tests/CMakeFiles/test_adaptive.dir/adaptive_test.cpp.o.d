@@ -305,6 +305,11 @@ tests/CMakeFiles/test_adaptive.dir/adaptive_test.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
- /root/repo/src/core/decompose.hpp /root/repo/src/exec/adaptive.hpp \
+ /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
+ /root/repo/src/util/least_squares.hpp /root/repo/src/core/decompose.hpp \
+ /root/repo/src/exec/adaptive.hpp /root/repo/src/core/partitioner.hpp \
+ /root/repo/src/core/estimator.hpp /root/repo/src/net/availability.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
  /root/repo/src/net/presets.hpp

@@ -309,13 +309,15 @@ tests/CMakeFiles/test_chaos.dir/chaos_test.cpp.o: \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/exec/adaptive.hpp \
- /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
- /root/repo/src/mmps/manager_protocol.hpp \
+ /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
+ /root/repo/src/calib/cost_model.hpp \
+ /root/repo/src/util/least_squares.hpp \
  /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/presets.hpp \
- /root/repo/src/obs/chrome_trace.hpp /root/repo/src/obs/telemetry.hpp \
- /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
- /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/obs/sim_bridge.hpp \
- /root/repo/src/sim/faults.hpp
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
+ /root/repo/src/exec/load.hpp /root/repo/src/mmps/manager_protocol.hpp \
+ /root/repo/src/net/presets.hpp /root/repo/src/obs/chrome_trace.hpp \
+ /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/obs/sim_bridge.hpp /root/repo/src/sim/faults.hpp

@@ -318,13 +318,13 @@ tests/CMakeFiles/test_service.dir/service_test.cpp.o: \
  /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
  /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
  /root/repo/src/util/least_squares.hpp /root/repo/src/core/decompose.hpp \
- /root/repo/src/exec/adaptive.hpp /root/repo/src/exec/executor.hpp \
- /root/repo/src/exec/load.hpp /root/repo/src/net/presets.hpp \
- /root/repo/src/sim/faults.hpp /root/repo/src/net/availability.hpp \
+ /root/repo/src/exec/adaptive.hpp /root/repo/src/core/partitioner.hpp \
+ /root/repo/src/core/estimator.hpp /root/repo/src/net/availability.hpp \
+ /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
+ /root/repo/src/net/presets.hpp /root/repo/src/sim/faults.hpp \
  /root/repo/src/svc/client.hpp /root/repo/src/svc/service.hpp \
  /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/svc/metrics.hpp /root/repo/src/obs/telemetry.hpp \
  /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
  /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \

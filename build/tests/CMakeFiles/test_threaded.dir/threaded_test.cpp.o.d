@@ -294,7 +294,14 @@ tests/CMakeFiles/test_threaded.dir/threaded_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/apps/stencil.hpp /root/repo/src/dp/partition_vector.hpp \
  /usr/include/c++/12/span /root/repo/src/dp/phases.hpp \
  /root/repo/src/dp/callbacks.hpp /root/repo/src/topo/topology.hpp \
@@ -307,13 +314,9 @@ tests/CMakeFiles/test_threaded.dir/threaded_test.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
- /root/repo/src/core/decompose.hpp /root/repo/src/exec/threaded.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/net/presets.hpp
+ /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
+ /root/repo/src/util/least_squares.hpp /root/repo/src/core/decompose.hpp \
+ /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
+ /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/threaded.hpp \
+ /usr/include/c++/12/condition_variable /root/repo/src/net/presets.hpp

@@ -41,10 +41,15 @@ int main() {
           compute.as_millis() / cfg.iterations;
       const double total_cyc = run.elapsed.as_millis() / cfg.iterations;
 
+      // Built with += rather than one operator+ chain: gcc 12's -Wrestrict
+      // fires a false positive on the chained temporaries under -O2.
+      std::string config_cell = "(";
+      config_cell += std::to_string(plan.config[0]);
+      config_cell += ',';
+      config_cell += std::to_string(plan.config[1]);
+      config_cell += ')';
       table.add_row(
-          {std::to_string(n),
-           "(" + std::to_string(plan.config[0]) + "," +
-               std::to_string(plan.config[1]) + ")",
+          {std::to_string(n), std::move(config_cell),
            format_double(plan.estimate.t_comp_ms, 1),
            format_double(plan.estimate.t_comm_ms, 1),
            format_double(plan.estimate.t_overlap_ms, 1),

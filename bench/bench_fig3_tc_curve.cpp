@@ -72,9 +72,15 @@ int main(int argc, char** argv) {
             static_cast<int>(40.0 * min_est / est + 0.5);  // taller = better
         std::string curve(static_cast<std::size_t>(bar), '*');
         if (p == p_ideal) curve += "  <- p_ideal (binary search)";
-        table.add_row({std::to_string(p),
-                       "(" + std::to_string(config[0]) + "," +
-                           std::to_string(config[1]) + ")",
+        // Built with += rather than one operator+ chain: gcc 12's
+        // -Wrestrict fires a false positive on the chained temporaries
+        // under -O2.
+        std::string config_cell = "(";
+        config_cell += std::to_string(config[0]);
+        config_cell += ',';
+        config_cell += std::to_string(config[1]);
+        config_cell += ')';
+        table.add_row({std::to_string(p), std::move(config_cell),
                        format_double(est, 2), format_double(measured, 2),
                        curve});
         if (csv) {
@@ -83,14 +89,13 @@ int main(int argc, char** argv) {
                           format_double(measured, 4)});
         }
       }
-      std::printf(
-          "%s\n",
-          table
-              .render("Fig. 3 " + std::string(overlap ? "STEN-2" : "STEN-1") +
-                      ", N=" + std::to_string(n) +
-                      ": T_c vs processors (region A left of minimum, "
-                      "region B right)")
-              .c_str());
+      std::string title = "Fig. 3 ";
+      title += overlap ? "STEN-2" : "STEN-1";
+      title += ", N=";
+      title += std::to_string(n);
+      title += ": T_c vs processors (region A left of minimum, "
+               "region B right)";
+      std::printf("%s\n", table.render(title).c_str());
     }
   }
   return 0;

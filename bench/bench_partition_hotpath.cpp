@@ -32,8 +32,10 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/preflight.hpp"
 #include "bench/common.hpp"
 #include "net/builder.hpp"
+#include "svc/validate.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -235,6 +237,46 @@ int run(const Config& args) {
                         static_cast<double>(alloc_evals))
                .set("reference_allocations_per_eval", ref_allocs));
 
+  // --- preflight: the admission gate's zero-cost contract ---------------
+  // The partition service lints its network + cost model once at startup
+  // (analysis::preflight) and screens every request at submit()
+  // (svc::validate_request) in front of the cache.  Neither may tax the
+  // cached hot path: validation must be allocation-free, and the startup
+  // lint must not consume a single estimator evaluation.
+  std::uint64_t validate_allocs = 0;
+  std::uint64_t preflight_evals = 0;
+  const std::int64_t validate_reps = smoke ? 5000 : 50000;
+  {
+    svc::PartitionRequest request;
+    request.spec = "stencil";
+    request.n = 1200;
+    request.iterations = 10;
+    bool all_valid = true;
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (std::int64_t i = 0; i < validate_reps; ++i) {
+      all_valid = all_valid && svc::validate_request(request) == nullptr;
+    }
+    validate_allocs =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    if (!all_valid) validate_allocs = ~std::uint64_t{0};  // can't happen
+
+    const std::uint64_t evals_before = estimator.evaluations();
+    const analysis::DiagnosticSink gate =
+        analysis::preflight(bed.net, bed.cal.db);
+    preflight_evals = estimator.evaluations() - evals_before;
+
+    root.set("preflight",
+             JsonValue::object()
+                 .set("validate_calls", validate_reps)
+                 .set("validate_allocations",
+                      static_cast<std::int64_t>(validate_allocs))
+                 .set("preflight_estimator_evals",
+                      static_cast<std::int64_t>(preflight_evals))
+                 .set("preflight_errors", gate.errors())
+                 .set("preflight_warnings", gate.warnings()));
+  }
+
   // --- search: whole partition() searches per second --------------------
   {
     EstimatorScratch search_scratch;
@@ -313,16 +355,18 @@ int run(const Config& args) {
 
   // --- checks -----------------------------------------------------------
   const bool zero_alloc = fast_allocs == 0;
+  const bool preflight_zero = validate_allocs == 0 && preflight_evals == 0;
   const bool fast_3x = eval_speedup >= 3.0;
   const bool multi_core = hw >= 2;
   const bool parallel_2x = exhaustive_speedup >= 2.0;
-  const bool pass = bitwise && zero_alloc && exhaustive_match &&
-                    (smoke || fast_3x) &&
+  const bool pass = bitwise && zero_alloc && preflight_zero &&
+                    exhaustive_match && (smoke || fast_3x) &&
                     (smoke || !multi_core || parallel_2x);
   root.set("checks",
            JsonValue::object()
                .set("bitwise_match", bitwise)
                .set("zero_alloc_per_eval", zero_alloc)
+               .set("preflight_zero_cost", preflight_zero)
                .set("exhaustive_configs_match", exhaustive_match)
                .set("fast_speedup_3x", fast_3x)
                .set("parallel_speedup_2x",
@@ -343,16 +387,18 @@ int run(const Config& args) {
                   format_double(serial_ms, 1) + " / " +
                       format_double(parallel_ms, 1)});
   table.add_row({"bitwise fast == reference", bitwise ? "yes" : "NO"});
+  table.add_row({"preflight gate zero-cost", preflight_zero ? "yes" : "NO"});
   std::printf("%s\n", table.render("partition hot path").c_str());
 
   bench::write_bench_json(json_out, root);
   std::printf("results -> %s\n", json_out.c_str());
 
-  if (smoke && (!bitwise || !zero_alloc || !exhaustive_match)) {
+  if (smoke &&
+      (!bitwise || !zero_alloc || !preflight_zero || !exhaustive_match)) {
     std::fprintf(stderr,
                  "bench_partition_hotpath --smoke FAILED: bitwise=%d "
-                 "zero_alloc=%d exhaustive_match=%d\n",
-                 bitwise, zero_alloc, exhaustive_match);
+                 "zero_alloc=%d preflight_zero=%d exhaustive_match=%d\n",
+                 bitwise, zero_alloc, preflight_zero, exhaustive_match);
     return 1;
   }
   return 0;

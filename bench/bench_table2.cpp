@@ -81,8 +81,14 @@ void run_variant(const Network& net, const CostModelDb& db, bool overlap,
     // of the best measured configuration.
     const double predicted_ms =
         bench::measured_stencil_ms(net, cfg, predicted.config);
-    row.push_back("(" + std::to_string(predicted.config[0]) + "," +
-                  std::to_string(predicted.config[1]) + ")");
+    // Built with += rather than one operator+ chain: gcc 12's -Wrestrict
+    // fires a false positive on the chained temporaries under -O2.
+    std::string predicted_cell = "(";
+    predicted_cell += std::to_string(predicted.config[0]);
+    predicted_cell += ',';
+    predicted_cell += std::to_string(predicted.config[1]);
+    predicted_cell += ')';
+    row.push_back(std::move(predicted_cell));
     row.push_back(bench::ms(predicted_ms));
     const double best_ms = std::min(predicted_ms, elapsed[measured_min]);
     row.push_back(predicted_ms <= 1.05 * best_ms ? "yes" : "NO");

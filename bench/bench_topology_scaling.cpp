@@ -58,9 +58,14 @@ int main() {
 
     for (int p = 1; p <= 12; ++p) {
       const ProcessorConfig config{std::min(p, 6), std::max(0, p - 6)};
-      table.add_row({std::to_string(p),
-                     "(" + std::to_string(config[0]) + "," +
-                         std::to_string(config[1]) + ")",
+      // Built with += rather than one operator+ chain: gcc 12's -Wrestrict
+      // fires a false positive on the chained temporaries under -O2.
+      std::string config_cell = "(";
+      config_cell += std::to_string(config[0]);
+      config_cell += ',';
+      config_cell += std::to_string(config[1]);
+      config_cell += ')';
+      table.add_row({std::to_string(p), std::move(config_cell),
                      format_double(est1.estimate(config).t_c_ms, 2),
                      format_double(est2.estimate(config).t_c_ms, 2),
                      format_double(est3.estimate(config).t_c_ms, 2)});

@@ -41,3 +41,6 @@ np_add_bench(bench_faults bench/bench_faults.cpp)
 np_add_bench(bench_service bench/bench_service.cpp)
 target_link_libraries(bench_service PRIVATE np_svc)
 np_add_bench(bench_partition_hotpath bench/bench_partition_hotpath.cpp)
+# The --smoke gate also pins the service admission + pre-flight zero-cost
+# contract, so the bench links the service and analysis layers.
+target_link_libraries(bench_partition_hotpath PRIVATE np_svc np_analysis)

@@ -15,10 +15,18 @@
 #   scripts/tier1.sh --bench    # Release build + tests, then the full
 #                               # partition hot-path bench, emitting
 #                               # BENCH_partition.json in the repo root
+#   scripts/tier1.sh --lint     # Strict build (-Wshadow -Werror, preset
+#                               # `strict`) plus clang-tidy over src/ when
+#                               # clang-tidy is installed (the gcc-only CI
+#                               # image skips that half gracefully)
 #
-# The release tier always ends with bench_partition_hotpath --smoke: a
-# fast gate that fails the tier if the estimator fast path allocates in
-# steady state or diverges bitwise from the reference path.
+# The release tier always ends with two gates:
+#   * npcheck over specs/ and the network presets -- the shipped artifacts
+#     must be diagnostics-clean (see DESIGN.md §11);
+#   * bench_partition_hotpath --smoke -- fails the tier if the estimator
+#     fast path allocates in steady state, diverges bitwise from the
+#     reference path, or the service admission gate adds allocations to
+#     the cached hot path.
 #
 # Tests run in a random order (--schedule-random) so hidden inter-test
 # dependencies surface, and --repeat until-pass:1 keeps every test to a
@@ -30,6 +38,7 @@ cd "$(dirname "$0")/.."
 preset="${1:-release}"
 obs_stage=0
 bench_stage=0
+lint_stage=0
 if [[ "$preset" == "--tsan" ]]; then
   preset="tsan"
 elif [[ "$preset" == "--obs" ]]; then
@@ -38,15 +47,44 @@ elif [[ "$preset" == "--obs" ]]; then
 elif [[ "$preset" == "--bench" ]]; then
   preset="release"
   bench_stage=1
+elif [[ "$preset" == "--lint" ]]; then
+  preset="strict"
+  lint_stage=1
 fi
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
+
+if [[ "$lint_stage" == 1 ]]; then
+  # The strict build above IS the first half of the lint tier (-Werror).
+  # The second half needs clang-tidy, which the gcc-only toolchain image
+  # does not ship -- gate, don't fail.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy stage =="
+    cmake --preset strict -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 8 -P "$(nproc)" clang-tidy -p build-strict --quiet
+    echo "clang-tidy stage ok"
+  else
+    echo "clang-tidy not installed; skipping tidy half of --lint" >&2
+  fi
+  echo "lint tier ok (strict -Werror build passed)"
+  exit 0
+fi
+
 ctest --preset "$preset" \
   --repeat until-pass:1 \
   -j "$(nproc)"
 
 if [[ "$preset" == "release" ]]; then
+  echo "== npcheck stage =="
+  ./build/src/apps/npcheck specs/*.spec \
+    --network paper >/dev/null
+  for net in fig1 coercion metasystem; do
+    ./build/src/apps/npcheck --network "$net" >/dev/null
+  done
+  echo "npcheck stage ok"
+
   echo "== perf smoke stage =="
   smoke_json="$(mktemp)"
   ./build/bench/bench_partition_hotpath --smoke --json-out "$smoke_json"

@@ -1,0 +1,96 @@
+#include "analysis/diagnostics.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace netpart::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  throw LogicError("unknown diagnostic severity");
+}
+
+void DiagnosticSink::report(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::Error) ++errors_;
+  if (diagnostic.severity == Severity::Warning) ++warnings_;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::error(std::string code, SourceLoc loc,
+                           std::string message, std::string fix_hint) {
+  report(Diagnostic{Severity::Error, std::move(code), std::move(loc),
+                    std::move(message), std::move(fix_hint)});
+}
+
+void DiagnosticSink::warning(std::string code, SourceLoc loc,
+                             std::string message, std::string fix_hint) {
+  report(Diagnostic{Severity::Warning, std::move(code), std::move(loc),
+                    std::move(message), std::move(fix_hint)});
+}
+
+void DiagnosticSink::note(std::string code, SourceLoc loc,
+                          std::string message, std::string fix_hint) {
+  report(Diagnostic{Severity::Note, std::move(code), std::move(loc),
+                    std::move(message), std::move(fix_hint)});
+}
+
+std::string DiagnosticSink::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.loc.file.empty() ? "<input>" : d.loc.file;
+    if (d.loc.known()) {
+      out += ':';
+      out += std::to_string(d.loc.line);
+      out += ':';
+      out += std::to_string(d.loc.column);
+    }
+    out += ": ";
+    out += to_string(d.severity);
+    out += ": ";
+    out += d.message;
+    out += " [";
+    out += d.code;
+    out += "]\n";
+    if (!d.fix_hint.empty()) {
+      out += "  hint: ";
+      out += d.fix_hint;
+      out += '\n';
+    }
+  }
+  out += std::to_string(errors_);
+  out += " error(s), ";
+  out += std::to_string(warnings_);
+  out += " warning(s)\n";
+  return out;
+}
+
+JsonValue DiagnosticSink::to_json() const {
+  JsonValue list = JsonValue::array();
+  for (const Diagnostic& d : diagnostics_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("severity", to_string(d.severity));
+    entry.set("code", d.code);
+    entry.set("file", d.loc.file);
+    entry.set("line", d.loc.line);
+    entry.set("column", d.loc.column);
+    entry.set("message", d.message);
+    if (!d.fix_hint.empty()) entry.set("hint", d.fix_hint);
+    list.push(std::move(entry));
+  }
+  JsonValue root = JsonValue::object();
+  root.set("diagnostics", std::move(list));
+  root.set("errors", errors_);
+  root.set("warnings", warnings_);
+  root.set("clean", clean());
+  return root;
+}
+
+}  // namespace netpart::analysis

@@ -1,0 +1,95 @@
+// The diagnostics engine: structured findings from the static checks.
+//
+// The partitioner is only as trustworthy as its inputs -- annotation specs
+// (Section 4), fitted cost functions (Eq. 1), and the network description.
+// A malformed spec or a non-monotone fit silently skews T_c and every
+// downstream decision.  The analysis subsystem catches those *before*
+// execution and reports them compiler-style:
+//
+//   stencil.spec:8:9: error: expression references undefined variable 'M'
+//     [NP-S001]
+//     hint: declare it with `param M <default>` or fix the spelling
+//
+// A Diagnostic is one finding (severity, stable code, source location,
+// message, optional fix hint); a DiagnosticSink collects them and renders
+// either human-readable text or machine-readable JSON (a SARIF-lite shape:
+// one `diagnostics` array plus severity totals, deterministic member
+// order via util/json).  Codes are stable API: tests golden-match them and
+// docs/annotations.md maps each code to the paper equation it guards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace netpart::analysis {
+
+enum class Severity {
+  Note,     ///< advisory; never fails a check run
+  Warning,  ///< suspicious but not definitively wrong
+  Error,    ///< the input would mislead or crash the partitioner
+};
+
+const char* to_string(Severity severity);
+
+/// A position in an analysed artifact.  `file` names the artifact (a spec
+/// path, "<model>", "<network>"); line/column are 1-based, 0 = unknown.
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+};
+
+/// One finding.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     ///< stable identifier, e.g. "NP-S001"
+  SourceLoc loc;
+  std::string message;
+  std::string fix_hint;  ///< optional "hint:" line
+};
+
+/// Collects diagnostics and renders them.  Not thread-safe (one sink per
+/// analysis run).
+class DiagnosticSink {
+ public:
+  void report(Diagnostic diagnostic);
+
+  /// Convenience constructors for the common severities.
+  void error(std::string code, SourceLoc loc, std::string message,
+             std::string fix_hint = {});
+  void warning(std::string code, SourceLoc loc, std::string message,
+               std::string fix_hint = {});
+  void note(std::string code, SourceLoc loc, std::string message,
+            std::string fix_hint = {});
+
+  const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  int errors() const { return errors_; }
+  int warnings() const { return warnings_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  /// No errors (warnings and notes are allowed).
+  bool clean() const { return errors_ == 0; }
+
+  /// Compiler-style text: `file:line:col: severity: message [CODE]` with an
+  /// indented `hint:` line when a fix hint is present, and a trailing
+  /// severity summary.  Deterministic: diagnostics render in report order.
+  std::string render_text() const;
+
+  /// Machine-readable form: {"diagnostics": [...], "errors": E,
+  /// "warnings": W, "clean": bool}.  Member order is fixed, so goldens are
+  /// byte-stable.
+  JsonValue to_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int errors_ = 0;
+  int warnings_ = 0;
+};
+
+}  // namespace netpart::analysis

@@ -1,0 +1,193 @@
+#include "analysis/model_lint.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace netpart::analysis {
+
+namespace {
+
+/// Sample points for b: the fits are linear in b, but the derivative in p
+/// and the sign sweep both want interior points, not just the corners.
+std::vector<double> byte_grid(double max_bytes) {
+  return {0.0, 256.0, 1024.0, 4096.0, 16384.0, max_bytes};
+}
+
+std::string fit_label(const Network& net, ClusterId c, Topology t) {
+  return "T_comm[" + net.cluster(c).name() + ", " +
+         netpart::to_string(t) + "]";
+}
+
+bool all_finite(const Eq1Fit& fit) {
+  return std::isfinite(fit.c1) && std::isfinite(fit.c2) &&
+         std::isfinite(fit.c3) && std::isfinite(fit.c4) &&
+         std::isfinite(fit.r2);
+}
+
+void lint_comm_fit(const Eq1Fit& fit, const Network& net, ClusterId c,
+                   Topology t, const std::string& file,
+                   DiagnosticSink& sink, const ModelLintOptions& options) {
+  const SourceLoc loc{file, 0, 0};
+  const std::string label = fit_label(net, c, t);
+
+  if (!all_finite(fit)) {
+    sink.error("NP-M001", loc,
+               label + " has a non-finite coefficient (c1=" +
+                   std::to_string(fit.c1) + " c2=" + std::to_string(fit.c2) +
+                   " c3=" + std::to_string(fit.c3) + " c4=" +
+                   std::to_string(fit.c4) + ")",
+               "re-run calibration; a NaN/Inf fit poisons every T_comm "
+               "comparison");
+    return;  // the sweeps below would only add noise
+  }
+
+  const int max_p = net.cluster(c).size();
+
+  // Sign sweep (NP-M002): the paper observed small negative dips at
+  // P2 = 2 and evaluates |T_comm|; a fit negative at the far corner is a
+  // different animal -- the model is wrong where the search trusts it most.
+  const double corner =
+      fit.evaluate(options.max_bytes, static_cast<double>(max_p));
+  if (corner < 0.0) {
+    sink.error("NP-M002", loc,
+               label + " is negative (" + std::to_string(corner) +
+                   " ms) at the domain corner b=" +
+                   std::to_string(static_cast<long>(options.max_bytes)) +
+                   ", p=" + std::to_string(max_p),
+               "the fitted Eq. 1 does not describe the calibrated domain; "
+               "re-benchmark with more samples");
+  } else {
+    bool dips = false;
+    for (double b : byte_grid(options.max_bytes)) {
+      for (int p = 1; p <= max_p && !dips; ++p) {
+        dips = fit.evaluate(b, static_cast<double>(p)) < 0.0;
+      }
+    }
+    if (dips) {
+      sink.warning("NP-M002", loc,
+                   label + " dips negative inside the calibrated domain",
+                   "evaluation applies the paper's |T_comm| fix-up; "
+                   "verify the dip is the small-p artifact the paper "
+                   "describes");
+    }
+  }
+
+  // Monotonicity in b (NP-M003): d/db = c3 + c4 p.
+  int decreasing_in_b = 0;
+  for (int p = 1; p <= max_p; ++p) {
+    if (fit.c3 + fit.c4 * p < 0.0) ++decreasing_in_b;
+  }
+  if (decreasing_in_b == max_p && max_p > 0) {
+    sink.error("NP-M003", loc,
+               label + " decreases as messages grow for every p in "
+               "[1, " + std::to_string(max_p) + "]",
+               "sending more bytes can never be cheaper; the fit is "
+               "inverted");
+  } else if (decreasing_in_b > 0) {
+    sink.warning("NP-M003", loc,
+                 label + " decreases in b for " +
+                     std::to_string(decreasing_in_b) + " of " +
+                     std::to_string(max_p) + " processor counts");
+  }
+
+  // Monotonicity in p (NP-M004): d/dp = c2 + c4 b.  More stations on a
+  // shared channel cannot speed the cycle up.
+  bool decreasing_in_p = false;
+  for (double b : byte_grid(options.max_bytes)) {
+    decreasing_in_p = decreasing_in_p || fit.c2 + fit.c4 * b < 0.0;
+  }
+  if (decreasing_in_p) {
+    sink.warning("NP-M004", loc,
+                 label + " decreases as processors are added for some "
+                 "message sizes",
+                 "Eq. 1 models contention growing with p; a negative "
+                 "per-processor slope usually means too few calibration "
+                 "samples");
+  }
+
+  // Fit quality (NP-M005).
+  if (fit.r2 < options.r2_warn) {
+    sink.warning("NP-M005", loc,
+                 label + " has suspicious fit residuals (r^2 = " +
+                     std::to_string(fit.r2) + ")",
+                 "the linear Eq. 1 shape may not describe this cluster; "
+                 "collect more calibration samples");
+  }
+}
+
+void lint_line_fit(const LineFit& fit, const std::string& what,
+                   const std::string& file, DiagnosticSink& sink) {
+  const SourceLoc loc{file, 0, 0};
+  if (!std::isfinite(fit.slope) || !std::isfinite(fit.intercept)) {
+    sink.error("NP-M001", loc,
+               what + " has a non-finite coefficient (slope=" +
+                   std::to_string(fit.slope) + " intercept=" +
+                   std::to_string(fit.intercept) + ")");
+    return;
+  }
+  if (fit.slope < 0.0) {
+    sink.error("NP-M007", loc,
+               what + " has a negative per-byte slope (" +
+                   std::to_string(fit.slope) + " ms/byte)",
+               "forwarding more bytes cannot take less time; re-run the "
+               "router benchmark");
+  }
+}
+
+}  // namespace
+
+void lint_cost_model(const CostModelDb& db, const Network& net,
+                     const std::string& file, DiagnosticSink& sink,
+                     const ModelLintOptions& options) {
+  const SourceLoc loc{file, 0, 0};
+
+  if (db.num_clusters() != net.num_clusters()) {
+    sink.error("NP-M008", loc,
+               "cost model was fitted for " +
+                   std::to_string(db.num_clusters()) +
+                   " cluster(s) but the network has " +
+                   std::to_string(net.num_clusters()),
+               "recalibrate against this network (or load the matching "
+               "model file)");
+    return;  // per-cluster sweeps below would index out of range
+  }
+
+  for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+    bool any_fit = false;
+    for (Topology t : all_topologies()) {
+      if (!db.has_comm(c, t)) continue;
+      any_fit = true;
+      lint_comm_fit(db.comm_fit(c, t), net, c, t, file, sink, options);
+    }
+    if (!any_fit) {
+      sink.warning("NP-M006", loc,
+                   "cluster '" + net.cluster(c).name() +
+                       "' has no communication fit for any topology",
+                   "the estimator will fall back to another cluster's "
+                   "fit; calibrate this cluster for the topologies it "
+                   "will run");
+    }
+  }
+
+  for (ClusterId a = 0; a < net.num_clusters(); ++a) {
+    for (ClusterId b = a + 1; b < net.num_clusters(); ++b) {
+      const std::string pair = "[" + net.cluster(a).name() + " <-> " +
+                               net.cluster(b).name() + "]";
+      if (const auto fit = db.router_fit(a, b)) {
+        lint_line_fit(*fit, "T_router" + pair, file, sink);
+      } else if (net.cluster(a).segment() != net.cluster(b).segment()) {
+        sink.note("NP-M007", loc,
+                  "no router fit for cluster pair " + pair +
+                      "; cross-segment traffic will be costed at zero");
+      }
+      if (const auto fit = db.coerce_fit(a, b)) {
+        lint_line_fit(*fit, "T_coerce" + pair, file, sink);
+      }
+    }
+  }
+}
+
+}  // namespace netpart::analysis

@@ -1,0 +1,47 @@
+// Static checks over fitted cost models (Eq. 1 and the router/coercion
+// lines).
+//
+// The partitioner never measures the network at runtime; it trusts the
+// offline fits.  A NaN coefficient, a fit that goes negative where the
+// search evaluates it, or a cost that *decreases* as messages grow will
+// silently steer every T_comm comparison (Eqs. 1, 2, 5).  These checks
+// sweep each fit over its calibrated domain -- b in [0, 64 KiB], p in
+// [1, P_i] per cluster -- and flag the pathologies.
+//
+// Codes:
+//   NP-M001  error    non-finite coefficient (NaN/Inf) in a fit
+//   NP-M002  warning  T_comm dips negative inside the domain (the paper
+//                     tolerates small-p dips via |.|); error when negative
+//                     at the domain's far corner (b = 64 KiB, p = P_i)
+//   NP-M003  warning  non-monotone in b: d(T_comm)/db < 0 for some p
+//                     (error when negative for every p in the domain)
+//   NP-M004  warning  non-monotone in p: d(T_comm)/dp < 0 for some b
+//   NP-M005  warning  suspicious fit residual (r^2 below 0.9)
+//   NP-M006  warning  cluster has no communication fit for any topology
+//   NP-M007  error    router/coercion fit with negative slope; note when a
+//                     cluster pair lacks a router fit entirely
+//   NP-M008  error    model shape mismatch (fitted for K clusters, network
+//                     has K')
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "calib/cost_model.hpp"
+#include "net/network.hpp"
+
+namespace netpart::analysis {
+
+/// Domain the fits are swept over.
+struct ModelLintOptions {
+  double max_bytes = 65536.0;  ///< calibrated upper bound on b
+  double r2_warn = 0.9;        ///< NP-M005 threshold
+};
+
+/// Lint `db` against the network it claims to model.  `file` labels
+/// diagnostic locations (a model path or "<cost-model>").
+void lint_cost_model(const CostModelDb& db, const Network& net,
+                     const std::string& file, DiagnosticSink& sink,
+                     const ModelLintOptions& options = {});
+
+}  // namespace netpart::analysis

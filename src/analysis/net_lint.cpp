@@ -1,0 +1,195 @@
+#include "analysis/net_lint.hpp"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netpart::analysis {
+
+namespace {
+
+constexpr double kMinSaneBps = 1e5;   // 100 kbit/s
+constexpr double kMaxSaneBps = 1e12;  // 1 Tbit/s
+
+std::string cluster_label(const Cluster& c) {
+  return "cluster " + std::to_string(c.id()) + " '" + c.name() + "'";
+}
+
+}  // namespace
+
+void lint_network_parts(const std::vector<Cluster>& clusters,
+                        const std::vector<Segment>& segments,
+                        const std::vector<RouterLink>& routers,
+                        const std::string& file, DiagnosticSink& sink) {
+  const SourceLoc loc{file, 0, 0};
+  const auto num_segments = static_cast<SegmentId>(segments.size());
+
+  if (clusters.empty()) {
+    sink.error("NP-N005", loc, "network has no clusters",
+               "there is nothing to partition over");
+  }
+
+  // --- NP-N003: dense ids, unique names --------------------------------
+  std::map<std::string, int> names;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const Cluster& c = clusters[i];
+    if (c.id() != static_cast<ClusterId>(i)) {
+      sink.error("NP-N003", loc,
+                 cluster_label(c) + " stored at position " +
+                     std::to_string(i) + "; cluster ids must be dense "
+                     "and ordered",
+                 "partition vectors and placements index clusters by id");
+    }
+    if (++names[c.name()] == 2) {
+      sink.error("NP-N003", loc,
+                 "duplicate cluster name '" + c.name() + "'",
+                 "cluster_by_name() and the calibration report resolve "
+                 "clusters by name; rename one");
+    }
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].id != static_cast<SegmentId>(i)) {
+      sink.error("NP-N003", loc,
+                 "segment " + std::to_string(segments[i].id) +
+                     " stored at position " + std::to_string(i) +
+                     "; segment ids must be dense and ordered");
+    }
+  }
+
+  // --- NP-N002: bandwidth sanity ---------------------------------------
+  for (const Segment& s : segments) {
+    if (!std::isfinite(s.bandwidth_bps) || s.bandwidth_bps <= 0.0) {
+      sink.error("NP-N002", loc,
+                 "segment " + std::to_string(s.id) + " has bandwidth " +
+                     std::to_string(s.bandwidth_bps) + " bit/s",
+                 "a channel that moves no data cannot carry a "
+                 "communication phase");
+    } else if (s.bandwidth_bps < kMinSaneBps ||
+               s.bandwidth_bps > kMaxSaneBps) {
+      sink.warning("NP-N002", loc,
+                   "segment " + std::to_string(s.id) +
+                       " has implausible bandwidth " +
+                       std::to_string(s.bandwidth_bps) + " bit/s",
+                   "check the units: the builder takes bits per second");
+    }
+    if (s.frame_overhead < SimTime::zero()) {
+      sink.error("NP-N002", loc,
+                 "segment " + std::to_string(s.id) +
+                     " has negative frame overhead");
+    }
+  }
+
+  // --- NP-N005 / NP-N006: cluster sanity and segment references --------
+  std::vector<int> clusters_on_segment(segments.size(), 0);
+  for (const Cluster& c : clusters) {
+    if (c.size() <= 0) {
+      sink.error("NP-N005", loc, cluster_label(c) + " has no processors");
+    }
+    if (c.type().flop_time <= SimTime::zero() ||
+        c.type().int_time < SimTime::zero()) {
+      sink.error("NP-N005", loc,
+                 cluster_label(c) + " has a non-positive instruction "
+                 "rate",
+                 "S_i (Eq. 4) is time per operation and must be positive");
+    }
+    if (c.segment() < 0 || c.segment() >= num_segments) {
+      sink.error("NP-N006", loc,
+                 cluster_label(c) + " references unknown segment " +
+                     std::to_string(c.segment()));
+    } else {
+      ++clusters_on_segment[static_cast<std::size_t>(c.segment())];
+    }
+  }
+  for (std::size_t s = 0; s < clusters_on_segment.size(); ++s) {
+    if (clusters_on_segment[s] != 1) {
+      sink.error("NP-N006", loc,
+                 "segment " + std::to_string(s) + " hosts " +
+                     std::to_string(clusters_on_segment[s]) +
+                     " cluster(s); assumption 2 requires exactly one",
+                 "give each cluster its own segment (the builder does "
+                 "this automatically)");
+    }
+  }
+
+  // --- NP-N004: router cost sanity; NP-N006: router references ---------
+  for (const RouterLink& r : routers) {
+    const std::string label = "router between segments " +
+                              std::to_string(r.a) + " and " +
+                              std::to_string(r.b);
+    if (r.a < 0 || r.a >= num_segments || r.b < 0 || r.b >= num_segments ||
+        r.a == r.b) {
+      sink.error("NP-N006", loc,
+                 label + " joins unknown or identical segments");
+      continue;
+    }
+    if (r.delay_per_byte < SimTime::zero() ||
+        r.delay_per_packet < SimTime::zero()) {
+      sink.error("NP-N004", loc, label + " has a negative forwarding "
+                 "delay");
+    } else if (r.delay_per_byte > SimTime::millis(1) ||
+               r.delay_per_packet > SimTime::seconds(1)) {
+      sink.warning("NP-N004", loc,
+                   label + " has an implausibly large forwarding delay",
+                   "the paper's router costs are ~0.0006 ms/byte; check "
+                   "the units");
+    }
+  }
+
+  // --- NP-N001 / NP-N007: reachability over the router graph -----------
+  if (!segments.empty()) {
+    std::vector<char> reached(segments.size(), 0);
+    std::vector<SegmentId> frontier{0};
+    reached[0] = 1;
+    while (!frontier.empty()) {
+      const SegmentId s = frontier.back();
+      frontier.pop_back();
+      for (const RouterLink& r : routers) {
+        if (r.a < 0 || r.a >= num_segments || r.b < 0 ||
+            r.b >= num_segments) {
+          continue;
+        }
+        const SegmentId other = r.a == s ? r.b : r.b == s ? r.a : -1;
+        if (other >= 0 && !reached[static_cast<std::size_t>(other)]) {
+          reached[static_cast<std::size_t>(other)] = 1;
+          frontier.push_back(other);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      if (!reached[s]) {
+        sink.error("NP-N001", loc,
+                   "segment " + std::to_string(s) + " is unreachable "
+                   "from segment 0 over the router graph",
+                   "messages crossing segments travel exactly one router "
+                   "hop; an unreachable segment cannot participate");
+      }
+    }
+    // Assumption 3 wants every *pair* joined directly (one-hop model).
+    for (SegmentId a = 0; a < num_segments; ++a) {
+      for (SegmentId b = a + 1; b < num_segments; ++b) {
+        bool joined = false;
+        for (const RouterLink& r : routers) {
+          joined = joined || (r.a == a && r.b == b) ||
+                   (r.a == b && r.b == a);
+        }
+        if (!joined) {
+          sink.warning("NP-N007", loc,
+                       "segments " + std::to_string(a) + " and " +
+                           std::to_string(b) + " have no direct router",
+                       "the cost model has no T_router term for this "
+                       "pair (assumption 3); traffic between them is "
+                       "mis-costed");
+        }
+      }
+    }
+  }
+}
+
+void lint_network(const Network& net, const std::string& file,
+                  DiagnosticSink& sink) {
+  lint_network_parts(net.clusters(), net.segments(), net.routers(), file,
+                     sink);
+}
+
+}  // namespace netpart::analysis

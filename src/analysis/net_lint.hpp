@@ -1,0 +1,47 @@
+// Static checks over network descriptions (clusters, segments, routers).
+//
+// The Network constructor enforces the paper's three structural
+// assumptions; the lint goes further and runs on the *raw parts* too, so a
+// description the constructor would reject with a single exception can be
+// reported as a full diagnostic set, and states the constructor cannot see
+// (a misnamed cluster, an absurd bandwidth, a router graph that leaves a
+// segment unreachable) are caught before a partition is ever computed.
+//
+// Codes:
+//   NP-N001  error    router graph leaves segments unreachable from
+//                     segment 0 (a message could never be delivered)
+//   NP-N002  error    segment bandwidth is zero/negative; warning when
+//                     absurd (below 100 kbit/s or above 1 Tbit/s)
+//   NP-N003  error    duplicate cluster name or non-dense cluster/segment
+//                     ids (placements address clusters by id and name)
+//   NP-N004  warning  router cost sanity: negative or absurd forwarding
+//                     delays (error when negative)
+//   NP-N005  error    cluster with no processors or non-positive
+//                     instruction rate
+//   NP-N006  error    dangling reference: cluster on an unknown segment,
+//                     router joining unknown/identical segments, or a
+//                     segment hosting != 1 cluster (assumption 2)
+//   NP-N007  warning  a segment pair lacks a router (assumption 3: the
+//                     cost model has no T_router term for that pair)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "net/network.hpp"
+
+namespace netpart::analysis {
+
+/// Lint raw network parts (need not satisfy the Network constructor's
+/// assumptions).  `file` labels diagnostic locations.
+void lint_network_parts(const std::vector<Cluster>& clusters,
+                        const std::vector<Segment>& segments,
+                        const std::vector<RouterLink>& routers,
+                        const std::string& file, DiagnosticSink& sink);
+
+/// Lint a constructed (hence structurally valid) network.
+void lint_network(const Network& net, const std::string& file,
+                  DiagnosticSink& sink);
+
+}  // namespace netpart::analysis

@@ -1,0 +1,39 @@
+// The npcheck driver: spec / cost-model / network lint behind one entry
+// point.
+//
+// apps/npcheck is a thin main() around run_npcheck(); tests call the
+// function directly to pin the exit-code contract and golden output
+// without spawning processes.
+//
+//   npcheck [options] [spec files...]
+//     --json            machine-readable diagnostics (JSON, deterministic)
+//     --network NAME    lint a canned preset: paper|fig1|coercion|metasystem
+//     --model PATH      lint a saved cost model against --network
+//     --strict          treat warnings as errors
+//
+// Exit codes: 0 = clean (warnings allowed unless --strict), 1 = findings
+// (an unreadable or unparseable spec is itself a finding, NP-S000), 2 =
+// usage error.  At least one artifact (spec, --network, or --model) must
+// be given.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace netpart::analysis {
+
+struct NpcheckResult {
+  int exit_code = 0;
+  DiagnosticSink sink;
+};
+
+/// Run the checks the argument list names and write the report to `out`
+/// (usage errors go to `err`).  Never throws on bad input -- bad input is
+/// the product.
+NpcheckResult run_npcheck(const std::vector<std::string>& args,
+                          std::ostream& out, std::ostream& err);
+
+}  // namespace netpart::analysis

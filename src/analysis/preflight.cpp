@@ -1,0 +1,24 @@
+#include "analysis/preflight.hpp"
+
+#include "analysis/model_lint.hpp"
+#include "analysis/net_lint.hpp"
+#include "util/error.hpp"
+
+namespace netpart::analysis {
+
+DiagnosticSink preflight(const Network& net, const CostModelDb& db) {
+  DiagnosticSink sink;
+  lint_network(net, "<network>", sink);
+  lint_cost_model(db, net, "<cost-model>", sink);
+  return sink;
+}
+
+void require_preflight(const Network& net, const CostModelDb& db) {
+  const DiagnosticSink sink = preflight(net, db);
+  if (!sink.clean()) {
+    throw InvalidArgument("pre-flight checks failed:\n" +
+                          sink.render_text());
+  }
+}
+
+}  // namespace netpart::analysis

@@ -1,0 +1,25 @@
+// Pre-flight gate: the checks a long-lived service runs before serving.
+//
+// The partition service answers queries from a network description and a
+// fitted cost model that were produced offline; a bad pair would skew (or
+// crash) every reply.  The gate runs the network and cost-model lints once
+// at startup -- *never* per request, so it adds zero work to the cached
+// hot path -- and refuses to start on error-severity findings.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "calib/cost_model.hpp"
+#include "net/network.hpp"
+
+namespace netpart::analysis {
+
+/// Run network + cost-model lint into one sink.
+DiagnosticSink preflight(const Network& net, const CostModelDb& db);
+
+/// Throws InvalidArgument carrying the rendered diagnostics when the
+/// pre-flight finds errors (warnings pass).
+void require_preflight(const Network& net, const CostModelDb& db);
+
+}  // namespace netpart::analysis

@@ -1,0 +1,246 @@
+#include "analysis/spec_lint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "topo/topology.hpp"
+#include "util/error.hpp"
+
+namespace netpart::analysis {
+
+namespace {
+
+SourceLoc at(const std::string& file, SpecLoc loc) {
+  return SourceLoc{file, loc.line, loc.column};
+}
+
+/// %g-style number for messages: "300", "-100", "0.5" -- not "0.000000".
+std::string fmt_num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+/// Evaluate `expr` under `env`; nullopt when evaluation throws (an
+/// undefined-variable diagnostic has already been emitted for that case).
+std::optional<double> try_evaluate(const ExprPtr& expr, const ExprEnv& env) {
+  try {
+    return expr->evaluate(env);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+/// Report NP-S001 for every variable `expr` references that is neither a
+/// declared param nor in `extra`, and record the ones it does use.
+void check_variables(const ExprPtr& expr, const SpecTemplate& spec,
+                     const std::set<std::string>& extra,
+                     const std::string& file, SpecLoc loc,
+                     const std::string& context, DiagnosticSink& sink,
+                     std::set<std::string>& used) {
+  if (expr == nullptr) return;
+  for (const std::string& var : expr_variables(*expr)) {
+    if (spec.params().count(var) > 0) {
+      used.insert(var);
+      continue;
+    }
+    if (extra.count(var) > 0) continue;
+    const std::string hint =
+        var == "A" ? "A (the PDU assignment) is only defined in comm-phase "
+                     "bytes expressions"
+                   : "declare it with `param " + var +
+                         " <default>` or fix the spelling";
+    sink.error("NP-S001", at(file, loc),
+               context + " references undefined variable '" + var + "'",
+               hint);
+  }
+}
+
+}  // namespace
+
+void lint_spec(const SpecTemplate& spec, const std::string& file,
+               DiagnosticSink& sink) {
+  const std::set<std::string> none;
+  const std::set<std::string> with_a = {"A"};
+  std::set<std::string> used;
+
+  // --- NP-S007: params shadowing the built-in A ------------------------
+  for (const auto& [name, value] : spec.params()) {
+    (void)value;
+    if (name == "A") {
+      const auto it = spec.param_locs().find(name);
+      const SpecLoc loc =
+          it != spec.param_locs().end() ? it->second : SpecLoc{};
+      sink.warning("NP-S007", at(file, loc),
+                   "param 'A' shadows the built-in assignment variable",
+                   "rename the param; bytes expressions read A as the "
+                   "sender's PDU assignment (Section 4)");
+    }
+  }
+
+  // --- NP-S001: undefined variables ------------------------------------
+  check_variables(spec.iterations_expr(), spec, none, file,
+                  spec.iterations_loc(), "iterations expression", sink,
+                  used);
+  for (const SpecTemplate::ComputePhase& p : spec.compute_phases()) {
+    check_variables(p.pdus, spec, none, file, p.pdus_loc,
+                    "compute phase '" + p.name + "' pdus expression", sink,
+                    used);
+    check_variables(p.ops, spec, none, file, p.ops_loc,
+                    "compute phase '" + p.name + "' ops expression", sink,
+                    used);
+  }
+  for (const SpecTemplate::CommPhase& p : spec.comm_phases()) {
+    check_variables(p.bytes, spec, with_a, file, p.bytes_loc,
+                    "comm phase '" + p.name + "' bytes expression", sink,
+                    used);
+  }
+
+  // --- NP-S002: unused params ------------------------------------------
+  for (const auto& [name, value] : spec.params()) {
+    (void)value;
+    if (used.count(name) > 0 || name == "A") continue;
+    const auto it = spec.param_locs().find(name);
+    const SpecLoc loc =
+        it != spec.param_locs().end() ? it->second : SpecLoc{};
+    sink.warning("NP-S002", at(file, loc),
+                 "param '" + name + "' is declared but never referenced",
+                 "remove the declaration or reference it from an "
+                 "annotation expression");
+  }
+
+  // --- NP-S006: duplicate phase names ----------------------------------
+  std::map<std::string, int> compute_seen;
+  for (const SpecTemplate::ComputePhase& p : spec.compute_phases()) {
+    if (++compute_seen[p.name] == 2) {
+      sink.error("NP-S006", at(file, p.loc),
+                 "duplicate compute phase '" + p.name + "'",
+                 "overlap annotations resolve compute phases by name; "
+                 "rename one of the duplicates");
+    }
+  }
+  std::map<std::string, int> comm_seen;
+  for (const SpecTemplate::CommPhase& p : spec.comm_phases()) {
+    if (++comm_seen[p.name] == 2) {
+      sink.warning("NP-S006", at(file, p.loc),
+                   "duplicate comm phase '" + p.name + "'");
+    }
+  }
+
+  // --- NP-S004 / NP-S009: the overlap edge of the phase graph ----------
+  std::map<std::string, std::string> overlap_targets;  // target -> comm
+  for (const SpecTemplate::CommPhase& p : spec.comm_phases()) {
+    if (p.overlap_with.empty()) continue;
+    if (compute_seen.count(p.overlap_with) == 0) {
+      sink.error("NP-S004", at(file, p.overlap_loc),
+                 "comm phase '" + p.name + "' overlaps unknown compute "
+                 "phase '" + p.overlap_with + "'",
+                 "overlap must name one of the spec's compute phases");
+    } else if (const auto [it, inserted] =
+                   overlap_targets.emplace(p.overlap_with, p.name);
+               !inserted) {
+      sink.warning("NP-S009", at(file, p.overlap_loc),
+                   "compute phase '" + p.overlap_with + "' is overlapped "
+                   "by both '" + it->second + "' and '" + p.name + "'",
+                   "T_overlap models one overlapped communication per "
+                   "computation phase (Eq. 6)");
+    }
+  }
+
+  // --- value checks at the declared defaults ---------------------------
+  ExprEnv env;
+  for (const auto& [name, value] : spec.params()) env[name] = value;
+
+  std::optional<double> pdus_default;
+  if (const auto iters = try_evaluate(spec.iterations_expr(), env);
+      iters && (!std::isfinite(*iters) || *iters < 1.0)) {
+    sink.error("NP-S005", at(file, spec.iterations_loc()),
+               "iterations evaluates to " + fmt_num(*iters) +
+                   " at the declared defaults; must be at least 1");
+  }
+  for (const SpecTemplate::ComputePhase& p : spec.compute_phases()) {
+    if (const auto pdus = try_evaluate(p.pdus, env)) {
+      if (!std::isfinite(*pdus) || *pdus < 1.0) {
+        sink.error("NP-S005", at(file, p.pdus_loc),
+                   "compute phase '" + p.name + "' has " +
+                       fmt_num(*pdus) +
+                       " PDUs at the declared defaults; a decomposable "
+                       "computation needs at least 1");
+      } else if (!pdus_default) {
+        pdus_default = *pdus;
+      }
+    }
+    if (const auto ops = try_evaluate(p.ops, env);
+        ops && (!std::isfinite(*ops) || *ops <= 0.0)) {
+      sink.error("NP-S005", at(file, p.ops_loc),
+                 "compute phase '" + p.name + "' has non-positive "
+                 "computational complexity at the declared defaults");
+    }
+  }
+
+  // NP-S003 / NP-S008: bytes evaluated at A = num_PDUs, the
+  // single-processor upper bound dominant_communication() compares at.
+  ExprEnv bytes_env = env;
+  bytes_env["A"] = pdus_default.value_or(1.0);
+  for (const SpecTemplate::CommPhase& p : spec.comm_phases()) {
+    if (const auto bytes = try_evaluate(p.bytes, bytes_env);
+        bytes && (!std::isfinite(*bytes) || *bytes <= 0.0)) {
+      sink.error("NP-S003", at(file, p.bytes_loc),
+                 "comm phase '" + p.name + "' (topology " +
+                     netpart::to_string(p.topology) + ") sends " +
+                     fmt_num(*bytes) +
+                     " bytes per message at the declared defaults",
+                 "a communication phase that sends nothing contradicts "
+                 "its communication-complexity annotation; drop the phase "
+                 "or fix the bytes expression");
+    }
+    if (is_bandwidth_limited(p.topology) && p.bytes != nullptr &&
+        expr_variables(*p.bytes).count("A") > 0) {
+      sink.warning("NP-S008", at(file, p.bytes_loc),
+                   "comm phase '" + p.name + "' uses bandwidth-limited "
+                   "topology " + netpart::to_string(p.topology) +
+                       " but its bytes depend on the assignment A",
+                   "a root-to-all pattern sends one message size; "
+                   "A-dependent bytes suggest the wrong topology "
+                   "annotation");
+    }
+  }
+}
+
+bool lint_spec_text(const std::string& text, const std::string& file,
+                    DiagnosticSink& sink) {
+  try {
+    const SpecTemplate spec = parse_spec(text);
+    lint_spec(spec, file, sink);
+    return true;
+  } catch (const SpecParseError& e) {
+    sink.error("NP-S000", SourceLoc{file, e.loc().line, e.loc().column},
+               e.what());
+  } catch (const SpecStructureError& e) {
+    sink.error("NP-S000", SourceLoc{file, e.loc().line, e.loc().column},
+               e.what());
+  } catch (const Error& e) {
+    sink.error("NP-S000", SourceLoc{file, 0, 0}, e.what());
+  }
+  return false;
+}
+
+bool lint_spec_file(const std::string& path, DiagnosticSink& sink) {
+  std::ifstream in(path);
+  if (!in) {
+    sink.error("NP-S000", SourceLoc{path, 0, 0},
+               "cannot open spec file");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_spec_text(buffer.str(), path, sink);
+}
+
+}  // namespace netpart::analysis

@@ -1,0 +1,48 @@
+// Static checks over annotation specs (the paper's Section 4 inputs).
+//
+// A spec compiles into the callbacks the partitioner trusts blindly:
+// num_PDUs, computational complexity, communication complexity, topology,
+// overlap.  These checks catch the inputs that would mislead it --
+// undefined or unused variables, phases whose annotations contradict each
+// other, overlap edges pointing at phases that do not exist -- and anchor
+// every finding to the declaration's line:column.
+//
+// Codes (docs/annotations.md maps each to the paper annotation it guards):
+//   NP-S000  error    spec does not parse
+//   NP-S001  error    expression references an undefined variable
+//   NP-S002  warning  param declared but never referenced
+//   NP-S003  error    communication bytes non-positive / non-finite at
+//                     defaults (topology vs. communication-complexity
+//                     mismatch: the phase claims traffic but sends none)
+//   NP-S004  error    overlap names a phase that is not a compute phase
+//                     (phase-graph reachability)
+//   NP-S005  error    num_PDUs / ops / iterations non-positive at defaults
+//   NP-S006  error    duplicate compute-phase name (overlap resolution
+//                     becomes ambiguous); warning for duplicate comm names
+//   NP-S007  warning  param shadows the built-in assignment variable A
+//   NP-S008  warning  bandwidth-limited topology (broadcast) with
+//                     A-dependent bytes: per-assignment message sizes
+//                     contradict a root-to-all pattern
+//   NP-S009  warning  multiple comm phases overlap the same compute phase
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "dp/spec_parser.hpp"
+
+namespace netpart::analysis {
+
+/// Lint a parsed template.  `file` labels diagnostic locations.
+void lint_spec(const SpecTemplate& spec, const std::string& file,
+               DiagnosticSink& sink);
+
+/// Parse + lint spec text.  Parse failures become NP-S000 diagnostics
+/// (never exceptions).  Returns false when the text did not parse.
+bool lint_spec_text(const std::string& text, const std::string& file,
+                    DiagnosticSink& sink);
+
+/// Parse + lint a spec file.  Unreadable files report NP-S000.
+bool lint_spec_file(const std::string& path, DiagnosticSink& sink);
+
+}  // namespace netpart::analysis

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/preflight.hpp"
 #include "apps/gauss.hpp"
 #include "apps/particles.hpp"
 #include "apps/reduce.hpp"
@@ -177,6 +178,17 @@ int run(const Config& args) {
     params.topologies = {Topology::OneD};
     db = calibrate(net, params).db;
   }
+
+  // Pre-flight: lint the network + cost model before serving.  Under
+  // --check (check=1) report the diagnostics and exit without serving --
+  // 0 when error-free, 1 otherwise; the default path refuses to start on
+  // error-severity findings (a bad model would skew every reply).
+  if (args.get_int_or("check", 0) != 0) {
+    const analysis::DiagnosticSink sink = analysis::preflight(net, db);
+    std::printf("%s", sink.render_text().c_str());
+    return sink.clean() ? 0 : 1;
+  }
+  analysis::require_preflight(net, db);
 
   AvailabilityFeed feed(net, make_managers(net, AvailabilityPolicy{}));
 
@@ -348,6 +360,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> tokens;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
+      if (arg == "--check") {
+        tokens.push_back("check=1");
+        continue;
+      }
       bool rewritten = false;
       for (const auto& [flag, key] :
            {std::pair<std::string, std::string>{"--trace-out", "trace_out"},

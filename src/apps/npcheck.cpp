@@ -1,0 +1,23 @@
+// npcheck: static analysis for specs, cost models, and network presets.
+//
+// Thin wrapper over analysis::run_npcheck -- all behaviour (flags, exit
+// codes, report formats) lives in the library so the test suite can pin it
+// without spawning processes.  See src/analysis/npcheck.hpp for the
+// contract and DESIGN.md §11 for the diagnostic-code table.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/npcheck.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    return netpart::analysis::run_npcheck(args, std::cout, std::cerr)
+        .exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "npcheck: internal error: %s\n", e.what());
+    return 2;
+  }
+}

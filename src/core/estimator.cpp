@@ -21,6 +21,17 @@ CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
   num_pdus_ = dominant_comp_->num_pdus();
   ops_per_pdu_ = dominant_comp_->ops_per_pdu();
   phases_overlap_ = spec.dominant_phases_overlap();
+  // Checked contracts (previously assumed): a non-positive PDU count makes
+  // Eq. 3 meaningless, and a non-finite or negative op count poisons every
+  // T_comp the search compares.  npcheck's spec lint flags these at the
+  // source (NP-S003/NP-S005); this is the last line of defence for specs
+  // built programmatically.
+  NP_REQUIRE(num_pdus_ > 0,
+             "estimator: dominant computation must have num_PDUs > 0");
+  NP_REQUIRE(std::isfinite(ops_per_pdu_) && ops_per_pdu_ >= 0.0,
+             "estimator: ops per PDU must be finite and non-negative");
+  NP_REQUIRE(spec.iterations() >= 1,
+             "estimator: spec iterations must be >= 1");
   if (!spec.communication_phases().empty()) {
     dominant_comm_ = &spec.dominant_communication();
     comm_topology_ = dominant_comm_->topology();

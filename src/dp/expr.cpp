@@ -15,6 +15,7 @@ class NumberExpr final : public Expr {
  public:
   explicit NumberExpr(double value) : value_(value) {}
   double evaluate(const ExprEnv&) const override { return value_; }
+  void collect_variables(std::set<std::string>&) const override {}
   std::string to_string() const override {
     std::string s = std::to_string(value_);
     // Trim trailing zeros for readability.
@@ -42,6 +43,9 @@ class VarExpr final : public Expr {
     }
     return it->second;
   }
+  void collect_variables(std::set<std::string>& out) const override {
+    out.insert(name_);
+  }
   std::string to_string() const override { return name_; }
 
  private:
@@ -53,6 +57,9 @@ class UnaryExpr final : public Expr {
   explicit UnaryExpr(ExprPtr inner) : inner_(std::move(inner)) {}
   double evaluate(const ExprEnv& env) const override {
     return -inner_->evaluate(env);
+  }
+  void collect_variables(std::set<std::string>& out) const override {
+    inner_->collect_variables(out);
   }
   std::string to_string() const override {
     return "(-" + inner_->to_string() + ")";
@@ -85,9 +92,21 @@ class BinaryExpr final : public Expr {
     }
     throw LogicError("unknown operator");
   }
+  void collect_variables(std::set<std::string>& out) const override {
+    lhs_->collect_variables(out);
+    rhs_->collect_variables(out);
+  }
   std::string to_string() const override {
-    return "(" + lhs_->to_string() + ' ' + op_ + ' ' + rhs_->to_string() +
-           ")";
+    // Built with += rather than one operator+ chain: gcc 12's -Wrestrict
+    // fires a false positive on the chained temporaries under -O2.
+    std::string out = "(";
+    out += lhs_->to_string();
+    out += ' ';
+    out += op_;
+    out += ' ';
+    out += rhs_->to_string();
+    out += ')';
+    return out;
   }
 
  private:
@@ -125,6 +144,9 @@ class CallExpr final : public Expr {
     throw InvalidArgument("unknown function or arity in annotation "
                           "expression: " + name_);
   }
+  void collect_variables(std::set<std::string>& out) const override {
+    for (const ExprPtr& arg : args_) arg->collect_variables(out);
+  }
   std::string to_string() const override {
     std::string out = name_ + "(";
     for (std::size_t i = 0; i < args_.size(); ++i) {
@@ -155,9 +177,9 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw ConfigError("expression error at offset " +
-                      std::to_string(pos_) + ": " + what + " in '" +
-                      std::string(text_) + "'");
+    throw ExprError("expression error at offset " + std::to_string(pos_) +
+                        ": " + what + " in '" + std::string(text_) + "'",
+                    pos_);
   }
 
   void skip_space() {
@@ -279,6 +301,12 @@ class Parser {
 };
 
 }  // namespace
+
+std::set<std::string> expr_variables(const Expr& expr) {
+  std::set<std::string> out;
+  expr.collect_variables(out);
+  return out;
+}
 
 ExprPtr parse_expr(std::string_view text) {
   return Parser(text).parse();

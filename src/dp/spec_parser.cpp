@@ -1,5 +1,7 @@
 #include "dp/spec_parser.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -76,15 +78,31 @@ ComputationSpec SpecTemplate::instantiate(
 
 namespace {
 
-struct Line {
-  int number;
-  std::vector<std::string> tokens;
+/// One whitespace-separated token with its 1-based source position.
+struct Token {
+  std::string text;
+  SpecLoc loc;
 };
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw ConfigError("spec line " + std::to_string(line) + ": " + what);
+struct Line {
+  int number = 0;
+  std::vector<Token> tokens;
+};
+
+[[noreturn]] void fail(SpecLoc loc, const std::string& what) {
+  throw SpecParseError("spec line " + std::to_string(loc.line) + ", col " +
+                           std::to_string(loc.column) + ": " + what,
+                       loc);
 }
 
+[[noreturn]] void fail(const Line& line, const std::string& what) {
+  fail(line.tokens.empty() ? SpecLoc{line.number, 1}
+                           : line.tokens.front().loc,
+       what);
+}
+
+/// Column-tracking tokenizer: splits on whitespace, strips '#' comments,
+/// and records the 1-based (line, column) of every token.
 std::vector<Line> tokenize(const std::string& text) {
   std::vector<Line> lines;
   int number = 0;
@@ -95,26 +113,65 @@ std::vector<Line> tokenize(const std::string& text) {
         hash != std::string_view::npos) {
       view = view.substr(0, hash);
     }
-    std::istringstream is{std::string(view)};
-    std::vector<std::string> tokens;
-    std::string token;
-    while (is >> token) tokens.push_back(token);
-    if (!tokens.empty()) lines.push_back(Line{number, std::move(tokens)});
+    Line line{number, {}};
+    std::size_t i = 0;
+    while (i < view.size()) {
+      if (std::isspace(static_cast<unsigned char>(view[i]))) {
+        ++i;
+        continue;
+      }
+      const std::size_t start = i;
+      while (i < view.size() &&
+             !std::isspace(static_cast<unsigned char>(view[i]))) {
+        ++i;
+      }
+      line.tokens.push_back(
+          Token{std::string(view.substr(start, i - start)),
+                SpecLoc{number, static_cast<int>(start) + 1}});
+    }
+    if (!line.tokens.empty()) lines.push_back(std::move(line));
   }
   return lines;
 }
 
-/// Join tokens [from..end) back into one expression string.
-std::string join_expr(const Line& line, std::size_t from) {
+/// Join tokens [from..end) back into one expression string and parse it.
+/// An ExprError's byte offset is translated into the spec's line:column.
+struct LocatedExpr {
+  ExprPtr expr;
+  SpecLoc loc;
+};
+
+LocatedExpr parse_line_expr(const Line& line, std::size_t from) {
   if (from >= line.tokens.size()) {
-    fail(line.number, "expected an expression");
+    fail(SpecLoc{line.number,
+                 line.tokens.back().loc.column +
+                     static_cast<int>(line.tokens.back().text.size())},
+         "expected an expression after '" + line.tokens.back().text + "'");
   }
-  std::string out;
+  std::string text;
+  // Offset of each byte of `text` back to its source column: token texts
+  // are contiguous in `text` with single-space joins, so a source column
+  // is reconstructed from the byte offset and the recorded token columns.
+  std::vector<int> columns;
   for (std::size_t i = from; i < line.tokens.size(); ++i) {
-    if (i > from) out += ' ';
-    out += line.tokens[i];
+    if (i > from) {
+      text += ' ';
+      columns.push_back(line.tokens[i].loc.column - 1);
+    }
+    for (std::size_t b = 0; b < line.tokens[i].text.size(); ++b) {
+      columns.push_back(line.tokens[i].loc.column + static_cast<int>(b));
+    }
+    text += line.tokens[i].text;
   }
-  return out;
+  try {
+    return LocatedExpr{parse_expr(text), line.tokens[from].loc};
+  } catch (const ExprError& e) {
+    const int column = e.offset() < columns.size()
+                           ? columns[e.offset()]
+                           : columns.empty() ? line.tokens[from].loc.column
+                                             : columns.back() + 1;
+    fail(SpecLoc{line.number, column}, e.what());
+  }
 }
 
 }  // namespace
@@ -122,7 +179,9 @@ std::string join_expr(const Line& line, std::size_t from) {
 SpecTemplate parse_spec(const std::string& text) {
   std::string name;
   std::map<std::string, double> params;
+  std::map<std::string, SpecLoc> param_locs;
   ExprPtr iterations;
+  SpecLoc iterations_loc;
   std::vector<SpecTemplate::ComputePhase> compute;
   std::vector<SpecTemplate::CommPhase> comm;
 
@@ -130,81 +189,122 @@ SpecTemplate parse_spec(const std::string& text) {
   Section section = Section::Top;
 
   for (const Line& line : tokenize(text)) {
-    const std::string& kw = line.tokens[0];
+    const std::string& kw = line.tokens[0].text;
 
     if (kw == "computation") {
-      if (line.tokens.size() != 2) fail(line.number, "computation <name>");
-      name = line.tokens[1];
+      if (line.tokens.size() != 2) fail(line, "computation <name>");
+      name = line.tokens[1].text;
       section = Section::Top;
     } else if (kw == "param") {
       if (line.tokens.size() != 3) {
-        fail(line.number, "param <name> <default>");
+        fail(line, "param <name> <default>");
       }
+      const std::string& literal = line.tokens[2].text;
       char* end = nullptr;
-      const double v = std::strtod(line.tokens[2].c_str(), &end);
-      if (end != line.tokens[2].c_str() + line.tokens[2].size()) {
-        fail(line.number, "bad param default: " + line.tokens[2]);
+      const double v = std::strtod(literal.c_str(), &end);
+      if (end != literal.c_str() + literal.size()) {
+        fail(line.tokens[2].loc, "bad param default: " + literal);
       }
-      params[line.tokens[1]] = v;
+      params[line.tokens[1].text] = v;
+      param_locs[line.tokens[1].text] = line.tokens[1].loc;
     } else if (kw == "iterations") {
-      iterations = parse_expr(join_expr(line, 1));
+      const LocatedExpr e = parse_line_expr(line, 1);
+      iterations = e.expr;
+      iterations_loc = e.loc;
     } else if (kw == "phase") {
-      if (line.tokens.size() != 3 ||
-          (line.tokens[1] != "compute" && line.tokens[1] != "comm")) {
-        fail(line.number, "phase compute|comm <name>");
+      if (line.tokens.size() != 3 || (line.tokens[1].text != "compute" &&
+                                      line.tokens[1].text != "comm")) {
+        fail(line, "phase compute|comm <name>");
       }
-      if (line.tokens[1] == "compute") {
-        compute.push_back(SpecTemplate::ComputePhase{
-            line.tokens[2], nullptr, nullptr, OpKind::FloatingPoint});
+      if (line.tokens[1].text == "compute") {
+        SpecTemplate::ComputePhase phase;
+        phase.name = line.tokens[2].text;
+        phase.loc = line.tokens[0].loc;
+        compute.push_back(std::move(phase));
         section = Section::Compute;
       } else {
-        comm.push_back(SpecTemplate::CommPhase{
-            line.tokens[2], Topology::OneD, nullptr, ""});
+        SpecTemplate::CommPhase phase;
+        phase.name = line.tokens[2].text;
+        phase.loc = line.tokens[0].loc;
+        comm.push_back(std::move(phase));
         section = Section::Comm;
       }
     } else if (section == Section::Compute) {
-      if (compute.empty()) fail(line.number, "no open compute phase");
+      if (compute.empty()) fail(line, "no open compute phase");
       SpecTemplate::ComputePhase& phase = compute.back();
       if (kw == "pdus") {
-        phase.pdus = parse_expr(join_expr(line, 1));
+        const LocatedExpr e = parse_line_expr(line, 1);
+        phase.pdus = e.expr;
+        phase.pdus_loc = e.loc;
       } else if (kw == "ops") {
-        phase.ops = parse_expr(join_expr(line, 1));
+        const LocatedExpr e = parse_line_expr(line, 1);
+        phase.ops = e.expr;
+        phase.ops_loc = e.loc;
       } else if (kw == "opkind") {
-        if (line.tokens.size() != 2) fail(line.number, "opkind float|int");
-        if (line.tokens[1] == "float") {
+        if (line.tokens.size() != 2) fail(line, "opkind float|int");
+        if (line.tokens[1].text == "float") {
           phase.op_kind = OpKind::FloatingPoint;
-        } else if (line.tokens[1] == "int") {
+        } else if (line.tokens[1].text == "int") {
           phase.op_kind = OpKind::Integer;
         } else {
-          fail(line.number, "opkind float|int");
+          fail(line.tokens[1].loc, "opkind float|int");
         }
       } else {
-        fail(line.number, "unknown compute-phase key: " + kw);
+        fail(line, "unknown compute-phase key: " + kw);
       }
     } else if (section == Section::Comm) {
-      if (comm.empty()) fail(line.number, "no open comm phase");
+      if (comm.empty()) fail(line, "no open comm phase");
       SpecTemplate::CommPhase& phase = comm.back();
       if (kw == "topology") {
-        if (line.tokens.size() != 2) fail(line.number, "topology <name>");
-        phase.topology = topology_from_string(line.tokens[1]);
+        if (line.tokens.size() != 2) fail(line, "topology <name>");
+        phase.topology = topology_from_string(line.tokens[1].text);
+        phase.topology_loc = line.tokens[1].loc;
       } else if (kw == "bytes") {
-        phase.bytes = parse_expr(join_expr(line, 1));
+        const LocatedExpr e = parse_line_expr(line, 1);
+        phase.bytes = e.expr;
+        phase.bytes_loc = e.loc;
       } else if (kw == "overlap") {
         if (line.tokens.size() != 2) {
-          fail(line.number, "overlap <compute-phase>");
+          fail(line, "overlap <compute-phase>");
         }
-        phase.overlap_with = line.tokens[1];
+        phase.overlap_with = line.tokens[1].text;
+        phase.overlap_loc = line.tokens[1].loc;
       } else {
-        fail(line.number, "unknown comm-phase key: " + kw);
+        fail(line, "unknown comm-phase key: " + kw);
       }
     } else {
-      fail(line.number, "unknown directive: " + kw);
+      fail(line, "unknown directive: " + kw);
     }
   }
 
-  return SpecTemplate(std::move(name), std::move(params),
-                      std::move(iterations), std::move(compute),
-                      std::move(comm));
+  // Structural pre-checks with locations: the constructor would reject
+  // these too, but it cannot say *where* -- the old "parse error with no
+  // position" failure mode this parser no longer has.
+  for (const SpecTemplate::ComputePhase& p : compute) {
+    if (p.pdus == nullptr) {
+      throw SpecStructureError(
+          "spec line " + std::to_string(p.loc.line) + ": compute phase '" +
+          p.name + "' is missing a pdus annotation", p.loc);
+    }
+    if (p.ops == nullptr) {
+      throw SpecStructureError(
+          "spec line " + std::to_string(p.loc.line) + ": compute phase '" +
+          p.name + "' is missing an ops annotation", p.loc);
+    }
+  }
+  for (const SpecTemplate::CommPhase& p : comm) {
+    if (p.bytes == nullptr) {
+      throw SpecStructureError(
+          "spec line " + std::to_string(p.loc.line) + ": comm phase '" +
+          p.name + "' is missing a bytes annotation", p.loc);
+    }
+  }
+
+  SpecTemplate tmpl(std::move(name), std::move(params),
+                    std::move(iterations), std::move(compute),
+                    std::move(comm));
+  tmpl.set_source_locs(std::move(param_locs), iterations_loc);
+  return tmpl;
 }
 
 SpecTemplate parse_spec_file(const std::string& path) {

@@ -24,6 +24,11 @@
 // overlapped communication phase; `opkind int` selects the integer
 // instruction rate.  Params are defaults, overridable at instantiation
 // ("N" from the command line, say).
+//
+// Every token carries its source position, and every declaration in the
+// parsed template remembers where it came from: parse errors report
+// line:column, and the static-analysis pass (analysis/spec_lint) anchors
+// its diagnostics to real locations.
 #pragma once
 
 #include <map>
@@ -32,8 +37,45 @@
 
 #include "dp/expr.hpp"
 #include "dp/phases.hpp"
+#include "util/error.hpp"
 
 namespace netpart {
+
+/// A position in a spec file: 1-based line and column (0 = unknown).
+struct SpecLoc {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+};
+
+/// Malformed spec input.  Derives from ConfigError (existing handlers keep
+/// working) and carries the structured source location so tooling can
+/// report `file:line:col` instead of the old bare "parse error".
+class SpecParseError : public ConfigError {
+ public:
+  SpecParseError(const std::string& what, SpecLoc loc)
+      : ConfigError(what), loc_(loc) {}
+
+  SpecLoc loc() const { return loc_; }
+
+ private:
+  SpecLoc loc_;
+};
+
+/// A structurally incomplete spec (e.g. a compute phase without an ops
+/// annotation).  Derives from InvalidArgument -- the pre-location error
+/// type for this failure class -- and adds the declaration site.
+class SpecStructureError : public InvalidArgument {
+ public:
+  SpecStructureError(const std::string& what, SpecLoc loc)
+      : InvalidArgument(what), loc_(loc) {}
+
+  SpecLoc loc() const { return loc_; }
+
+ private:
+  SpecLoc loc_;
+};
 
 /// A parsed, parameterised computation description.
 class SpecTemplate {
@@ -43,12 +85,24 @@ class SpecTemplate {
     ExprPtr pdus;
     ExprPtr ops;
     OpKind op_kind = OpKind::FloatingPoint;
+    SpecLoc loc;       ///< the `phase compute` line
+    SpecLoc pdus_loc;  ///< the pdus expression
+    SpecLoc ops_loc;   ///< the ops expression
   };
   struct CommPhase {
     std::string name;
     Topology topology = Topology::OneD;
     ExprPtr bytes;
     std::string overlap_with;
+    SpecLoc loc;          ///< the `phase comm` line
+    SpecLoc bytes_loc;    ///< the bytes expression
+    SpecLoc overlap_loc;  ///< the overlap target token
+    SpecLoc topology_loc; ///< the topology name token
+  };
+  /// A declared parameter: default value plus declaration site.
+  struct Param {
+    double value = 0.0;
+    SpecLoc loc;
   };
 
   SpecTemplate(std::string name, std::map<std::string, double> params,
@@ -64,16 +118,39 @@ class SpecTemplate {
   ComputationSpec instantiate(
       const std::map<std::string, double>& overrides = {}) const;
 
+  // --- static-analysis surface (analysis/spec_lint) ---------------------
+  const std::vector<ComputePhase>& compute_phases() const {
+    return compute_;
+  }
+  const std::vector<CommPhase>& comm_phases() const { return comm_; }
+  const ExprPtr& iterations_expr() const { return iterations_; }
+  /// Declaration sites; keyed like params().  Entries may be absent for
+  /// templates constructed programmatically (locations default-unknown).
+  const std::map<std::string, SpecLoc>& param_locs() const {
+    return param_locs_;
+  }
+  SpecLoc iterations_loc() const { return iterations_loc_; }
+
+  /// Attach declaration sites (the parser calls this; hand-built templates
+  /// may skip it and lint diagnostics fall back to location-less output).
+  void set_source_locs(std::map<std::string, SpecLoc> param_locs,
+                       SpecLoc iterations_loc) {
+    param_locs_ = std::move(param_locs);
+    iterations_loc_ = iterations_loc;
+  }
+
  private:
   std::string name_;
   std::map<std::string, double> params_;
   ExprPtr iterations_;
   std::vector<ComputePhase> compute_;
   std::vector<CommPhase> comm_;
+  std::map<std::string, SpecLoc> param_locs_;
+  SpecLoc iterations_loc_;
 };
 
-/// Parse a spec file's contents.  Throws ConfigError with line numbers on
-/// malformed input.
+/// Parse a spec file's contents.  Throws SpecParseError (a ConfigError)
+/// with line:column positions on malformed input.
 SpecTemplate parse_spec(const std::string& text);
 
 /// Parse from a file path.

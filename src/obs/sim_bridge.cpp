@@ -10,8 +10,14 @@ namespace netpart::obs {
 namespace {
 
 std::string ref_string(const ProcessorRef& ref) {
-  return "(" + std::to_string(ref.cluster) + "," + std::to_string(ref.index) +
-         ")";
+  // Built with += rather than one operator+ chain: gcc 12's -Wrestrict
+  // fires a false positive on the chained temporaries under -O2.
+  std::string out = "(";
+  out += std::to_string(ref.cluster);
+  out += ',';
+  out += std::to_string(ref.index);
+  out += ')';
+  return out;
 }
 
 }  // namespace

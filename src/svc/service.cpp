@@ -2,6 +2,7 @@
 
 #include "core/estimator.hpp"
 #include "obs/span.hpp"
+#include "svc/validate.hpp"
 #include "util/error.hpp"
 
 namespace netpart::svc {
@@ -79,6 +80,17 @@ std::shared_future<ServiceReply> PartitionService::submit(
   const auto t0 = Clock::now();
   obs::Span span(obs::TelemetryRegistry::global(), "svc.request", "svc");
   requests_.add();
+  // Admission gate: a request that violates its own contract is rejected
+  // here, before it can occupy a cache slot, coalesce other clients onto a
+  // doomed key, or reach arithmetic in the cold path that assumes the
+  // contract.  validate_request never allocates, so the cached hot path
+  // stays allocation-free (the hot-path bench pins this).
+  if (const char* violation = validate_request(request)) {
+    failed_.add();
+    span.attr("outcome", JsonValue("invalid"));
+    return ready(ServiceReply{ServiceStatus::Failed, nullptr, false,
+                              violation});
+  }
   auto [snapshot, epoch] = feed_.read();
   observe_epoch(epoch);
   const std::uint64_t key = request_key(request, signature_, epoch);

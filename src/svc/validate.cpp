@@ -1,0 +1,35 @@
+#include "svc/validate.hpp"
+
+#include <cstdint>
+
+namespace netpart::svc {
+
+const char* validate_request(const PartitionRequest& request) noexcept {
+  if (request.n <= 0) {
+    return "request n (PDU count) must be positive";
+  }
+  if (request.iterations < 1) {
+    return "request iterations must be >= 1";
+  }
+  if (request.kind == PartitionRequest::Kind::Partition) {
+    if (request.spec.empty()) {
+      return "partition request names no spec";
+    }
+    if (!request.rate_milli.empty()) {
+      return "partition request must not carry observed rates";
+    }
+  } else {
+    if (request.rate_milli.empty()) {
+      return "repartition request carries no rates";
+    }
+    for (const std::int32_t rate : request.rate_milli) {
+      if (rate < 1) return "quantised rates must be >= 1";
+    }
+    if (request.n < static_cast<std::int64_t>(request.rate_milli.size())) {
+      return "repartition request has fewer PDUs than ranks";
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace netpart::svc

@@ -1,0 +1,23 @@
+// Admission-time request validation.
+//
+// A malformed request used to ride the queue to a worker and either throw
+// deep inside the cold path (wasting a queue slot and a coalescing key) or,
+// for the repartition shapes, reach arithmetic that divides by zero.  The
+// service now rejects it at submit() with an explicit Failed reply.
+//
+// The check is deliberately a `const char*` function: validation runs on
+// the client thread in front of the cache lookup, so it must not allocate
+// -- the hot-path bench asserts the cached path stays at zero allocations
+// with the gate in place.
+#pragma once
+
+#include "svc/request.hpp"
+
+namespace netpart::svc {
+
+/// Returns nullptr when `request` is well-formed, otherwise a static
+/// message describing the first violated contract.  Never throws, never
+/// allocates.
+const char* validate_request(const PartitionRequest& request) noexcept;
+
+}  // namespace netpart::svc

@@ -1,0 +1,515 @@
+// Static-analysis subsystem tests (DESIGN.md §11).
+//
+// Three layers: the diagnostics engine itself (rendering, counts, JSON
+// shape), the lint suites against hand-built pathological inputs, and the
+// npcheck driver's exit-code contract.  The bad_specs fixtures are golden
+// tested -- text and JSON byte-for-byte -- so a diagnostic message or
+// location regressing is a test failure, not a silent UX change.  The
+// closing property: every artifact this repo ships (specs/*.spec, the four
+// network presets, a freshly calibrated paper model) is diagnostics-clean.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/model_lint.hpp"
+#include "analysis/net_lint.hpp"
+#include "analysis/npcheck.hpp"
+#include "analysis/preflight.hpp"
+#include "analysis/spec_lint.hpp"
+#include "apps/stencil.hpp"
+#include "calib/calibrate.hpp"
+#include "core/estimator.hpp"
+#include "net/presets.hpp"
+#include "svc/service.hpp"
+#include "svc/validate.hpp"
+
+namespace netpart::analysis {
+namespace {
+
+const std::string kSourceDir = NETPART_SOURCE_DIR;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Every fixture and the one diagnostic code it exists to trigger.
+struct Fixture {
+  const char* name;
+  const char* code;
+  bool is_error;  ///< false: the finding is a warning
+};
+constexpr Fixture kFixtures[] = {
+    {"syntax_error", "NP-S000", true},
+    {"missing_ops", "NP-S000", true},
+    {"undefined_var", "NP-S001", true},
+    {"unused_param", "NP-S002", false},
+    {"zero_bytes", "NP-S003", true},
+    {"overlap_unknown", "NP-S004", true},
+    {"negative_pdus", "NP-S005", true},
+    {"duplicate_phase", "NP-S006", true},
+    {"param_shadows_a", "NP-S007", false},
+    {"broadcast_assignment", "NP-S008", false},
+    {"double_overlap", "NP-S009", false},
+};
+
+/// Lint one fixture under the same label the goldens were generated with
+/// (paths in diagnostics must not depend on the build machine).
+DiagnosticSink lint_fixture(const std::string& name) {
+  DiagnosticSink sink;
+  const std::string text =
+      read_file(kSourceDir + "/tests/data/bad_specs/" + name + ".spec");
+  lint_spec_text(text, "bad_specs/" + name + ".spec", sink);
+  return sink;
+}
+
+/// Calibrated paper testbed shared across tests (calibration dominates the
+/// runtime; every test only needs *a* valid model).
+struct Testbed {
+  Network net = presets::paper_testbed();
+  CostModelDb db;
+  Testbed() : db(net.num_clusters()) {
+    CalibrationParams params;
+    params.topologies = {Topology::OneD};
+    db = calibrate(net, params).db;
+  }
+};
+
+const Testbed& testbed() {
+  static const Testbed kBed;
+  return kBed;
+}
+
+// --- the diagnostics engine ----------------------------------------------
+
+TEST(DiagnosticsTest, SinkCountsAndPredicates) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(sink.clean());
+
+  sink.note("NP-X001", {"f", 1, 1}, "fyi");
+  EXPECT_FALSE(sink.empty());
+  EXPECT_TRUE(sink.clean()) << "notes never fail a run";
+
+  sink.warning("NP-X002", {"f", 2, 1}, "odd");
+  EXPECT_TRUE(sink.clean()) << "warnings never fail a run";
+  EXPECT_EQ(sink.warnings(), 1);
+
+  sink.error("NP-X003", {"f", 3, 1}, "wrong", "do it right");
+  EXPECT_FALSE(sink.clean());
+  EXPECT_EQ(sink.errors(), 1);
+  ASSERT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_EQ(sink.diagnostics()[2].fix_hint, "do it right");
+}
+
+TEST(DiagnosticsTest, TextRenderingIsCompilerStyle) {
+  DiagnosticSink sink;
+  sink.error("NP-S001", {"a.spec", 8, 7}, "undefined variable 'M'",
+             "declare it");
+  sink.warning("NP-S002", {"a.spec", 0, 0}, "param 'K' unused");
+  const std::string text = sink.render_text();
+  EXPECT_NE(text.find("a.spec:8:7: error: undefined variable 'M' "
+                      "[NP-S001]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("  hint: declare it"), std::string::npos);
+  // Unknown locations render without the :line:col chunk.
+  EXPECT_NE(text.find("a.spec: warning: param 'K' unused [NP-S002]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 error(s), 1 warning(s)"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, JsonShapeIsStable) {
+  DiagnosticSink sink;
+  sink.error("NP-N002", {"<network>", 0, 0}, "zero bandwidth");
+  const std::string json = sink.to_json().dump();
+  EXPECT_NE(json.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"NP-N002\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+}
+
+// --- spec lint: fixtures -------------------------------------------------
+
+TEST(SpecLintTest, EveryFixtureFlagsItsCodeWithALocation) {
+  for (const Fixture& fixture : kFixtures) {
+    const DiagnosticSink sink = lint_fixture(fixture.name);
+    SCOPED_TRACE(fixture.name);
+    EXPECT_FALSE(sink.empty());
+    EXPECT_EQ(sink.clean(), !fixture.is_error);
+    bool found = false;
+    for (const Diagnostic& d : sink.diagnostics()) {
+      if (d.code == fixture.code) {
+        found = true;
+        EXPECT_TRUE(d.loc.known())
+            << d.code << " reported without a line number";
+        EXPECT_GT(d.loc.column, 0) << d.code << " has no column";
+      }
+    }
+    EXPECT_TRUE(found) << "expected " << fixture.code;
+  }
+}
+
+TEST(SpecLintTest, GoldenTextPerFixture) {
+  for (const Fixture& fixture : kFixtures) {
+    SCOPED_TRACE(fixture.name);
+    const std::string golden = read_file(
+        kSourceDir + "/tests/data/bad_specs/golden/" + fixture.name + ".txt");
+    EXPECT_EQ(lint_fixture(fixture.name).render_text(), golden);
+  }
+}
+
+TEST(SpecLintTest, GoldenJsonPerFixture) {
+  for (const Fixture& fixture : kFixtures) {
+    SCOPED_TRACE(fixture.name);
+    const std::string golden = read_file(
+        kSourceDir + "/tests/data/bad_specs/golden/" + fixture.name +
+        ".json");
+    EXPECT_EQ(lint_fixture(fixture.name).to_json().dump(2), golden);
+  }
+}
+
+TEST(SpecLintTest, ParseErrorsCarryLineAndColumn) {
+  // The old failure mode was "parse error" with no position at all; the
+  // rewritten parser must point INTO the offending expression.
+  DiagnosticSink sink;
+  EXPECT_FALSE(lint_spec_text("computation x\niterations 1\n"
+                              "phase compute p\n  pdus 10\n  ops 3 +* 4\n",
+                              "inline.spec", sink));
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, "NP-S000");
+  EXPECT_EQ(d.loc.line, 5);
+  EXPECT_GT(d.loc.column, 1);
+}
+
+TEST(SpecLintTest, CleanSpecProducesNoDiagnostics) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(lint_spec_text(
+      read_file(kSourceDir + "/specs/stencil.spec"), "stencil.spec", sink));
+  EXPECT_TRUE(sink.empty()) << sink.render_text();
+}
+
+// --- network lint --------------------------------------------------------
+
+ProcessorType sparc_like() {
+  ProcessorType type;
+  type.name = "sparc-like";
+  type.flop_time = SimTime::nanos(300);
+  type.int_time = SimTime::nanos(150);
+  return type;
+}
+
+TEST(NetLintTest, PresetNetworksAreClean) {
+  for (const auto& [name, net] :
+       {std::pair<std::string, Network>{"paper", presets::paper_testbed()},
+        {"fig1", presets::fig1_network()},
+        {"coercion", presets::coercion_testbed()},
+        {"metasystem", presets::metasystem()}}) {
+    DiagnosticSink sink;
+    lint_network(net, name, sink);
+    EXPECT_TRUE(sink.empty()) << name << ":\n" << sink.render_text();
+  }
+}
+
+TEST(NetLintTest, FlagsBandwidthAndRouterPathologies) {
+  const std::vector<Cluster> clusters = {
+      Cluster(0, "a", sparc_like(), 0, 4),
+      Cluster(1, "b", sparc_like(), 1, 4),
+      Cluster(2, "c", sparc_like(), 2, 4)};
+  std::vector<Segment> segments = {{0, 0.0, SimTime::micros(100)},
+                                   {1, 10e6, SimTime::micros(100)},
+                                   {2, 10e6, SimTime::micros(100)}};
+  // Segment 2 has no router at all: unreachable + two uncovered pairs.
+  std::vector<RouterLink> routers = {
+      {0, 1, SimTime::nanos(-5), SimTime::micros(50)}};
+
+  DiagnosticSink sink;
+  lint_network_parts(clusters, segments, routers, "<bad-net>", sink);
+  const std::string text = sink.render_text();
+  EXPECT_FALSE(sink.clean());
+  EXPECT_NE(text.find("[NP-N001]"), std::string::npos) << text;  // unreachable
+  EXPECT_NE(text.find("[NP-N002]"), std::string::npos) << text;  // zero bw
+  EXPECT_NE(text.find("[NP-N004]"), std::string::npos) << text;  // neg delay
+  EXPECT_NE(text.find("[NP-N007]"), std::string::npos) << text;  // no router
+}
+
+TEST(NetLintTest, FlagsStructuralViolations) {
+  // Duplicate name, two clusters sharing segment 0, dangling segment ref.
+  const std::vector<Cluster> clusters = {
+      Cluster(0, "dup", sparc_like(), 0, 4),
+      Cluster(1, "dup", sparc_like(), 0, 4),
+      Cluster(2, "ok", sparc_like(), 7, 4)};
+  const std::vector<Segment> segments = {{0, 10e6, SimTime::micros(100)},
+                                         {1, 10e6, SimTime::micros(100)}};
+  const std::vector<RouterLink> routers = {
+      {0, 1, SimTime::nanos(600), SimTime::micros(50)}};
+
+  DiagnosticSink sink;
+  lint_network_parts(clusters, segments, routers, "<bad-net>", sink);
+  const std::string text = sink.render_text();
+  EXPECT_FALSE(sink.clean());
+  EXPECT_NE(text.find("[NP-N003]"), std::string::npos) << text;  // dup name
+  EXPECT_NE(text.find("[NP-N006]"), std::string::npos) << text;  // structure
+}
+
+// --- cost-model lint -----------------------------------------------------
+
+TEST(ModelLintTest, CalibratedPaperModelIsCleanModuloKnownDips) {
+  const Testbed& bed = testbed();
+  DiagnosticSink sink;
+  lint_cost_model(bed.db, bed.net, "<cost-model>", sink);
+  EXPECT_TRUE(sink.clean()) << sink.render_text();
+  // The paper itself observed small negative dips (handled by the |.|
+  // fix-up), so warnings are allowed -- but only the monotonicity family.
+  for (const Diagnostic& d : sink.diagnostics()) {
+    EXPECT_TRUE(d.code == "NP-M002" || d.code == "NP-M003" ||
+                d.code == "NP-M004" || d.code == "NP-M005")
+        << d.code << ": " << d.message;
+  }
+}
+
+TEST(ModelLintTest, FlagsNonFiniteAndNegativeFits) {
+  const Network net = presets::paper_testbed();
+  CostModelDb db(net.num_clusters());
+  // Cluster 0: NaN coefficient.  Cluster 1: strongly negative everywhere.
+  db.set_comm(0, Topology::OneD,
+              Eq1Fit{std::nan(""), 0.1, 0.001, 0.0001, 0.99});
+  db.set_comm(1, Topology::OneD, Eq1Fit{-5000.0, 0.0, 0.0, 0.0, 0.99});
+  db.set_router(0, 1, LineFit{-0.5, 1.0, 0.9});
+
+  DiagnosticSink sink;
+  lint_cost_model(db, net, "<m>", sink);
+  const std::string text = sink.render_text();
+  EXPECT_FALSE(sink.clean());
+  EXPECT_NE(text.find("[NP-M001]"), std::string::npos) << text;  // NaN
+  EXPECT_NE(text.find("[NP-M002]"), std::string::npos) << text;  // negative
+  EXPECT_NE(text.find("[NP-M007]"), std::string::npos) << text;  // slope < 0
+}
+
+TEST(ModelLintTest, FlagsShapeMismatch) {
+  const Network net = presets::paper_testbed();
+  CostModelDb wrong(net.num_clusters() + 1);
+  DiagnosticSink sink;
+  lint_cost_model(wrong, net, "<m>", sink);
+  EXPECT_FALSE(sink.clean());
+  ASSERT_FALSE(sink.diagnostics().empty());
+  EXPECT_EQ(sink.diagnostics()[0].code, "NP-M008");
+}
+
+TEST(ModelLintTest, WarnsOnPoorResidualAndMissingFit) {
+  const Network net = presets::paper_testbed();
+  CostModelDb db(net.num_clusters());
+  db.set_comm(0, Topology::OneD, Eq1Fit{1.0, 0.1, 0.001, 0.0001, 0.5});
+  // Cluster 1 left without any fit.
+  DiagnosticSink sink;
+  lint_cost_model(db, net, "<m>", sink);
+  const std::string text = sink.render_text();
+  EXPECT_TRUE(sink.clean()) << text;
+  EXPECT_NE(text.find("[NP-M005]"), std::string::npos) << text;  // r2 low
+  EXPECT_NE(text.find("[NP-M006]"), std::string::npos) << text;  // no fit
+}
+
+// --- the npcheck driver --------------------------------------------------
+
+NpcheckResult run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  return run_npcheck(args, out, err);
+}
+
+TEST(NpcheckTest, ExitCodeContract) {
+  const std::string good = kSourceDir + "/specs/stencil.spec";
+  const std::string bad =
+      kSourceDir + "/tests/data/bad_specs/undefined_var.spec";
+  const std::string warn =
+      kSourceDir + "/tests/data/bad_specs/unused_param.spec";
+
+  EXPECT_EQ(run({good}).exit_code, 0);
+  EXPECT_EQ(run({bad}).exit_code, 1);
+  EXPECT_EQ(run({warn}).exit_code, 0) << "warnings pass by default";
+  EXPECT_EQ(run({"--strict", warn}).exit_code, 1) << "--strict promotes";
+  EXPECT_EQ(run({good, bad}).exit_code, 1) << "any finding fails the batch";
+
+  EXPECT_EQ(run({}).exit_code, 2) << "nothing to check";
+  EXPECT_EQ(run({"--bogus-flag", good}).exit_code, 2);
+  EXPECT_EQ(run({"--network"}).exit_code, 2) << "missing value";
+  EXPECT_EQ(run({"--network", "bogus"}).exit_code, 2);
+  EXPECT_EQ(run({"--model", "x"}).exit_code, 2) << "--model needs --network";
+  EXPECT_EQ(run({"--help"}).exit_code, 0);
+
+  // A missing file is a finding (NP-S000), not a usage error.
+  const NpcheckResult missing = run({"/nonexistent/x.spec"});
+  EXPECT_EQ(missing.exit_code, 1);
+  ASSERT_FALSE(missing.sink.diagnostics().empty());
+  EXPECT_EQ(missing.sink.diagnostics()[0].code, "NP-S000");
+}
+
+TEST(NpcheckTest, NetworkPresetsPassThroughDriver) {
+  for (const char* name : {"paper", "fig1", "coercion", "metasystem"}) {
+    EXPECT_EQ(run({"--network", name}).exit_code, 0) << name;
+  }
+}
+
+TEST(NpcheckTest, ShippedSpecsAreDiagnosticsClean) {
+  int checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           kSourceDir + "/specs")) {
+    if (entry.path().extension() != ".spec") continue;
+    ++checked;
+    const NpcheckResult result = run({entry.path().string()});
+    EXPECT_EQ(result.exit_code, 0) << entry.path() << ":\n"
+                                   << result.sink.render_text();
+    EXPECT_TRUE(result.sink.empty())
+        << entry.path() << " should not even warn:\n"
+        << result.sink.render_text();
+  }
+  EXPECT_GE(checked, 4) << "specs/ directory went missing?";
+}
+
+TEST(NpcheckTest, JsonOutputParsesShape) {
+  std::ostringstream out, err;
+  const std::string bad =
+      kSourceDir + "/tests/data/bad_specs/zero_bytes.spec";
+  const NpcheckResult result = run_npcheck({"--json", bad}, out, err);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(out.str().find("\"code\": \"NP-S003\""), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("\"clean\": false"), std::string::npos);
+}
+
+// --- pre-flight gate + service admission ---------------------------------
+
+TEST(PreflightTest, CalibratedTestbedPasses) {
+  const Testbed& bed = testbed();
+  EXPECT_NO_THROW(require_preflight(bed.net, bed.db));
+  EXPECT_TRUE(preflight(bed.net, bed.db).clean());
+}
+
+TEST(PreflightTest, PoisonedModelRefusesToServe) {
+  const Testbed& bed = testbed();
+  CostModelDb poisoned = bed.db;
+  poisoned.set_comm(0, Topology::OneD,
+                    Eq1Fit{std::nan(""), 0.0, 0.0, 0.0, 0.0});
+  try {
+    require_preflight(bed.net, poisoned);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("NP-M001"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ValidateRequestTest, ContractTable) {
+  svc::PartitionRequest good;
+  good.spec = "stencil";
+  good.n = 300;
+  good.iterations = 10;
+  EXPECT_EQ(svc::validate_request(good), nullptr);
+
+  svc::PartitionRequest bad = good;
+  bad.n = 0;
+  EXPECT_NE(svc::validate_request(bad), nullptr);
+
+  bad = good;
+  bad.iterations = 0;
+  EXPECT_NE(svc::validate_request(bad), nullptr);
+
+  bad = good;
+  bad.spec.clear();
+  EXPECT_NE(svc::validate_request(bad), nullptr);
+
+  bad = good;
+  bad.rate_milli = {1000};
+  EXPECT_NE(svc::validate_request(bad), nullptr)
+      << "Partition kind must not carry rates";
+
+  svc::PartitionRequest repart;
+  repart.kind = svc::PartitionRequest::Kind::Repartition;
+  repart.spec = "job";
+  repart.n = 300;
+  repart.rate_milli = {1000, 500};
+  EXPECT_EQ(svc::validate_request(repart), nullptr);
+
+  repart.rate_milli.clear();
+  EXPECT_NE(svc::validate_request(repart), nullptr) << "no rates";
+
+  repart.rate_milli = {1000, 0};
+  EXPECT_NE(svc::validate_request(repart), nullptr) << "zero rate";
+
+  repart.rate_milli = {1000, 500, 250, 125};
+  repart.n = 3;
+  EXPECT_NE(svc::validate_request(repart), nullptr)
+      << "fewer PDUs than ranks";
+}
+
+TEST(ValidateRequestTest, ServiceRejectsAtAdmission) {
+  const Testbed& bed = testbed();
+  AvailabilityFeed feed(bed.net,
+                        make_managers(bed.net, AvailabilityPolicy{}));
+  svc::PartitionService service(
+      bed.net, bed.db, feed,
+      [](const svc::PartitionRequest& request) {
+        return apps::make_stencil_spec(
+            apps::StencilConfig{.n = static_cast<int>(request.n),
+                                .iterations = request.iterations});
+      });
+
+  svc::PartitionRequest invalid;
+  invalid.spec = "stencil";
+  invalid.n = -7;
+  const svc::ServiceReply reply = service.query(invalid);
+  EXPECT_EQ(reply.status, svc::ServiceStatus::Failed);
+  EXPECT_NE(reply.error.find("must be positive"), std::string::npos)
+      << reply.error;
+  // Rejected at admission: no cold compute ran, nothing was cached, and
+  // the failure counter (not the request queue) absorbed it.
+  EXPECT_EQ(service.metrics().counter("cold_computes").value(), 0u);
+  EXPECT_EQ(service.cache().size(), 0u);
+  EXPECT_EQ(service.metrics().counter("failed").value(), 1u);
+}
+
+// --- estimator checked contracts -----------------------------------------
+
+TEST(EstimatorContractTest, RejectsVanishingPduDomain) {
+  const Testbed& bed = testbed();
+  // The callback is legal at ComputationSpec construction and degenerate
+  // afterwards -- exactly the hole the estimator's checked contract plugs.
+  auto pdus = std::make_shared<std::int64_t>(300);
+  ComputationSpec spec(
+      "shrinking",
+      {{"c", [pdus] { return *pdus; }, [] { return 5.0; }}},
+      {}, 10);
+  *pdus = 0;
+  EXPECT_THROW(CycleEstimator(bed.net, bed.db, spec), InvalidArgument);
+}
+
+TEST(EstimatorContractTest, RejectsNonFiniteComplexity) {
+  const Testbed& bed = testbed();
+  ComputationSpec spec(
+      "nan-ops",
+      {{"c", [] { return std::int64_t{300}; },
+        [] { return std::nan(""); }}},
+      {}, 10);
+  EXPECT_THROW(CycleEstimator(bed.net, bed.db, spec), InvalidArgument);
+}
+
+TEST(EstimatorContractTest, MismatchedModelShapeStillRejected) {
+  const Testbed& bed = testbed();
+  CostModelDb wrong(bed.net.num_clusters() + 2);
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 300, .iterations = 10});
+  EXPECT_THROW(CycleEstimator(bed.net, wrong, spec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace netpart::analysis

@@ -141,9 +141,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomNetCase{3, 3}, RandomNetCase{4, 3},
                       RandomNetCase{5, 4}, RandomNetCase{6, 4},
                       RandomNetCase{7, 5}, RandomNetCase{8, 5}),
-    [](const auto& info) {
-      return "seed" + std::to_string(info.param.seed) + "_k" +
-             std::to_string(info.param.clusters);
+    [](const auto& test_info) {
+      return "seed" + std::to_string(test_info.param.seed) + "_k" +
+             std::to_string(test_info.param.clusters);
     });
 
 TEST_P(RandomNetworkProperties, PredictionNearMeasuredBestEndToEnd) {

@@ -71,9 +71,10 @@ INSTANTIATE_TEST_SUITE_P(
         TopoCase{Topology::TwoD, 12}, TopoCase{Topology::Tree, 2},
         TopoCase{Topology::Tree, 5}, TopoCase{Topology::Tree, 15},
         TopoCase{Topology::Broadcast, 2}, TopoCase{Topology::Broadcast, 8}),
-    [](const auto& info) {
-      std::string name =
-          to_string(info.param.topo) + "_p" + std::to_string(info.param.p);
+    [](const auto& test_info) {
+      std::string name = to_string(test_info.param.topo);
+      name += "_p";
+      name += std::to_string(test_info.param.p);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

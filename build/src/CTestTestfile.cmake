@@ -13,6 +13,7 @@ subdirs("topo")
 subdirs("calib")
 subdirs("dp")
 subdirs("core")
+subdirs("analysis")
 subdirs("exec")
 subdirs("svc")
 subdirs("apps")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/diagnostics.cpp" "src/analysis/CMakeFiles/np_analysis.dir/diagnostics.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/analysis/model_lint.cpp" "src/analysis/CMakeFiles/np_analysis.dir/model_lint.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/model_lint.cpp.o.d"
+  "/root/repo/src/analysis/net_lint.cpp" "src/analysis/CMakeFiles/np_analysis.dir/net_lint.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/net_lint.cpp.o.d"
+  "/root/repo/src/analysis/npcheck.cpp" "src/analysis/CMakeFiles/np_analysis.dir/npcheck.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/npcheck.cpp.o.d"
+  "/root/repo/src/analysis/preflight.cpp" "src/analysis/CMakeFiles/np_analysis.dir/preflight.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/preflight.cpp.o.d"
+  "/root/repo/src/analysis/spec_lint.cpp" "src/analysis/CMakeFiles/np_analysis.dir/spec_lint.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/spec_lint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/np_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_analysis.dir/diagnostics.cpp.o"
+  "CMakeFiles/np_analysis.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/np_analysis.dir/model_lint.cpp.o"
+  "CMakeFiles/np_analysis.dir/model_lint.cpp.o.d"
+  "CMakeFiles/np_analysis.dir/net_lint.cpp.o"
+  "CMakeFiles/np_analysis.dir/net_lint.cpp.o.d"
+  "CMakeFiles/np_analysis.dir/npcheck.cpp.o"
+  "CMakeFiles/np_analysis.dir/npcheck.cpp.o.d"
+  "CMakeFiles/np_analysis.dir/preflight.cpp.o"
+  "CMakeFiles/np_analysis.dir/preflight.cpp.o.d"
+  "CMakeFiles/np_analysis.dir/spec_lint.cpp.o"
+  "CMakeFiles/np_analysis.dir/spec_lint.cpp.o.d"
+  "libnp_analysis.a"
+  "libnp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

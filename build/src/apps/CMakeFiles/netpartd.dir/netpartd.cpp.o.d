@@ -226,24 +226,28 @@ src/apps/CMakeFiles/netpartd.dir/netpartd.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/apps/gauss.hpp \
- /root/repo/src/dp/partition_vector.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/analysis/preflight.hpp \
+ /root/repo/src/analysis/diagnostics.hpp /root/repo/src/util/json.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/dp/phases.hpp /root/repo/src/dp/callbacks.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/calib/cost_model.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/net/ids.hpp /root/repo/src/topo/topology.hpp \
+ /root/repo/src/util/least_squares.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/net/network.hpp /root/repo/src/net/cluster.hpp \
+ /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/apps/gauss.hpp \
+ /root/repo/src/dp/partition_vector.hpp /root/repo/src/dp/phases.hpp \
+ /root/repo/src/dp/callbacks.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/topo/topology.hpp \
- /root/repo/src/net/ids.hpp /root/repo/src/net/network.hpp \
- /usr/include/c++/12/optional /root/repo/src/net/cluster.hpp \
- /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
- /root/repo/src/util/error.hpp /root/repo/src/sim/netsim.hpp \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/netsim.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -263,8 +267,7 @@ src/apps/CMakeFiles/netpartd.dir/netpartd.cpp.o: \
  /root/repo/src/sim/trace.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/topo/placement.hpp /root/repo/src/apps/particles.hpp \
  /root/repo/src/apps/reduce.hpp /root/repo/src/apps/stencil.hpp \
- /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
- /root/repo/src/util/least_squares.hpp /root/repo/src/calib/model_io.hpp \
+ /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/model_io.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/exec/adaptive.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
@@ -274,12 +277,11 @@ src/apps/CMakeFiles/netpartd.dir/netpartd.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
- /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/obs/sim_bridge.hpp \
- /root/repo/src/svc/service.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/svc/metrics.hpp /root/repo/src/svc/request.hpp \
- /root/repo/src/util/config.hpp /root/repo/src/util/string_util.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/obs/sim_bridge.hpp /root/repo/src/svc/service.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/svc/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/svc/metrics.hpp \
+ /root/repo/src/svc/request.hpp /root/repo/src/util/config.hpp \
+ /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp

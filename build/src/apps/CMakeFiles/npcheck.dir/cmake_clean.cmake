@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npcheck.dir/npcheck.cpp.o"
+  "CMakeFiles/npcheck.dir/npcheck.cpp.o.d"
+  "npcheck"
+  "npcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/svc/client.cpp" "src/svc/CMakeFiles/np_svc.dir/client.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/client.cpp.o.d"
   "/root/repo/src/svc/request.cpp" "src/svc/CMakeFiles/np_svc.dir/request.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/request.cpp.o.d"
   "/root/repo/src/svc/service.cpp" "src/svc/CMakeFiles/np_svc.dir/service.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/service.cpp.o.d"
+  "/root/repo/src/svc/validate.cpp" "src/svc/CMakeFiles/np_svc.dir/validate.cpp.o" "gcc" "src/svc/CMakeFiles/np_svc.dir/validate.cpp.o.d"
   )
 
 # Targets to which this target links.

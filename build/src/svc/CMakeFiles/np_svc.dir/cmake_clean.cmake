@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/np_svc.dir/request.cpp.o.d"
   "CMakeFiles/np_svc.dir/service.cpp.o"
   "CMakeFiles/np_svc.dir/service.cpp.o.d"
+  "CMakeFiles/np_svc.dir/validate.cpp.o"
+  "CMakeFiles/np_svc.dir/validate.cpp.o.d"
   "libnp_svc.a"
   "libnp_svc.pdb"
 )

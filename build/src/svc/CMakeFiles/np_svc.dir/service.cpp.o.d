@@ -243,4 +243,4 @@ src/svc/CMakeFiles/np_svc.dir/service.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/svc/request.hpp \
- /root/repo/src/obs/span.hpp
+ /root/repo/src/obs/span.hpp /root/repo/src/svc/validate.hpp

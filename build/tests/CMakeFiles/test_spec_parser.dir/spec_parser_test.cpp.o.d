@@ -293,7 +293,7 @@ tests/CMakeFiles/test_spec_parser.dir/spec_parser_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/dp/expr.hpp /root/repo/src/dp/spec_parser.hpp \
- /root/repo/src/dp/phases.hpp /root/repo/src/dp/callbacks.hpp \
- /root/repo/src/topo/topology.hpp /root/repo/src/net/ids.hpp \
- /root/repo/src/util/error.hpp
+ /root/repo/src/dp/expr.hpp /root/repo/src/util/error.hpp \
+ /root/repo/src/dp/spec_parser.hpp /root/repo/src/dp/phases.hpp \
+ /root/repo/src/dp/callbacks.hpp /root/repo/src/topo/topology.hpp \
+ /root/repo/src/net/ids.hpp

@@ -1,33 +1,40 @@
 // Partition-search hot path: the evaluation engine under the microscope.
 //
-// Four sections, emitted as BENCH_partition.json:
+// Five sections, emitted as BENCH_partition.json:
 //
 //   * eval -- ns per cost-model evaluation, reference path (estimate(),
 //     materialises the Eq. 3 vector) vs fast path (estimate_into(), the
 //     closed-form per-cluster engine the searches run on), plus their
 //     bitwise agreement on every cost field.
-//   * alloc -- heap allocations per steady-state fast evaluation, counted
-//     by a global operator-new hook in this binary.  The contract is
-//     exactly zero once the scratch has warmed up.
+//   * batched -- ns per evaluation through estimate_batch (the SoA lane
+//     engine the exhaustive sweep and hill-climb run on), plus bitwise
+//     agreement of every lane against estimate_into.
+//   * alloc -- heap allocations per steady-state fast/batched evaluation,
+//     counted by a global operator-new hook in this binary.  The contract
+//     is exactly zero once the scratch has warmed up.
 //   * search -- full partition() searches per second with one long-lived
 //     scratch, single- and multi-threaded (each thread owns its scratch;
 //     the estimator is shared read-only).
-//   * exhaustive -- the sharded product-space sweep, serial vs 4 threads,
-//     on a wider availability space; the configurations must match exactly
-//     (the merge is deterministic at every thread count).
+//   * exhaustive -- the work-stealing product-space sweep, serial vs 4
+//     threads, on a wider availability space; the configurations must
+//     match exactly (the merge is deterministic at every thread count).
 //
-// --smoke runs a reduced rep count and exits nonzero if the fast path
-// allocates or diverges from the reference -- tier-1 runs this on every
-// build.  Wall-clock ratios (fast >= 3x, parallel >= 2x) are reported and
-// checked in full mode only; the parallel check is skipped (and marked so)
-// when the host has a single hardware thread, where no wall-clock speedup
-// is physically possible.
+// --smoke runs a reduced rep count and exits nonzero if the fast or
+// batched path allocates or diverges from the reference -- tier-1 runs
+// this on every build.  Wall-clock gates (fast >= 3x, batched < 40 ns,
+// parallel speedup >= 0.8x per effective thread) are reported and checked
+// in full mode only; the parallel gate's skip condition (single-core
+// host, where no wall-clock speedup is physically possible) is an
+// explicit meta field and the gate logic itself lives in
+// bench::parallel_speedup_gate so tests can pin it.
 //
 // Keys: eval_reps, searches, exhaustive_size, threads, json_out, smoke.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <thread>
 #include <vector>
@@ -76,6 +83,29 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0)
       .count();
+}
+
+/// Minimum ns/op across `windows` equal timing windows.  One long average
+/// absorbs every hypervisor steal slice and background wakeup on a shared
+/// host (observed 2x swings run to run); the fastest window is the closest
+/// observable estimate of the code's true cost, and it can never flatter:
+/// no window can run faster than the code itself.  `body(reps)` must
+/// perform exactly `reps` operations.
+template <typename Body>
+double min_window_ns_per_op(std::int64_t total_reps, int windows,
+                            const Body& body) {
+  const std::int64_t per =
+      std::max<std::int64_t>(1, total_reps / std::max(1, windows));
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (std::int64_t done = 0; done < total_reps;) {
+    const std::int64_t reps = std::min(per, total_reps - done);
+    const auto t0 = Clock::now();
+    body(reps);
+    best_ns = std::min(best_ns,
+                       ms_since(t0) * 1e6 / static_cast<double>(reps));
+    done += reps;
+  }
+  return best_ns;
 }
 
 /// Random valid configurations (total > 0) over the snapshot.
@@ -160,6 +190,10 @@ int run(const Config& args) {
                        .set("processors", bed.snap.total())
                        .set("hardware_concurrency",
                             static_cast<std::int64_t>(hw))
+                       // The parallel gate's skip condition, spelled out so
+                       // consumers need not re-derive it from
+                       // hardware_concurrency.
+                       .set("single_core", hw <= 1)
                        .set("smoke", smoke));
 
   // --- eval: ns per evaluation, reference vs fast, bitwise agreement ----
@@ -174,35 +208,80 @@ int run(const Config& args) {
               ref.t_c_ms == fast.t_c_ms;
   }
 
-  const auto t_ref = Clock::now();
+  // All per-eval timings are the minimum over kWindows windows (see
+  // min_window_ns_per_op): this host class shares physical cores, and a
+  // single long average would gate on hypervisor steal, not on the code.
+  constexpr int kWindows = 16;
   double sink = 0.0;
-  for (std::int64_t i = 0; i < eval_reps; ++i) {
-    sink += estimator
-                .estimate(configs[static_cast<std::size_t>(i) %
-                                  configs.size()])
-                .t_c_ms;
-  }
-  const double ref_ms = ms_since(t_ref);
-
-  const auto t_fast = Clock::now();
-  for (std::int64_t i = 0; i < eval_reps; ++i) {
-    sink += estimator
-                .estimate_into(configs[static_cast<std::size_t>(i) %
-                                       configs.size()],
-                               scratch)
-                .t_c_ms;
-  }
-  const double fast_ms = ms_since(t_fast);
-
-  const double ref_ns = ref_ms * 1e6 / static_cast<double>(eval_reps);
-  const double fast_ns = fast_ms * 1e6 / static_cast<double>(eval_reps);
+  const double ref_ns = min_window_ns_per_op(
+      eval_reps, kWindows, [&](std::int64_t reps) {
+        for (std::int64_t i = 0; i < reps; ++i) {
+          sink += estimator
+                      .estimate(configs[static_cast<std::size_t>(i) %
+                                        configs.size()])
+                      .t_c_ms;
+        }
+      });
+  const double fast_ns = min_window_ns_per_op(
+      eval_reps, kWindows, [&](std::int64_t reps) {
+        for (std::int64_t i = 0; i < reps; ++i) {
+          sink += estimator
+                      .estimate_into(configs[static_cast<std::size_t>(i) %
+                                             configs.size()],
+                                     scratch)
+                      .t_c_ms;
+        }
+      });
   const double eval_speedup = ref_ns / fast_ns;
   root.set("eval", JsonValue::object()
                        .set("evals", eval_reps)
+                       .set("timing_windows",
+                            static_cast<std::int64_t>(kWindows))
                        .set("reference_ns_per_eval", ref_ns)
                        .set("fast_ns_per_eval", fast_ns)
                        .set("speedup", eval_speedup)
                        .set("bitwise_match", bitwise));
+
+  // --- batched: the SoA lane engine ------------------------------------
+  // Bitwise agreement first: every lane of every batch width (full lanes
+  // and the scalar remainder) must reproduce estimate_into exactly.
+  std::vector<FastEstimate> batch_out(configs.size());
+  bool batched_bitwise = true;
+  for (const std::size_t width :
+       {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{15}, configs.size()}) {
+    estimator.estimate_batch(configs.data(), width, batch_out.data(),
+                             scratch);
+    for (std::size_t i = 0; i < width; ++i) {
+      const FastEstimate fast = estimator.estimate_into(configs[i], scratch);
+      batched_bitwise = batched_bitwise &&
+                        batch_out[i].t_comp_ms == fast.t_comp_ms &&
+                        batch_out[i].t_comm_ms == fast.t_comm_ms &&
+                        batch_out[i].t_overlap_ms == fast.t_overlap_ms &&
+                        batch_out[i].t_c_ms == fast.t_c_ms;
+    }
+  }
+
+  // Window reps round up to whole passes over the config set so every
+  // window times complete batches.
+  std::int64_t batched_evals = 0;
+  const double batched_ns = min_window_ns_per_op(
+      eval_reps, kWindows, [&](std::int64_t reps) {
+        std::int64_t done = 0;
+        while (done < reps) {
+          estimator.estimate_batch(configs.data(), configs.size(),
+                                   batch_out.data(), scratch);
+          for (const FastEstimate& e : batch_out) sink += e.t_c_ms;
+          done += static_cast<std::int64_t>(configs.size());
+        }
+        batched_evals += done;
+      });
+  root.set("batched",
+           JsonValue::object()
+               .set("evals", batched_evals)
+               .set("batched_ns_per_eval", batched_ns)
+               .set("speedup_vs_fast", fast_ns / batched_ns)
+               .set("bitwise_match", batched_bitwise));
 
   // --- alloc: the zero-allocation contract ------------------------------
   // The scratch is warm (the loops above).  Every allocation between the
@@ -220,6 +299,17 @@ int run(const Config& args) {
   const std::uint64_t fast_allocs =
       g_allocations.load(std::memory_order_relaxed) - allocs_before;
 
+  // Same contract for the lane engine (its buffers warmed up above).
+  const std::uint64_t batch_allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (std::int64_t i = 0; i < alloc_evals;
+       i += static_cast<std::int64_t>(configs.size())) {
+    estimator.estimate_batch(configs.data(), configs.size(),
+                             batch_out.data(), scratch);
+  }
+  const std::uint64_t batched_allocs =
+      g_allocations.load(std::memory_order_relaxed) - batch_allocs_before;
+
   // For contrast: allocations of one reference evaluation (vector
   // materialisation and friends).
   const std::uint64_t ref_before =
@@ -232,6 +322,7 @@ int run(const Config& args) {
            JsonValue::object()
                .set("fast_evals", alloc_evals)
                .set("fast_allocations", fast_allocs)
+               .set("batched_allocations", batched_allocs)
                .set("allocations_per_eval",
                     static_cast<double>(fast_allocs) /
                         static_cast<double>(alloc_evals))
@@ -354,30 +445,33 @@ int run(const Config& args) {
                .set("configs_match", exhaustive_match));
 
   // --- checks -----------------------------------------------------------
-  const bool zero_alloc = fast_allocs == 0;
+  const bool zero_alloc = fast_allocs == 0 && batched_allocs == 0;
   const bool preflight_zero = validate_allocs == 0 && preflight_evals == 0;
   const bool fast_3x = eval_speedup >= 3.0;
-  const bool multi_core = hw >= 2;
-  const bool parallel_2x = exhaustive_speedup >= 2.0;
-  const bool pass = bitwise && zero_alloc && preflight_zero &&
-                    exhaustive_match && (smoke || fast_3x) &&
-                    (smoke || !multi_core || parallel_2x);
+  const bool batched_under_40ns = batched_ns < 40.0;
+  const bench::SpeedupGate parallel_gate = bench::parallel_speedup_gate(
+      hw, smoke, threads, exhaustive_speedup);
+  const bool parallel_ok = parallel_gate != bench::SpeedupGate::Fail;
+  const bool pass = bitwise && batched_bitwise && zero_alloc &&
+                    preflight_zero && exhaustive_match && (smoke || fast_3x) &&
+                    (smoke || batched_under_40ns) && parallel_ok;
   root.set("checks",
            JsonValue::object()
                .set("bitwise_match", bitwise)
+               .set("batched_bitwise_match", batched_bitwise)
                .set("zero_alloc_per_eval", zero_alloc)
                .set("preflight_zero_cost", preflight_zero)
                .set("exhaustive_configs_match", exhaustive_match)
                .set("fast_speedup_3x", fast_3x)
-               .set("parallel_speedup_2x",
-                    multi_core ? (parallel_2x ? "ok" : "fail")
-                               : "skipped_single_core")
+               .set("batched_under_40ns", batched_under_40ns)
+               .set("parallel_speedup", bench::to_string(parallel_gate))
                .set("pass", pass));
   (void)sink;
 
   Table table({"metric", "value"});
   table.add_row({"reference ns/eval", format_double(ref_ns, 1)});
   table.add_row({"fast ns/eval", format_double(fast_ns, 1)});
+  table.add_row({"batched ns/eval", format_double(batched_ns, 1)});
   table.add_row({"eval speedup", format_double(eval_speedup, 2) + "x"});
   table.add_row({"allocations/eval (fast, steady state)",
                   format_double(static_cast<double>(fast_allocs) /
@@ -387,18 +481,23 @@ int run(const Config& args) {
                   format_double(serial_ms, 1) + " / " +
                       format_double(parallel_ms, 1)});
   table.add_row({"bitwise fast == reference", bitwise ? "yes" : "NO"});
+  table.add_row(
+      {"bitwise batched == fast", batched_bitwise ? "yes" : "NO"});
   table.add_row({"preflight gate zero-cost", preflight_zero ? "yes" : "NO"});
+  table.add_row({"parallel speedup gate", bench::to_string(parallel_gate)});
   std::printf("%s\n", table.render("partition hot path").c_str());
 
   bench::write_bench_json(json_out, root);
   std::printf("results -> %s\n", json_out.c_str());
 
-  if (smoke &&
-      (!bitwise || !zero_alloc || !preflight_zero || !exhaustive_match)) {
+  if (smoke && (!bitwise || !batched_bitwise || !zero_alloc ||
+                !preflight_zero || !exhaustive_match)) {
     std::fprintf(stderr,
                  "bench_partition_hotpath --smoke FAILED: bitwise=%d "
-                 "zero_alloc=%d preflight_zero=%d exhaustive_match=%d\n",
-                 bitwise, zero_alloc, preflight_zero, exhaustive_match);
+                 "batched_bitwise=%d zero_alloc=%d preflight_zero=%d "
+                 "exhaustive_match=%d\n",
+                 bitwise, batched_bitwise, zero_alloc, preflight_zero,
+                 exhaustive_match);
     return 1;
   }
   return 0;

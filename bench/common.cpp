@@ -93,6 +93,32 @@ void PhaseMetrics::phase(const std::string& name) {
   last_ = std::move(now);
 }
 
+SpeedupGate parallel_speedup_gate(unsigned hardware_concurrency, bool smoke,
+                                  int threads, double speedup,
+                                  double required_per_thread) {
+  if (hardware_concurrency <= 1) return SpeedupGate::SkippedSingleCore;
+  if (smoke) return SpeedupGate::SkippedSmoke;
+  const int effective = std::min(
+      threads, static_cast<int>(hardware_concurrency));
+  return speedup >= required_per_thread * static_cast<double>(effective)
+             ? SpeedupGate::Pass
+             : SpeedupGate::Fail;
+}
+
+const char* to_string(SpeedupGate gate) {
+  switch (gate) {
+    case SpeedupGate::Pass:
+      return "ok";
+    case SpeedupGate::Fail:
+      return "fail";
+    case SpeedupGate::SkippedSingleCore:
+      return "skipped_single_core";
+    case SpeedupGate::SkippedSmoke:
+      return "skipped_smoke";
+  }
+  return "unknown";
+}
+
 double sample_quantile(std::vector<double> samples, double q) {
   NP_REQUIRE(!samples.empty(), "sample_quantile needs samples");
   NP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");

@@ -66,6 +66,30 @@ void write_bench_json(const std::string& path, const JsonValue& root);
 /// where histogram buckets would be too coarse.
 double sample_quantile(std::vector<double> samples, double q);
 
+/// Outcome of the exhaustive sweep's parallel-speedup gate.
+enum class SpeedupGate {
+  Pass,              ///< speedup met the per-thread floor
+  Fail,              ///< multi-core host, floor missed
+  SkippedSingleCore, ///< hardware_concurrency <= 1: no speedup possible
+  SkippedSmoke,      ///< --smoke run: timings too short to be meaningful
+};
+
+/// The gate itself, separated from the bench so tests can pin the logic:
+/// on a single-core host the gate is skipped (no wall-clock speedup is
+/// physically possible); in smoke mode it is skipped (reduced reps);
+/// otherwise it passes iff `speedup >= required_per_thread * effective`
+/// where effective = min(threads, hardware_concurrency) -- asking 8
+/// workers of a 2-core host for 6.4x would be a hardware test, not a
+/// scheduler test.  Whenever >= 2 cores exist and smoke is off, the
+/// result is Pass or Fail, never a skip.
+SpeedupGate parallel_speedup_gate(unsigned hardware_concurrency, bool smoke,
+                                  int threads, double speedup,
+                                  double required_per_thread = 0.8);
+
+/// JSON/console spelling of a gate outcome ("ok", "fail",
+/// "skipped_single_core", "skipped_smoke").
+const char* to_string(SpeedupGate gate);
+
 /// Per-phase telemetry for BENCH_*.json artifacts: snapshots the global
 /// registry at construction, and each phase() call records the counter
 /// deltas since the previous call under the given name.  Only changed

@@ -15,6 +15,12 @@
 #   scripts/tier1.sh --bench    # Release build + tests, then the full
 #                               # partition hot-path bench, emitting
 #                               # BENCH_partition.json in the repo root
+#   scripts/tier1.sh --batch    # Release build, then the batched-engine
+#                               # lockdown: the differential property
+#                               # suite (estimate_batch bitwise ==
+#                               # estimate_into across batch shapes), the
+#                               # work-stealing determinism tests, and
+#                               # the degenerate-input fuzz sweeps
 #   scripts/tier1.sh --lint     # Strict build (-Wshadow -Werror, preset
 #                               # `strict`) plus clang-tidy over src/ when
 #                               # clang-tidy is installed (the gcc-only CI
@@ -39,6 +45,7 @@ preset="${1:-release}"
 obs_stage=0
 bench_stage=0
 lint_stage=0
+batch_stage=0
 if [[ "$preset" == "--tsan" ]]; then
   preset="tsan"
 elif [[ "$preset" == "--obs" ]]; then
@@ -47,6 +54,9 @@ elif [[ "$preset" == "--obs" ]]; then
 elif [[ "$preset" == "--bench" ]]; then
   preset="release"
   bench_stage=1
+elif [[ "$preset" == "--batch" ]]; then
+  preset="release"
+  batch_stage=1
 elif [[ "$preset" == "--lint" ]]; then
   preset="strict"
   lint_stage=1
@@ -54,6 +64,26 @@ fi
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
+
+if [[ "$batch_stage" == 1 ]]; then
+  # Focused lockdown of the batched estimator engine and the
+  # work-stealing sweep: the differential tier (bitwise batch == scalar),
+  # steal-order determinism under chaos yields, degenerate-input fuzzing,
+  # and the speedup-gate unit tests.  A subset of the release tier, for
+  # fast iteration on the engine itself.
+  echo "== batched engine lockdown =="
+  ./build/tests/test_property \
+    --gtest_filter='*Batch*:*ParallelExhaustive*:GroupShares.*'
+  ./build/tests/test_threaded \
+    --gtest_filter='ThreadedPartitionSearchTest.*'
+  ./build/tests/test_fuzz \
+    --gtest_filter='DegenerateInputs.*:*StarvationPressure*'
+  ./build/tests/test_coverage --gtest_filter='SpeedupGateCoverage.*'
+  echo "== batched perf smoke =="
+  ./build/bench/bench_partition_hotpath --smoke >/dev/null
+  echo "batch tier ok"
+  exit 0
+fi
 
 if [[ "$lint_stage" == 1 ]]; then
   # The strict build above IS the first half of the lint tier (-Werror).

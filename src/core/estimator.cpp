@@ -9,6 +9,12 @@
 
 namespace netpart {
 
+namespace {
+/// Process-unique identities for BatchScratch binding.  Stack-allocated
+/// estimators can reuse addresses, so pointers cannot tell two apart.
+std::atomic<std::uint64_t> g_next_binding_id{1};
+}  // namespace
+
 CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
                                const ComputationSpec& spec)
     : network_(network),
@@ -44,6 +50,7 @@ CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
       }
     }
   }
+  binding_id_ = g_next_binding_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 CycleEstimate CycleEstimator::estimate(const ProcessorConfig& config) const {
@@ -193,6 +200,378 @@ FastEstimate CycleEstimator::estimate_into(const ProcessorConfig& config,
   out.t_c_ms = t_comp + t_comm - t_overlap;
   out.t_elapsed_ms = out.t_c_ms * spec_.iterations();
   return out;
+}
+
+void CycleEstimator::ensure_batch_bound(BatchScratch& batch) const {
+  if (batch.bound_id == binding_id_) return;
+  const auto k = static_cast<std::size_t>(network_.num_clusters());
+
+  batch.inv_s.resize(k);
+  batch.comp_ms.resize(k);
+  batch.capacity.resize(k);
+  for (ClusterId c = 0; c < network_.num_clusters(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const ProcessorType& type = network_.cluster(c).type();
+    // The exact doubles estimate_into computes per evaluation: the Eq. 3
+    // weight always uses the flop rate, T_comp the dominant op kind's.
+    // estimate_into evaluates s_ms * ops_per_pdu * A left to right, so the
+    // s_ms * ops_per_pdu prefix is a loop-invariant product the binding
+    // can fold without changing a bit of the final T_comp.
+    batch.inv_s[ci] = 1.0 / type.flop_time.as_seconds();
+    batch.comp_ms[ci] = (dominant_comp_->op_kind == OpKind::FloatingPoint
+                             ? type.flop_time
+                             : type.int_time)
+                            .as_millis() *
+                        ops_per_pdu_;
+    batch.capacity[ci] = network_.cluster(c).size();
+  }
+
+  batch.has_fit.assign(k, 0);
+  batch.fit.assign(k, Eq1Fit{});
+  batch.router_i.assign(k * k, 0.0);
+  batch.router_s.assign(k * k, 0.0);
+  batch.coerce_i.assign(k * k, 0.0);
+  batch.coerce_s.assign(k * k, 0.0);
+  batch.has_router.assign(k * k, 0);
+  if (dominant_comm_ != nullptr) {
+    for (ClusterId c = 0; c < network_.num_clusters(); ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (has_fit_[ci]) {
+        batch.has_fit[ci] = 1;
+        batch.fit[ci] = db_.comm_fit(c, comm_topology_);
+      }
+    }
+    for (ClusterId a = 0; a < network_.num_clusters(); ++a) {
+      for (ClusterId b = 0; b < network_.num_clusters(); ++b) {
+        if (a == b) continue;
+        const std::size_t slot =
+            static_cast<std::size_t>(a) * k + static_cast<std::size_t>(b);
+        if (const auto rf = db_.router_fit(a, b)) {
+          batch.has_router[slot] = 1;
+          batch.router_i[slot] = rf->intercept;
+          batch.router_s[slot] = rf->slope;
+        }
+        if (const auto cf = db_.coerce_fit(a, b)) {
+          // Absent coercion stays {0, 0}: max(0, 0 + 0*b) reproduces
+          // coerce_ms()'s literal 0.0 return bitwise.
+          batch.coerce_i[slot] = cf->intercept;
+          batch.coerce_s[slot] = cf->slope;
+        }
+      }
+    }
+  }
+
+  constexpr auto lanes = static_cast<std::size_t>(BatchScratch::kLanes);
+  batch.group_w.resize(lanes * k);
+  batch.group_p.resize(lanes * k);
+  batch.group_c.resize(lanes * k);
+  batch.share_base.resize(lanes * k);
+  batch.share_frac.resize(lanes * k);
+  batch.group_bytes.resize(lanes * k);
+  batch.max_a.resize(lanes * k);
+  // A different estimator means a different spec: the bytes caches keyed
+  // by the old spec's callback are poison, not a warm start.
+  if (dominant_comm_ != nullptr && num_pdus_ <= BatchScratch::kBytesDirectMax) {
+    batch.bytes_cache.assign(static_cast<std::size_t>(num_pdus_) + 1, -1);
+    batch.memo_key.clear();
+    batch.memo_val.clear();
+  } else {
+    batch.bytes_cache.clear();
+    batch.memo_key.assign(std::size_t{1} << BatchScratch::kBytesMemoBits, 0);
+    batch.memo_val.assign(std::size_t{1} << BatchScratch::kBytesMemoBits, 0);
+  }
+  batch.bound_id = binding_id_;
+}
+
+void CycleEstimator::estimate_lanes(const ProcessorConfig* configs,
+                                    FastEstimate* out,
+                                    EstimatorScratch& scratch) const {
+  BatchScratch& batch = scratch.batch;
+  constexpr int kLanes = BatchScratch::kLanes;
+  const auto k = static_cast<std::size_t>(network_.num_clusters());
+  const ClusterId* order = cluster_order_.data();
+  const double* inv_s = batch.inv_s.data();
+  const double* comp_ms = batch.comp_ms.data();
+  const int* capacity = batch.capacity.data();
+
+  // Stage A, gather pass: one loop per lane validates (validate_config's
+  // checks and messages) and collects the active groups in placement
+  // order.  Integer-only; the float work is deferred to the chain pass
+  // below so its loop body stays small.
+  int lane_groups[kLanes];
+  int lane_total[kLanes];
+  double weight_sum[kLanes];
+  for (int lane = 0; lane < kLanes; ++lane) {
+    const ProcessorConfig& config = configs[lane];
+    NP_REQUIRE(config.size() == k, "configuration must name every cluster");
+    const int* cfg = config.data();
+    const std::size_t base = static_cast<std::size_t>(lane) * k;
+    double* gw = &batch.group_w[base];
+    int* gp = &batch.group_p[base];
+    ClusterId* gc = &batch.group_c[base];
+    int total = 0;
+    int groups = 0;
+    double sum = 0.0;
+    for (std::size_t oi = 0; oi < k; ++oi) {
+      const auto c = static_cast<std::size_t>(order[oi]);
+      const int p = cfg[c];
+      NP_REQUIRE(p >= 0 && p <= capacity[c],
+                 "configuration exceeds cluster capacity");
+      // Branch-free compaction: always store, advance only on p > 0 (an
+      // idle cluster's slot is overwritten by the next active one).  p == 0
+      // is data-dependent -- a skip branch here mispredicts constantly.
+      const double w = inv_s[c];
+      gw[groups] = w;
+      gp[groups] = p;
+      gc[groups] = order[oi];
+      groups += static_cast<int>(p != 0);
+      total += p;
+      // Eq. 3 weight sum: the repeated adds reproduce estimate_into's
+      // rank-major sum bitwise -- same values, same order.
+      for (int i = 0; i < p; ++i) sum += w;
+    }
+    NP_REQUIRE(total > 0,
+               "configuration must select at least one processor");
+    NP_REQUIRE(num_pdus_ >= total,
+               "cannot give every selected processor a PDU");
+    lane_groups[lane] = groups;
+    lane_total[lane] = total;
+    weight_sum[lane] = sum;
+  }
+
+  // Stage B per lane: closed-form shares (proportional_group_shares
+  // inlined over the SoA buffers, rank tiebreaks as branch-free arithmetic
+  // -- the fraction comparisons are data-dependent and would mistrain the
+  // branch predictor), then Eq. 4 maxima and Eq. 1/2/5 communication over
+  // the bound coefficient tables.  A lane the closed form cannot serve
+  // (starvation repair) replays through the scalar path, which counts
+  // itself.
+  const double pdus = static_cast<double>(num_pdus_);
+  const bool has_comm = dominant_comm_ != nullptr;
+  const Topology topo = comm_topology_;
+  const bool bw_limited = comm_bw_limited_;
+  std::int64_t* bytes_cache =
+      batch.bytes_cache.empty() ? nullptr : batch.bytes_cache.data();
+  std::int64_t* memo_key = batch.memo_key.data();
+  std::int64_t* memo_val = batch.memo_val.data();
+  std::int64_t* share_base = batch.share_base.data();
+  double* share_frac = batch.share_frac.data();
+  double* group_bytes = batch.group_bytes.data();
+  const char* has_fit = batch.has_fit.data();
+  const Eq1Fit* fit = batch.fit.data();
+  // Memoised bytes_per_message: the sole std::function call per group the
+  // batch cannot precompute.  Deterministic callback, so caching by A_i is
+  // exact: a direct-indexed table when num_PDUs is small (the common case
+  // -- one load, no hashing), the direct-mapped hash memo otherwise.
+  const auto bytes_for = [&](std::int64_t a) {
+    if (bytes_cache != nullptr) {
+      std::int64_t bytes = bytes_cache[a];
+      if (bytes >= 0) return bytes;
+      bytes = dominant_comm_->bytes_per_message(a);
+      bytes_cache[a] = bytes;
+      return bytes;
+    }
+    const auto slot = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(a) * 0x9E3779B97F4A7C15ull) >>
+        (64 - BatchScratch::kBytesMemoBits));
+    if (memo_key[slot] == a + 1) return memo_val[slot];
+    const std::int64_t bytes = dominant_comm_->bytes_per_message(a);
+    memo_key[slot] = a + 1;
+    memo_val[slot] = bytes;
+    return bytes;
+  };
+  // Stage B runs stage-major: all lanes advance through each small stage
+  // together, so the eight per-lane dependency chains (share divisions,
+  // rank tiebreaks, the Eq. 4/5 max folds) sit side by side inside the
+  // out-of-order window.  Lane-major Stage B -- one lane's full
+  // ~hundred-instruction chain retiring before the next lane starts --
+  // leaves the window holding a single serial chain and measures ~40%
+  // slower on the hotpath bench.
+  std::int64_t lane_remainder[kLanes];
+  double lane_tcomp[kLanes];
+  unsigned starved_mask = 0;
+
+  // B1: the closed-form share divisions (proportional_group_shares'
+  // division pass, bitwise).  Division throughput is the floor here; the
+  // independent lanes keep the divider fed.
+  for (int lane = 0; lane < kLanes; ++lane) {
+    const std::size_t base = static_cast<std::size_t>(lane) * k;
+    const double* gw = &batch.group_w[base];
+    const int* gp = &batch.group_p[base];
+    std::int64_t* sb = &share_base[base];
+    double* sf = &share_frac[base];
+    const double wsum = weight_sum[lane];
+    const int groups = lane_groups[lane];
+    std::int64_t used = 0;
+    for (int g = 0; g < groups; ++g) {
+      const double ideal = pdus * gw[g] / wsum;
+      const auto whole = static_cast<std::int64_t>(ideal);
+      sb[g] = whole;
+      sf[g] = ideal - static_cast<double>(whole);
+      used += whole * gp[g];
+    }
+    lane_remainder[lane] = num_pdus_ - used;
+    NP_ASSERT(lane_remainder[lane] >= 0 &&
+              lane_remainder[lane] <= lane_total[lane]);
+  }
+
+  // B2: largest-remainder extras -> per-group max A_i and starvation,
+  // with the Eq. 4 computation maximum folded in (max_a is in a register
+  // the moment it is stored; a separate pass would reload it).
+  for (int lane = 0; lane < kLanes; ++lane) {
+    const std::size_t base = static_cast<std::size_t>(lane) * k;
+    const int* gp = &batch.group_p[base];
+    const ClusterId* gc = &batch.group_c[base];
+    const std::int64_t* sb = &share_base[base];
+    const double* sf = &share_frac[base];
+    std::int64_t* max_a = &batch.max_a[base];
+    const std::int64_t remainder = lane_remainder[lane];
+    const int groups = lane_groups[lane];
+    int starved = 0;
+    double t_comp = 0.0;
+    for (int g = 0; g < groups; ++g) {
+      const double fg = sf[g];
+      std::int64_t ranks_before = 0;
+      for (int h = 0; h < groups; ++h) {
+        // At h == g all clauses are false, so the self-term contributes
+        // nothing and needs no explicit skip.  Bitwise &/| instead of
+        // &&/||: the fraction comparisons are data-dependent coin flips,
+        // and short-circuit evaluation would plant an unpredictable
+        // branch in the hottest loop of the engine.
+        const double fh = sf[h];
+        const auto ahead =
+            static_cast<std::int64_t>(fh > fg) |
+            (static_cast<std::int64_t>(fh == fg) &
+             static_cast<std::int64_t>(h < g));
+        ranks_before += ahead * gp[h];
+      }
+      // extras = clamp(remainder - ranks_before, 0, P_g), but only its
+      // sign (an extra exists) and saturation (the group filled up) are
+      // consumed, so two comparisons replace the clamp.
+      const std::int64_t d = remainder - ranks_before;
+      starved |= static_cast<int>(sb[g] == 0) &
+                 static_cast<int>(d < gp[g]);
+      const std::int64_t a = sb[g] + static_cast<std::int64_t>(d > 0);
+      max_a[g] = a;
+      t_comp = std::max(t_comp, comp_ms[static_cast<std::size_t>(gc[g])] *
+                                    static_cast<double>(a));
+    }
+    lane_tcomp[lane] = t_comp;
+    starved_mask |= static_cast<unsigned>(starved) << lane;
+  }
+
+  // B3: Eq. 2/5 communication (worst synchronous cluster, then boundary
+  // router/coercion penalties), the Eq. 6 combination, and the result
+  // stores.  Starved lanes are skipped -- their shares are invalid.
+  const double iterations = static_cast<double>(spec_.iterations());
+  int scored = 0;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    if (((starved_mask >> lane) & 1u) != 0) continue;
+    const std::size_t base = static_cast<std::size_t>(lane) * k;
+    const int* gp = &batch.group_p[base];
+    const ClusterId* gc = &batch.group_c[base];
+    const std::int64_t* max_a = &batch.max_a[base];
+    double* gb = &group_bytes[base];
+    const int groups = lane_groups[lane];
+    const int total_p = lane_total[lane];
+    double t_comm = 0.0;
+    if (has_comm && total_p > 1) {
+      double worst = 0.0;
+      for (int g = 0; g < groups; ++g) {
+        const double bytes = static_cast<double>(bytes_for(max_a[g]));
+        gb[g] = bytes;
+        int adj = 0;
+        if (groups > 1) {
+          switch (topo) {
+            case Topology::OneD:
+            case Topology::TwoD:
+              adj = (g > 0 ? 1 : 0) + (g + 1 < groups ? 1 : 0);
+              break;
+            case Topology::Ring:
+              adj = 2;
+              break;
+            case Topology::Tree:
+            case Topology::Broadcast:
+              adj = g == 0 ? groups - 1 : 1;
+              break;
+          }
+        }
+        const double p_param =
+            (bw_limited ? static_cast<double>(total_p)
+                        : static_cast<double>(gp[g])) +
+            static_cast<double>(adj);
+        const auto c = static_cast<std::size_t>(gc[g]);
+        double cost;
+        if (has_fit[c]) {
+          // db_.comm_ms over the by-value fit: same p <= 1 early-out,
+          // same |Eq. 1| evaluation, without the optional deref or slot
+          // checks.
+          cost = p_param <= 1.0
+                     ? 0.0
+                     : std::abs(fit[c].evaluate(bytes, p_param));
+        } else {
+          cost = cluster_cost_ms(gc[g], bytes, p_param);  // proxy (rare)
+        }
+        worst = std::max(worst, cost);
+      }
+      double penalty = 0.0;
+      for (int g = 0; g + 1 < groups; ++g) {
+        const ClusterId ca = gc[g];
+        const ClusterId cb = gc[g + 1];
+        // bytes_for(max(a, b)) is the bytes of whichever neighbour has
+        // the larger max A_i -- already computed (and cast) above.
+        const double bytes =
+            max_a[g] >= max_a[g + 1] ? gb[g] : gb[g + 1];
+        const std::size_t slot =
+            static_cast<std::size_t>(ca) * k + static_cast<std::size_t>(cb);
+        const double router =
+            batch.has_router[slot]
+                ? std::max(0.0, batch.router_i[slot] +
+                                    batch.router_s[slot] * bytes)
+                : db_.router_ms(ca, cb, bytes);  // throws exactly like scalar
+        const double coerce = std::max(
+            0.0, batch.coerce_i[slot] + batch.coerce_s[slot] * bytes);
+        penalty = std::max(penalty, router + coerce);
+      }
+      t_comm = worst + penalty;
+    }
+    const double t_comp = lane_tcomp[lane];
+    const double t_overlap =
+        phases_overlap_ ? std::min(t_comp, t_comm) : 0.0;
+    FastEstimate& fe = out[lane];
+    fe.t_comp_ms = t_comp;
+    fe.t_comm_ms = t_comm;
+    fe.t_overlap_ms = t_overlap;
+    fe.t_c_ms = t_comp + t_comm - t_overlap;
+    fe.t_elapsed_ms = fe.t_c_ms * iterations;
+    ++scored;
+  }
+  scratch.evaluations += static_cast<std::uint64_t>(scored);
+  scratch.batch_evaluations += static_cast<std::uint64_t>(scored);
+
+  // Starved lanes (extreme speed skew, rare): the closed form cannot
+  // reproduce the donor-stealing repair, so replay through the scalar
+  // path, which counts itself.
+  for (int lane = 0; starved_mask != 0 && lane < kLanes; ++lane) {
+    if (((starved_mask >> lane) & 1u) != 0) {
+      out[lane] = estimate_into(configs[lane], scratch);
+    }
+  }
+}
+
+void CycleEstimator::estimate_batch(const ProcessorConfig* configs,
+                                    std::size_t count, FastEstimate* out,
+                                    EstimatorScratch& scratch) const {
+  ensure_batch_bound(scratch.batch);
+  constexpr auto lanes = static_cast<std::size_t>(BatchScratch::kLanes);
+  std::size_t i = 0;
+  for (; i + lanes <= count; i += lanes) {
+    estimate_lanes(configs + i, out + i, scratch);
+  }
+  // Scalar remainder lane: fewer candidates than a lane group is left.
+  for (; i < count; ++i) {
+    out[i] = estimate_into(configs[i], scratch);
+  }
 }
 
 double CycleEstimator::cluster_cost_ms(ClusterId c, double bytes,

@@ -11,18 +11,26 @@
 // using only the program callbacks and the offline-calibrated cost model --
 // no network activity happens at estimation time.
 //
-// Two evaluation paths:
+// Three evaluation paths:
 //
 //   * estimate() -- the reference path: materialises the full Eq. 3
 //     partition vector and scans it rank by rank.  One heap-allocating
 //     call per evaluation; keep for results (the caller gets the
 //     PartitionVector) and as ground truth.
-//   * estimate_into() -- the fast path the searches hammer: Eq. 3 is
-//     evaluated in closed form per *cluster* (a balanced partition hands a
-//     homogeneous cluster only the floor/ceiling of its ideal share, see
+//   * estimate_into() -- the scalar fast path: Eq. 3 is evaluated in
+//     closed form per *cluster* (a balanced partition hands a homogeneous
+//     cluster only the floor/ceiling of its ideal share, see
 //     proportional_group_shares), so no per-rank vector exists and a
 //     steady-state evaluation allocates nothing.  Results are bitwise
 //     identical to estimate() -- the property tier asserts this.
+//   * estimate_batch() -- the batched engine the searches hammer: up to
+//     BatchScratch::kLanes candidate configurations advance through each
+//     evaluation stage together over struct-of-arrays scratch, so the
+//     long dependent float chains (the Eq. 3 weight sum above all) run as
+//     independent per-lane chains the hardware can overlap.  A batch that
+//     is not a whole number of lanes finishes on a scalar remainder lane
+//     (estimate_into).  Every lane is bitwise identical to estimate_into()
+//     -- the differential property tier asserts this across batch sizes.
 #pragma once
 
 #include <atomic>
@@ -59,17 +67,83 @@ struct FastEstimate {
   double t_elapsed_ms = 0.0;
 };
 
-/// Reusable buffers for CycleEstimator::estimate_into() and the search
-/// drivers.  Strictly one owner thread at a time -- never share a scratch
-/// across threads (the svc worker pool keeps one per worker, the parallel
-/// exhaustive search one per shard).  Buffers grow to the network's cluster
-/// count on first use and are then reused: steady-state evaluations perform
-/// zero heap allocations.
+/// Struct-of-arrays scratch for CycleEstimator::estimate_batch().  One
+/// batch advances up to kLanes candidate configurations through every
+/// evaluation stage together; per-stage buffers are lane-interleaved so the
+/// per-config dependent chains become independent per-lane chains.  The
+/// per-cluster constant tables (weights, op times, fitted coefficients) are
+/// bound to one estimator on first use and rebuilt only when a different
+/// estimator borrows the scratch -- steady-state batches with a fixed
+/// estimator perform zero heap allocations.
+struct BatchScratch {
+  /// Lane width: candidate configurations evaluated per SoA pass.  The
+  /// per-lane dependent chains (Eq. 3 weight sum, share divisions) are
+  /// mutually independent across lanes, so eight of them roughly fill an
+  /// out-of-order window; wider batches would spill the reorder buffer
+  /// without shortening any chain.
+  static constexpr int kLanes = 8;
+
+  /// Identity of the estimator the constant tables below were built for
+  /// (CycleEstimator::binding_id(); 0 = unbound).  Address comparison is
+  /// not enough: a stack-constructed estimator can reuse the address of a
+  /// dead one (the svc workers do exactly that, one estimator per cold
+  /// request).
+  std::uint64_t bound_id = 0;
+
+  // Per-cluster constants, resolved once per binding (indexed by ClusterId).
+  std::vector<double> inv_s;       ///< Eq. 3 weight 1/S_i (flop seconds)
+  std::vector<double> comp_ms;     ///< Eq. 4 prefix s_ms * ops_per_pdu
+  std::vector<int> capacity;       ///< cluster sizes (validation)
+  std::vector<char> has_fit;       ///< dominant-topology comm fit present
+  std::vector<Eq1Fit> fit;         ///< by-value Eq. 1 fits (where has_fit)
+  std::vector<double> router_i, router_s;  ///< per ordered pair, K*K
+  std::vector<double> coerce_i, coerce_s;  ///< zero when no coercion fit
+  std::vector<char> has_router;
+
+  // SoA lane state (lane-major, stride = cluster count).  Scalar per-lane
+  // values (group counts, totals, weight sums) live on estimate_lanes()'s
+  // stack; only the variable-length per-group state needs heap room.
+  std::vector<double> group_w;     ///< active-group Eq. 3 weights
+  std::vector<int> group_p;        ///< active-group processor counts
+  std::vector<ClusterId> group_c;  ///< active-group cluster ids
+  std::vector<std::int64_t> share_base;  ///< Eq. 3 floor shares
+  std::vector<double> share_frac;        ///< matching fractional parts
+  std::vector<double> group_bytes; ///< per-group message bytes (as double)
+  std::vector<std::int64_t> max_a; ///< per-lane per-group max A_i
+
+  /// Memo for the dominant communication phase's bytes_per_message
+  /// callback (a std::function, the one indirect call the batch cannot
+  /// hoist).  Spec callbacks are fixed for the estimator's lifetime, so
+  /// caching by A_i is exact.  For the common case (num_PDUs small enough)
+  /// `bytes_cache` is indexed directly by A_i (-1 = empty): one load per
+  /// group, no hashing, no collisions.  Above kBytesDirectMax PDUs the
+  /// direct table would outgrow the data cache, so a direct-mapped hash
+  /// memo takes over.  Both are cleared on rebinding.
+  static constexpr std::int64_t kBytesDirectMax = std::int64_t{1} << 16;
+  std::vector<std::int64_t> bytes_cache;  ///< [0, num_pdus]; empty if large
+  static constexpr int kBytesMemoBits = 9;
+  std::vector<std::int64_t> memo_key;  ///< A_i + 1; 0 = empty
+  std::vector<std::int64_t> memo_val;
+};
+
+/// Reusable buffers for CycleEstimator::estimate_into() /
+/// estimate_batch() and the search drivers.  Strictly one owner thread at
+/// a time -- never share a scratch across threads (the svc worker pool
+/// keeps one per worker, the work-stealing exhaustive sweep one per
+/// worker).  Buffers grow to the network's cluster count on first use and
+/// are then reused: steady-state evaluations perform zero heap
+/// allocations.
 struct EstimatorScratch {
   /// Fast-path evaluations recorded through this scratch.  Search drivers
   /// read the delta across a search and merge it into the estimator's
   /// evaluations() plus the batched `estimator.evaluations` counter.
   std::uint64_t evaluations = 0;
+
+  /// Of `evaluations`, how many ran through estimate_batch()'s lane engine
+  /// (the scalar remainder lane and starve fallbacks count as plain
+  /// fast-path evaluations).  Drivers fold the delta into the
+  /// `estimator.batch_evals` telemetry counter.
+  std::uint64_t batch_evaluations = 0;
 
   // Internal buffers (estimator + partitioner use; sizes are per-network).
   std::vector<double> group_weights;     ///< 1/S_i per active cluster
@@ -78,6 +152,16 @@ struct EstimatorScratch {
   std::vector<GroupShare> shares;        ///< closed-form Eq. 3 shares
   std::vector<std::int64_t> max_a;       ///< per active cluster max A_i
   std::vector<double> objective_cache;   ///< ClusterObjective memo (NaN=empty)
+
+  /// Lane-parallel engine state (see BatchScratch).  Embedded here so every
+  /// existing scratch owner -- svc workers above all -- reuses warm batch
+  /// buffers without new plumbing.
+  BatchScratch batch;
+
+  /// Candidate/result staging for batched search drivers (hill-climb
+  /// neighbourhoods, linear-scan prefills).  Reused across searches.
+  std::vector<ProcessorConfig> batch_configs;
+  std::vector<FastEstimate> batch_results;
 };
 
 class CycleEstimator {
@@ -102,6 +186,20 @@ class CycleEstimator {
   FastEstimate estimate_into(const ProcessorConfig& config,
                              EstimatorScratch& scratch) const;
 
+  /// Evaluate `count` configurations through the lane-parallel engine:
+  /// whole groups of BatchScratch::kLanes advance through the SoA stages
+  /// together, the remainder finishes on a scalar lane (estimate_into).
+  /// out[i] is bitwise identical to estimate_into(configs[i], scratch) on
+  /// every cost field, for every batch size including 0 and 1.
+  /// Allocation-free once `scratch` has warmed up against this estimator.
+  /// Thread-safe for concurrent calls with distinct scratches.
+  void estimate_batch(const ProcessorConfig* configs, std::size_t count,
+                      FastEstimate* out, EstimatorScratch& scratch) const;
+
+  /// Identity for BatchScratch binding (never 0; see
+  /// BatchScratch::bound_id).
+  std::uint64_t binding_id() const { return binding_id_; }
+
   /// Clusters ordered fastest-first; partition vectors and placements are
   /// rank-major in this order.
   const std::vector<ClusterId>& cluster_order() const {
@@ -125,6 +223,14 @@ class CycleEstimator {
 
  private:
   CycleEstimate estimate_impl(const ProcessorConfig& config) const;
+  /// Rebuild `batch`'s per-cluster constant tables when it is bound to a
+  /// different estimator (allocates); no-op on the steady-state path.
+  void ensure_batch_bound(BatchScratch& batch) const;
+  /// One full lane group (BatchScratch::kLanes configurations) through the
+  /// SoA stages; lanes the closed form cannot serve divert to
+  /// estimate_into.
+  void estimate_lanes(const ProcessorConfig* configs, FastEstimate* out,
+                      EstimatorScratch& scratch) const;
   double comm_cost_ms(const ProcessorConfig& config,
                       const PartitionVector& partition) const;
   /// Shared Eq. 1/2/5 evaluation once the per-cluster max A_i are known.
@@ -154,6 +260,7 @@ class CycleEstimator {
   bool phases_overlap_ = false;
   std::vector<ClusterId> fitted_clusters_;  ///< has_comm(c, topo), id order
   std::vector<char> has_fit_;               ///< per cluster, dominant topo
+  std::uint64_t binding_id_ = 0;            ///< process-unique, never 0
 
   mutable std::atomic<std::uint64_t> evaluations_{0};
 };

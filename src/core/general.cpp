@@ -13,40 +13,50 @@ namespace {
 
 /// Hill-climb from `config` with +/-1 moves until a local minimum; returns
 /// the local minimum's objective value and mutates `config` in place.
-/// Evaluations run on the estimator's fast path through `scratch` (the
-/// caller reads scratch.evaluations for the budget accounting).
+/// Each round's whole +/-1 neighborhood (at most 2K configs) is scored in
+/// one estimate_batch pass; the winner is then chosen scanning the results
+/// in the scalar climb's probe order (cluster ascending, +1 before -1), so
+/// move sequences -- and evaluation counts -- match the scalar climb
+/// exactly.  The caller reads scratch.evaluations for budget accounting.
 double hill_climb(const CycleEstimator& estimator,
                   const AvailabilitySnapshot& snapshot,
                   ProcessorConfig& config, std::uint64_t budget,
                   std::uint64_t* evaluations, EstimatorScratch& scratch) {
-  const auto evaluate = [&](const ProcessorConfig& c) {
-    ++*evaluations;
-    return estimator.estimate_into(c, scratch).t_c_ms;
-  };
+  auto& neighbors = scratch.batch_configs;
+  auto& results = scratch.batch_results;
+  const std::size_t max_neighbors = 2 * config.size();
+  if (neighbors.size() < max_neighbors) neighbors.resize(max_neighbors);
+  if (results.size() < max_neighbors) results.resize(max_neighbors);
 
-  double current = evaluate(config);
+  ++*evaluations;
+  double current = estimator.estimate_into(config, scratch).t_c_ms;
   bool improved = true;
   while (improved && *evaluations < budget) {
     improved = false;
-    ProcessorConfig best_neighbor;
-    double best_value = current;
+    std::size_t n = 0;
     for (std::size_t c = 0; c < config.size(); ++c) {
       for (const int delta : {+1, -1}) {
-        ProcessorConfig candidate = config;
-        candidate[c] += delta;
-        if (candidate[c] < 0 || candidate[c] > snapshot.available[c]) {
-          continue;
-        }
+        const int moved = config[c] + delta;
+        if (moved < 0 || moved > snapshot.available[c]) continue;
+        ProcessorConfig& candidate = neighbors[n];
+        candidate = config;
+        candidate[c] = moved;
         if (config_total(candidate) == 0) continue;
-        const double value = evaluate(candidate);
-        if (value < best_value - 1e-12) {
-          best_value = value;
-          best_neighbor = std::move(candidate);
-        }
+        ++n;
       }
     }
-    if (!best_neighbor.empty()) {
-      config = std::move(best_neighbor);
+    estimator.estimate_batch(neighbors.data(), n, results.data(), scratch);
+    *evaluations += n;
+    std::size_t best_neighbor = n;
+    double best_value = current;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (results[i].t_c_ms < best_value - 1e-12) {
+        best_value = results[i].t_c_ms;
+        best_neighbor = i;
+      }
+    }
+    if (best_neighbor != n) {
+      config = neighbors[best_neighbor];
       current = best_value;
       improved = true;
     }
@@ -118,6 +128,9 @@ PartitionResult general_partition(const CycleEstimator& estimator,
   obs::TelemetryRegistry::global()
       .counter("estimator.evaluations")
       .add(evaluations + 1);
+  obs::TelemetryRegistry::global()
+      .counter("estimator.batch_evals")
+      .add(scratch.batch_evaluations);
   return PartitionResult{
       best_config, estimator.estimate(best_config),
       contiguous_placement(net, best_config, estimator.cluster_order()),

@@ -1,6 +1,7 @@
 #include "core/partitioner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <thread>
@@ -52,6 +53,30 @@ class ClusterObjective {
     return slot;
   }
 
+  /// Batch-score f(lo..hi) into the memo through estimate_batch: the
+  /// linear scan's probe set is known up front, so the lane engine can
+  /// overlap the evaluations.  Exactly hi-lo+1 evaluations, bitwise the
+  /// values the scalar scan would have cached.  (Binary search stays
+  /// scalar -- it probes adaptively.)
+  void prefill(int lo, int hi) {
+    auto& candidates = scratch_.batch_configs;
+    auto& results = scratch_.batch_results;
+    const auto n = static_cast<std::size_t>(hi - lo + 1);
+    if (candidates.size() < n) candidates.resize(n);
+    if (results.size() < n) results.resize(n);
+    for (int p = lo; p <= hi; ++p) {
+      ProcessorConfig& candidate = candidates[static_cast<std::size_t>(p - lo)];
+      candidate = config_;
+      candidate[static_cast<std::size_t>(cluster_)] = p;
+    }
+    estimator_.estimate_batch(candidates.data(), n, results.data(),
+                              scratch_);
+    for (int p = lo; p <= hi; ++p) {
+      cache_[static_cast<std::size_t>(p)] =
+          results[static_cast<std::size_t>(p - lo)].t_c_ms;
+    }
+  }
+
  private:
   const CycleEstimator& estimator_;
   ProcessorConfig& config_;
@@ -77,8 +102,11 @@ int unimodal_argmin(ClusterObjective& f, int lo, int hi,
   return lo;
 }
 
-/// Plain scan, robust to multiple minima.
+/// Plain scan, robust to multiple minima.  The whole domain is scored in
+/// one batched pass first; the scan then reads the memo.  Strict < keeps
+/// the first minimum, exactly like the scalar scan did.
 int linear_argmin(ClusterObjective& f, int lo, int hi) {
+  f.prefill(lo, hi);
   int best = lo;
   for (int p = lo + 1; p <= hi; ++p) {
     if (f(p) < f(best)) best = p;
@@ -181,57 +209,108 @@ PartitionResult partition(const CycleEstimator& estimator,
 
 namespace {
 
-/// One worker's slice of the exhaustive sweep and its result.
-struct ExhaustiveShard {
-  std::uint64_t begin = 0;  ///< first enumeration index (inclusive)
-  std::uint64_t end = 0;    ///< last enumeration index (exclusive)
+/// One work-stealing sweep worker's state and result.
+struct SweepWorker {
   EstimatorScratch scratch;
   ProcessorConfig best_config;
   double best_tc = std::numeric_limits<double>::infinity();
-  std::uint64_t best_index = 0;
+  std::uint64_t best_index = ~std::uint64_t{0};
+  std::uint64_t chunks = 0;  ///< chunks claimed from the shared cursor
   std::exception_ptr error;
 };
 
-/// Sweep enumeration indices [shard.begin, shard.end).  Index i maps to the
-/// mixed-radix odometer state with digit d (cluster d) equal to
-/// i / prod(N_0+1 .. N_{d-1}+1) mod (N_d+1) -- digit 0 least significant,
-/// matching the serial odometer's increment order.
-void run_exhaustive_shard(const CycleEstimator& estimator,
-                          const AvailabilitySnapshot& snapshot,
-                          ExhaustiveShard& shard) {
+/// Work-stealing sweep: workers repeatedly claim [begin, begin+chunk)
+/// index ranges off one atomic cursor until the space is drained, so a
+/// worker that lands on cheap configurations simply claims more chunks
+/// instead of idling (the static sharding this replaces stalled on the
+/// slowest shard).  Index i maps to the mixed-radix odometer state with
+/// digit d (cluster d) equal to i / prod(N_0+1 .. N_{d-1}+1) mod (N_d+1)
+/// -- digit 0 least significant, matching the serial odometer's increment
+/// order.  Within a chunk, valid configurations are gathered into lane
+/// groups and scored through estimate_batch.
+///
+/// Determinism: fetch_add hands each worker strictly increasing begins and
+/// indices increase within a chunk, so strict < keeps each worker's
+/// first-minimum; the (t_c, index) lexicographic merge in
+/// exhaustive_partition then recovers the globally first minimum whatever
+/// the steal interleaving was.
+void run_sweep_worker(const CycleEstimator& estimator,
+                      const AvailabilitySnapshot& snapshot,
+                      std::atomic<std::uint64_t>& cursor,
+                      std::uint64_t space, std::uint64_t chunk,
+                      std::uint64_t chaos_yield_seed, SweepWorker& worker) {
   try {
+    constexpr int kLanes = BatchScratch::kLanes;
     ProcessorConfig config(snapshot.available.size(), 0);
-    std::uint64_t idx = shard.begin;
-    for (std::size_t d = 0; d < config.size(); ++d) {
-      const auto radix =
-          static_cast<std::uint64_t>(snapshot.available[d]) + 1;
-      config[d] = static_cast<int>(idx % radix);
-      idx /= radix;
+    auto& lane_configs = worker.scratch.batch_configs;
+    auto& lane_results = worker.scratch.batch_results;
+    if (lane_configs.size() < static_cast<std::size_t>(kLanes)) {
+      lane_configs.resize(static_cast<std::size_t>(kLanes));
     }
-    for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
-      if (config_total(config) > 0) {
-        const double tc =
-            estimator.estimate_into(config, shard.scratch).t_c_ms;
-        // Strict improvement keeps the first (lowest-index) minimum, which
-        // is what the serial scan returns on ties.
-        if (tc < shard.best_tc) {
-          shard.best_tc = tc;
-          shard.best_config = config;
-          shard.best_index = i;
-        }
+    if (lane_results.size() < static_cast<std::size_t>(kLanes)) {
+      lane_results.resize(static_cast<std::size_t>(kLanes));
+    }
+    std::uint64_t lane_index[kLanes];
+    for (;;) {
+      const std::uint64_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= space) break;
+      const std::uint64_t end = std::min(begin + chunk, space);
+      ++worker.chunks;
+      if (chaos_yield_seed != 0) {
+        // Seeded schedule perturbation for the chaos/TSan tier: yield on a
+        // deterministic-per-chunk pattern so steal interleavings vary
+        // between thread counts and runs without any real randomness.
+        std::uint64_t h =
+            (chaos_yield_seed ^ begin) * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 31;
+        if ((h & 3) == 0) std::this_thread::yield();
       }
-      std::size_t digit = 0;
-      while (digit < config.size()) {
-        if (config[digit] < snapshot.available[digit]) {
-          ++config[digit];
-          break;
+
+      std::uint64_t idx = begin;
+      for (std::size_t d = 0; d < config.size(); ++d) {
+        const auto radix =
+            static_cast<std::uint64_t>(snapshot.available[d]) + 1;
+        config[d] = static_cast<int>(idx % radix);
+        idx /= radix;
+      }
+      std::uint64_t i = begin;
+      while (i < end) {
+        int gathered = 0;
+        while (i < end && gathered < kLanes) {
+          if (config_total(config) > 0) {
+            lane_configs[static_cast<std::size_t>(gathered)] = config;
+            lane_index[gathered] = i;
+            ++gathered;
+          }
+          ++i;
+          std::size_t digit = 0;
+          while (digit < config.size()) {
+            if (config[digit] < snapshot.available[digit]) {
+              ++config[digit];
+              break;
+            }
+            config[digit] = 0;
+            ++digit;
+          }
         }
-        config[digit] = 0;
-        ++digit;
+        estimator.estimate_batch(lane_configs.data(),
+                                 static_cast<std::size_t>(gathered),
+                                 lane_results.data(), worker.scratch);
+        for (int j = 0; j < gathered; ++j) {
+          const double tc = lane_results[static_cast<std::size_t>(j)].t_c_ms;
+          // Strict improvement keeps the first (lowest-index) minimum the
+          // worker has seen, which is what the serial scan returns on ties.
+          if (tc < worker.best_tc) {
+            worker.best_tc = tc;
+            worker.best_config = lane_configs[static_cast<std::size_t>(j)];
+            worker.best_index = lane_index[j];
+          }
+        }
       }
     }
   } catch (...) {
-    shard.error = std::current_exception();
+    worker.error = std::current_exception();
   }
 }
 
@@ -268,35 +347,41 @@ PartitionResult exhaustive_partition(const CycleEstimator& estimator,
 
   int threads = options.threads;
   if (threads <= 0) {
-    // Auto: one shard per hardware thread, but below a few thousand
-    // evaluations per shard the spawn cost dominates any speedup.
-    constexpr std::uint64_t kMinShardWork = 2048;
+    // Auto: one worker per hardware thread, but below a few thousand
+    // evaluations per worker the spawn cost dominates any speedup.
+    constexpr std::uint64_t kMinWorkerWork = 2048;
     threads = static_cast<int>(std::min<std::uint64_t>(
         std::max(1u, std::thread::hardware_concurrency()),
-        std::max<std::uint64_t>(1, space / kMinShardWork)));
+        std::max<std::uint64_t>(1, space / kMinWorkerWork)));
   }
   threads = static_cast<int>(std::min<std::uint64_t>(
       static_cast<std::uint64_t>(threads), space));
 
-  std::vector<ExhaustiveShard> shards(static_cast<std::size_t>(threads));
-  const std::uint64_t chunk = space / static_cast<std::uint64_t>(threads);
-  const std::uint64_t rem = space % static_cast<std::uint64_t>(threads);
-  std::uint64_t cursor = 0;
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    shards[s].begin = cursor;
-    cursor += chunk + (s < rem ? 1 : 0);
-    shards[s].end = cursor;
+  // Chunk size for the steal cursor: small enough that every worker gets
+  // many claims (load balance), large enough to amortise the fetch_add and
+  // odometer re-seed.  Rounded up to the lane width so full chunks decode
+  // into whole lane groups.
+  std::uint64_t chunk = options.chunk;
+  if (chunk == 0) {
+    chunk = std::clamp<std::uint64_t>(
+        space / (static_cast<std::uint64_t>(threads) * 8) + 1, 64, 16384);
   }
-  NP_ASSERT(cursor == space);
+  constexpr auto kLanes = static_cast<std::uint64_t>(BatchScratch::kLanes);
+  chunk = (chunk + kLanes - 1) / kLanes * kLanes;
 
+  std::vector<SweepWorker> workers(static_cast<std::size_t>(threads));
+  std::atomic<std::uint64_t> cursor{0};
   if (threads == 1) {
-    run_exhaustive_shard(estimator, snapshot, shards[0]);
+    run_sweep_worker(estimator, snapshot, cursor, space, chunk,
+                     options.chaos_yield_seed, workers[0]);
   } else {
     std::vector<std::thread> pool;
-    pool.reserve(shards.size());
-    for (auto& shard : shards) {
-      pool.emplace_back([&estimator, &snapshot, &shard] {
-        run_exhaustive_shard(estimator, snapshot, shard);
+    pool.reserve(workers.size());
+    for (auto& worker : workers) {
+      pool.emplace_back([&estimator, &snapshot, &cursor, space, chunk,
+                         &options, &worker] {
+        run_sweep_worker(estimator, snapshot, cursor, space, chunk,
+                         options.chaos_yield_seed, worker);
       });
     }
     for (auto& t : pool) t.join();
@@ -304,19 +389,35 @@ PartitionResult exhaustive_partition(const CycleEstimator& estimator,
 
   ProcessorConfig best_config;
   double best_tc = std::numeric_limits<double>::infinity();
+  std::uint64_t best_index = ~std::uint64_t{0};
   std::uint64_t total_evals = 0;
-  for (auto& shard : shards) {
-    if (shard.error) std::rethrow_exception(shard.error);
-    total_evals += shard.scratch.evaluations;
-    // Shards are visited in enumeration order, so strict improvement again
-    // selects the globally first minimum -- bit-identical to serial.
-    if (shard.best_tc < best_tc) {
-      best_tc = shard.best_tc;
-      best_config = shard.best_config;
+  std::uint64_t total_batch_evals = 0;
+  std::uint64_t steals = 0;
+  for (auto& worker : workers) {
+    if (worker.error) std::rethrow_exception(worker.error);
+    total_evals += worker.scratch.evaluations;
+    total_batch_evals += worker.scratch.batch_evaluations;
+    // A worker's first claim is its own assignment; each further claim is
+    // a steal from the shared remainder of the space.
+    if (worker.chunks > 1) steals += worker.chunks - 1;
+    // Workers claim chunks in arbitrary interleavings, so enumeration
+    // order across workers is lost; (t_c, index) lexicographic merge
+    // recovers the globally first minimum -- bit-identical to serial.
+    if (worker.best_tc < best_tc ||
+        (worker.best_tc == best_tc && worker.best_index < best_index)) {
+      best_tc = worker.best_tc;
+      best_config = worker.best_config;
+      best_index = worker.best_index;
     }
   }
   NP_ASSERT(!best_config.empty());
   estimator.merge_evaluations(total_evals);
+  static obs::Counter& steals_counter =
+      telemetry.counter("partitioner.steals");
+  static obs::Counter& batch_evals_counter =
+      telemetry.counter("estimator.batch_evals");
+  steals_counter.add(steals);
+  batch_evals_counter.add(total_batch_evals);
 
   PartitionResult result{
       best_config, estimator.estimate(best_config),
@@ -327,6 +428,8 @@ PartitionResult exhaustive_partition(const CycleEstimator& estimator,
   if (span.active()) {
     span.attr("threads", JsonValue(threads));
     span.attr("space", JsonValue(static_cast<std::int64_t>(space)));
+    span.attr("chunk", JsonValue(static_cast<std::int64_t>(chunk)));
+    span.attr("steals", JsonValue(static_cast<std::int64_t>(steals)));
     span.attr("evaluations", JsonValue(result.evaluations));
     span.attr("t_c_ms", JsonValue(result.estimate.t_c_ms));
   }

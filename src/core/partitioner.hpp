@@ -43,6 +43,20 @@ struct ExhaustiveOptions {
   /// is deterministic at every thread count: ties on T_c resolve to the
   /// lowest enumeration index, exactly like the serial scan.
   int threads = 0;
+
+  /// Enumeration indices claimed per steal from the shared cursor.  0 =
+  /// auto (space / (8 * threads), clamped to [64, 16384]).  Always rounded
+  /// up to the estimator's batch lane width.  Small chunks stress the
+  /// work-stealing protocol (useful in tests); large chunks amortise the
+  /// atomic claim.  Any value yields the same result -- chunking affects
+  /// schedule, not the (t_c, index) merge.
+  std::uint64_t chunk = 0;
+
+  /// Nonzero: inject deterministic pseudo-random yields into workers'
+  /// claim loops (keyed by seed ^ chunk begin) to perturb steal
+  /// interleavings.  Used by the TSan/chaos determinism tests; leave 0 in
+  /// production.
+  std::uint64_t chaos_yield_seed = 0;
 };
 
 struct PartitionResult {
@@ -67,9 +81,12 @@ PartitionResult partition(const CycleEstimator& estimator,
 /// Reference partitioner: exhaustively enumerate every configuration
 /// (0..N_i per cluster) and return the estimator's argmin.  Exponential in
 /// the cluster count; used to validate the heuristic in ablation studies.
-/// The enumeration is sharded across `options.threads` workers, each with
-/// its own scratch; results are merged in enumeration order, so the chosen
-/// configuration is identical at every thread count.
+/// `options.threads` workers drain the space via chunked work stealing
+/// (an atomic cursor over odometer index ranges), each scoring lane groups
+/// through estimate_batch with its own scratch; worker minima are merged
+/// lexicographically by (T_c, enumeration index), so the chosen
+/// configuration is bitwise identical at every thread count and chunk
+/// size.
 PartitionResult exhaustive_partition(const CycleEstimator& estimator,
                                      const AvailabilitySnapshot& snapshot,
                                      const ExhaustiveOptions& options = {});

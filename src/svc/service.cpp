@@ -153,7 +153,10 @@ ServiceReply PartitionService::query(const PartitionRequest& request) {
 
 void PartitionService::worker_loop() {
   // One scratch per worker thread, reused across every cold compute this
-  // worker ever runs (see EstimatorScratch's single-owner contract).
+  // worker ever runs (see EstimatorScratch's single-owner contract).  The
+  // embedded BatchScratch rebinds itself when the request's stack-local
+  // CycleEstimator changes (binding id, not address), so batch buffers and
+  // coefficient tables also amortise across requests.
   EstimatorScratch scratch;
   for (;;) {
     JobPtr job;

@@ -6,6 +6,7 @@
 
 #include "apps/reduce.hpp"
 #include "apps/stencil.hpp"
+#include "bench/common.hpp"
 #include "calib/calibrate.hpp"
 #include "core/decompose.hpp"
 #include "core/partitioner.hpp"
@@ -173,6 +174,47 @@ TEST(PartitionerCoverage, SingletonClusterHandled) {
   // needs no comm fit at all (p = 1).
   const PartitionResult r = partition(est, snap);
   EXPECT_GE(config_total(r.config), 1);
+}
+
+TEST(SpeedupGateCoverage, SingleCoreHostsSkipInsteadOfFailing) {
+  // The parallel-speedup bench gate cannot measure a speedup where the
+  // hardware offers one core; it must report the explicit escape hatch,
+  // never a pass or a fail, regardless of the measured number.
+  using bench::SpeedupGate;
+  EXPECT_EQ(bench::parallel_speedup_gate(1, false, 4, 3.9),
+            SpeedupGate::SkippedSingleCore);
+  EXPECT_EQ(bench::parallel_speedup_gate(1, false, 4, 0.1),
+            SpeedupGate::SkippedSingleCore);
+  EXPECT_EQ(bench::parallel_speedup_gate(0, false, 4, 4.0),
+            SpeedupGate::SkippedSingleCore);
+  // Single-core wins over smoke: the skip reason names the real blocker.
+  EXPECT_EQ(bench::parallel_speedup_gate(1, true, 4, 4.0),
+            SpeedupGate::SkippedSingleCore);
+  EXPECT_STREQ(bench::to_string(SpeedupGate::SkippedSingleCore),
+               "skipped_single_core");
+}
+
+TEST(SpeedupGateCoverage, SmokeRunsSkipAndFullRunsGateAtEightTenthsPerThread) {
+  using bench::SpeedupGate;
+  EXPECT_EQ(bench::parallel_speedup_gate(8, true, 4, 0.0),
+            SpeedupGate::SkippedSmoke);
+  // Full run, 4 threads on 8 cores: the bar is 0.8 * 4.
+  EXPECT_EQ(bench::parallel_speedup_gate(8, false, 4, 3.3),
+            SpeedupGate::Pass);
+  EXPECT_EQ(bench::parallel_speedup_gate(8, false, 4, 3.2),
+            SpeedupGate::Pass);  // boundary is inclusive
+  EXPECT_EQ(bench::parallel_speedup_gate(8, false, 4, 3.1),
+            SpeedupGate::Fail);
+  // Oversubscribed: more threads than cores gates on the cores actually
+  // available, not the thread count.
+  EXPECT_EQ(bench::parallel_speedup_gate(2, false, 8, 1.7),
+            SpeedupGate::Pass);
+  EXPECT_EQ(bench::parallel_speedup_gate(2, false, 8, 1.5),
+            SpeedupGate::Fail);
+  EXPECT_STREQ(bench::to_string(SpeedupGate::Pass), "ok");
+  EXPECT_STREQ(bench::to_string(SpeedupGate::Fail), "fail");
+  EXPECT_STREQ(bench::to_string(SpeedupGate::SkippedSmoke),
+               "skipped_smoke");
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 // pipeline must uphold the library invariants for every seed.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 
+#include "analysis/model_lint.hpp"
+#include "analysis/net_lint.hpp"
 #include "apps/stencil.hpp"
 #include "calib/calibrate.hpp"
 #include "core/partitioner.hpp"
@@ -99,6 +103,155 @@ TEST_P(RandomTraffic, PipelineInvariantsOnRandomNetworks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraffic,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// --- degenerate inputs ----------------------------------------------------
+//
+// The estimator's ClusterObjective memo uses NaN as its "empty" sentinel
+// (estimator.hpp), so a NaN cost leaking out of the estimator would be
+// indistinguishable from an un-evaluated slot.  Two lines of defense are
+// locked down here: npcheck's lints flag the inputs that could produce
+// one (NaN-prone fitted models, zero-processor clusters), and for valid
+// but degenerate inputs -- single-processor segments, PDU counts at the
+// starvation edge -- every cost field stays finite, scalar and batched.
+
+ProcessorType fuzz_proc(const char* name, int flop_ns) {
+  ProcessorType type;
+  type.name = name;
+  type.flop_time = SimTime::nanos(flop_ns);
+  type.int_time = SimTime::nanos(flop_ns / 2);
+  return type;
+}
+
+TEST(DegenerateInputs, NpcheckFlagsEmptyNetworksAndNanModels) {
+  // A network with no clusters has no processors to give a PDU to:
+  // NP-N005.  (A zero-processor or zero-rate *cluster* is rejected even
+  // earlier, by the Cluster constructor's own invariants -- the lint
+  // branch exists for hand-built part lists that bypass it.)
+  const std::vector<Segment> segments = {{0, 10e6, SimTime::micros(100)}};
+  analysis::DiagnosticSink net_sink;
+  analysis::lint_network_parts({}, segments, {}, "<fuzz-net>", net_sink);
+  EXPECT_NE(net_sink.render_text().find("[NP-N005]"), std::string::npos)
+      << net_sink.render_text();
+
+  // A fit with a non-finite coefficient poisons every estimate that
+  // touches it: NP-M001, as an error, before it ever reaches a search.
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  CostModelDb db = calibrate(net, params).db;
+  Eq1Fit poisoned = db.comm_fit(0, Topology::OneD);
+  poisoned.c3 = std::numeric_limits<double>::quiet_NaN();
+  db.set_comm(0, Topology::OneD, poisoned);
+  analysis::DiagnosticSink model_sink;
+  analysis::lint_cost_model(db, net, "<fuzz-model>", model_sink);
+  EXPECT_FALSE(model_sink.clean());
+  EXPECT_NE(model_sink.render_text().find("[NP-M001]"), std::string::npos)
+      << model_sink.render_text();
+}
+
+TEST(DegenerateInputs, SingleProcessorSegmentsStayFiniteAndBatchExact) {
+  // A singleton cluster has no intra-cluster benchmark, so model lint
+  // warns (NP-M006) and the estimator substitutes its conservative proxy
+  // -- which must still be finite and bitwise identical across the
+  // scalar and batched engines.
+  const std::vector<Cluster> clusters = {
+      Cluster(0, "lone", fuzz_proc("fast", 200), 0, 1),
+      Cluster(1, "farm", fuzz_proc("slow", 400), 1, 5)};
+  const std::vector<Segment> segments = {{0, 10e6, SimTime::micros(100)},
+                                         {1, 10e6, SimTime::micros(100)}};
+  const std::vector<RouterLink> routers = {
+      {0, 1, SimTime::nanos(600), SimTime::micros(50)}};
+  const Network net(clusters, segments, routers);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+
+  analysis::DiagnosticSink sink;
+  analysis::lint_cost_model(cal.db, net, "<fuzz-model>", sink);
+  EXPECT_NE(sink.render_text().find("[NP-M006]"), std::string::npos)
+      << sink.render_text();
+
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 600, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  const std::vector<ProcessorConfig> configs = {
+      {1, 0}, {1, 1}, {0, 5}, {1, 5}, {1, 3}, {0, 1}};
+  std::vector<FastEstimate> batched(configs.size());
+  EstimatorScratch batch_scratch;
+  est.estimate_batch(configs.data(), configs.size(), batched.data(),
+                     batch_scratch);
+  EstimatorScratch scalar_scratch;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const FastEstimate want = est.estimate_into(configs[i], scalar_scratch);
+    ASSERT_TRUE(std::isfinite(want.t_c_ms)) << "config " << i;
+    ASSERT_TRUE(std::isfinite(want.t_comm_ms)) << "config " << i;
+    ASSERT_EQ(want.t_c_ms, batched[i].t_c_ms) << "config " << i;
+    ASSERT_EQ(want.t_comm_ms, batched[i].t_comm_ms) << "config " << i;
+  }
+}
+
+class StarvationPressure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StarvationPressure, NoNanReachesTheObjectiveCache) {
+  // PDU counts at or just above the processor count force zero-base
+  // shares and the starvation-repair path; heterogeneous speeds make the
+  // shares maximally lopsided.  Nothing in the pipeline may emit NaN --
+  // the ClusterObjective memo's empty sentinel must stay unambiguous --
+  // and the batched engine must agree bitwise with the scalar one even
+  // on the repair path.
+  Rng rng(GetParam() ^ 0x57A8);
+  const Network net = presets::random_network(
+      rng, 2 + static_cast<int>(GetParam() % 3), 5);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  Rng config_rng = rng.stream(5);
+  EstimatorScratch batch_scratch;
+  EstimatorScratch scalar_scratch;
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<ProcessorConfig> configs;
+    int max_total = 1;
+    for (int c = 0; c < 2 * BatchScratch::kLanes; ++c) {
+      ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()),
+                             0);
+      int total = 0;
+      for (ClusterId cl = 0; cl < net.num_clusters(); ++cl) {
+        config[static_cast<std::size_t>(cl)] = static_cast<int>(
+            config_rng.next_int(0, net.cluster(cl).size()));
+        total += config[static_cast<std::size_t>(cl)];
+      }
+      if (total == 0) continue;
+      max_total = std::max(max_total, total);
+      configs.push_back(std::move(config));
+    }
+    // n at the starvation edge: barely one PDU per processor.
+    const int n = max_total + static_cast<int>(config_rng.next_int(0, 2));
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = false});
+    CycleEstimator est(net, cal.db, spec);
+    std::vector<ProcessorConfig> fitting;
+    for (const ProcessorConfig& config : configs) {
+      if (config_total(config) <= n) fitting.push_back(config);
+    }
+    std::vector<FastEstimate> batched(fitting.size());
+    est.estimate_batch(fitting.data(), fitting.size(), batched.data(),
+                       batch_scratch);
+    for (std::size_t i = 0; i < fitting.size(); ++i) {
+      const FastEstimate want =
+          est.estimate_into(fitting[i], scalar_scratch);
+      ASSERT_TRUE(std::isfinite(batched[i].t_c_ms))
+          << "trial " << trial << " i " << i;
+      ASSERT_TRUE(std::isfinite(batched[i].t_comp_ms));
+      ASSERT_TRUE(std::isfinite(batched[i].t_comm_ms));
+      ASSERT_EQ(want.t_c_ms, batched[i].t_c_ms)
+          << "trial " << trial << " i " << i;
+      ASSERT_EQ(want.t_elapsed_ms, batched[i].t_elapsed_ms);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StarvationPressure,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
 }  // namespace netpart

@@ -246,6 +246,102 @@ TEST_P(RandomNetworkProperties, ParallelExhaustiveMatchesSerial) {
   }
 }
 
+TEST_P(RandomNetworkProperties, BatchBitwiseMatchesScalarAcrossSizes) {
+  // Differential lockdown of the lane engine: for every batch size that
+  // exercises a distinct code path -- a lone config (scalar remainder
+  // only), one lane short of a full batch, exactly kLanes, one past
+  // (full batch + remainder tail), and a multi-batch run -- every result
+  // must be bitwise identical to estimate_into() on every cost field.
+  Rng rng(GetParam().seed ^ 0xBA7C);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 6);
+  const CalibrationResult cal = calibrate(net, one_d_params());
+  Rng config_rng = rng.stream(3);
+  constexpr int kLanes = BatchScratch::kLanes;
+  for (const auto& [n, overlap] :
+       std::vector<std::pair<int, bool>>{{300, false}, {1200, true}}) {
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = overlap});
+    CycleEstimator est(net, cal.db, spec);
+    for (const std::size_t count :
+         {std::size_t{1}, static_cast<std::size_t>(kLanes - 1),
+          static_cast<std::size_t>(kLanes),
+          static_cast<std::size_t>(kLanes + 1),
+          static_cast<std::size_t>(3 * kLanes + 5)}) {
+      std::vector<ProcessorConfig> configs;
+      while (configs.size() < count) {
+        ProcessorConfig config(
+            static_cast<std::size_t>(net.num_clusters()), 0);
+        int total = 0;
+        for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+          config[static_cast<std::size_t>(c)] = static_cast<int>(
+              config_rng.next_int(0, net.cluster(c).size()));
+          total += config[static_cast<std::size_t>(c)];
+        }
+        if (total == 0) continue;  // estimate requires >= 1 processor
+        configs.push_back(std::move(config));
+      }
+      EstimatorScratch batch_scratch;
+      std::vector<FastEstimate> got(count);
+      est.estimate_batch(configs.data(), count, got.data(), batch_scratch);
+      EstimatorScratch scalar_scratch;
+      for (std::size_t i = 0; i < count; ++i) {
+        const FastEstimate want =
+            est.estimate_into(configs[i], scalar_scratch);
+        ASSERT_EQ(want.t_comp_ms, got[i].t_comp_ms)
+            << "seed " << GetParam().seed << " count " << count << " i "
+            << i;
+        ASSERT_EQ(want.t_comm_ms, got[i].t_comm_ms)
+            << "seed " << GetParam().seed << " count " << count << " i "
+            << i;
+        ASSERT_EQ(want.t_overlap_ms, got[i].t_overlap_ms)
+            << "seed " << GetParam().seed << " count " << count << " i "
+            << i;
+        ASSERT_EQ(want.t_c_ms, got[i].t_c_ms)
+            << "seed " << GetParam().seed << " count " << count << " i "
+            << i;
+        ASSERT_EQ(want.t_elapsed_ms, got[i].t_elapsed_ms)
+            << "seed " << GetParam().seed << " count " << count << " i "
+            << i;
+      }
+      // The two paths must also agree on the evaluation count they
+      // record; only full lanes may be attributed to the batch engine.
+      EXPECT_EQ(batch_scratch.evaluations, scalar_scratch.evaluations);
+      EXPECT_LE(batch_scratch.batch_evaluations,
+                batch_scratch.evaluations);
+    }
+  }
+}
+
+TEST(BatchEngine, RemainderOnlyTailAndEmptyBatch) {
+  // count < kLanes never touches the lane engine's full-batch path; count
+  // == 0 must be a no-op.  Both still bitwise-match the scalar engine.
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 600, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  EstimatorScratch scratch;
+  est.estimate_batch(nullptr, 0, nullptr, scratch);
+  EXPECT_EQ(scratch.evaluations, 0u);
+  EXPECT_EQ(scratch.batch_evaluations, 0u);
+
+  const std::vector<ProcessorConfig> tail = {{1, 0}, {6, 6}, {3, 2}};
+  std::vector<FastEstimate> got(tail.size());
+  est.estimate_batch(tail.data(), tail.size(), got.data(), scratch);
+  EstimatorScratch scalar_scratch;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const FastEstimate want = est.estimate_into(tail[i], scalar_scratch);
+    EXPECT_EQ(want.t_c_ms, got[i].t_c_ms) << "i " << i;
+    EXPECT_EQ(want.t_elapsed_ms, got[i].t_elapsed_ms) << "i " << i;
+  }
+  EXPECT_EQ(scratch.evaluations, 3u);
+  // A sub-lane-width tail is scalar work by definition.
+  EXPECT_EQ(scratch.batch_evaluations, 0u);
+}
+
 TEST(GroupShares, MatchesProportionalPartitionExactly) {
   // proportional_group_shares must reproduce, per homogeneous group, the
   // exact per-rank assignment of proportional_partition: the first

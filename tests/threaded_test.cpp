@@ -169,5 +169,45 @@ TEST(ThreadedPartitionSearchTest, ConcurrentSearchesAndParallelExhaustive) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// Work-stealing determinism: the chunked sweep must produce a bitwise
+// identical winner (config AND T_c) at every thread count and chunk size,
+// with chaos yields injected into the claim loops to perturb the steal
+// interleavings.  Runs under the TSan tier (suite name matches the
+// sanitizer preset's test filter).
+TEST(ThreadedPartitionSearchTest, WorkStealingDeterministicAcrossThreads) {
+  Rng rng(0xD37E);
+  const Network net = presets::random_network(rng, 4, 5);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const AvailabilitySnapshot snap =
+      gather_availability(net, make_managers(net, AvailabilityPolicy{}));
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 1200, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+
+  const PartitionResult serial =
+      exhaustive_partition(est, snap, {.threads = 1});
+  for (const int threads : {1, 2, 3, 4, 8}) {
+    for (const std::uint64_t chunk : {std::uint64_t{0}, std::uint64_t{8},
+                                      std::uint64_t{64}}) {
+      ExhaustiveOptions options;
+      options.threads = threads;
+      options.chunk = chunk;  // tiny chunks stress the steal protocol
+      options.chaos_yield_seed = 0x5EEDu ^ static_cast<std::uint64_t>(
+                                               threads * 131) ^ chunk;
+      const PartitionResult got = exhaustive_partition(est, snap, options);
+      EXPECT_EQ(serial.config, got.config)
+          << "threads " << threads << " chunk " << chunk;
+      EXPECT_EQ(serial.estimate.t_c_ms, got.estimate.t_c_ms)
+          << "threads " << threads << " chunk " << chunk;
+      EXPECT_EQ(serial.estimate.t_elapsed_ms, got.estimate.t_elapsed_ms)
+          << "threads " << threads << " chunk " << chunk;
+      EXPECT_EQ(serial.evaluations, got.evaluations)
+          << "threads " << threads << " chunk " << chunk;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace netpart

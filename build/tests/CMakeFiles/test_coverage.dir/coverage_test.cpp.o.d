@@ -305,13 +305,17 @@ tests/CMakeFiles/test_coverage.dir/coverage_test.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
- /root/repo/src/apps/stencil.hpp /root/repo/src/calib/calibrate.hpp \
- /root/repo/src/calib/cost_model.hpp \
- /root/repo/src/util/least_squares.hpp /root/repo/src/core/decompose.hpp \
+ /root/repo/src/apps/stencil.hpp /root/repo/bench/common.hpp \
+ /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
+ /root/repo/src/util/least_squares.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
- /root/repo/src/net/availability.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dp/spec_parser.hpp \
- /root/repo/src/dp/expr.hpp /root/repo/src/exec/adaptive.hpp \
+ /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
- /root/repo/src/net/builder.hpp /root/repo/src/net/presets.hpp
+ /root/repo/src/net/presets.hpp /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp \
+ /root/repo/src/dp/spec_parser.hpp /root/repo/src/dp/expr.hpp \
+ /root/repo/src/exec/adaptive.hpp /root/repo/src/net/builder.hpp

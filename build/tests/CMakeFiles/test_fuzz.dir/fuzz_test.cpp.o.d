@@ -293,20 +293,44 @@ tests/CMakeFiles/test_fuzz.dir/fuzz_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/apps/stencil.hpp /root/repo/src/dp/partition_vector.hpp \
- /usr/include/c++/12/span /root/repo/src/dp/phases.hpp \
- /root/repo/src/dp/callbacks.hpp /root/repo/src/topo/topology.hpp \
- /root/repo/src/net/ids.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/analysis/model_lint.hpp \
+ /root/repo/src/analysis/diagnostics.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/calib/cost_model.hpp /root/repo/src/net/ids.hpp \
+ /root/repo/src/topo/topology.hpp /root/repo/src/util/least_squares.hpp \
+ /usr/include/c++/12/span /root/repo/src/net/network.hpp \
  /root/repo/src/net/cluster.hpp /root/repo/src/net/processor.hpp \
  /root/repo/src/util/time.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/sim/netsim.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/topo/placement.hpp \
- /root/repo/src/calib/calibrate.hpp /root/repo/src/calib/cost_model.hpp \
- /root/repo/src/util/least_squares.hpp \
+ /root/repo/src/analysis/net_lint.hpp /root/repo/src/apps/stencil.hpp \
+ /root/repo/src/dp/partition_vector.hpp /root/repo/src/dp/phases.hpp \
+ /root/repo/src/dp/callbacks.hpp /root/repo/src/sim/netsim.hpp \
+ /root/repo/src/sim/channel.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/host.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/topo/placement.hpp /root/repo/src/calib/calibrate.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \

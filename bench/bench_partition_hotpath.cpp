@@ -173,7 +173,7 @@ int run(const Config& args) {
   const int threads = static_cast<int>(args.get_int_or("threads", 4));
   const std::string json_out =
       args.get_or("json_out", "BENCH_partition.json");
-  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned hw = bench::detected_hardware_concurrency();
 
   // The 4-cluster preset: the shape the paper's testbed generalises to.
   Testbed bed(make_grid_network(/*clusters=*/4, /*per_cluster=*/6),
@@ -449,9 +449,10 @@ int run(const Config& args) {
   const bool preflight_zero = validate_allocs == 0 && preflight_evals == 0;
   const bool fast_3x = eval_speedup >= 3.0;
   const bool batched_under_40ns = batched_ns < 40.0;
-  const bench::SpeedupGate parallel_gate = bench::parallel_speedup_gate(
-      hw, smoke, threads, exhaustive_speedup);
-  const bool parallel_ok = parallel_gate != bench::SpeedupGate::Fail;
+  const bench::SpeedupEvaluation parallel_eval =
+      bench::evaluate_parallel_speedup(smoke, threads, exhaustive_speedup);
+  const bench::SpeedupGate parallel_gate = parallel_eval.gate;
+  const bool parallel_ok = parallel_eval.ok;
   const bool pass = bitwise && batched_bitwise && zero_alloc &&
                     preflight_zero && exhaustive_match && (smoke || fast_3x) &&
                     (smoke || batched_under_40ns) && parallel_ok;

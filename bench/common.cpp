@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "core/decompose.hpp"
 #include "util/error.hpp"
@@ -103,6 +105,32 @@ SpeedupGate parallel_speedup_gate(unsigned hardware_concurrency, bool smoke,
   return speedup >= required_per_thread * static_cast<double>(effective)
              ? SpeedupGate::Pass
              : SpeedupGate::Fail;
+}
+
+unsigned detected_hardware_concurrency() {
+  if (const char* env = std::getenv("NETPART_HW_CONCURRENCY")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return std::thread::hardware_concurrency();
+}
+
+SpeedupEvaluation evaluate_parallel_speedup(bool smoke, int threads,
+                                            double speedup,
+                                            double required_per_thread) {
+  SpeedupEvaluation eval;
+  eval.hardware_concurrency = detected_hardware_concurrency();
+  eval.effective_threads = std::min(
+      threads, static_cast<int>(std::max(1u, eval.hardware_concurrency)));
+  eval.required =
+      required_per_thread * static_cast<double>(eval.effective_threads);
+  eval.gate = parallel_speedup_gate(eval.hardware_concurrency, smoke,
+                                    threads, speedup, required_per_thread);
+  eval.ok = eval.gate != SpeedupGate::Fail;
+  return eval;
 }
 
 const char* to_string(SpeedupGate gate) {

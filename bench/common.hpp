@@ -90,6 +90,30 @@ SpeedupGate parallel_speedup_gate(unsigned hardware_concurrency, bool smoke,
 /// "skipped_single_core", "skipped_smoke").
 const char* to_string(SpeedupGate gate);
 
+/// Hardware concurrency as every bench gate sees it: the
+/// NETPART_HW_CONCURRENCY environment variable when it parses as a
+/// positive integer (tests and CI pin the gate's skip condition with it),
+/// otherwise std::thread::hardware_concurrency().
+unsigned detected_hardware_concurrency();
+
+/// One gate decision with everything it was derived from, so a bench
+/// reports the verdict and its inputs (meta fields, console line) from a
+/// single evaluation instead of re-deriving the skip condition.
+struct SpeedupEvaluation {
+  SpeedupGate gate = SpeedupGate::SkippedSmoke;
+  unsigned hardware_concurrency = 0;
+  int effective_threads = 0;  ///< min(threads, hardware_concurrency)
+  double required = 0.0;      ///< speedup floor the gate compared against
+  bool ok = false;            ///< gate != Fail (skips do not fail a run)
+};
+
+/// The one code path from measured speedup to gate verdict: resolves
+/// hardware concurrency via detected_hardware_concurrency() and applies
+/// parallel_speedup_gate to it.
+SpeedupEvaluation evaluate_parallel_speedup(bool smoke, int threads,
+                                            double speedup,
+                                            double required_per_thread = 0.8);
+
 /// Per-phase telemetry for BENCH_*.json artifacts: snapshots the global
 /// registry at construction, and each phase() call records the counter
 /// deltas since the previous call under the given name.  Only changed

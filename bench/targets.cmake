@@ -40,6 +40,8 @@ np_add_bench(bench_scaling bench/bench_scaling.cpp)
 np_add_bench(bench_faults bench/bench_faults.cpp)
 np_add_bench(bench_service bench/bench_service.cpp)
 target_link_libraries(bench_service PRIVATE np_svc)
+np_add_bench(bench_fleet bench/bench_fleet.cpp)
+target_link_libraries(bench_fleet PRIVATE np_fleet)
 np_add_bench(bench_partition_hotpath bench/bench_partition_hotpath.cpp)
 # The --smoke gate also pins the service admission + pre-flight zero-cost
 # contract, so the bench links the service and analysis layers.

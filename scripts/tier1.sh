@@ -25,6 +25,13 @@
 #                               # `strict`) plus clang-tidy over src/ when
 #                               # clang-tidy is installed (the gcc-only CI
 #                               # image skips that half gracefully)
+#   scripts/tier1.sh --fleet    # Release build, then the fleet lockdown:
+#                               # the fleet unit suite, the 20-seed
+#                               # crash/failover chaos tier, the npcheck
+#                               # --fleet config lint (clean and NP-F
+#                               # rejection cases), and the bench_fleet
+#                               # --smoke gates (scaling, gossip
+#                               # convergence, warm failover)
 #
 # The release tier always ends with two gates:
 #   * npcheck over specs/ and the network presets -- the shipped artifacts
@@ -46,6 +53,7 @@ obs_stage=0
 bench_stage=0
 lint_stage=0
 batch_stage=0
+fleet_stage=0
 if [[ "$preset" == "--tsan" ]]; then
   preset="tsan"
 elif [[ "$preset" == "--obs" ]]; then
@@ -57,6 +65,9 @@ elif [[ "$preset" == "--bench" ]]; then
 elif [[ "$preset" == "--batch" ]]; then
   preset="release"
   batch_stage=1
+elif [[ "$preset" == "--fleet" ]]; then
+  preset="release"
+  fleet_stage=1
 elif [[ "$preset" == "--lint" ]]; then
   preset="strict"
   lint_stage=1
@@ -82,6 +93,28 @@ if [[ "$batch_stage" == 1 ]]; then
   echo "== batched perf smoke =="
   ./build/bench/bench_partition_hotpath --smoke >/dev/null
   echo "batch tier ok"
+  exit 0
+fi
+
+if [[ "$fleet_stage" == 1 ]]; then
+  # Focused lockdown of the multi-node fleet (DESIGN.md §12): unit suite,
+  # the 20-seed crash chaos tier, the fleet config lint from both sides
+  # of its exit contract, and the bench gates.  A subset of the release
+  # tier, for fast iteration on the fleet control plane.
+  echo "== fleet test stage =="
+  ./build/tests/test_fleet
+  ./build/tests/test_fleet_chaos
+  echo "== fleet lint stage =="
+  ./build/src/apps/npcheck --fleet nodes=4,replication=2 >/dev/null
+  if ./build/src/apps/npcheck --fleet nodes=2,replication=3 >/dev/null 2>&1
+  then
+    echo "npcheck --fleet accepted replication > nodes (NP-F001)" >&2
+    exit 1
+  fi
+  ./build/src/apps/fleetd nodes=4 replication=2 --check >/dev/null
+  echo "== fleet bench gates =="
+  ./build/bench/bench_fleet --smoke --json-out BENCH_fleet.json >/dev/null
+  echo "fleet tier ok"
   exit 0
 fi
 

@@ -1,0 +1,159 @@
+#include "analysis/fleet_lint.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace netpart::analysis {
+
+namespace {
+
+double parse_number(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw ConfigError("fleet config: " + key + "=" + value +
+                      " is not a number");
+  }
+  return v;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  int v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), v);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw ConfigError("fleet config: " + key + "=" + value +
+                      " is not an integer");
+  }
+  return v;
+}
+
+}  // namespace
+
+FleetLintConfig parse_fleet_config(const std::string& spec) {
+  FleetLintConfig config;
+  if (spec.empty()) return config;
+  for (const std::string& part : split(spec, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("fleet config: expected key=value, got '" + part +
+                        "'");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "nodes") {
+      config.nodes = parse_int(key, value);
+    } else if (key == "replication") {
+      config.replication = parse_int(key, value);
+    } else if (key == "vnodes") {
+      config.vnodes = parse_int(key, value);
+    } else if (key == "hot_threshold") {
+      config.hot_threshold = parse_int(key, value);
+    } else if (key == "heartbeat_ms") {
+      config.heartbeat_ms = parse_number(key, value);
+    } else if (key == "gossip_ms") {
+      config.gossip_ms = parse_number(key, value);
+    } else if (key == "suspect_ms") {
+      config.suspect_ms = parse_number(key, value);
+    } else if (key == "dead_ms") {
+      config.dead_ms = parse_number(key, value);
+    } else if (key == "forward_timeout_ms") {
+      config.forward_timeout_ms = parse_number(key, value);
+    } else {
+      throw ConfigError("fleet config: unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+void lint_fleet_config(const FleetLintConfig& config,
+                       const std::string& file, DiagnosticSink& sink) {
+  const SourceLoc loc{file, 0, 0};
+  if (config.nodes < 1) {
+    sink.error("NP-F002", loc,
+               "fleet needs at least one node (nodes=" +
+                   std::to_string(config.nodes) + ")");
+  }
+  if (config.replication < 1) {
+    sink.error("NP-F001", loc,
+               "replication factor must be >= 1 (replication=" +
+                   std::to_string(config.replication) + ")",
+               "an entry always has one copy: its owner");
+  } else if (config.nodes >= 1 && config.replication > config.nodes) {
+    sink.error("NP-F001", loc,
+               "replication factor " + std::to_string(config.replication) +
+                   " exceeds the fleet size " + std::to_string(config.nodes),
+               "the ring cannot place more distinct copies than nodes");
+  } else if (config.replication == 1 && config.nodes > 1) {
+    sink.warning("NP-F005", loc,
+                 "replication=1 on a multi-node fleet: no replicas, every "
+                 "failover restarts cold",
+                 "set replication >= 2 to get cache-warm failover");
+  }
+  if (config.vnodes < 1) {
+    sink.error("NP-F003", loc,
+               "vnodes must be >= 1 (vnodes=" +
+                   std::to_string(config.vnodes) + ")");
+  } else if (config.vnodes < 4) {
+    sink.warning("NP-F003", loc,
+                 "vnodes=" + std::to_string(config.vnodes) +
+                     " gives a coarse ring; per-node key share will be "
+                     "badly unbalanced",
+                 "use at least 4 (16 is the default)");
+  } else if (config.vnodes > 4096) {
+    sink.warning("NP-F003", loc,
+                 "vnodes=" + std::to_string(config.vnodes) +
+                     " bloats the ring for no balance gain");
+  }
+  if (config.hot_threshold < 1) {
+    sink.error("NP-F005", loc,
+               "hot threshold must be >= 1 (hot_threshold=" +
+                   std::to_string(config.hot_threshold) + ")");
+  }
+  const auto positive = [&](const char* name, double v) {
+    if (v <= 0.0) {
+      sink.error("NP-F004", loc,
+                 std::string(name) + " must be positive (got " +
+                     std::to_string(v) + " ms)");
+      return false;
+    }
+    return true;
+  };
+  const bool periods_ok = positive("heartbeat_ms", config.heartbeat_ms) &
+                          positive("gossip_ms", config.gossip_ms) &
+                          positive("suspect_ms", config.suspect_ms) &
+                          positive("dead_ms", config.dead_ms) &
+                          positive("forward_timeout_ms",
+                                   config.forward_timeout_ms);
+  if (periods_ok) {
+    if (config.dead_ms <= config.suspect_ms) {
+      sink.error("NP-F004", loc,
+                 "dead_ms must exceed suspect_ms (suspect_ms=" +
+                     std::to_string(config.suspect_ms) + ", dead_ms=" +
+                     std::to_string(config.dead_ms) + ")",
+                 "the Suspect state needs a non-empty window");
+    }
+    if (config.heartbeat_ms >= config.suspect_ms) {
+      sink.warning("NP-F006", loc,
+                   "heartbeat period " + std::to_string(config.heartbeat_ms) +
+                       " ms >= suspect threshold " +
+                       std::to_string(config.suspect_ms) +
+                       " ms: healthy peers will flap Suspect between beats",
+                   "keep heartbeat_ms well below suspect_ms (e.g. 3x)");
+    }
+  }
+}
+
+void require_fleet(const FleetLintConfig& config) {
+  DiagnosticSink sink;
+  lint_fleet_config(config, "<fleet>", sink);
+  if (!sink.clean()) {
+    throw InvalidArgument("fleet pre-flight checks failed:\n" +
+                          sink.render_text());
+  }
+}
+
+}  // namespace netpart::analysis

@@ -1,0 +1,61 @@
+// Static checks over fleet deployment configs (DESIGN.md §12).
+//
+// A fleet config is a handful of integers, but the failure modes of a bad
+// one are the quiet kind: a replication factor above the node count makes
+// every ring walk silently short, a heartbeat period above the suspect
+// threshold makes healthy peers flap Suspect forever, a dead threshold at
+// or below the suspect threshold skips the Suspect state entirely.  The
+// lint catches these before a fleet is ever started; apps/fleetd runs it
+// as its pre-flight and npcheck exposes it via --fleet.
+//
+// Codes:
+//   NP-F001  error    replication factor out of range (< 1 or > nodes)
+//   NP-F002  error    node count < 1
+//   NP-F003  error    vnodes < 1; warning when < 4 (per-node key share
+//                     too coarse to balance) or > 4096 (ring bloat)
+//   NP-F004  error    non-positive period/timeout, or peer thresholds
+//                     out of order (dead_ms <= suspect_ms)
+//   NP-F005  error    hot threshold < 1; warning when replication == 1 on
+//                     a multi-node fleet (no replicas: every failover is
+//                     cold, the hot-push machinery is dead weight)
+//   NP-F006  warning  heartbeat period >= suspect threshold (healthy
+//                     peers oscillate Alive/Suspect between beats)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+
+namespace netpart::analysis {
+
+/// The lint's view of a fleet deployment (mirrors fleet::FleetOptions
+/// plus the node count; plain numbers so analysis does not depend on the
+/// fleet library).
+struct FleetLintConfig {
+  int nodes = 1;
+  int replication = 2;
+  int vnodes = 16;
+  int hot_threshold = 3;
+  double heartbeat_ms = 100.0;
+  double gossip_ms = 50.0;
+  double suspect_ms = 300.0;
+  double dead_ms = 900.0;
+  double forward_timeout_ms = 250.0;
+};
+
+/// Parse "key=value[,key=value...]" (keys: nodes, replication, vnodes,
+/// hot_threshold, heartbeat_ms, gossip_ms, suspect_ms, dead_ms,
+/// forward_timeout_ms; unset keys keep defaults).  Throws ConfigError on
+/// unknown keys or malformed numbers.
+FleetLintConfig parse_fleet_config(const std::string& spec);
+
+/// Lint `config` into `sink`; `file` labels diagnostic locations.
+void lint_fleet_config(const FleetLintConfig& config,
+                       const std::string& file, DiagnosticSink& sink);
+
+/// Throws InvalidArgument carrying the rendered diagnostics when the lint
+/// finds errors (warnings pass).  The fleetd pre-flight.
+void require_fleet(const FleetLintConfig& config);
+
+}  // namespace netpart::analysis

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "analysis/fleet_lint.hpp"
 #include "analysis/model_lint.hpp"
 #include "analysis/net_lint.hpp"
 #include "analysis/spec_lint.hpp"
@@ -18,6 +19,10 @@ constexpr const char* kUsage =
     "  --json            machine-readable diagnostics\n"
     "  --network NAME    lint a preset: paper|fig1|coercion|metasystem\n"
     "  --model PATH      lint a saved cost model against --network\n"
+    "  --fleet SPEC      lint a fleet config (key=value[,...]; keys:\n"
+    "                    nodes, replication, vnodes, hot_threshold,\n"
+    "                    heartbeat_ms, gossip_ms, suspect_ms, dead_ms,\n"
+    "                    forward_timeout_ms)\n"
     "  --strict          treat warnings as errors\n";
 
 Network preset_network(const std::string& name) {
@@ -37,6 +42,8 @@ NpcheckResult run_npcheck(const std::vector<std::string>& args,
   bool strict = false;
   std::string network;
   std::string model;
+  std::string fleet;
+  bool fleet_given = false;
   std::vector<std::string> specs;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -60,6 +67,11 @@ NpcheckResult run_npcheck(const std::vector<std::string>& args,
       const std::string* v = take_value("--model");
       if (v == nullptr) return NpcheckResult{2, {}};
       model = *v;
+    } else if (arg == "--fleet") {
+      const std::string* v = take_value("--fleet");
+      if (v == nullptr) return NpcheckResult{2, {}};
+      fleet = *v;
+      fleet_given = true;
     } else if (arg == "--help" || arg == "-h") {
       out << kUsage;
       return NpcheckResult{0, {}};
@@ -71,7 +83,7 @@ NpcheckResult run_npcheck(const std::vector<std::string>& args,
     }
   }
 
-  if (specs.empty() && network.empty() && model.empty()) {
+  if (specs.empty() && network.empty() && model.empty() && !fleet_given) {
     err << "npcheck: nothing to check\n" << kUsage;
     return NpcheckResult{2, {}};
   }
@@ -85,6 +97,15 @@ NpcheckResult run_npcheck(const std::vector<std::string>& args,
   NpcheckResult result;
   for (const std::string& spec : specs) {
     lint_spec_file(spec, result.sink);
+  }
+  if (fleet_given) {
+    try {
+      const FleetLintConfig config = parse_fleet_config(fleet);
+      lint_fleet_config(config, "<fleet:" + fleet + ">", result.sink);
+    } catch (const Error& e) {
+      err << "npcheck: " << e.what() << '\n';
+      return NpcheckResult{2, std::move(result.sink)};
+    }
   }
   if (!network.empty()) {
     try {

@@ -1,0 +1,61 @@
+// Deterministic fleet workloads (the engine behind apps/fleetd and
+// bench_fleet).
+//
+// A workload is an open-loop arrival process: request k enters the fleet
+// at k * arrival_period, at an entry node chosen round-robin over the
+// nodes alive at that moment (a client retrying a different frontend).
+// Request shapes are drawn zipf-skewed from a small universe, so a hot
+// head of keys crosses the replication threshold while the tail stays
+// cold -- the regime where replicated caches matter.
+//
+// Everything runs on the discrete-event engine: run_workload() steps the
+// engine until every submitted request has completed (the fleet's
+// periodic control loops keep the event queue non-empty forever, so
+// "queue drained" is never the stop condition).
+#pragma once
+
+#include <cstdint>
+
+#include "fleet/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace netpart::fleet {
+
+struct WorkloadOptions {
+  int requests = 200;
+  /// Distinct request shapes (the zipf universe).
+  int distinct_keys = 32;
+  /// Zipf skew exponent (1.0+ concentrates on a hot head).
+  double zipf_s = 1.1;
+  SimTime arrival_period = SimTime::micros(400);
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t hit_replies = 0;  ///< replies served from a cache
+  int max_failovers = 0;          ///< worst failover chain on one request
+  /// First arrival to last completion, simulated.
+  SimTime elapsed = SimTime::zero();
+  double rps = 0.0;  ///< ok / elapsed, simulated requests per second
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+/// The canonical request shape for zipf index `key_index` (a stencil
+/// partition whose problem size encodes the index, so distinct indices
+/// produce distinct routing keys).
+svc::PartitionRequest workload_request(int key_index);
+
+/// A deterministic cold path for fleet drivers: decision shape derived
+/// from the request alone (no estimator run -- the modelled cost lives in
+/// FleetOptions::cold_service).
+Fleet::ColdPath synthetic_cold_path(const Network& net);
+
+/// Run `options.requests` arrivals through a started fleet; returns when
+/// the last one completes.  Deterministic for a given (fleet, options).
+WorkloadResult run_workload(Fleet& fleet, const WorkloadOptions& options);
+
+}  // namespace netpart::fleet

@@ -1,0 +1,50 @@
+#include "fleet/node.hpp"
+
+#include <algorithm>
+
+namespace netpart::fleet {
+
+FleetNode::FleetNode(NodeId id, const std::vector<NodeId>& nodes,
+                     SimTime now, const PeerTableOptions& peer_options,
+                     const NodeOptions& options)
+    : id_(id),
+      options_(options),
+      peers_(nodes, id, now, peer_options),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+bool FleetNode::observe_epoch(std::uint64_t epoch) {
+  if (epoch <= epoch_) return false;
+  epoch_ = epoch;
+  cache_.invalidate_before(epoch);
+  hits_.clear();
+  return true;
+}
+
+const HashRing& FleetNode::ring() {
+  if (ring_version_ != peers_.version()) {
+    ring_ = HashRing(peers_.ring_members(), options_.vnodes);
+    ring_version_ = peers_.version();
+  }
+  return ring_;
+}
+
+bool FleetNode::record_hit(std::uint64_t cache_key,
+                           std::uint64_t routing_key) {
+  HotStat& stat = hits_[cache_key];
+  stat.routing_key = routing_key;
+  return ++stat.count == options_.hot_threshold;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> FleetNode::hot_entries()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  for (const auto& [key, stat] : hits_) {
+    if (stat.count >= options_.hot_threshold) {
+      entries.emplace_back(key, stat.routing_key);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace netpart::fleet

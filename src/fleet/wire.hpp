@@ -1,0 +1,104 @@
+// Wire format of the fleet control plane (see DESIGN.md §12).
+//
+// Fleet messages ride MMPS payloads, so -- like every payload in this
+// system -- they are explicit little-endian byte sequences with
+// length-prefixed variable fields, not memcpy'd structs: the bytes a node
+// emits must decode identically on any peer regardless of host endianness
+// or width, and the *size* of the encoding is what the simulator charges
+// the channel for, so encoded size is part of the modelled cost.
+//
+// Four messages:
+//   Heartbeat   {from, epoch}          -- liveness + piggybacked epoch
+//   Gossip      {from, epoch}          -- ring-wise epoch propagation
+//   Forward     {key, reply_tag, req}  -- a request relayed to its owner
+//   Replicate   {decision}             -- a hot decision pushed to replicas
+//
+// Forward replies reuse the Replicate decision encoding plus a status
+// byte.  Decisions travel with partition/config/placement so a replica's
+// copy is served verbatim after a failover, not recomputed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fleet/hash_ring.hpp"
+#include "svc/cache.hpp"
+#include "svc/request.hpp"
+
+namespace netpart::fleet {
+
+/// Little-endian byte writer mirroring util/hash's serialisation rules
+/// (fixed widths, length-prefixed strings/vectors).
+class WireWriter {
+ public:
+  WireWriter& u8(std::uint8_t v);
+  WireWriter& u32(std::uint32_t v);
+  WireWriter& u64(std::uint64_t v);
+  WireWriter& i32(std::int32_t v);
+  WireWriter& i64(std::int64_t v);
+  WireWriter& f64(double v);
+  WireWriter& str(std::string_view s);
+
+  std::vector<std::byte> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked reader; throws InvalidArgument on truncated payloads
+/// (a malformed fleet message is a peer bug, not a crash).
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::byte>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::byte>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// --- message bodies -------------------------------------------------------
+
+/// Heartbeat and gossip share one body: the sender and the newest
+/// availability epoch it has observed.
+struct EpochAnnounce {
+  NodeId from = -1;
+  std::uint64_t epoch = 0;
+};
+
+std::vector<std::byte> encode_announce(const EpochAnnounce& announce);
+EpochAnnounce decode_announce(const std::vector<std::byte>& bytes);
+
+/// A request relayed from the node a client happened to contact to the
+/// key's owner.  `reply_tag` is the per-forward MMPS tag the relay waits
+/// on; `routing_key` pins both sides to the same ring decision.
+struct ForwardEnvelope {
+  NodeId from = -1;
+  std::uint64_t routing_key = 0;
+  std::int32_t reply_tag = 0;
+  svc::PartitionRequest request;
+};
+
+std::vector<std::byte> encode_forward(const ForwardEnvelope& envelope);
+ForwardEnvelope decode_forward(const std::vector<std::byte>& bytes);
+
+/// A full decision (replication push, or the payload of a forward reply).
+std::vector<std::byte> encode_decision(const svc::PartitionDecision& d);
+svc::PartitionDecision decode_decision(const std::vector<std::byte>& bytes);
+void encode_decision_into(WireWriter& w, const svc::PartitionDecision& d);
+svc::PartitionDecision decode_decision_from(WireReader& r);
+
+}  // namespace netpart::fleet

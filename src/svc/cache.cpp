@@ -93,6 +93,16 @@ std::size_t DecisionCache::size() const {
   return total;
 }
 
+std::vector<DecisionCache::ShardSnapshot> DecisionCache::shard_stats() const {
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    snapshots.push_back(ShardSnapshot{shard->index.size(), shard->stats});
+  }
+  return snapshots;
+}
+
 DecisionCache::Stats DecisionCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {

@@ -72,6 +72,21 @@ class DecisionCache {
   std::size_t size() const;
   Stats stats() const;
 
+  /// One shard's live occupancy and counters (index = shard number).
+  struct ShardSnapshot {
+    std::size_t size = 0;
+    Stats stats;
+  };
+
+  /// Per-shard snapshots, in shard order.  Exposes skew that the summed
+  /// stats() hides: a pathological key family landing on one shard shows
+  /// up as one outsized size/eviction row here.
+  std::vector<ShardSnapshot> shard_stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Per-shard entry budget (capacity / shards, rounded up).
+  std::size_t shard_capacity() const { return shard_capacity_; }
+
  private:
   struct Entry {
     std::uint64_t key;

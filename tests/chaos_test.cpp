@@ -30,6 +30,7 @@
 #include "exec/executor.hpp"
 #include "mmps/manager_protocol.hpp"
 #include "net/availability.hpp"
+#include "net/builder.hpp"
 #include "net/presets.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/sim_bridge.hpp"
@@ -360,6 +361,47 @@ TEST(FaultTolerantProtocolTest, SurvivesTransientFlapViaRetry) {
   EXPECT_EQ(result.snapshot.available[0], managers[0].available(net));
   EXPECT_EQ(result.snapshot.available[1], managers[1].available(net));
   EXPECT_GE(result.elapsed, SimTime::millis(150));
+}
+
+TEST(FaultTolerantProtocolTest, TwoAdjacentDeathsInOneTokenRoundBothReported) {
+  // Two managers that are consecutive in token order crash before the
+  // round starts.  The initiator must ride out max_attempts timeouts for
+  // EACH of them back to back -- the second probe starts from a state where
+  // a peer was just declared dead -- and the final report must name both,
+  // with the survivors' availability intact.  This is the exact shape the
+  // fleet's report_dead_peers consumes after a multi-node outage.
+  NetworkBuilder b;
+  b.add_cluster("a", presets::sparc2(), 2);
+  b.add_cluster("b", presets::sparc2(), 2);
+  b.add_cluster("c", presets::sparc2(), 2);
+  b.add_cluster("d", presets::sparc2(), 2);
+  const Network net = b.build();
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back({SimTime::zero(), ProcessorRef{1, 0}});
+  plan.crashes.push_back({SimTime::zero(), ProcessorRef{2, 0}});
+
+  sim::Engine engine;
+  sim::NetSim sim(engine, net, {}, Rng(7));
+  sim::FaultInjector injector(sim, plan);
+  injector.arm();
+
+  const std::vector<ClusterManager> managers = make_managers(net, {});
+  mmps::ProtocolOptions options;
+  options.ack_timeout = SimTime::millis(100);
+  options.max_attempts = 3;
+  const mmps::ProtocolResult result =
+      mmps::run_fault_tolerant_protocol(sim, managers, options);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.dead, (std::vector<ClusterId>{1, 2}));
+  EXPECT_EQ(result.snapshot.available[1], 0);
+  EXPECT_EQ(result.snapshot.available[2], 0);
+  EXPECT_EQ(result.snapshot.available[0], managers[0].available(net));
+  EXPECT_EQ(result.snapshot.available[3], managers[3].available(net));
+  // Each death costs its own max_attempts ack timeouts; they cannot be
+  // amortised into one detection.
+  EXPECT_GE(result.elapsed, options.ack_timeout * 6.0);
 }
 
 TEST(FaultTolerantProtocolTest, BudgetBoundsARunThatCannotComplete) {

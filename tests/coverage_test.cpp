@@ -4,6 +4,10 @@
 // cases.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 #include "apps/reduce.hpp"
 #include "apps/stencil.hpp"
 #include "bench/common.hpp"
@@ -215,6 +219,82 @@ TEST(SpeedupGateCoverage, SmokeRunsSkipAndFullRunsGateAtEightTenthsPerThread) {
   EXPECT_STREQ(bench::to_string(SpeedupGate::Fail), "fail");
   EXPECT_STREQ(bench::to_string(SpeedupGate::SkippedSmoke),
                "skipped_smoke");
+}
+
+/// RAII guard so env-var tests cannot leak state into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(SpeedupGateCoverage, EvaluationUsesOneCodePathForSkipAndGate) {
+  // evaluate_parallel_speedup is the single entry the hotpath bench uses:
+  // the verdict, the inputs it was derived from, and the console/JSON
+  // spelling all come from one evaluation, so a skip can never be
+  // mis-reported as a pass (or vice versa) by duplicated logic.
+  using bench::SpeedupGate;
+  ScopedEnv env("NETPART_HW_CONCURRENCY", "8");
+  const bench::SpeedupEvaluation full =
+      bench::evaluate_parallel_speedup(/*smoke=*/false, /*threads=*/4, 3.3);
+  EXPECT_EQ(full.gate, SpeedupGate::Pass);
+  EXPECT_EQ(full.hardware_concurrency, 8u);
+  EXPECT_EQ(full.effective_threads, 4);
+  EXPECT_DOUBLE_EQ(full.required, 0.8 * 4);
+  EXPECT_TRUE(full.ok);
+
+  const bench::SpeedupEvaluation fail =
+      bench::evaluate_parallel_speedup(false, 4, 3.1);
+  EXPECT_EQ(fail.gate, SpeedupGate::Fail);
+  EXPECT_FALSE(fail.ok);
+
+  // Smoke skips, and a skip is not a failure.
+  const bench::SpeedupEvaluation smoke =
+      bench::evaluate_parallel_speedup(true, 4, 0.0);
+  EXPECT_EQ(smoke.gate, SpeedupGate::SkippedSmoke);
+  EXPECT_TRUE(smoke.ok);
+}
+
+TEST(SpeedupGateCoverage, SingleCoreEnvOverrideForcesTheSkipEscapeHatch) {
+  // NETPART_HW_CONCURRENCY pins the detected core count so the
+  // single-core escape hatch is testable on any CI host.
+  using bench::SpeedupGate;
+  ScopedEnv env("NETPART_HW_CONCURRENCY", "1");
+  EXPECT_EQ(bench::detected_hardware_concurrency(), 1u);
+  const bench::SpeedupEvaluation eval =
+      bench::evaluate_parallel_speedup(/*smoke=*/false, /*threads=*/4, 0.1);
+  EXPECT_EQ(eval.gate, SpeedupGate::SkippedSingleCore);
+  EXPECT_TRUE(eval.ok) << "skipped_single_core must not fail the bench";
+  EXPECT_EQ(eval.hardware_concurrency, 1u);
+  EXPECT_EQ(eval.effective_threads, 1);
+  // Single-core outranks smoke: the skip reason names the real blocker.
+  EXPECT_EQ(bench::evaluate_parallel_speedup(true, 4, 4.0).gate,
+            SpeedupGate::SkippedSingleCore);
+}
+
+TEST(SpeedupGateCoverage, MalformedConcurrencyOverrideFallsBackToHardware) {
+  const unsigned real = std::thread::hardware_concurrency();
+  for (const char* bad : {"", "abc", "4x", "-2", "0", "1000000"}) {
+    ScopedEnv env("NETPART_HW_CONCURRENCY", bad);
+    EXPECT_EQ(bench::detected_hardware_concurrency(), real)
+        << "override '" << bad << "' should be rejected";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,634 @@
+// Fleet subsystem tests (DESIGN.md §12): consistent-hash ring, per-node
+// peer health, the wire format, epoch adoption, and the full MMPS control
+// plane (gossip convergence, forwarding, hot replication, warm failover)
+// on the deterministic simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/fleet_lint.hpp"
+#include "fleet/driver.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/hash_ring.hpp"
+#include "fleet/node.hpp"
+#include "fleet/peer_table.hpp"
+#include "fleet/wire.hpp"
+#include "mmps/manager_protocol.hpp"
+#include "net/availability.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netpart {
+namespace {
+
+using fleet::HashRing;
+using fleet::NodeId;
+using fleet::PeerHealth;
+using fleet::PeerTable;
+
+// ------------------------------------------------------------- hash ring
+
+TEST(HashRingTest, SameInputsSameRing) {
+  const HashRing a({0, 1, 2, 3}, 16);
+  const HashRing b({3, 2, 1, 0}, 16);  // construction order is irrelevant
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    EXPECT_EQ(a.owner(key), b.owner(key));
+    EXPECT_EQ(a.replicas(key, 3), b.replicas(key, 3));
+  }
+}
+
+TEST(HashRingTest, OwnershipIsRoughlyBalanced) {
+  // FNV-1a alone lattices vnodes of one node together (one node of four
+  // owned ~90% of the space before the avalanche finalizer); this test
+  // pins the fix.  With 16 vnodes/node the split is coarse, so the floor
+  // is deliberately loose: every node owns at least half its fair share.
+  const int kNodes = 4, kKeys = 20000;
+  const HashRing ring({0, 1, 2, 3}, 16);
+  std::map<NodeId, int> owned;
+  Rng rng(2);
+  for (int i = 0; i < kKeys; ++i) owned[ring.owner(rng.next_u64())]++;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_GT(owned[n], kKeys / (2 * kNodes))
+        << "node " << n << " owns " << owned[n] << "/" << kKeys;
+  }
+}
+
+TEST(HashRingTest, RemovingANodeOnlyMovesItsOwnKeys) {
+  // The property consistent hashing exists for: keys owned by survivors
+  // keep their owner when a node leaves the ring.
+  const HashRing full({0, 1, 2, 3}, 16);
+  const HashRing without2({0, 1, 3}, 16);
+  Rng rng(3);
+  int moved = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const NodeId before = full.owner(key);
+    const NodeId after = without2.owner(key);
+    if (before != 2) {
+      EXPECT_EQ(after, before) << "survivor-owned key reassigned";
+    } else {
+      EXPECT_NE(after, 2);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0) << "node 2 owned nothing; balance is broken";
+}
+
+TEST(HashRingTest, ReplicasAreDistinctAndStartAtTheOwner) {
+  const HashRing ring({0, 1, 2, 3}, 16);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::vector<NodeId> reps = ring.replicas(key, 3);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], ring.owner(key));
+    EXPECT_EQ(std::set<NodeId>(reps.begin(), reps.end()).size(), 3u);
+  }
+}
+
+TEST(HashRingTest, ReplicationAboveNodeCountSaturatesAtAllNodes) {
+  const HashRing ring({5, 9}, 8);
+  const std::vector<NodeId> reps = ring.replicas(42, 6);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(std::set<NodeId>(reps.begin(), reps.end()),
+            (std::set<NodeId>{5, 9}));
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverythingAndWrapIsCovered) {
+  const HashRing ring({7}, 4);
+  Rng rng(5);
+  bool wrapped = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    EXPECT_EQ(ring.owner(key), 7);
+    // lower_bound_index returning 0 covers both "before the first point"
+    // and the wrap past the last point.
+    wrapped = wrapped || ring.lower_bound_index(key) == 0;
+  }
+  EXPECT_TRUE(wrapped);
+}
+
+TEST(HashRingTest, RejectsDuplicateNodesAndEmptyLookups) {
+  EXPECT_THROW(HashRing({1, 1}, 4), Error);
+  EXPECT_THROW(HashRing({0, 1}, 0), Error);
+  const HashRing empty({}, 4);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.owner(1), Error);
+  const HashRing ring({0, 1}, 4);
+  EXPECT_THROW(ring.replicas(1, 0), Error);
+}
+
+// ------------------------------------------------------------ peer table
+
+TEST(PeerTableTest, SilenceWalksAliveSuspectDead) {
+  PeerTable t({0, 1, 2}, /*self=*/0, SimTime::zero());
+  EXPECT_EQ(t.health(1), PeerHealth::Alive);
+  t.tick(SimTime::millis(200));
+  EXPECT_EQ(t.health(1), PeerHealth::Alive);
+  t.tick(SimTime::millis(400));  // past suspect_after = 300ms
+  EXPECT_EQ(t.health(1), PeerHealth::Suspect);
+  EXPECT_EQ(t.health(2), PeerHealth::Suspect);
+  t.tick(SimTime::millis(1000));  // past dead_after = 900ms
+  EXPECT_EQ(t.health(1), PeerHealth::Dead);
+  EXPECT_EQ(t.alive_count(), 1);  // self only
+  EXPECT_EQ(t.dead_count(), 2);
+}
+
+TEST(PeerTableTest, HeartbeatRevivesASuspectButNeverADeadPeer) {
+  PeerTable t({0, 1}, 0, SimTime::zero());
+  t.tick(SimTime::millis(400));
+  EXPECT_EQ(t.health(1), PeerHealth::Suspect);
+  t.record_heartbeat(1, SimTime::millis(450));
+  EXPECT_EQ(t.health(1), PeerHealth::Alive);
+
+  t.tick(SimTime::millis(1400));  // silent again for > dead_after
+  EXPECT_EQ(t.health(1), PeerHealth::Dead);
+  t.record_heartbeat(1, SimTime::millis(1500));
+  EXPECT_EQ(t.health(1), PeerHealth::Dead) << "fail-stop: no resurrection";
+}
+
+TEST(PeerTableTest, ReportDeadSkipsTheSuspicionWindowAndIsIdempotent) {
+  PeerTable t({0, 1, 2}, 0, SimTime::zero());
+  t.report_dead(2);
+  EXPECT_EQ(t.health(2), PeerHealth::Dead);
+  const std::uint64_t v = t.version();
+  t.report_dead(2);  // idempotent: no second transition
+  EXPECT_EQ(t.version(), v);
+  t.report_dead(0);  // self-reports are ignored
+  EXPECT_EQ(t.health(0), PeerHealth::Alive);
+}
+
+TEST(PeerTableTest, VersionBumpsOnTransitionsOnly) {
+  PeerTable t({0, 1}, 0, SimTime::zero());
+  const std::uint64_t v0 = t.version();
+  t.record_heartbeat(1, SimTime::millis(10));  // alive -> alive: no bump
+  EXPECT_EQ(t.version(), v0);
+  t.tick(SimTime::millis(400));  // -> suspect
+  const std::uint64_t v1 = t.version();
+  EXPECT_GT(v1, v0);
+  t.tick(SimTime::millis(401));  // suspect -> suspect: no bump
+  EXPECT_EQ(t.version(), v1);
+  t.record_heartbeat(1, SimTime::millis(500));  // -> alive
+  EXPECT_GT(t.version(), v1);
+}
+
+TEST(PeerTableTest, RingMembersExcludeTheDeadAndIncludeSelf) {
+  PeerTable t({0, 1, 2, 3}, 1, SimTime::zero());
+  t.report_dead(3);
+  t.tick(SimTime::millis(400));  // 0, 2 suspect; suspects stay in the ring
+  EXPECT_EQ(t.ring_members(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+// ------------------------------------------------------------ wire format
+
+TEST(FleetWireTest, ScalarRoundTripAndCanonicalFloats) {
+  fleet::WireWriter w;
+  w.u8(0xab).u32(0xdeadbeef).u64(0x0123456789abcdefULL).i32(-7).i64(-1)
+      .f64(-0.0).f64(std::numeric_limits<double>::quiet_NaN()).str("ring");
+  const std::vector<std::byte> bytes = w.take();
+  fleet::WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.i64(), -1);
+  const double zero = r.f64();
+  EXPECT_EQ(zero, 0.0);
+  EXPECT_FALSE(std::signbit(zero)) << "-0.0 must canonicalise to +0.0";
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_EQ(r.str(), "ring");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(FleetWireTest, TruncatedPayloadsThrowInsteadOfReadingGarbage) {
+  fleet::WireWriter w;
+  w.u64(12345).str("hello");
+  std::vector<std::byte> bytes = w.take();
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{4},
+                                bytes.size() - 1}) {
+    std::vector<std::byte> cut_bytes(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+    fleet::WireReader r(cut_bytes);
+    EXPECT_THROW((void)(r.u64(), r.str()), Error) << "cut at " << cut;
+  }
+}
+
+TEST(FleetWireTest, AnnounceAndForwardRoundTrip) {
+  const fleet::EpochAnnounce a{/*from=*/3, /*epoch=*/41};
+  const fleet::EpochAnnounce a2 = fleet::decode_announce(
+      fleet::encode_announce(a));
+  EXPECT_EQ(a2.from, 3);
+  EXPECT_EQ(a2.epoch, 41u);
+
+  fleet::ForwardEnvelope f;
+  f.from = 2;
+  f.routing_key = 0x1122334455667788ULL;
+  f.reply_tag = 77;
+  f.request = fleet::workload_request(9);
+  f.request.rate_milli = {1000, 2500};
+  const fleet::ForwardEnvelope f2 = fleet::decode_forward(
+      fleet::encode_forward(f));
+  EXPECT_EQ(f2.from, 2);
+  EXPECT_EQ(f2.routing_key, f.routing_key);
+  EXPECT_EQ(f2.reply_tag, 77);
+  EXPECT_EQ(f2.request.rate_milli, f.request.rate_milli);
+  // The decoded request must hash to the original's key (the forward
+  // contract: both sides compute identical cache keys).
+  EXPECT_EQ(svc::request_key(f2.request, 5, 1),
+            svc::request_key(f.request, 5, 1));
+}
+
+TEST(FleetWireTest, DecisionRoundTripPreservesEverythingServed) {
+  svc::PartitionDecision d;
+  d.key = 0xfeedface;
+  d.epoch = 6;
+  d.partition = PartitionVector(std::vector<std::int64_t>{30, 20, 10});
+  d.config = {2, 1};
+  d.placement = {{0, 0}, {0, 1}, {1, 0}};
+  d.t_c_ms = 12.25;
+  d.evaluations = 99;
+  const svc::PartitionDecision d2 = fleet::decode_decision(
+      fleet::encode_decision(d));
+  EXPECT_EQ(d2.key, d.key);
+  EXPECT_EQ(d2.epoch, 6u);
+  EXPECT_EQ(d2.partition.to_string(), d.partition.to_string());
+  EXPECT_EQ(d2.config, d.config);
+  EXPECT_EQ(d2.placement, d.placement);
+  EXPECT_DOUBLE_EQ(d2.t_c_ms, 12.25);
+  EXPECT_EQ(d2.evaluations, 99u);
+}
+
+// ------------------------------------------------------------- fleet node
+
+TEST(FleetNodeTest, AdoptingANewerEpochPurgesCacheAndHeat) {
+  fleet::NodeOptions options;
+  options.hot_threshold = 2;
+  fleet::FleetNode node(0, {0, 1}, SimTime::zero(), {}, options);
+  auto d = std::make_shared<svc::PartitionDecision>();
+  d->key = 11;
+  d->epoch = node.epoch();
+  node.cache().insert(d);
+  EXPECT_FALSE(node.record_hit(11, 101));
+  EXPECT_TRUE(node.record_hit(11, 101)) << "threshold crossing replicates";
+  EXPECT_FALSE(node.record_hit(11, 101)) << "only the crossing, only once";
+  ASSERT_EQ(node.hot_entries().size(), 1u);
+
+  EXPECT_FALSE(node.observe_epoch(node.epoch())) << "same epoch: no adopt";
+  EXPECT_TRUE(node.observe_epoch(node.epoch() + 1));
+  EXPECT_EQ(node.cache().size(), 0u) << "stale entries purged";
+  EXPECT_TRUE(node.hot_entries().empty()) << "stale heat reset";
+}
+
+TEST(FleetNodeTest, RingRebuildsWhenThePeerTableTransitions) {
+  fleet::FleetNode node(0, {0, 1, 2}, SimTime::zero(), {}, {});
+  EXPECT_EQ(node.ring().num_nodes(), 3);
+  node.peers().report_dead(2);
+  EXPECT_EQ(node.ring().num_nodes(), 2) << "dead peer left the ring";
+  EXPECT_EQ(node.ring().nodes(), (std::vector<NodeId>{0, 1}));
+}
+
+// ------------------------------------------- decision cache (satellite)
+
+TEST(DecisionCacheShardTest, ShardSnapshotsSumToTheGlobalView) {
+  svc::DecisionCache cache(/*capacity=*/64, /*shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4);
+  EXPECT_EQ(cache.shard_capacity(), 16u);
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    auto d = std::make_shared<svc::PartitionDecision>();
+    d->key = k * 0x9e3779b97f4a7c15ULL;  // spread across shards
+    d->epoch = 1;
+    cache.insert(d);
+    if (k % 2 == 0) EXPECT_NE(cache.lookup(d->key), nullptr);
+  }
+  (void)cache.lookup(0xdead);  // one global miss
+
+  const std::vector<svc::DecisionCache::ShardSnapshot> shards =
+      cache.shard_stats();
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t total_size = 0;
+  std::uint64_t total_hits = 0, total_misses = 0;
+  int populated = 0;
+  for (const auto& s : shards) {
+    EXPECT_LE(s.size, cache.shard_capacity());
+    total_size += s.size;
+    total_hits += s.stats.hits;
+    total_misses += s.stats.misses;
+    if (s.size > 0) ++populated;
+  }
+  EXPECT_EQ(total_size, cache.size());
+  EXPECT_EQ(total_hits, cache.stats().hits);
+  EXPECT_EQ(total_misses, cache.stats().misses);
+  EXPECT_EQ(total_hits, 20u);
+  EXPECT_GE(populated, 2) << "well-spread keys must touch several shards";
+}
+
+// --------------------------------------------------------- fleet on MMPS
+
+struct FleetBed {
+  Network net;
+  sim::Engine engine;
+  sim::NetSim sim;
+  fleet::Fleet fl;
+
+  explicit FleetBed(int nodes, fleet::FleetOptions options = {},
+                    std::uint64_t seed = 1)
+      : net(fleet::make_fleet_network(nodes)),
+        sim(engine, net, sim::NetSimParams{}, Rng(seed)),
+        fl(sim, options, fleet::synthetic_cold_path(net)) {
+    fl.start();
+  }
+  ~FleetBed() { fl.stop(); }
+};
+
+/// Step until `done` returns true or `max_steps` engine events elapse.
+template <typename Pred>
+bool step_until(sim::Engine& engine, Pred done, int max_steps = 200000) {
+  for (int i = 0; i < max_steps; ++i) {
+    if (done()) return true;
+    if (!engine.step()) return done();
+  }
+  return done();
+}
+
+TEST(FleetTest, EpochGossipConvergesWithinTwoNRounds) {
+  for (const int nodes : {2, 4, 8}) {
+    fleet::FleetOptions options;
+    // Quiesce heartbeats so convergence is attributable to the gossip
+    // ring alone (heartbeats piggyback epochs and only accelerate).
+    options.heartbeat_period = SimTime::seconds(100);
+    options.peer.suspect_after = SimTime::seconds(300);
+    options.peer.dead_after = SimTime::seconds(600);
+    FleetBed bed(nodes, options);
+    const std::uint64_t epoch = 7;
+    bed.fl.announce_epoch(0, epoch);
+    const auto converged = [&] {
+      for (NodeId id : bed.fl.node_ids()) {
+        if (bed.fl.node(id).epoch() != epoch) return false;
+      }
+      return true;
+    };
+    EXPECT_TRUE(step_until(bed.engine, converged));
+    EXPECT_LE(bed.fl.stats().gossip_rounds,
+              2 * static_cast<std::uint64_t>(nodes))
+        << nodes << " nodes";
+  }
+}
+
+TEST(FleetTest, NonOwnerEntryForwardsAndOwnerEntryServesLocally) {
+  FleetBed bed(4);
+  const svc::PartitionRequest req = fleet::workload_request(1);
+  const NodeId owner =
+      bed.fl.node(0).ring().owner(bed.fl.routing_key(req));
+  const NodeId not_owner = (owner + 1) % 4;
+
+  fleet::FleetReply last;
+  int replies = 0;
+  const auto done = [&](const fleet::FleetReply& r) {
+    last = r;
+    ++replies;
+  };
+  bed.fl.submit(req, not_owner, done);
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 1; }));
+  EXPECT_TRUE(last.ok);
+  EXPECT_FALSE(last.cache_hit) << "first sight of the key: a cold compute";
+  EXPECT_EQ(last.served_by, owner);
+  EXPECT_EQ(bed.fl.stats().forwards, 1u);
+  EXPECT_GT(last.latency, SimTime::zero());
+
+  bed.fl.submit(req, owner, done);
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 2; }));
+  EXPECT_TRUE(last.ok);
+  EXPECT_TRUE(last.cache_hit) << "owner cached the forwarded compute";
+  EXPECT_EQ(bed.fl.stats().forwards, 1u) << "owner entry never forwards";
+  EXPECT_EQ(bed.fl.stats().local_serves, 1u);
+}
+
+TEST(FleetTest, HotKeysReplicateAtTheThresholdAndWarmTheReplicas) {
+  fleet::FleetOptions options;
+  options.replication = 2;
+  options.node.hot_threshold = 2;
+  FleetBed bed(4, options);
+  const svc::PartitionRequest req = fleet::workload_request(2);
+  const std::uint64_t rk = bed.fl.routing_key(req);
+  const std::vector<NodeId> reps = bed.fl.node(0).ring().replicas(rk, 2);
+
+  int replies = 0;
+  const auto done = [&](const fleet::FleetReply&) { ++replies; };
+  // 1 cold + hot_threshold hits at the owner crosses the threshold once.
+  for (int i = 0; i < 3; ++i) bed.fl.submit(req, reps[0], done);
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 3; }));
+  ASSERT_TRUE(step_until(bed.engine, [&] {
+    return bed.fl.stats().replica_inserts >= 1;
+  }));
+  EXPECT_EQ(bed.fl.stats().replications_pushed, 1u);
+  EXPECT_EQ(bed.fl.stats().replica_inserts, 1u);
+
+  // The replica now answers for the owner's key without forwarding.
+  const std::uint64_t cache_key =
+      svc::request_key(req, bed.fl.signature(), bed.fl.node(reps[1]).epoch());
+  EXPECT_NE(bed.fl.node(reps[1]).cache().peek(cache_key), nullptr);
+  EXPECT_EQ(bed.fl.warm_fraction_for(reps[0]), 1.0);
+
+  const std::uint64_t forwards_before = bed.fl.stats().forwards;
+  bed.fl.submit(req, reps[1], done);
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 4; }));
+  EXPECT_EQ(bed.fl.stats().forwards, forwards_before)
+      << "warm replica serves without a forward hop";
+  EXPECT_EQ(bed.fl.stats().replica_serves, 1u);
+}
+
+TEST(FleetTest, StaleReplicationPushesAreDroppedByNewerEpochs) {
+  fleet::FleetOptions options;
+  options.replication = 2;
+  options.node.hot_threshold = 1;
+  // Quiesce heartbeats/gossip so the replica's epoch stays ahead.
+  options.heartbeat_period = SimTime::seconds(100);
+  options.gossip_period = SimTime::seconds(100);
+  options.peer.suspect_after = SimTime::seconds(300);
+  options.peer.dead_after = SimTime::seconds(600);
+  FleetBed bed(4, options);
+  const svc::PartitionRequest req = fleet::workload_request(3);
+  const std::vector<NodeId> reps =
+      bed.fl.node(0).ring().replicas(bed.fl.routing_key(req), 2);
+  // The replica has already adopted a newer epoch than the owner.
+  ASSERT_TRUE(bed.fl.node(reps[1]).observe_epoch(
+      bed.fl.node(reps[0]).epoch() + 1));
+
+  int replies = 0;
+  const auto done = [&](const fleet::FleetReply&) { ++replies; };
+  bed.fl.submit(req, reps[0], done);  // cold
+  bed.fl.submit(req, reps[0], done);  // hit -> crosses threshold -> push
+  ASSERT_TRUE(step_until(bed.engine, [&] {
+    return replies == 2 && bed.fl.stats().replications_pushed >= 1;
+  }));
+  // Give the in-flight push ample steps to land: it must be rejected,
+  // not inserted.  (The fleet's periodic loops keep the event queue
+  // non-empty forever, so the drain must be step-bounded.)
+  (void)step_until(bed.engine,
+                   [&] { return bed.fl.stats().replica_inserts > 0; },
+                   /*max_steps=*/5000);
+  EXPECT_EQ(bed.fl.stats().replica_inserts, 0u)
+      << "a push computed under an older epoch must not enter the cache";
+}
+
+TEST(FleetTest, DeadPeerReportsRerouteWithoutTimeouts) {
+  fleet::FleetOptions options;
+  options.replication = 2;
+  FleetBed bed(4, options);
+  // Find a key owned by node 3 so its death matters to this request.
+  svc::PartitionRequest req;
+  std::vector<NodeId> reps;
+  for (int k = 0; k < 64; ++k) {
+    req = fleet::workload_request(k);
+    reps = bed.fl.node(0).ring().replicas(bed.fl.routing_key(req), 2);
+    if (reps[0] == 3) break;
+  }
+  ASSERT_EQ(reps[0], 3) << "no key owned by node 3 in 64 tries";
+
+  bed.sim.host(ProcessorRef{3, 0}).crash();
+  bed.fl.report_dead_peers({3});
+  EXPECT_FALSE(bed.fl.node_alive(3));
+  EXPECT_EQ(bed.fl.first_alive(), 0);
+
+  fleet::FleetReply last;
+  int replies = 0;
+  bed.fl.submit(req, 0, [&](const fleet::FleetReply& r) {
+    last = r;
+    ++replies;
+  });
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 1; }));
+  EXPECT_TRUE(last.ok);
+  EXPECT_NE(last.served_by, 3);
+  EXPECT_EQ(last.failovers, 0)
+      << "a reported death reroutes at submit time, no RTO spent";
+  // The surviving nodes rebuilt their rings without the dead peer.
+  EXPECT_EQ(bed.fl.node(0).ring().num_nodes(), 3);
+}
+
+TEST(FleetTest, WorkloadIsDeterministicForAGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    fleet::FleetOptions options;
+    options.replication = 2;
+    FleetBed bed(4, options, seed);
+    fleet::WorkloadOptions w;
+    w.requests = 60;
+    w.seed = seed;
+    const fleet::WorkloadResult r = fleet::run_workload(bed.fl, w);
+    return std::tuple(r.ok, r.hit_replies, r.rps, bed.fl.stats().forwards,
+                      r.mean_latency_ms);
+  };
+  const auto a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b) << "same seed, same simulated history";
+  EXPECT_NE(std::get<2>(a), std::get<2>(c)) << "seeds must matter";
+}
+
+// ------------------------------------------------------------ fleet lint
+
+TEST(FleetLintTest, ParseRoundTripsAndRejectsUnknownKeys) {
+  const analysis::FleetLintConfig c = analysis::parse_fleet_config(
+      "nodes=8,replication=3,vnodes=64,hot_threshold=5,heartbeat_ms=20,"
+      "gossip_ms=10,"
+      "suspect_ms=60,dead_ms=180,forward_timeout_ms=50");
+  EXPECT_EQ(c.nodes, 8);
+  EXPECT_EQ(c.replication, 3);
+  EXPECT_EQ(c.vnodes, 64);
+  EXPECT_EQ(c.hot_threshold, 5);
+  EXPECT_DOUBLE_EQ(c.dead_ms, 180.0);
+  EXPECT_THROW(analysis::parse_fleet_config("nodes=4,bogus=1"), ConfigError);
+  EXPECT_THROW(analysis::parse_fleet_config("nodes"), ConfigError);
+  EXPECT_THROW(analysis::parse_fleet_config("nodes=four"), ConfigError);
+}
+
+std::vector<std::string> codes_of(const analysis::DiagnosticSink& sink) {
+  std::vector<std::string> codes;
+  for (const auto& d : sink.diagnostics()) codes.push_back(d.code);
+  return codes;
+}
+
+TEST(FleetLintTest, EveryCodeFires) {
+  using analysis::FleetLintConfig;
+  const auto lint = [](FleetLintConfig config) {
+    analysis::DiagnosticSink sink;
+    analysis::lint_fleet_config(config, "<test>", sink);
+    return sink;
+  };
+
+  FleetLintConfig bad_repl;
+  bad_repl.nodes = 2;
+  bad_repl.replication = 3;
+  {
+    const auto sink = lint(bad_repl);
+    EXPECT_GE(sink.errors(), 1);
+    const auto codes = codes_of(sink);
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F001"), codes.end());
+  }
+
+  FleetLintConfig bad_nodes;
+  bad_nodes.nodes = 0;
+  {
+    const auto codes = codes_of(lint(bad_nodes));
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F002"), codes.end());
+  }
+
+  FleetLintConfig coarse;
+  coarse.nodes = 4;
+  coarse.vnodes = 2;  // warning: too coarse to balance
+  {
+    const auto sink = lint(coarse);
+    EXPECT_EQ(sink.errors(), 0);
+    const auto codes = codes_of(sink);
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F003"), codes.end());
+  }
+
+  FleetLintConfig bad_order;
+  bad_order.nodes = 2;
+  bad_order.suspect_ms = 900;
+  bad_order.dead_ms = 300;  // dead <= suspect skips Suspect entirely
+  {
+    const auto codes = codes_of(lint(bad_order));
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F004"), codes.end());
+  }
+
+  FleetLintConfig no_replicas;
+  no_replicas.nodes = 4;
+  no_replicas.replication = 1;  // warning: every failover is cold
+  {
+    const auto sink = lint(no_replicas);
+    EXPECT_EQ(sink.errors(), 0);
+    const auto codes = codes_of(sink);
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F005"), codes.end());
+  }
+
+  FleetLintConfig flappy;
+  flappy.nodes = 2;
+  flappy.heartbeat_ms = 400;  // >= suspect_ms: healthy peers oscillate
+  {
+    const auto codes = codes_of(lint(flappy));
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F006"), codes.end());
+  }
+}
+
+TEST(FleetLintTest, RequireFleetThrowsOnErrorsAndPassesWarnings) {
+  analysis::FleetLintConfig bad;
+  bad.nodes = 2;
+  bad.replication = 5;
+  EXPECT_THROW(analysis::require_fleet(bad), InvalidArgument);
+
+  analysis::FleetLintConfig warn_only;
+  warn_only.nodes = 4;
+  warn_only.replication = 1;  // NP-F005 warning
+  EXPECT_NO_THROW(analysis::require_fleet(warn_only));
+}
+
+}  // namespace
+}  // namespace netpart

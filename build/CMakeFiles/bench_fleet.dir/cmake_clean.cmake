@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet.dir/bench/bench_fleet.cpp.o"
+  "CMakeFiles/bench_fleet.dir/bench/bench_fleet.cpp.o.d"
+  "bench/bench_fleet"
+  "bench/bench_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

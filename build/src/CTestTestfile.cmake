@@ -16,4 +16,5 @@ subdirs("core")
 subdirs("analysis")
 subdirs("exec")
 subdirs("svc")
+subdirs("fleet")
 subdirs("apps")

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/analysis/diagnostics.cpp" "src/analysis/CMakeFiles/np_analysis.dir/diagnostics.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/analysis/fleet_lint.cpp" "src/analysis/CMakeFiles/np_analysis.dir/fleet_lint.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/fleet_lint.cpp.o.d"
   "/root/repo/src/analysis/model_lint.cpp" "src/analysis/CMakeFiles/np_analysis.dir/model_lint.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/model_lint.cpp.o.d"
   "/root/repo/src/analysis/net_lint.cpp" "src/analysis/CMakeFiles/np_analysis.dir/net_lint.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/net_lint.cpp.o.d"
   "/root/repo/src/analysis/npcheck.cpp" "src/analysis/CMakeFiles/np_analysis.dir/npcheck.cpp.o" "gcc" "src/analysis/CMakeFiles/np_analysis.dir/npcheck.cpp.o.d"

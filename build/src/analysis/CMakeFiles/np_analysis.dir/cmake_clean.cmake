@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/np_analysis.dir/diagnostics.cpp.o"
   "CMakeFiles/np_analysis.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/np_analysis.dir/fleet_lint.cpp.o"
+  "CMakeFiles/np_analysis.dir/fleet_lint.cpp.o.d"
   "CMakeFiles/np_analysis.dir/model_lint.cpp.o"
   "CMakeFiles/np_analysis.dir/model_lint.cpp.o.d"
   "CMakeFiles/np_analysis.dir/net_lint.cpp.o"

@@ -158,16 +158,16 @@ src/analysis/CMakeFiles/np_analysis.dir/npcheck.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /root/repo/src/analysis/model_lint.hpp \
- /root/repo/src/calib/cost_model.hpp /usr/include/c++/12/optional \
+ /root/repo/src/analysis/fleet_lint.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/net/ids.hpp /root/repo/src/topo/topology.hpp \
- /root/repo/src/util/least_squares.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/net/network.hpp /root/repo/src/net/cluster.hpp \
- /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
- /usr/include/c++/12/limits /root/repo/src/util/error.hpp \
- /root/repo/src/analysis/net_lint.hpp \
+ /root/repo/src/analysis/model_lint.hpp \
+ /root/repo/src/calib/cost_model.hpp /root/repo/src/net/ids.hpp \
+ /root/repo/src/topo/topology.hpp /root/repo/src/util/least_squares.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/net/network.hpp \
+ /root/repo/src/net/cluster.hpp /root/repo/src/net/processor.hpp \
+ /root/repo/src/util/time.hpp /usr/include/c++/12/limits \
+ /root/repo/src/util/error.hpp /root/repo/src/analysis/net_lint.hpp \
  /root/repo/src/analysis/spec_lint.hpp /root/repo/src/dp/spec_parser.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \

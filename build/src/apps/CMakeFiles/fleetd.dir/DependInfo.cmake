@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fleetd.cpp" "src/apps/CMakeFiles/fleetd.dir/fleetd.cpp.o" "gcc" "src/apps/CMakeFiles/fleetd.dir/fleetd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/np_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/np_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmps/CMakeFiles/np_mmps.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/np_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/np_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/np_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/np_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/np_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

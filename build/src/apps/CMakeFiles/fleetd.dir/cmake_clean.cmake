@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleetd.dir/fleetd.cpp.o"
+  "CMakeFiles/fleetd.dir/fleetd.cpp.o.d"
+  "fleetd"
+  "fleetd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleetd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

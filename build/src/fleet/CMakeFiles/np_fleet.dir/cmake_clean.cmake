@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_fleet.dir/driver.cpp.o"
+  "CMakeFiles/np_fleet.dir/driver.cpp.o.d"
+  "CMakeFiles/np_fleet.dir/fleet.cpp.o"
+  "CMakeFiles/np_fleet.dir/fleet.cpp.o.d"
+  "CMakeFiles/np_fleet.dir/hash_ring.cpp.o"
+  "CMakeFiles/np_fleet.dir/hash_ring.cpp.o.d"
+  "CMakeFiles/np_fleet.dir/node.cpp.o"
+  "CMakeFiles/np_fleet.dir/node.cpp.o.d"
+  "CMakeFiles/np_fleet.dir/peer_table.cpp.o"
+  "CMakeFiles/np_fleet.dir/peer_table.cpp.o.d"
+  "CMakeFiles/np_fleet.dir/wire.cpp.o"
+  "CMakeFiles/np_fleet.dir/wire.cpp.o.d"
+  "libnp_fleet.a"
+  "libnp_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

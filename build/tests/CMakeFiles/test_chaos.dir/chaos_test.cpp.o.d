@@ -316,8 +316,9 @@ tests/CMakeFiles/test_chaos.dir/chaos_test.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.hpp \
  /root/repo/src/exec/load.hpp /root/repo/src/mmps/manager_protocol.hpp \
- /root/repo/src/net/presets.hpp /root/repo/src/obs/chrome_trace.hpp \
- /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/chrono \
- /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
- /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/obs/sim_bridge.hpp /root/repo/src/sim/faults.hpp
+ /root/repo/src/net/builder.hpp /root/repo/src/net/presets.hpp \
+ /root/repo/src/obs/chrome_trace.hpp /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/sim_bridge.hpp \
+ /root/repo/src/sim/faults.hpp

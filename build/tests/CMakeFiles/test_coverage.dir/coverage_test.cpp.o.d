@@ -293,6 +293,14 @@ tests/CMakeFiles/test_coverage.dir/coverage_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/apps/reduce.hpp /root/repo/src/dp/partition_vector.hpp \
  /usr/include/c++/12/span /root/repo/src/dp/phases.hpp \
  /root/repo/src/dp/callbacks.hpp /root/repo/src/topo/topology.hpp \
@@ -310,8 +318,7 @@ tests/CMakeFiles/test_coverage.dir/coverage_test.cpp.o: \
  /root/repo/src/util/least_squares.hpp \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
  /root/repo/src/net/presets.hpp /root/repo/src/obs/telemetry.hpp \
  /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \

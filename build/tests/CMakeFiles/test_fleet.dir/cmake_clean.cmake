@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet.dir/fleet_test.cpp.o"
+  "CMakeFiles/test_fleet.dir/fleet_test.cpp.o.d"
+  "test_fleet"
+  "test_fleet.pdb"
+  "test_fleet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet_chaos.dir/fleet_chaos_test.cpp.o"
+  "CMakeFiles/test_fleet_chaos.dir/fleet_chaos_test.cpp.o.d"
+  "test_fleet_chaos"
+  "test_fleet_chaos.pdb"
+  "test_fleet_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -18,8 +18,12 @@
 //
 // Emits BENCH_fleet.json.  Gates (also in --smoke): 4 nodes beat 1 node
 // on RPS, every fleet converges within 2N gossip rounds, the crashed
-// node's replicas hold >= 50% of its hot entries, and the failover phase
-// completes every request.
+// node's replicas hold >= 50% of its hot entries, the failover phase
+// completes every request, and distributed tracing stays pay-for-use
+// (zero spans recorded with tracing off; bounded wall-clock overhead
+// with it on -- obs_overhead_pct in the JSON).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -253,6 +257,58 @@ void recovery_study(bool smoke, JsonValue& root, bool& gate_warm,
                     static_cast<std::int64_t>(routed_failovers)));
 }
 
+void overhead_study(bool smoke, JsonValue& root, bool& gate_overhead) {
+  // Tracing must be pay-for-what-you-use.  With tracing off a fleet
+  // request's span machinery collapses to one enabled check per would-be
+  // span, so the same workload is run twice -- spans off, spans on -- and
+  // the wall-clock delta is the price of distributed tracing.  Min over
+  // reps because wall time on shared CI hosts is noisy upward only.
+  const int reps = 3;
+  double best_us[2] = {1e300, 1e300};
+  std::size_t spans[2] = {0, 0};
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int traced = 0; traced < 2; ++traced) {
+      fleet::FleetOptions options;
+      options.replication = 2;
+      options.tracing = traced == 1;
+      Bed bed(4, options, /*seed=*/13);
+      fleet::WorkloadOptions w = base_workload(smoke);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)fleet::run_workload(bed.fl, w);
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      best_us[traced] = std::min(best_us[traced], us);
+      std::size_t recorded = 0;
+      for (fleet::NodeId id : bed.fl.node_ids()) {
+        recorded += bed.fl.node(id).telemetry().span_count();
+      }
+      spans[traced] = recorded;
+      bed.fl.stop();
+    }
+  }
+  const double overhead_pct =
+      100.0 * (best_us[1] - best_us[0]) / best_us[0];
+  // The bound is deliberately loose (tracing may cost real work; it must
+  // not cost multiples of the workload); the sharp gate is the zero-span
+  // invariant on the disabled path.
+  gate_overhead = spans[0] == 0 && spans[1] > 0 && overhead_pct <= 150.0;
+  std::printf("\nobservability (same workload, spans off vs on, min of %d "
+              "reps)\n",
+              reps);
+  std::printf("  off %.0f us (0 spans)   on %.0f us (%zu spans)   "
+              "overhead %+.1f%%  (gate <= 150%%)\n",
+              best_us[0], best_us[1], spans[1], overhead_pct);
+  root.set("observability",
+           JsonValue::object()
+               .set("disabled_us", best_us[0])
+               .set("enabled_us", best_us[1])
+               .set("spans_disabled",
+                    static_cast<std::int64_t>(spans[0]))
+               .set("spans_enabled", static_cast<std::int64_t>(spans[1]))
+               .set("obs_overhead_pct", overhead_pct));
+}
+
 }  // namespace
 }  // namespace netpart
 
@@ -268,7 +324,7 @@ int main(int argc, char** argv) {
   root.set("meta", JsonValue::object().set("smoke", smoke));
 
   bool gate_scaling = false, gate_convergence = false, gate_warm = false,
-       gate_failover = false;
+       gate_failover = false, gate_overhead = false;
   scaling_study(smoke, root, gate_scaling);
   phase_metrics.phase("scaling");
   replication_study(smoke, root);
@@ -277,22 +333,25 @@ int main(int argc, char** argv) {
   phase_metrics.phase("convergence");
   recovery_study(smoke, root, gate_warm, gate_failover);
   phase_metrics.phase("recovery");
+  overhead_study(smoke, root, gate_overhead);
+  phase_metrics.phase("observability");
 
-  const bool pass =
-      gate_scaling && gate_convergence && gate_warm && gate_failover;
+  const bool pass = gate_scaling && gate_convergence && gate_warm &&
+                    gate_failover && gate_overhead;
   root.set("checks", JsonValue::object()
                          .set("scaling_4_beats_1", gate_scaling)
                          .set("convergence_within_2n", gate_convergence)
                          .set("warm_fraction_ge_half", gate_warm)
                          .set("failover_completes", gate_failover)
+                         .set("tracing_overhead_bounded", gate_overhead)
                          .set("pass", pass));
   root.set("metrics", phase_metrics.to_json());
   bench::write_bench_json(json_out, root);
-  std::printf("\nchecks: scaling %s, convergence %s, warm %s, failover %s "
-              "-> %s\nresults -> %s\n",
+  std::printf("\nchecks: scaling %s, convergence %s, warm %s, failover %s, "
+              "tracing %s -> %s\nresults -> %s\n",
               gate_scaling ? "ok" : "FAIL",
               gate_convergence ? "ok" : "FAIL", gate_warm ? "ok" : "FAIL",
-              gate_failover ? "ok" : "FAIL", pass ? "PASS" : "FAIL",
-              json_out.c_str());
+              gate_failover ? "ok" : "FAIL", gate_overhead ? "ok" : "FAIL",
+              pass ? "PASS" : "FAIL", json_out.c_str());
   return pass ? 0 : 1;
 }

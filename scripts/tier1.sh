@@ -11,7 +11,12 @@
 #                               # stage: netpartd --trace-out on a small
 #                               # spec, validated by trace_check (the
 #                               # trace must parse and contain the
-#                               # partitioner / service / adaptive spans)
+#                               # partitioner / service / adaptive spans),
+#                               # plus a small fleetd run whose merged
+#                               # multi-node trace/metrics/health exports
+#                               # are validated by trace_check --fleet and
+#                               # grepped for per-hop attribution and
+#                               # {node=N} dimension rows
 #   scripts/tier1.sh --bench    # Release build + tests, then the full
 #                               # partition hot-path bench, emitting
 #                               # BENCH_partition.json in the repo root
@@ -173,5 +178,24 @@ if [[ "$obs_stage" == 1 ]]; then
     adaptive.chunk adaptive.repartition
   grep -q "^counter partitioner.calls" "$workdir/metrics.txt" || {
     echo "metrics.txt lacks partitioner counters" >&2; exit 1; }
+
+  # Fleet half: a small fleetd run exporting the merged multi-node
+  # artifacts, validated structurally (--fleet checks per-node pid lanes,
+  # parent-link closure, and parent/child timestamp order) plus the two
+  # grep gates on the merged metrics dump: per-hop request attribution
+  # and the {node=N} dimension rows.
+  ./build/src/apps/fleetd \
+    nodes=3 requests=120 crash=2 \
+    --trace-out "$workdir/fleet_trace.json" \
+    --metrics-out "$workdir/fleet_metrics.txt" \
+    --health-out "$workdir/fleet_health.txt" >/dev/null
+  ./build/src/apps/trace_check --fleet "$workdir/fleet_trace.json" \
+    fleet.request fleet.forward fleet.serve
+  grep -q "^latency fleet.request.total_us" "$workdir/fleet_metrics.txt" || {
+    echo "fleet metrics lack per-hop attribution histograms" >&2; exit 1; }
+  grep -q "{node=0}" "$workdir/fleet_metrics.txt" || {
+    echo "fleet metrics lack per-node dimension rows" >&2; exit 1; }
+  grep -q "^node 0 alive=1" "$workdir/fleet_health.txt" || {
+    echo "fleet health summary missing" >&2; exit 1; }
   echo "obs smoke stage ok"
 fi

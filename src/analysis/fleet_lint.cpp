@@ -1,7 +1,11 @@
 #include "analysis/fleet_lint.hpp"
 
+#include <unistd.h>
+
 #include <charconv>
 #include <cstdlib>
+#include <filesystem>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -62,6 +66,12 @@ FleetLintConfig parse_fleet_config(const std::string& spec) {
       config.dead_ms = parse_number(key, value);
     } else if (key == "forward_timeout_ms") {
       config.forward_timeout_ms = parse_number(key, value);
+    } else if (key == "trace_out") {
+      config.trace_out = value;
+    } else if (key == "metrics_out") {
+      config.metrics_out = value;
+    } else if (key == "health_out") {
+      config.health_out = value;
     } else {
       throw ConfigError("fleet config: unknown key '" + key + "'");
     }
@@ -143,6 +153,50 @@ void lint_fleet_config(const FleetLintConfig& config,
                        std::to_string(config.suspect_ms) +
                        " ms: healthy peers will flap Suspect between beats",
                    "keep heartbeat_ms well below suspect_ms (e.g. 3x)");
+    }
+  }
+
+  // NP-F007: the observability outputs.  Mutual consistency first (two
+  // flags writing one file means the later export clobbers the earlier,
+  // silently), then per-path writability -- the cheap pre-flight that
+  // saves a full simulated run from dying at its final fopen.
+  const std::pair<const char*, const std::string*> outputs[] = {
+      {"trace_out", &config.trace_out},
+      {"metrics_out", &config.metrics_out},
+      {"health_out", &config.health_out}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (outputs[i].second->empty()) continue;
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      if (*outputs[i].second == *outputs[j].second) {
+        sink.error("NP-F007", loc,
+                   std::string(outputs[i].first) + " and " +
+                       outputs[j].first + " both name '" +
+                       *outputs[i].second + "'",
+                   "the later export overwrites the earlier; give each "
+                   "artifact its own file");
+      }
+    }
+    std::error_code ec;
+    const std::filesystem::path path(*outputs[i].second);
+    if (std::filesystem::is_directory(path, ec)) {
+      sink.error("NP-F007", loc,
+                 std::string(outputs[i].first) + "='" + path.string() +
+                     "' is a directory, not a writable file path");
+      continue;
+    }
+    std::filesystem::path dir = path.parent_path();
+    if (dir.empty()) dir = ".";
+    if (!std::filesystem::is_directory(dir, ec)) {
+      sink.error("NP-F007", loc,
+                 std::string(outputs[i].first) + "='" + path.string() +
+                     "': parent directory '" + dir.string() +
+                     "' does not exist",
+                 "create the directory before the run");
+    } else if (::access(dir.c_str(), W_OK) != 0) {
+      sink.error("NP-F007", loc,
+                 std::string(outputs[i].first) + "='" + path.string() +
+                     "': parent directory '" + dir.string() +
+                     "' is not writable");
     }
   }
 }

@@ -20,6 +20,11 @@
 //                     cold, the hot-push machinery is dead weight)
 //   NP-F006  warning  heartbeat period >= suspect threshold (healthy
 //                     peers oscillate Alive/Suspect between beats)
+//   NP-F007  error    observability output paths inconsistent: two of
+//                     trace_out/metrics_out/health_out name the same file
+//                     (the later write clobbers the earlier), a path's
+//                     parent directory is missing or unwritable, or the
+//                     path names an existing directory
 #pragma once
 
 #include <optional>
@@ -42,12 +47,19 @@ struct FleetLintConfig {
   double suspect_ms = 300.0;
   double dead_ms = 900.0;
   double forward_timeout_ms = 250.0;
+  /// Observability artifact paths (empty = export disabled); NP-F007
+  /// checks them before a run spends simulated hours to find out the
+  /// output directory is missing.
+  std::string trace_out;
+  std::string metrics_out;
+  std::string health_out;
 };
 
 /// Parse "key=value[,key=value...]" (keys: nodes, replication, vnodes,
 /// hot_threshold, heartbeat_ms, gossip_ms, suspect_ms, dead_ms,
-/// forward_timeout_ms; unset keys keep defaults).  Throws ConfigError on
-/// unknown keys or malformed numbers.
+/// forward_timeout_ms, trace_out, metrics_out, health_out; unset keys
+/// keep defaults).  Throws ConfigError on unknown keys or malformed
+/// numbers.
 FleetLintConfig parse_fleet_config(const std::string& spec);
 
 /// Lint `config` into `sink`; `file` labels diagnostic locations.

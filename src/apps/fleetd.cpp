@@ -27,17 +27,30 @@
 //   crash       = node to crash mid-epoch, -1 = none  (default -1)
 //   --check     = run the fleet config lint and exit
 //
+// Observability (also accepted as --trace-out FILE / --metrics-out FILE /
+// --health-out FILE; all pre-flighted by NP-F007):
+//   trace_out   = merged multi-lane Chrome trace (one pid per node);
+//                 setting it turns fleet span tracing on
+//   metrics_out = merged name-ordered metrics text ({node=N} dimension
+//                 on per-node rows, fleet.request.* per-hop histograms)
+//   health_out  = per-node health/SLO summary (p50/p99 latency, forward
+//                 ratio, warm fraction, dead peers)
+//
 // Example:
-//   fleetd nodes=4 replication=2 crash=3
+//   fleetd nodes=4 replication=2 crash=3 --trace-out fleet_trace.json
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/fleet_lint.hpp"
 #include "fleet/driver.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/fleet_telemetry.hpp"
 #include "mmps/manager_protocol.hpp"
 #include "net/availability.hpp"
+#include "obs/chrome_trace.hpp"
 #include "util/config.hpp"
 
 namespace netpart {
@@ -55,9 +68,17 @@ int run(const Config& args) {
   const double zipf = args.get_double_or("zipf", 1.1);
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int crash = static_cast<int>(args.get_int_or("crash", -1));
+  const auto trace_out = args.get("trace_out");
+  const auto metrics_out = args.get("metrics_out");
+  const auto health_out = args.get("health_out");
+  // Asking for a trace is the opt-in for span recording; metrics and
+  // health come from counters/histograms, which are always on.
+  options.tracing = trace_out.has_value();
+  options.trace_seed = seed;
 
   // Pre-flight: the same lint `npcheck --fleet` runs; refuses to start on
-  // error-severity findings (NP-F001 bad replication factor, ...).
+  // error-severity findings (NP-F001 bad replication factor, NP-F007
+  // unwritable/clashing observability paths, ...).
   analysis::FleetLintConfig lint;
   lint.nodes = nodes;
   lint.replication = options.replication;
@@ -68,6 +89,9 @@ int run(const Config& args) {
   lint.suspect_ms = options.peer.suspect_after.as_millis();
   lint.dead_ms = options.peer.dead_after.as_millis();
   lint.forward_timeout_ms = options.forward_timeout.as_millis();
+  lint.trace_out = trace_out.value_or("");
+  lint.metrics_out = metrics_out.value_or("");
+  lint.health_out = health_out.value_or("");
   analysis::require_fleet(lint);
   if (args.get_bool_or("check", false)) {
     std::printf("fleet config ok: %d nodes, replication %d, %d vnodes\n",
@@ -168,6 +192,32 @@ int run(const Config& args) {
               static_cast<unsigned long long>(s.replications_pushed),
               static_cast<unsigned long long>(s.replica_inserts));
   fl.stop();
+
+  // --- merged observability artifacts ----------------------------------
+  fleet::FleetTelemetry telemetry(fl);
+  if (trace_out) {
+    std::ofstream out(*trace_out);
+    NP_REQUIRE(out.good(), "cannot open trace_out path");
+    obs::write_chrome_trace(out, telemetry.lanes());
+    std::size_t spans = 0;
+    for (fleet::NodeId id : fl.node_ids()) {
+      spans += fl.node(id).telemetry().span_count();
+    }
+    std::printf("trace -> %s (%zu spans across %d node lanes)\n",
+                trace_out->c_str(), spans, fl.num_nodes());
+  }
+  if (metrics_out) {
+    std::ofstream out(*metrics_out);
+    NP_REQUIRE(out.good(), "cannot open metrics_out path");
+    out << telemetry.merged_metrics_text();
+    std::printf("metrics -> %s\n", metrics_out->c_str());
+  }
+  if (health_out) {
+    std::ofstream out(*health_out);
+    NP_REQUIRE(out.good(), "cannot open health_out path");
+    out << telemetry.health_text();
+    std::printf("health -> %s\n", health_out->c_str());
+  }
   return 0;
 }
 
@@ -176,10 +226,37 @@ int run(const Config& args) {
 
 int main(int argc, char** argv) {
   try {
+    static const std::pair<const char*, const char*> kFlags[] = {
+        {"--trace-out", "trace_out"},
+        {"--metrics-out", "metrics_out"},
+        {"--health-out", "health_out"}};
     std::vector<std::string> tokens;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      tokens.push_back(arg == "--check" ? "check=1" : arg);
+      if (arg == "--check") {
+        tokens.push_back("check=1");
+        continue;
+      }
+      bool rewritten = false;
+      for (const auto& [flag, key] : kFlags) {
+        const std::string prefix = std::string(flag) + "=";
+        if (arg == flag) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "fleetd: %s needs a file argument\n", flag);
+            return 1;
+          }
+          tokens.push_back(std::string(key) + "=" + argv[++i]);
+          rewritten = true;
+          break;
+        }
+        if (arg.rfind(prefix, 0) == 0) {
+          tokens.push_back(std::string(key) + "=" +
+                           arg.substr(prefix.size()));
+          rewritten = true;
+          break;
+        }
+      }
+      if (!rewritten) tokens.push_back(arg);
     }
     return netpart::run(netpart::Config::from_args(tokens));
   } catch (const std::exception& e) {

@@ -5,26 +5,76 @@
 // it is a well-formed trace containing every span name given on the
 // command line.  Exit 0 on success; 1 with a diagnostic otherwise.
 //
-// Usage: trace_check FILE [required-span-name...]
+// With --fleet the file is treated as a merged multi-node export
+// (fleetd --trace-out) and three structural invariants are checked on
+// top of the basic ones:
+//
+//   * span lanes span more than one pid (one pid per fleet node);
+//   * every non-root span's parent_span_id resolves to a recorded span
+//     of the same trace_id -- parent links survive the MMPS wire hop;
+//   * no child span starts before its parent within a trace.  Fleet
+//     spans are stamped from the one simulated clock, so the tolerated
+//     skew is zero microseconds; --skew-us N relaxes that for traces
+//     merged from genuinely independent clocks.
+//
+// Usage: trace_check [--fleet] [--skew-us N] FILE [required-span-name...]
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/json.hpp"
 
+namespace {
+
+struct SpanInfo {
+  int pid = 0;
+  double ts = 0.0;
+  std::string name;
+};
+
+const netpart::JsonValue* arg_of(const netpart::JsonValue& event,
+                                 const char* key) {
+  const netpart::JsonValue* args = event.find("args");
+  return args == nullptr ? nullptr : args->find(key);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using netpart::JsonValue;
-  if (argc < 2) {
+  bool fleet = false;
+  double skew_us = 0.0;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if (flag == "--fleet") {
+      fleet = true;
+      ++arg;
+    } else if (flag == "--skew-us" && arg + 1 < argc) {
+      skew_us = std::strtod(argv[arg + 1], nullptr);
+      arg += 2;
+    } else {
+      std::fprintf(stderr, "trace_check: unknown flag %s\n", flag.c_str());
+      return 1;
+    }
+  }
+  if (arg >= argc) {
     std::fprintf(stderr,
-                 "usage: trace_check FILE [required-span-name...]\n");
+                 "usage: trace_check [--fleet] [--skew-us N] FILE "
+                 "[required-span-name...]\n");
     return 1;
   }
+  const char* file = argv[arg++];
 
-  std::ifstream in(argv[1]);
+  std::ifstream in(file);
   if (!in.good()) {
-    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "trace_check: cannot open %s\n", file);
     return 1;
   }
   std::ostringstream buffer;
@@ -39,6 +89,17 @@ int main(int argc, char** argv) {
     }
 
     std::set<std::string> span_names;
+    std::set<int> span_pids;
+    // (trace_id, span_id) -> where/when the span ran; ids are the
+    // 16-hex-digit strings the exporter writes (JSON doubles cannot
+    // carry a u64, so the strings are compared verbatim).
+    std::map<std::pair<std::string, std::string>, SpanInfo> by_id;
+    struct Link {
+      std::string trace_id, span_id, parent_id;
+      double ts;
+      std::string name;
+    };
+    std::vector<Link> links;
     std::size_t spans = 0, instants = 0;
     for (std::size_t i = 0; i < events->size(); ++i) {
       const JsonValue& event = events->at(i);
@@ -58,21 +119,73 @@ int main(int argc, char** argv) {
                        name->as_string().c_str());
           return 1;
         }
+        const JsonValue* pid = event.find("pid");
+        if (pid != nullptr) span_pids.insert(static_cast<int>(pid->as_int()));
+        const JsonValue* trace_id = arg_of(event, "trace_id");
+        const JsonValue* span_id = arg_of(event, "span_id");
+        if (trace_id != nullptr && span_id != nullptr) {
+          SpanInfo info;
+          info.pid = pid == nullptr ? 0 : static_cast<int>(pid->as_int());
+          info.ts = event.find("ts")->as_double();
+          info.name = name->as_string();
+          by_id.emplace(std::make_pair(trace_id->as_string(),
+                                       span_id->as_string()),
+                        info);
+          if (const JsonValue* parent = arg_of(event, "parent_span_id")) {
+            links.push_back({trace_id->as_string(), span_id->as_string(),
+                             parent->as_string(), info.ts, info.name});
+          }
+        }
       } else if (ph->as_string() == "i") {
         ++instants;
       }
     }
 
     bool ok = true;
-    for (int a = 2; a < argc; ++a) {
-      if (span_names.count(argv[a]) == 0) {
-        std::fprintf(stderr, "trace_check: missing span %s\n", argv[a]);
+    if (fleet) {
+      if (span_pids.size() < 2) {
+        std::fprintf(stderr,
+                     "trace_check: fleet trace has %zu span pid lane(s); "
+                     "expected one per node (>= 2)\n",
+                     span_pids.size());
+        ok = false;
+      }
+      for (const Link& link : links) {
+        const auto it = by_id.find({link.trace_id, link.parent_id});
+        if (it == by_id.end()) {
+          std::fprintf(stderr,
+                       "trace_check: span %s (trace %s) names parent %s "
+                       "but no such span was recorded\n",
+                       link.name.c_str(), link.trace_id.c_str(),
+                       link.parent_id.c_str());
+          ok = false;
+          continue;
+        }
+        if (link.ts + skew_us < it->second.ts) {
+          std::fprintf(stderr,
+                       "trace_check: span %s starts %.1f us before its "
+                       "parent %s (allowed skew %.1f us)\n",
+                       link.name.c_str(), it->second.ts - link.ts,
+                       it->second.name.c_str(), skew_us);
+          ok = false;
+        }
+      }
+    }
+    for (; arg < argc; ++arg) {
+      if (span_names.count(argv[arg]) == 0) {
+        std::fprintf(stderr, "trace_check: missing span %s\n", argv[arg]);
         ok = false;
       }
     }
     if (!ok) return 1;
-    std::printf("trace_check: %s ok (%zu spans, %zu instants)\n", argv[1],
-                spans, instants);
+    if (fleet) {
+      std::printf("trace_check: %s ok (%zu spans, %zu instants, %zu node "
+                  "lanes, %zu parent links)\n",
+                  file, spans, instants, span_pids.size(), links.size());
+    } else {
+      std::printf("trace_check: %s ok (%zu spans, %zu instants)\n", file,
+                  spans, instants);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace_check: %s\n", e.what());

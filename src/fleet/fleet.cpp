@@ -9,6 +9,16 @@
 
 namespace netpart::fleet {
 
+namespace {
+
+// Per-hop attribution range: cache hits land near 100 us, failover chains
+// accumulate hundreds of ms of RTO; 2 s of headroom keeps both in-bucket.
+constexpr double kHopLoUs = 0.0;
+constexpr double kHopHiUs = 2.0e6;
+constexpr std::size_t kHopBuckets = 1000;
+
+}  // namespace
+
 Network make_fleet_network(int nodes, int processors_per_cluster) {
   NP_REQUIRE(nodes >= 1, "fleet needs at least one node");
   NP_REQUIRE(processors_per_cluster >= 1,
@@ -33,12 +43,30 @@ Fleet::Fleet(sim::NetSim& net, FleetOptions options, ColdPath cold_path)
       ctr_gossip_rounds_(
           obs::TelemetryRegistry::global().counter("fleet.gossip_rounds")),
       ctr_replications_(
-          obs::TelemetryRegistry::global().counter("fleet.replications")) {
+          obs::TelemetryRegistry::global().counter("fleet.replications")),
+      telemetry_(std::make_unique<obs::TelemetryRegistry>(
+          /*enabled=*/false)),  // histograms only; no spans at fleet level
+      hop_route_us_(telemetry_->latency("fleet.request.route_us", kHopLoUs,
+                                        kHopHiUs, kHopBuckets)),
+      hop_forward_us_(telemetry_->latency("fleet.request.forward_us",
+                                          kHopLoUs, kHopHiUs, kHopBuckets)),
+      hop_compute_us_(telemetry_->latency("fleet.request.compute_us",
+                                          kHopLoUs, kHopHiUs, kHopBuckets)),
+      hop_reply_us_(telemetry_->latency("fleet.request.reply_us", kHopLoUs,
+                                        kHopHiUs, kHopBuckets)),
+      hop_total_us_(telemetry_->latency("fleet.request.total_us", kHopLoUs,
+                                        kHopHiUs, kHopBuckets)) {
   NP_REQUIRE(options_.replication >= 1, "replication factor must be >= 1");
   NP_REQUIRE(cold_path_ != nullptr, "fleet needs a cold path");
   const int clusters = net_.network().num_clusters();
   NP_REQUIRE(options_.replication <= clusters,
              "replication factor exceeds fleet size");
+  // A process that opted into tracing gets fleet traces too; the per-node
+  // registries are the recording surface either way.
+  options_.tracing =
+      options_.tracing || obs::TelemetryRegistry::global_enabled();
+  options_.node.tracing = options_.tracing;
+  options_.node.trace_seed = options_.trace_seed;
   std::vector<NodeId> ids;
   ids.reserve(clusters);
   for (int c = 0; c < clusters; ++c) ids.push_back(c);
@@ -169,12 +197,19 @@ void Fleet::arm_gossip(NodeId n) {
 void Fleet::arm_replicate(NodeId n) {
   mmps_.recv_any(host_of(n), kReplicateTag, [this, n](mmps::Message msg) {
     arm_replicate(n);
-    auto decision = std::make_shared<svc::PartitionDecision>(
-        decode_decision(msg.payload));
+    ReplicateEnvelope envelope = decode_replicate(msg.payload);
     // A push computed under an older epoch than this node's is already
     // stale; dropping it here is the same rule invalidate_before applies.
-    if (decision->epoch < node(n).epoch()) return;
-    node(n).cache().insert(std::move(decision));
+    const bool accepted = envelope.decision.epoch >= node(n).epoch();
+    // Materialise the carried context as a point span on the replica's
+    // lane: the owner minted this identity when it pushed, so the merged
+    // trace shows serve -> replicate edges across nodes.
+    const SimTime now = net_.engine().now();
+    record_node_span(n, "fleet.replicate", envelope.trace, now, now,
+                     {{"accepted", JsonValue(accepted)}});
+    if (!accepted) return;
+    node(n).cache().insert(std::make_shared<svc::PartitionDecision>(
+        std::move(envelope.decision)));
     ++stats_.replica_inserts;
   });
 }
@@ -185,10 +220,17 @@ void Fleet::arm_forward(NodeId n) {
     const ForwardEnvelope envelope = decode_forward(msg.payload);
     WireWriter reply;
     try {
+      const SimTime received = net_.engine().now();
       const Served served =
           serve_at(n, envelope.request, envelope.routing_key,
-                   /*owner_side=*/true);
-      reply.u8(1).u8(served.hit ? 1 : 0);
+                   /*owner_side=*/true, envelope.trace);
+      // Receive and ready stamps ride the reply so the relay can split
+      // forward-wire, owner-compute, and reply-wire time (sim clocks are
+      // globally consistent, so the stamps need no skew correction).
+      reply.u8(1)
+          .u8(served.hit ? 1 : 0)
+          .f64(received.as_micros())
+          .f64(served.ready_at.as_micros());
       encode_decision_into(reply, *served.decision);
       net_.engine().schedule_at(
           served.ready_at,
@@ -209,19 +251,24 @@ void Fleet::arm_forward(NodeId n) {
 // --- request path ----------------------------------------------------------
 
 Fleet::Served Fleet::serve_at(NodeId at, const svc::PartitionRequest& request,
-                              std::uint64_t routing_key, bool owner_side) {
+                              std::uint64_t routing_key, bool owner_side,
+                              const obs::TraceContext& parent) {
   FleetNode& n = node(at);
+  const SimTime began = net_.engine().now();
   const std::uint64_t key = svc::request_key(request, signature_, n.epoch());
   Served served;
+  served.ctx = n.child_of(parent);
   served.decision = n.cache().lookup(key);
   served.hit = served.decision != nullptr;
   if (served.hit) {
     ++stats_.hits;
+    n.metrics().hits.add();
     if (owner_side && n.record_hit(key, routing_key)) {
-      replicate(at, routing_key, served.decision);
+      replicate(at, routing_key, served.decision, served.ctx);
     }
   } else {
     ++stats_.misses;
+    n.metrics().misses.add();
     svc::PartitionDecision d = cold_path_(request);
     d.key = key;
     d.epoch = n.epoch();
@@ -230,21 +277,28 @@ Fleet::Served Fleet::serve_at(NodeId at, const svc::PartitionRequest& request,
     n.cache().insert(decision);
     served.decision = std::move(decision);
   }
+  n.metrics().serves.add();
   served.ready_at = net_.host(host_of(at))
                         .reserve(net_.engine().now(),
                                  served.hit ? options_.hit_service
                                             : options_.cold_service);
+  record_node_span(at, "fleet.serve", served.ctx, began, served.ready_at,
+                   {{"hit", JsonValue(served.hit)}});
   return served;
 }
 
 void Fleet::replicate(NodeId owner, std::uint64_t routing_key,
-                      const std::shared_ptr<const svc::PartitionDecision>& d) {
+                      const std::shared_ptr<const svc::PartitionDecision>& d,
+                      const obs::TraceContext& parent) {
+  FleetNode& o = node(owner);
   const std::vector<NodeId> replicas =
-      node(owner).ring().replicas(routing_key, options_.replication);
+      o.ring().replicas(routing_key, options_.replication);
   for (NodeId replica : replicas) {
     if (replica == owner) continue;
-    mmps_.send(host_of(owner), host_of(replica), kReplicateTag,
-               encode_decision(*d));
+    WireWriter w;
+    encode_trace_context_into(w, o.child_of(parent));
+    encode_decision_into(w, *d);
+    mmps_.send(host_of(owner), host_of(replica), kReplicateTag, w.take());
     ++stats_.replications_pushed;
     ctr_replications_.add();
   }
@@ -260,6 +314,8 @@ void Fleet::submit(const svc::PartitionRequest& request, NodeId entry,
   a->started = net_.engine().now();
   a->done = std::move(done);
   FleetNode& e = node(entry);
+  e.metrics().requests.add();
+  a->trace = e.new_root();
   a->targets = e.ring().replicas(a->routing_key, options_.replication);
   NP_REQUIRE(!a->targets.empty(), "empty routing ring at entry node");
 
@@ -274,8 +330,16 @@ void Fleet::submit(const svc::PartitionRequest& request, NodeId entry,
     if (auto decision = e.cache().peek(key)) {
       ++stats_.hits;
       ++stats_.replica_serves;
+      e.metrics().hits.add();
+      e.metrics().serves.add();
       const SimTime ready = net_.host(host_of(entry))
                                 .reserve(a->started, options_.hit_service);
+      record_node_span(entry, "fleet.serve", e.child_of(a->trace),
+                       a->started, ready,
+                       {{"hit", JsonValue(true)},
+                        {"replica", JsonValue(true)}});
+      hop_route_us_.record(0.0);
+      hop_compute_us_.record((ready - a->started).as_micros());
       net_.engine().schedule_at(ready, [this, a, decision] {
         finish(a, /*ok=*/true, /*hit=*/true, a->entry, decision);
       });
@@ -293,10 +357,15 @@ void Fleet::try_next(const AttemptPtr& a) {
     if (target == a->entry) {
       // The entry is (or has become, after failovers) the acting owner.
       try {
+        const SimTime began = net_.engine().now();
         const Served served =
             serve_at(a->entry, a->request, a->routing_key,
-                     /*owner_side=*/true);
+                     /*owner_side=*/true, a->trace);
         ++stats_.local_serves;
+        // Local attribution: route = failover wait before this serve,
+        // compute = the host-reserved service time; no wire hops.
+        hop_route_us_.record((began - a->started).as_micros());
+        hop_compute_us_.record((served.ready_at - began).as_micros());
         net_.engine().schedule_at(served.ready_at, [this, a, served] {
           finish(a, /*ok=*/true, served.hit, a->entry, served.decision);
         });
@@ -313,45 +382,69 @@ void Fleet::try_next(const AttemptPtr& a) {
 
 void Fleet::forward_to(const AttemptPtr& a, NodeId target) {
   const std::int32_t reply_tag = next_reply_tag_++;
+  FleetNode& e = node(a->entry);
+  const obs::TraceContext fwd_ctx = e.child_of(a->trace);
+  const SimTime sent = net_.engine().now();
+  a->forward_sent = sent;
   ForwardEnvelope envelope;
   envelope.from = a->entry;
   envelope.routing_key = a->routing_key;
   envelope.reply_tag = reply_tag;
+  envelope.trace = fwd_ctx;  // the owner's serve becomes this span's child
   envelope.request = a->request;
   mmps_.send(host_of(a->entry), host_of(target), kForwardTag,
              encode_forward(envelope));
   ++stats_.forwards;
   ctr_forwards_.add();
+  e.metrics().forwards.add();
   mmps_.recv_with_timeout(
       host_of(a->entry), host_of(target), reply_tag, options_.forward_timeout,
-      [this, a, target](mmps::Message msg) {
+      [this, a, target, fwd_ctx, sent](mmps::Message msg) {
         WireReader r(msg.payload);
         const bool ok = r.u8() != 0;
         const bool hit = r.u8() != 0;
+        const SimTime now = net_.engine().now();
+        record_node_span(a->entry, "fleet.forward", fwd_ctx, sent, now,
+                         {{"target", JsonValue(static_cast<double>(target))},
+                          {"ok", JsonValue(ok)}});
         if (!ok) {
           finish(a, /*ok=*/false, /*hit=*/false, target, nullptr);
           return;
         }
+        // Owner-side stamps (sim clock, globally consistent) split the
+        // round trip into its hops.
+        const double received_us = r.f64();
+        const double ready_us = r.f64();
+        hop_route_us_.record((sent - a->started).as_micros());
+        hop_forward_us_.record(received_us - sent.as_micros());
+        hop_compute_us_.record(ready_us - received_us);
+        hop_reply_us_.record(now.as_micros() - ready_us);
         finish(a, /*ok=*/true, hit, target,
                std::make_shared<svc::PartitionDecision>(
                    decode_decision_from(r)));
       },
-      [this, a, target] {
+      [this, a, target, fwd_ctx, sent] {
         // RTO expired: treat the silent owner as failed for this request
         // and reroute to the next replica.  The peer table catches up via
         // its own silence thresholds / the token ring's dead reports.
         ++stats_.failovers;
         ++a->failovers;
         ctr_failovers_.add();
-        if (obs::TelemetryRegistry::global_enabled()) {
+        const SimTime now = net_.engine().now();
+        record_node_span(a->entry, "fleet.forward", fwd_ctx, sent, now,
+                         {{"target", JsonValue(static_cast<double>(target))},
+                          {"ok", JsonValue(false)},
+                          {"outcome", JsonValue("timeout")}});
+        FleetNode& entry_node = node(a->entry);
+        if (entry_node.telemetry().enabled()) {
           obs::InstantRecord rec;
           rec.name = "fleet.failover";
           rec.category = "fleet";
           rec.sim_clock = true;
-          rec.ts_us = net_.engine().now().as_micros();
+          rec.ts_us = now.as_micros();
           rec.attrs = {{"entry", JsonValue(static_cast<double>(a->entry))},
                        {"target", JsonValue(static_cast<double>(target))}};
-          obs::TelemetryRegistry::global().record_instant(std::move(rec));
+          entry_node.telemetry().record_instant(std::move(rec));
         }
         try_next(a);
       });
@@ -371,20 +464,38 @@ void Fleet::finish(const AttemptPtr& a, bool ok, bool hit, NodeId served_by,
   reply.failovers = a->failovers;
   reply.latency = net_.engine().now() - a->started;
   reply.decision = std::move(decision);
-  if (obs::TelemetryRegistry::global_enabled()) {
-    obs::SpanRecord rec;
-    rec.name = "fleet.request";
-    rec.category = "fleet";
-    rec.sim_clock = true;
-    rec.start_us = a->started.as_micros();
-    rec.dur_us = reply.latency.as_micros();
-    rec.attrs = {{"ok", JsonValue(ok)},
-                 {"hit", JsonValue(hit)},
-                 {"served_by", JsonValue(static_cast<double>(served_by))},
-                 {"failovers", JsonValue(static_cast<double>(a->failovers))}};
-    obs::TelemetryRegistry::global().record_span(std::move(rec));
+  if (ok) {
+    hop_total_us_.record(reply.latency.as_micros());
+    node(a->entry).metrics().request_us.record(reply.latency.as_micros());
   }
+  record_node_span(a->entry, "fleet.request", a->trace, a->started,
+                   net_.engine().now(),
+                   {{"ok", JsonValue(ok)},
+                    {"hit", JsonValue(hit)},
+                    {"served_by", JsonValue(static_cast<double>(served_by))},
+                    {"failovers",
+                     JsonValue(static_cast<double>(a->failovers))}});
   if (a->done) a->done(reply);
+}
+
+void Fleet::record_node_span(NodeId at, const char* name,
+                             const obs::TraceContext& ctx, SimTime start,
+                             SimTime end, obs::AttrList attrs) {
+  FleetNode& n = node(at);
+  if (!n.telemetry().enabled()) return;
+  obs::SpanRecord rec;
+  rec.name = name;
+  rec.category = "fleet";
+  rec.sim_clock = true;
+  rec.tid = 0;  // the fleet control plane is one simulated thread per node
+  rec.start_us = start.as_micros();
+  const double dur = end.as_micros() - start.as_micros();
+  rec.dur_us = dur > 0.0 ? dur : 0.0;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span_id = ctx.parent_span_id;
+  rec.attrs = std::move(attrs);
+  n.telemetry().record_span(std::move(rec));
 }
 
 // --- epochs and failure reports --------------------------------------------

@@ -24,6 +24,17 @@
 //   the owner counts hits per key; at the hot threshold it pushes the
 //   decision to the key's R-1 replicas, so a crash mid-epoch degrades to
 //   a cache-warm failover instead of a cold recompute.
+//
+// Tracing (DESIGN.md §13): with FleetOptions::tracing on (or process-wide
+// tracing enabled), every submit opens a `fleet.request` root span at its
+// entry node; each forward attempt is a `fleet.forward` child whose
+// context rides the wire, the owner's `fleet.serve` is a true child of
+// that forward, and replication pushes materialise `fleet.replicate`
+// spans on the replicas -- one connected trace per request, across nodes.
+// Successful requests also feed the fleet-level per-hop attribution
+// histograms (`fleet.request.route_us` / `forward_us` / `compute_us` /
+// `reply_us` / `total_us`), which are recorded whether or not span
+// tracing is on: attribution is metrics, not trace payload.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +73,14 @@ struct FleetOptions {
   SimTime cold_service = SimTime::millis(2);
   /// RTO on a forwarded request before rerouting to the next replica.
   SimTime forward_timeout = SimTime::millis(250);
+  /// Record fleet spans into the per-node registries.  OR'd with
+  /// obs::TelemetryRegistry::global_enabled() at construction, so a
+  /// process that opted into tracing gets fleet traces without extra
+  /// plumbing.
+  bool tracing = false;
+  /// Seed of the fleet's deterministic trace-id streams (per-node stream
+  /// = node id); same seed + same workload = byte-identical exports.
+  std::uint64_t trace_seed = 1;
 };
 
 struct FleetStats {
@@ -152,7 +171,14 @@ class Fleet {
   const FleetStats& stats() const { return stats_; }
   const FleetOptions& options() const { return options_; }
   sim::NetSim& net() { return net_; }
+  const sim::NetSim& net() const { return net_; }
   mmps::System& mmps() { return mmps_; }
+
+  /// Fleet-level registry holding the per-hop `fleet.request.*`
+  /// attribution histograms (per-node spans/counters live on each
+  /// FleetNode's registry; FleetTelemetry merges both).
+  obs::TelemetryRegistry& telemetry() { return *telemetry_; }
+  const obs::TelemetryRegistry& telemetry() const { return *telemetry_; }
 
  private:
   /// One in-flight submit: the candidate targets in ring order and the
@@ -165,6 +191,10 @@ class Fleet {
     std::size_t next_target = 0;
     int failovers = 0;
     SimTime started = SimTime::zero();
+    /// Root context of this request's trace (invalid when tracing is off).
+    obs::TraceContext trace;
+    /// Send time of the most recent forward (per-hop route attribution).
+    SimTime forward_sent = SimTime::zero();
     ReplyCallback done;
   };
   using AttemptPtr = std::shared_ptr<Attempt>;
@@ -175,14 +205,20 @@ class Fleet {
     std::shared_ptr<const svc::PartitionDecision> decision;
     bool hit = false;
     SimTime ready_at = SimTime::zero();
+    /// The serving node's `fleet.serve` span context (replication pushes
+    /// parent under it).
+    obs::TraceContext ctx;
   };
 
   static ProcessorRef host_of(NodeId id) { return ProcessorRef{id, 0}; }
 
   /// Serve at node `at` (cache lookup, cold path on miss, CPU charge);
-  /// owner_side enables hit counting and hot replication.
+  /// owner_side enables hit counting and hot replication.  The serve span
+  /// is recorded as a child of `parent` (the request root for local
+  /// serves, the relayed forward context for remote ones).
   Served serve_at(NodeId at, const svc::PartitionRequest& request,
-                  std::uint64_t routing_key, bool owner_side);
+                  std::uint64_t routing_key, bool owner_side,
+                  const obs::TraceContext& parent);
 
   /// Advance `a` to its next target: serve locally, forward, or fail.
   void try_next(const AttemptPtr& a);
@@ -191,9 +227,16 @@ class Fleet {
               std::shared_ptr<const svc::PartitionDecision> decision);
 
   /// Push `decision` (hot at `owner` under `routing_key`) to its
-  /// replicas.
+  /// replicas, parented under the owner's serve span `parent`.
   void replicate(NodeId owner, std::uint64_t routing_key,
-                 const std::shared_ptr<const svc::PartitionDecision>& d);
+                 const std::shared_ptr<const svc::PartitionDecision>& d,
+                 const obs::TraceContext& parent);
+
+  /// Record a sim-clock span into node `at`'s registry (no-op when that
+  /// registry is not recording).
+  void record_node_span(NodeId at, const char* name,
+                        const obs::TraceContext& ctx, SimTime start,
+                        SimTime end, obs::AttrList attrs);
 
   /// Re-arming receive loops for the four control tags at node `n`.
   void arm_heartbeat(NodeId n);
@@ -221,6 +264,15 @@ class Fleet {
   obs::Counter& ctr_failovers_;
   obs::Counter& ctr_gossip_rounds_;
   obs::Counter& ctr_replications_;
+
+  // Fleet-level registry + per-hop attribution histograms (declared after
+  // the registry they borrow from).
+  std::unique_ptr<obs::TelemetryRegistry> telemetry_;
+  obs::LatencyHistogram& hop_route_us_;
+  obs::LatencyHistogram& hop_forward_us_;
+  obs::LatencyHistogram& hop_compute_us_;
+  obs::LatencyHistogram& hop_reply_us_;
+  obs::LatencyHistogram& hop_total_us_;
 };
 
 }  // namespace netpart::fleet

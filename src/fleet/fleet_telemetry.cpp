@@ -1,0 +1,151 @@
+#include "fleet/fleet_telemetry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace netpart::fleet {
+
+namespace {
+
+/// Split into lines (no trailing empties), for the lexicographic merge.
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+void FleetTelemetry::sync_loss_counters() {
+  const std::uint64_t dropped = fleet_.net().messages_dropped();
+  fleet_.telemetry()
+      .counter("sim.messages_dropped")
+      .add(dropped - synced_net_dropped_);
+  synced_net_dropped_ = dropped;
+
+  synced_record_dropped_.resize(
+      static_cast<std::size_t>(fleet_.num_nodes()), 0);
+  for (NodeId id : fleet_.node_ids()) {
+    obs::TelemetryRegistry& reg = fleet_.node(id).telemetry();
+    const std::uint64_t node_dropped = reg.dropped_records();
+    std::uint64_t& synced =
+        synced_record_dropped_[static_cast<std::size_t>(id)];
+    reg.counter("obs.records.dropped").add(node_dropped - synced);
+    synced = node_dropped;
+  }
+}
+
+std::vector<obs::TraceLane> FleetTelemetry::lanes() const {
+  std::vector<obs::TraceLane> lanes;
+  lanes.reserve(static_cast<std::size_t>(fleet_.num_nodes()));
+  for (NodeId id : fleet_.node_ids()) {
+    lanes.push_back(obs::TraceLane{"node" + std::to_string(id),
+                                   &fleet_.node(id).telemetry()});
+  }
+  return lanes;
+}
+
+std::string FleetTelemetry::merged_metrics_text() {
+  sync_loss_counters();
+  std::vector<std::string> lines =
+      split_lines(fleet_.telemetry().metrics_text());
+  for (NodeId id : fleet_.node_ids()) {
+    const std::string dim = "node=" + std::to_string(id);
+    const std::vector<std::string> node_lines =
+        split_lines(fleet_.node(id).telemetry().metrics_text(dim));
+    lines.insert(lines.end(), node_lines.begin(), node_lines.end());
+  }
+  // One global lexicographic order: same metric's per-node rows group
+  // together regardless of which registry produced them.
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+JsonValue FleetTelemetry::merged_chrome_trace() {
+  sync_loss_counters();
+  return obs::chrome_trace_json(lanes());
+}
+
+std::vector<NodeHealth> FleetTelemetry::health() const {
+  std::vector<NodeHealth> out;
+  const std::vector<NodeId> ids = fleet_.node_ids();
+  out.reserve(ids.size());
+  for (NodeId id : ids) {
+    FleetNode& n = fleet_.node(id);
+    NodeHealth h;
+    h.id = id;
+    h.alive = fleet_.node_alive(id);
+    h.requests = n.metrics().requests.value();
+    h.forwards = n.metrics().forwards.value();
+    h.serves = n.metrics().serves.value();
+    const QuantileSummary q = n.metrics().request_us.quantiles();
+    h.p50_us = q.p50;
+    h.p99_us = q.p99;
+    if (h.requests > 0) {
+      h.forward_ratio = static_cast<double>(h.forwards) /
+                        static_cast<double>(h.requests);
+    }
+    const std::uint64_t hits = n.metrics().hits.value();
+    const std::uint64_t misses = n.metrics().misses.value();
+    if (hits + misses > 0) {
+      h.warm_fraction =
+          static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+    for (NodeId peer : ids) {
+      if (peer == id) continue;
+      if (n.peers().health(peer) == PeerHealth::Dead) ++h.dead_peers;
+    }
+    out.push_back(h);
+  }
+  return out;
+}
+
+std::string FleetTelemetry::health_text() const {
+  std::string out;
+  for (const NodeHealth& h : health()) {
+    out += "node " + std::to_string(h.id) +
+           " alive=" + (h.alive ? std::string("1") : std::string("0")) +
+           " requests=" + std::to_string(h.requests) +
+           " forwards=" + std::to_string(h.forwards) +
+           " serves=" + std::to_string(h.serves) +
+           " p50_us=" + format_double(h.p50_us, 3) +
+           " p99_us=" + format_double(h.p99_us, 3) +
+           " forward_ratio=" + format_double(h.forward_ratio, 3) +
+           " warm_fraction=" + format_double(h.warm_fraction, 3) +
+           " dead_peers=" + std::to_string(h.dead_peers) + "\n";
+  }
+  return out;
+}
+
+JsonValue FleetTelemetry::health_json() const {
+  JsonValue nodes = JsonValue::array();
+  for (const NodeHealth& h : health()) {
+    nodes.push(JsonValue::object()
+                   .set("id", static_cast<std::int64_t>(h.id))
+                   .set("alive", h.alive)
+                   .set("requests", h.requests)
+                   .set("forwards", h.forwards)
+                   .set("serves", h.serves)
+                   .set("p50_us", h.p50_us)
+                   .set("p99_us", h.p99_us)
+                   .set("forward_ratio", h.forward_ratio)
+                   .set("warm_fraction", h.warm_fraction)
+                   .set("dead_peers", h.dead_peers));
+  }
+  return JsonValue::object().set("nodes", std::move(nodes));
+}
+
+}  // namespace netpart::fleet

@@ -4,13 +4,54 @@
 
 namespace netpart::fleet {
 
+namespace {
+
+// Fleet request latencies span cache hits (~100 us) to failover chains
+// (hundreds of ms of RTO); one wide range keeps every outcome in-bucket.
+constexpr double kLatencyLoUs = 0.0;
+constexpr double kLatencyHiUs = 2.0e6;
+constexpr std::size_t kLatencyBuckets = 1000;
+
+}  // namespace
+
 FleetNode::FleetNode(NodeId id, const std::vector<NodeId>& nodes,
                      SimTime now, const PeerTableOptions& peer_options,
                      const NodeOptions& options)
     : id_(id),
       options_(options),
       peers_(nodes, id, now, peer_options),
-      cache_(options.cache_capacity, options.cache_shards) {}
+      cache_(options.cache_capacity, options.cache_shards),
+      telemetry_(std::make_unique<obs::TelemetryRegistry>(
+          /*enabled=*/options.tracing)),
+      metrics_{telemetry_->counter("fleet.node.requests"),
+               telemetry_->counter("fleet.node.forwards"),
+               telemetry_->counter("fleet.node.hits"),
+               telemetry_->counter("fleet.node.misses"),
+               telemetry_->counter("fleet.node.serves"),
+               telemetry_->latency("fleet.node.request_us", kLatencyLoUs,
+                                   kLatencyHiUs, kLatencyBuckets)} {
+  telemetry_->set_trace_seed(options.trace_seed,
+                             static_cast<std::uint64_t>(id));
+}
+
+obs::TraceContext FleetNode::new_root() {
+  if (!options_.tracing) return obs::TraceContext{};
+  obs::TraceContext ctx;
+  ctx.trace_id = telemetry_->next_trace_id();
+  ctx.span_id = telemetry_->next_trace_id();
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+obs::TraceContext FleetNode::child_of(const obs::TraceContext& parent) {
+  if (!options_.tracing) return obs::TraceContext{};
+  if (!parent.valid()) return new_root();
+  obs::TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = telemetry_->next_trace_id();
+  ctx.parent_span_id = parent.span_id;
+  return ctx;
+}
 
 bool FleetNode::observe_epoch(std::uint64_t epoch) {
   if (epoch <= epoch_) return false;

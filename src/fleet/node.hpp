@@ -18,6 +18,13 @@
 // key's owner; when a key's count crosses the hot threshold the Fleet
 // layer pushes the decision to the key's replicas.  Counts reset on epoch
 // adoption (stale heat is no reason to replicate stale decisions).
+//
+// Telemetry: each node owns a private TelemetryRegistry -- real fleets do
+// not share a metrics process, and the merged export (fleet_telemetry.hpp)
+// needs per-node lanes.  Counters are always on; span recording and trace
+// id draws follow NodeOptions::tracing.  The node's span-id stream is
+// seeded from (trace_seed, node id), so one fleet seed yields one
+// deterministic fleet-wide id assignment.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,7 @@
 
 #include "fleet/hash_ring.hpp"
 #include "fleet/peer_table.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/cache.hpp"
 #include "svc/request.hpp"
 
@@ -39,6 +47,12 @@ struct NodeOptions {
   int hot_threshold = 3;
   /// Virtual nodes per node on this node's HashRing.
   int vnodes = 16;
+  /// Record spans (and draw trace ids) into the node's registry; counters
+  /// stay on either way.  The Fleet ctor also turns this on when the
+  /// process-wide obs registry has tracing enabled.
+  bool tracing = false;
+  /// Seed of the node's deterministic span-id stream (stream = node id).
+  std::uint64_t trace_seed = 1;
 };
 
 class FleetNode {
@@ -85,6 +99,31 @@ class FleetNode {
     return hits_;
   }
 
+  /// This node's private telemetry (merged across the fleet by
+  /// FleetTelemetry).  Span recording follows NodeOptions::tracing.
+  obs::TelemetryRegistry& telemetry() { return *telemetry_; }
+  const obs::TelemetryRegistry& telemetry() const { return *telemetry_; }
+  bool tracing() const { return options_.tracing; }
+
+  /// New root context for a request entering the fleet at this node.
+  /// Invalid when tracing is off: the untraced path draws no ids, so
+  /// enabling tracing never perturbs an untraced run's id-free exports.
+  obs::TraceContext new_root();
+  /// Child context under `parent` (a fresh root when `parent` is invalid
+  /// -- a traced node never emits orphan ids).
+  obs::TraceContext child_of(const obs::TraceContext& parent);
+
+  /// Hot-path metric handles, resolved once at construction.
+  struct Metrics {
+    obs::Counter& requests;    ///< submits entering at this node
+    obs::Counter& forwards;    ///< forwards this node relayed out
+    obs::Counter& hits;        ///< cache hits served here
+    obs::Counter& misses;      ///< cold computes served here
+    obs::Counter& serves;      ///< decisions produced here (hit or cold)
+    obs::LatencyHistogram& request_us;  ///< entry-side request latency
+  };
+  Metrics& metrics() { return metrics_; }
+
  private:
   NodeId id_;
   NodeOptions options_;
@@ -94,6 +133,8 @@ class FleetNode {
   std::unordered_map<std::uint64_t, HotStat> hits_;
   HashRing ring_;
   std::uint64_t ring_version_ = 0;  ///< peers_.version() the ring matches
+  std::unique_ptr<obs::TelemetryRegistry> telemetry_;
+  Metrics metrics_;
 };
 
 }  // namespace netpart::fleet

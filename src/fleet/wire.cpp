@@ -145,9 +145,32 @@ svc::PartitionRequest decode_request_from(WireReader& r) {
 
 }  // namespace
 
+void encode_trace_context_into(WireWriter& w, const obs::TraceContext& ctx) {
+  if (!ctx.valid()) {
+    w.u64(0);
+    return;
+  }
+  w.u64(24)  // three u64 ids follow
+      .u64(ctx.trace_id)
+      .u64(ctx.span_id)
+      .u64(ctx.parent_span_id);
+}
+
+obs::TraceContext decode_trace_context_from(WireReader& r) {
+  const std::uint64_t len = r.u64();
+  if (len == 0) return obs::TraceContext{};
+  NP_REQUIRE(len == 24, "malformed trace context length");
+  obs::TraceContext ctx;
+  ctx.trace_id = r.u64();
+  ctx.span_id = r.u64();
+  ctx.parent_span_id = r.u64();
+  return ctx;
+}
+
 std::vector<std::byte> encode_forward(const ForwardEnvelope& envelope) {
   WireWriter w;
   w.i32(envelope.from).u64(envelope.routing_key).i32(envelope.reply_tag);
+  encode_trace_context_into(w, envelope.trace);
   encode_request_into(w, envelope.request);
   return w.take();
 }
@@ -158,8 +181,25 @@ ForwardEnvelope decode_forward(const std::vector<std::byte>& bytes) {
   e.from = r.i32();
   e.routing_key = r.u64();
   e.reply_tag = r.i32();
+  e.trace = decode_trace_context_from(r);
   e.request = decode_request_from(r);
   NP_REQUIRE(r.exhausted(), "trailing bytes in fleet forward");
+  return e;
+}
+
+std::vector<std::byte> encode_replicate(const ReplicateEnvelope& envelope) {
+  WireWriter w;
+  encode_trace_context_into(w, envelope.trace);
+  encode_decision_into(w, envelope.decision);
+  return w.take();
+}
+
+ReplicateEnvelope decode_replicate(const std::vector<std::byte>& bytes) {
+  WireReader r(bytes);
+  ReplicateEnvelope e;
+  e.trace = decode_trace_context_from(r);
+  e.decision = decode_decision_from(r);
+  NP_REQUIRE(r.exhausted(), "trailing bytes in fleet replicate");
   return e;
 }
 

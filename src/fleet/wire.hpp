@@ -8,14 +8,23 @@
 // the channel for, so encoded size is part of the modelled cost.
 //
 // Four messages:
-//   Heartbeat   {from, epoch}          -- liveness + piggybacked epoch
-//   Gossip      {from, epoch}          -- ring-wise epoch propagation
-//   Forward     {key, reply_tag, req}  -- a request relayed to its owner
-//   Replicate   {decision}             -- a hot decision pushed to replicas
+//   Heartbeat   {from, epoch}               -- liveness + piggybacked epoch
+//   Gossip      {from, epoch}               -- ring-wise epoch propagation
+//   Forward     {key, reply_tag, ctx, req}  -- a request relayed to its owner
+//   Replicate   {ctx, decision}             -- a hot decision pushed to
+//                                              replicas
 //
 // Forward replies reuse the Replicate decision encoding plus a status
 // byte.  Decisions travel with partition/config/placement so a replica's
 // copy is served verbatim after a failover, not recomputed.
+//
+// Trace context (DESIGN.md §13) rides Forward and Replicate as a
+// length-prefixed field: u64 length (0 = no context, 24 = present)
+// followed by trace_id/span_id/parent_span_id as little-endian u64s.  Any
+// other length is a peer bug and decoding throws InvalidArgument.  The
+// 8-or-32 extra bytes are part of the encoded payload, so the simulator
+// charges the channel for them like any other header -- tracing has a
+// modelled wire cost, not a free side channel.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "fleet/hash_ring.hpp"
+#include "obs/trace_context.hpp"
 #include "svc/cache.hpp"
 #include "svc/request.hpp"
 
@@ -82,18 +92,36 @@ struct EpochAnnounce {
 std::vector<std::byte> encode_announce(const EpochAnnounce& announce);
 EpochAnnounce decode_announce(const std::vector<std::byte>& bytes);
 
+/// Length-prefixed trace-context field (0 = absent, 24 = three u64 ids).
+/// Decoding throws InvalidArgument on any other length prefix.
+void encode_trace_context_into(WireWriter& w, const obs::TraceContext& ctx);
+obs::TraceContext decode_trace_context_from(WireReader& r);
+
 /// A request relayed from the node a client happened to contact to the
 /// key's owner.  `reply_tag` is the per-forward MMPS tag the relay waits
-/// on; `routing_key` pins both sides to the same ring decision.
+/// on; `routing_key` pins both sides to the same ring decision.  `trace`
+/// carries the relay-side forward span's context so the owner's serve
+/// span joins the same trace as a true child.
 struct ForwardEnvelope {
   NodeId from = -1;
   std::uint64_t routing_key = 0;
   std::int32_t reply_tag = 0;
+  obs::TraceContext trace;
   svc::PartitionRequest request;
 };
 
 std::vector<std::byte> encode_forward(const ForwardEnvelope& envelope);
 ForwardEnvelope decode_forward(const std::vector<std::byte>& bytes);
+
+/// A hot decision pushed to a replica, parented under the owner's serve
+/// span via `trace`.
+struct ReplicateEnvelope {
+  obs::TraceContext trace;
+  svc::PartitionDecision decision;
+};
+
+std::vector<std::byte> encode_replicate(const ReplicateEnvelope& envelope);
+ReplicateEnvelope decode_replicate(const std::vector<std::byte>& bytes);
 
 /// A full decision (replication push, or the payload of a forward reply).
 std::vector<std::byte> encode_decision(const svc::PartitionDecision& d);

@@ -1,5 +1,7 @@
 #include "obs/chrome_trace.hpp"
 
+#include <cstdio>
+
 namespace netpart::obs {
 
 namespace {
@@ -15,7 +17,7 @@ JsonValue args_json(const AttrList& attrs) {
   return args;
 }
 
-JsonValue process_name(int pid, const char* name) {
+JsonValue process_name(int pid, const std::string& name) {
   return JsonValue::object()
       .set("name", "process_name")
       .set("ph", "M")
@@ -24,7 +26,56 @@ JsonValue process_name(int pid, const char* name) {
       .set("args", JsonValue::object().set("name", name));
 }
 
+JsonValue span_event(const SpanRecord& span, int pid) {
+  JsonValue event = JsonValue::object()
+                        .set("name", span.name)
+                        .set("cat", span.category)
+                        .set("ph", "X")
+                        .set("ts", span.start_us)
+                        .set("dur", span.dur_us)
+                        .set("pid", pid)
+                        .set("tid", static_cast<std::int64_t>(span.tid));
+  if (span.trace_id != 0 || !span.attrs.empty()) {
+    JsonValue args = args_json(span.attrs);
+    if (span.trace_id != 0) {
+      args.set("trace_id", trace_id_hex(span.trace_id));
+      args.set("span_id", trace_id_hex(span.span_id));
+      if (span.parent_span_id != 0) {
+        args.set("parent_span_id", trace_id_hex(span.parent_span_id));
+      }
+    }
+    event.set("args", std::move(args));
+  }
+  return event;
+}
+
+JsonValue instant_event(const InstantRecord& instant, int pid) {
+  JsonValue event = JsonValue::object()
+                        .set("name", instant.name)
+                        .set("cat", instant.category)
+                        .set("ph", "i")
+                        .set("s", "t")
+                        .set("ts", instant.ts_us)
+                        .set("pid", pid)
+                        .set("tid", static_cast<std::int64_t>(instant.tid));
+  if (!instant.attrs.empty()) event.set("args", args_json(instant.attrs));
+  return event;
+}
+
+JsonValue trace_document(JsonValue events) {
+  return JsonValue::object()
+      .set("traceEvents", std::move(events))
+      .set("displayTimeUnit", "ms");
+}
+
 }  // namespace
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 JsonValue chrome_trace_json(const TelemetryRegistry& registry) {
   JsonValue events = JsonValue::array();
@@ -32,39 +83,42 @@ JsonValue chrome_trace_json(const TelemetryRegistry& registry) {
   events.push(process_name(kSimPid, "simulated time"));
 
   for (const SpanRecord& span : registry.spans()) {
-    JsonValue event = JsonValue::object()
-                          .set("name", span.name)
-                          .set("cat", span.category)
-                          .set("ph", "X")
-                          .set("ts", span.start_us)
-                          .set("dur", span.dur_us)
-                          .set("pid", span.sim_clock ? kSimPid : kWallPid)
-                          .set("tid", static_cast<std::int64_t>(span.tid));
-    if (!span.attrs.empty()) event.set("args", args_json(span.attrs));
-    events.push(std::move(event));
+    events.push(span_event(span, span.sim_clock ? kSimPid : kWallPid));
   }
   for (const InstantRecord& instant : registry.instants()) {
-    JsonValue event =
-        JsonValue::object()
-            .set("name", instant.name)
-            .set("cat", instant.category)
-            .set("ph", "i")
-            .set("s", "t")
-            .set("ts", instant.ts_us)
-            .set("pid", instant.sim_clock ? kSimPid : kWallPid)
-            .set("tid", static_cast<std::int64_t>(instant.tid));
-    if (!instant.attrs.empty()) event.set("args", args_json(instant.attrs));
-    events.push(std::move(event));
+    events.push(
+        instant_event(instant, instant.sim_clock ? kSimPid : kWallPid));
   }
 
-  return JsonValue::object()
-      .set("traceEvents", std::move(events))
-      .set("displayTimeUnit", "ms");
+  return trace_document(std::move(events));
+}
+
+JsonValue chrome_trace_json(const std::vector<TraceLane>& lanes) {
+  JsonValue events = JsonValue::array();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    events.push(
+        process_name(kLanePidBase + static_cast<int>(i), lanes[i].name));
+  }
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const int pid = kLanePidBase + static_cast<int>(i);
+    for (const SpanRecord& span : lanes[i].registry->spans()) {
+      events.push(span_event(span, pid));
+    }
+    for (const InstantRecord& instant : lanes[i].registry->instants()) {
+      events.push(instant_event(instant, pid));
+    }
+  }
+  return trace_document(std::move(events));
 }
 
 void write_chrome_trace(std::ostream& os,
                         const TelemetryRegistry& registry) {
   os << chrome_trace_json(registry).dump(1);
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceLane>& lanes) {
+  os << chrome_trace_json(lanes).dump(1);
 }
 
 }  // namespace netpart::obs

@@ -6,19 +6,54 @@
 // the viewer never interleaves wall microseconds with simulated ones.
 // Output is deterministic: metadata first, then events in recording order,
 // rendered through the insertion-ordered util/json emitter.
+//
+// Trace identity: spans carrying a TraceContext export it in `args` as
+// 16-digit hex strings ("trace_id"/"span_id"/"parent_span_id") -- strings
+// because JSON doubles cannot hold 64 bits, and hex is what trace_check
+// and humans grep for.  Untraced spans (trace_id 0) omit the keys, which
+// keeps pre-PR 8 goldens stable.
+//
+// The multi-lane overload merges several registries -- one per fleet node
+// -- into a single file: lane i renders on pid (10 + i) with a
+// process_name metadata event, so Perfetto shows one swimlane per node and
+// cross-node parent links stay resolvable via the id args.
 #pragma once
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "obs/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace netpart::obs {
 
+/// One process lane in a merged export: `name` becomes the Chrome
+/// process_name, events come from `registry`.
+struct TraceLane {
+  std::string name;
+  const TelemetryRegistry* registry = nullptr;
+};
+
+/// First pid used by the multi-lane export (lane i renders as pid
+/// kLanePidBase + i; pids 1/2 stay reserved for the single-registry
+/// wall/sim split).
+inline constexpr int kLanePidBase = 10;
+
 /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
 JsonValue chrome_trace_json(const TelemetryRegistry& registry);
 
+/// Merged multi-lane export: lane i on pid (kLanePidBase + i), metadata
+/// first, then each lane's spans and instants in recording order.
+/// Deterministic for deterministic inputs.
+JsonValue chrome_trace_json(const std::vector<TraceLane>& lanes);
+
 /// chrome_trace_json() pretty-printed to `os`.
 void write_chrome_trace(std::ostream& os, const TelemetryRegistry& registry);
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceLane>& lanes);
+
+/// 16-digit lowercase hex of a 64-bit id (the args encoding above).
+std::string trace_id_hex(std::uint64_t id);
 
 }  // namespace netpart::obs

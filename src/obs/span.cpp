@@ -13,6 +13,7 @@ Span::Span(TelemetryRegistry& registry, const char* name,
   name_ = name;
   category_ = category;
   start_us_ = registry.wall_now_us();
+  open_context(registry);
   ++t_span_depth;
 }
 
@@ -25,7 +26,17 @@ Span::Span(TelemetryRegistry& registry, const char* name, SimTime start,
   sim_clock_ = true;
   start_us_ = start.as_micros();
   end_us_ = start_us_;
+  open_context(registry);
   ++t_span_depth;
+}
+
+void Span::open_context(TelemetryRegistry& registry) {
+  const TraceContext parent = current_context();
+  context_.trace_id =
+      parent.valid() ? parent.trace_id : registry.next_trace_id();
+  context_.span_id = registry.next_trace_id();
+  context_.parent_span_id = parent.valid() ? parent.span_id : 0;
+  detail::push_context(context_);
 }
 
 Span::~Span() {
@@ -53,6 +64,7 @@ int Span::depth() { return t_span_depth; }
 void Span::finish(double end_us) {
   ended_ = true;
   --t_span_depth;
+  detail::pop_context();
   SpanRecord record;
   record.name = name_;
   record.category = category_;
@@ -60,6 +72,9 @@ void Span::finish(double end_us) {
   record.tid = this_thread_id();
   record.start_us = start_us_;
   record.dur_us = end_us > start_us_ ? end_us - start_us_ : 0.0;
+  record.trace_id = context_.trace_id;
+  record.span_id = context_.span_id;
+  record.parent_span_id = context_.parent_span_id;
   record.attrs = std::move(attrs_);
   registry_->record_span(std::move(record));
 }

@@ -18,7 +18,15 @@
 //
 // Disabled path: when the registry's span recording is off at construction
 // time, the Span holds a null registry and every member is a single branch
-// -- no strings are built, no attribute storage is allocated.
+// -- no strings are built, no attribute storage is allocated, no trace ids
+// are drawn.
+//
+// Trace identity (DESIGN.md §13): an enabled span draws a span_id from its
+// registry and parents itself under the thread's current TraceContext --
+// the enclosing Span's, or one adopted from another thread/node via
+// ContextScope.  With no current context it opens a new root trace.  The
+// context is pushed for the span's lifetime, so nesting and adoption
+// compose without any caller wiring.
 #pragma once
 
 #include <utility>
@@ -56,15 +64,21 @@ class Span {
 
   bool active() const { return registry_ != nullptr; }
 
+  /// This span's trace identity -- capture it to parent work on another
+  /// thread or node under this span (invalid when the span is disabled).
+  const TraceContext& context() const { return context_; }
+
   /// Nesting depth of this thread's innermost active span (0 = none).
   static int depth();
 
  private:
   void finish(double end_us);
+  void open_context(TelemetryRegistry& registry);
 
   TelemetryRegistry* registry_ = nullptr;
   const char* name_ = "";
   const char* category_ = "";
+  TraceContext context_;
   bool sim_clock_ = false;
   bool ended_ = false;
   double start_us_ = 0.0;

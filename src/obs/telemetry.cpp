@@ -28,6 +28,11 @@ TelemetryRegistry& TelemetryRegistry::global() {
   return *registry;
 }
 
+void TelemetryRegistry::set_trace_seed(std::uint64_t seed,
+                                       std::uint64_t stream) {
+  trace_ids_.reset(seed, stream);
+}
+
 void TelemetryRegistry::set_enabled(bool enabled) {
   enabled_.store(enabled, std::memory_order_relaxed);
   if (this == &global()) {
@@ -113,15 +118,24 @@ void TelemetryRegistry::write_csv(std::ostream& os) const {
 }
 
 std::string TelemetryRegistry::metrics_text() const {
+  return metrics_text(std::string_view{});
+}
+
+std::string TelemetryRegistry::metrics_text(std::string_view dimension) const {
+  const std::string label =
+      dimension.empty() ? std::string{}
+                        : "{" + std::string(dimension) + "}";
   std::lock_guard lock(metrics_mutex_);
   std::string out;
   for (const auto& [name, c] : counters_) {
-    out += "counter " + name + " " + std::to_string(c->value()) + "\n";
+    out += "counter " + name + label + " " + std::to_string(c->value()) +
+           "\n";
   }
   for (const auto& [name, h] : latencies_) {
     const QuantileSummary q = h->quantiles();
-    out += "latency " + name + " count " + std::to_string(h->count()) +
-           " mean_us " + format_double(h->mean_us(), 3) + " min_us " +
+    out += "latency " + name + label + " count " +
+           std::to_string(h->count()) + " mean_us " +
+           format_double(h->mean_us(), 3) + " min_us " +
            format_double(h->min_us(), 3) + " max_us " +
            format_double(h->max_us(), 3) + " p50_us " +
            format_double(q.p50, 3) + " p90_us " + format_double(q.p90, 3) +

@@ -25,10 +25,12 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "util/json.hpp"
 #include "util/time.hpp"
 
@@ -48,6 +50,11 @@ struct SpanRecord {
   std::uint32_t tid = 0;
   double start_us = 0.0;
   double dur_us = 0.0;
+  /// Trace identity (DESIGN.md §13).  0 = untraced (pre-PR 8 producers or
+  /// spans recorded while id generation is unseeded-default).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   AttrList attrs;
 };
 
@@ -89,6 +96,14 @@ class TelemetryRegistry {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool enabled);
 
+  // --- trace identity --------------------------------------------------
+  /// Re-seed this registry's span-id source (stream separates fleet nodes
+  /// sharing one seed).  Call before recording; ids already handed out
+  /// keep their values.
+  void set_trace_seed(std::uint64_t seed, std::uint64_t stream = 0);
+  /// Next deterministic 64-bit id (never 0).
+  std::uint64_t next_trace_id() { return trace_ids_.next(); }
+
   // --- metrics --------------------------------------------------------
   /// Find-or-create.  References stay valid for the registry's lifetime.
   Counter& counter(const std::string& name);
@@ -108,6 +123,12 @@ class TelemetryRegistry {
   /// "counter <name> <value>"; histograms add count/mean/min/max and the
   /// quantile estimates.  Deterministic for deterministic inputs.
   std::string metrics_text() const;
+
+  /// Same rows with a `{<dimension>}` label suffix after each name, e.g.
+  /// `counter fleet.node.requests{node=2} 57`.  The fleet merger uses it
+  /// to keep per-node lanes distinct in one combined dump; the plain
+  /// overload's format is unchanged (tier-1 tooling greps it).
+  std::string metrics_text(std::string_view dimension) const;
 
   // --- structured events ----------------------------------------------
   void record_span(SpanRecord record);
@@ -136,6 +157,7 @@ class TelemetryRegistry {
   static inline std::atomic<bool> detail_global_enabled{false};
 
   std::atomic<bool> enabled_;
+  TraceIdGenerator trace_ids_;
 
   mutable std::mutex metrics_mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

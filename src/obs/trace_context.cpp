@@ -1,0 +1,60 @@
+#include "obs/trace_context.hpp"
+
+#include <vector>
+
+namespace netpart::obs {
+
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;  // SplitMix64 step
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+thread_local std::vector<TraceContext> t_context_stack;
+
+}  // namespace
+
+void TraceIdGenerator::reset(std::uint64_t seed, std::uint64_t stream) {
+  // Avalanche the stream into the base so per-node streams of the same
+  // seed land far apart, then let next() walk the Weyl sequence from it.
+  base_ = mix64(seed ^ mix64(stream * kGamma + 1));
+  sequence_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceIdGenerator::next() {
+  const std::uint64_t n =
+      sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t id = mix64(base_ + n * kGamma);
+  return id != 0 ? id : 1;  // 0 means "no id"; remap the (2^-64) collision
+}
+
+TraceContext current_context() {
+  if (t_context_stack.empty()) return TraceContext{};
+  return t_context_stack.back();
+}
+
+ContextScope::ContextScope(const TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  t_context_stack.push_back(ctx);
+  pushed_ = true;
+}
+
+ContextScope::~ContextScope() {
+  if (pushed_) t_context_stack.pop_back();
+}
+
+namespace detail {
+
+void push_context(const TraceContext& ctx) {
+  t_context_stack.push_back(ctx);
+}
+
+void pop_context() { t_context_stack.pop_back(); }
+
+}  // namespace detail
+
+}  // namespace netpart::obs

@@ -138,6 +138,7 @@ std::shared_future<ServiceReply> PartitionService::submit(
   job->epoch = epoch;
   job->snapshot = std::move(snapshot);
   job->enqueued = t0;
+  job->trace = span.context();
   job->future = job->promise.get_future().share();
   inflight_.emplace(key, job);
   queue_.push_back(job);
@@ -172,6 +173,9 @@ void PartitionService::worker_loop() {
 }
 
 void PartitionService::run_cold(Job& job, EstimatorScratch& scratch) {
+  // Adopt the submitter's request context: the execute span joins that
+  // trace as a child even though it runs on a worker thread.
+  obs::ContextScope ctx(job.trace);
   obs::Span span(obs::TelemetryRegistry::global(), "svc.execute", "svc");
   if (span.active()) {
     span.attr("queue_wait_us", JsonValue(us_since(job.enqueued)));

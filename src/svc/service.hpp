@@ -42,6 +42,7 @@
 #include "dp/phases.hpp"
 #include "net/availability.hpp"
 #include "net/network.hpp"
+#include "obs/trace_context.hpp"
 #include "svc/cache.hpp"
 #include "svc/metrics.hpp"
 #include "svc/request.hpp"
@@ -121,6 +122,9 @@ class PartitionService {
     std::uint64_t epoch = 0;
     AvailabilitySnapshot snapshot;
     std::chrono::steady_clock::time_point enqueued;
+    /// The submitting request span's context: the worker adopts it so
+    /// svc.execute parents under svc.request across the thread hop.
+    obs::TraceContext trace;
     std::promise<ServiceReply> promise;
     std::shared_future<ServiceReply> future;
   };

@@ -9,17 +9,23 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/fleet_lint.hpp"
 #include "fleet/driver.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/fleet_telemetry.hpp"
 #include "fleet/hash_ring.hpp"
 #include "fleet/node.hpp"
 #include "fleet/peer_table.hpp"
 #include "fleet/wire.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/telemetry.hpp"
 #include "mmps/manager_protocol.hpp"
 #include "net/availability.hpp"
 #include "sim/engine.hpp"
@@ -532,6 +538,173 @@ TEST(FleetTest, WorkloadIsDeterministicForAGivenSeed) {
   EXPECT_NE(std::get<2>(a), std::get<2>(c)) << "seeds must matter";
 }
 
+// ------------------------------------------------- distributed tracing
+
+TEST(FleetWireTest, TraceContextRoundTripsAndAbsenceDecodesInvalid) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x1111222233334444ULL;
+  ctx.span_id = 0x5555666677778888ULL;
+  ctx.parent_span_id = 0x99aabbccddeeff00ULL;
+  fleet::WireWriter w;
+  fleet::encode_trace_context_into(w, ctx);
+  const std::vector<std::byte> bytes = w.take();
+  EXPECT_EQ(bytes.size(), 8u + 24u) << "length prefix + three u64 ids";
+  fleet::WireReader r(bytes);
+  const obs::TraceContext back = fleet::decode_trace_context_from(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back, ctx);
+
+  // An invalid context encodes as the absent field (length 0) and decodes
+  // back invalid: untraced requests pay 8 wire bytes, not 32.
+  fleet::WireWriter w2;
+  fleet::encode_trace_context_into(w2, obs::TraceContext{});
+  const std::vector<std::byte> bytes2 = w2.take();
+  EXPECT_EQ(bytes2.size(), 8u);
+  fleet::WireReader r2(bytes2);
+  EXPECT_FALSE(fleet::decode_trace_context_from(r2).valid());
+  EXPECT_TRUE(r2.exhausted());
+}
+
+TEST(FleetWireTest, ForwardAndReplicateEnvelopesCarryTheTraceContext) {
+  fleet::ForwardEnvelope f;
+  f.from = 1;
+  f.routing_key = 99;
+  f.reply_tag = 5;
+  f.trace = obs::TraceContext{0xaaa, 0xbbb, 0xccc};
+  f.request = fleet::workload_request(4);
+  const fleet::ForwardEnvelope f2 =
+      fleet::decode_forward(fleet::encode_forward(f));
+  EXPECT_EQ(f2.trace, f.trace);
+
+  fleet::ReplicateEnvelope rep;
+  rep.trace = obs::TraceContext{7, 8, 9};
+  rep.decision.key = 0xfeed;
+  rep.decision.epoch = 2;
+  rep.decision.partition = PartitionVector(std::vector<std::int64_t>{3, 1});
+  const fleet::ReplicateEnvelope rep2 =
+      fleet::decode_replicate(fleet::encode_replicate(rep));
+  EXPECT_EQ(rep2.trace, rep.trace);
+  EXPECT_EQ(rep2.decision.key, 0xfeedu);
+  EXPECT_EQ(rep2.decision.epoch, 2u);
+  EXPECT_EQ(rep2.decision.partition.to_string(),
+            rep.decision.partition.to_string());
+}
+
+std::optional<obs::SpanRecord> find_span(
+    const std::vector<obs::SpanRecord>& spans, const std::string& name) {
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+TEST(FleetTraceTest, ForwardedServeJoinsTheRouterTraceAcrossTheWire) {
+  fleet::FleetOptions options;
+  options.tracing = true;
+  options.trace_seed = 21;
+  FleetBed bed(4, options);
+  const svc::PartitionRequest req = fleet::workload_request(1);
+  const NodeId owner = bed.fl.node(0).ring().owner(bed.fl.routing_key(req));
+  const NodeId entry = (owner + 1) % 4;
+  int replies = 0;
+  bed.fl.submit(req, entry, [&](const fleet::FleetReply&) { ++replies; });
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 1; }));
+
+  const auto request = find_span(bed.fl.node(entry).telemetry().spans(),
+                                 "fleet.request");
+  const auto forward = find_span(bed.fl.node(entry).telemetry().spans(),
+                                 "fleet.forward");
+  const auto serve = find_span(bed.fl.node(owner).telemetry().spans(),
+                               "fleet.serve");
+  ASSERT_TRUE(request.has_value());
+  ASSERT_TRUE(forward.has_value());
+  ASSERT_TRUE(serve.has_value()) << "owner recorded no serve span";
+  EXPECT_NE(request->trace_id, 0u);
+  EXPECT_EQ(request->parent_span_id, 0u) << "the request span is the root";
+  EXPECT_EQ(forward->trace_id, request->trace_id);
+  EXPECT_EQ(forward->parent_span_id, request->span_id);
+  EXPECT_EQ(serve->trace_id, request->trace_id)
+      << "trace id must survive the MMPS hop";
+  EXPECT_EQ(serve->parent_span_id, forward->span_id)
+      << "the owner's serve span parents under the router's forward span";
+  EXPECT_NE(serve->span_id, forward->span_id)
+      << "the owner draws its own span id from its own stream";
+}
+
+TEST(FleetTraceTest, TracingOffRecordsNoSpansAndNoWireContext) {
+  FleetBed bed(2);  // options.tracing defaults off
+  const svc::PartitionRequest req = fleet::workload_request(1);
+  const NodeId owner = bed.fl.node(0).ring().owner(bed.fl.routing_key(req));
+  int replies = 0;
+  bed.fl.submit(req, (owner + 1) % 2,
+                [&](const fleet::FleetReply&) { ++replies; });
+  ASSERT_TRUE(step_until(bed.engine, [&] { return replies == 1; }));
+  for (NodeId id : bed.fl.node_ids()) {
+    EXPECT_EQ(bed.fl.node(id).telemetry().span_count(), 0u) << "node " << id;
+    EXPECT_FALSE(bed.fl.node(id).new_root().valid());
+  }
+}
+
+TEST(FleetTelemetryTest, MergedExportsAreByteIdenticalForASeed) {
+  const auto run = [](std::uint64_t seed) {
+    fleet::FleetOptions options;
+    options.replication = 2;
+    options.tracing = true;
+    options.trace_seed = seed;
+    FleetBed bed(4, options, seed);
+    fleet::WorkloadOptions w;
+    w.requests = 80;
+    w.seed = seed;
+    (void)fleet::run_workload(bed.fl, w);
+    fleet::FleetTelemetry ft(bed.fl);
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace, ft.lanes());
+    return std::pair(ft.merged_metrics_text(), trace.str());
+  };
+  const auto a = run(9);
+  const auto b = run(9);
+  EXPECT_EQ(a.first, b.first)
+      << "merged metrics must be byte-identical across same-seed runs";
+  EXPECT_EQ(a.second, b.second)
+      << "merged chrome trace must be byte-identical across same-seed runs";
+
+  // The merged dump carries the per-hop attribution histograms, the
+  // node-dimensioned rows, and the loss counters.
+  EXPECT_NE(a.first.find("latency fleet.request.route_us"),
+            std::string::npos);
+  EXPECT_NE(a.first.find("latency fleet.request.total_us"),
+            std::string::npos);
+  EXPECT_NE(a.first.find("{node=0}"), std::string::npos);
+  EXPECT_NE(a.first.find("counter sim.messages_dropped"), std::string::npos);
+  EXPECT_NE(a.second.find("node0"), std::string::npos)
+      << "per-node pid lanes must be named in the merged trace";
+}
+
+TEST(FleetTelemetryTest, HealthRowsSumToTheWorkload) {
+  fleet::FleetOptions options;
+  options.replication = 2;
+  FleetBed bed(4, options);
+  fleet::WorkloadOptions w;
+  w.requests = 60;
+  const fleet::WorkloadResult r = fleet::run_workload(bed.fl, w);
+  ASSERT_EQ(r.ok, 60u);
+  fleet::FleetTelemetry ft(bed.fl);
+  const std::vector<fleet::NodeHealth> health = ft.health();
+  ASSERT_EQ(health.size(), 4u);
+  std::uint64_t requests = 0;
+  for (const fleet::NodeHealth& h : health) {
+    EXPECT_TRUE(h.alive);
+    EXPECT_GE(h.forward_ratio, 0.0);
+    EXPECT_LE(h.forward_ratio, 1.0);
+    EXPECT_EQ(h.dead_peers, 0);
+    requests += h.requests;
+  }
+  EXPECT_EQ(requests, 60u) << "entry nodes account for every request once";
+  const std::string text = ft.health_text();
+  EXPECT_NE(text.find("node 0 alive=1"), std::string::npos);
+  EXPECT_NE(text.find("dead_peers=0"), std::string::npos);
+}
+
 // ------------------------------------------------------------ fleet lint
 
 TEST(FleetLintTest, ParseRoundTripsAndRejectsUnknownKeys) {
@@ -616,6 +789,57 @@ TEST(FleetLintTest, EveryCodeFires) {
     const auto codes = codes_of(lint(flappy));
     EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F006"), codes.end());
   }
+}
+
+TEST(FleetLintTest, ObservabilityPathsParseAndNPF007Fires) {
+  using analysis::FleetLintConfig;
+  const FleetLintConfig parsed = analysis::parse_fleet_config(
+      "nodes=4,trace_out=t.json,metrics_out=m.txt,health_out=h.txt");
+  EXPECT_EQ(parsed.trace_out, "t.json");
+  EXPECT_EQ(parsed.metrics_out, "m.txt");
+  EXPECT_EQ(parsed.health_out, "h.txt");
+
+  const auto lint = [](FleetLintConfig config) {
+    analysis::DiagnosticSink sink;
+    analysis::lint_fleet_config(config, "<test>", sink);
+    return sink;
+  };
+
+  FleetLintConfig clash;
+  clash.nodes = 2;
+  clash.trace_out = "out.json";
+  clash.metrics_out = "out.json";  // the later export clobbers the earlier
+  {
+    const auto sink = lint(clash);
+    EXPECT_GE(sink.errors(), 1);
+    const auto codes = codes_of(sink);
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F007"), codes.end());
+  }
+
+  FleetLintConfig missing_dir;
+  missing_dir.nodes = 2;
+  missing_dir.health_out = "/no/such/dir/health.txt";
+  {
+    const auto codes = codes_of(lint(missing_dir));
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F007"), codes.end());
+  }
+
+  FleetLintConfig is_dir;
+  is_dir.nodes = 2;
+  is_dir.metrics_out = "/tmp";  // a directory, not a file path
+  {
+    const auto codes = codes_of(lint(is_dir));
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "NP-F007"), codes.end());
+  }
+
+  FleetLintConfig good;
+  good.nodes = 2;
+  good.trace_out = "trace.json";
+  good.metrics_out = "metrics.txt";
+  good.health_out = "health.txt";
+  EXPECT_EQ(lint(good).errors(), 0)
+      << "distinct relative paths in a writable cwd pass";
+  EXPECT_NO_THROW(analysis::require_fleet(good));
 }
 
 TEST(FleetLintTest, RequireFleetThrowsOnErrorsAndPassesWarnings) {

@@ -12,8 +12,11 @@
 #include "apps/stencil.hpp"
 #include "calib/calibrate.hpp"
 #include "core/partitioner.hpp"
+#include "fleet/wire.hpp"
 #include "mmps/system.hpp"
 #include "net/presets.hpp"
+#include "obs/trace_context.hpp"
+#include "util/error.hpp"
 
 namespace netpart {
 namespace {
@@ -252,6 +255,43 @@ TEST_P(StarvationPressure, NoNanReachesTheObjectiveCache) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StarvationPressure,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DegenerateInputs, TruncatedTraceContextBytesThrowInsteadOfCrashing) {
+  // A trace context on the wire is u64 length (0 or 24) + that many
+  // bytes.  Every truncation of a valid encoding, and every length the
+  // format does not define, must surface as InvalidArgument from the
+  // reader -- never a crash or a garbage context.
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefULL;
+  ctx.span_id = 0xfedcba9876543210ULL;
+  ctx.parent_span_id = 0x1111111111111111ULL;
+  fleet::WireWriter w;
+  fleet::encode_trace_context_into(w, ctx);
+  const std::vector<std::byte> bytes = w.take();
+  ASSERT_EQ(bytes.size(), 32u);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::byte> truncated(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<long>(cut));
+    fleet::WireReader r(truncated);
+    EXPECT_THROW((void)fleet::decode_trace_context_from(r), Error)
+        << "cut at " << cut;
+  }
+  // Undefined lengths (anything but 0 and 24), including lengths large
+  // enough to overflow a size computation, are rejected up front.
+  for (const std::uint64_t bogus :
+       {std::uint64_t{1}, std::uint64_t{8}, std::uint64_t{16},
+        std::uint64_t{23}, std::uint64_t{25},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    fleet::WireWriter bad;
+    bad.u64(bogus);
+    for (int i = 0; i < 24; ++i) bad.u8(0xee);
+    const std::vector<std::byte> payload = bad.take();
+    fleet::WireReader r(payload);
+    EXPECT_THROW((void)fleet::decode_trace_context_from(r), InvalidArgument)
+        << "length " << bogus;
+  }
+}
 
 }  // namespace
 }  // namespace netpart

@@ -5,6 +5,8 @@
 // preset's filter, so its concurrency cases also run under TSan.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,8 +21,11 @@
 #include "obs/sim_bridge.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/engine.hpp"
+#include "sim/netsim.hpp"
 #include "sim/trace.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace netpart {
 namespace {
@@ -170,6 +175,96 @@ TEST(ObsSpanTest, RecordCapacityDropsAndCounts) {
 
 // -------------------------------------------------------- chrome trace
 
+// ------------------------------------------------------- trace identity
+
+TEST(ObsTraceContextTest, GeneratorIsDeterministicPerSeedAndStream) {
+  obs::TraceIdGenerator a(/*seed=*/42, /*stream=*/0);
+  obs::TraceIdGenerator b(/*seed=*/42, /*stream=*/0);
+  obs::TraceIdGenerator other_stream(/*seed=*/42, /*stream=*/1);
+  obs::TraceIdGenerator other_seed(/*seed=*/43, /*stream=*/0);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t id = a.next();
+    EXPECT_NE(id, 0u) << "0 is reserved for 'no id'";
+    EXPECT_EQ(id, b.next()) << "same seed+stream must replay identically";
+    EXPECT_NE(id, other_stream.next());
+    EXPECT_NE(id, other_seed.next());
+    ids.push_back(id);
+  }
+  EXPECT_EQ(std::set<std::uint64_t>(ids.begin(), ids.end()).size(),
+            ids.size())
+      << "ids must not collide within a stream";
+  a.reset(42, 0);
+  EXPECT_EQ(a.next(), ids[0]) << "reset replays the stream";
+}
+
+TEST(ObsTraceContextTest, SpansFormATraceTreeWithinAThread) {
+  TelemetryRegistry reg;
+  reg.set_trace_seed(7);
+  {
+    Span outer(reg, "outer");
+    EXPECT_TRUE(outer.context().valid());
+    {
+      Span inner(reg, "inner");
+      EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+      EXPECT_EQ(inner.context().parent_span_id, outer.context().span_id);
+    }
+  }
+  {
+    Span next(reg, "next");
+    EXPECT_EQ(next.context().parent_span_id, 0u)
+        << "a span opened outside any scope starts a fresh root";
+  }
+  const std::vector<obs::SpanRecord> spans = reg.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_NE(spans[2].trace_id, spans[1].trace_id)
+      << "sibling roots get distinct trace ids";
+}
+
+TEST(ObsTraceContextTest, ContextScopeAdoptsARemoteParent) {
+  // The cross-thread / cross-node adoption path: a context carried over a
+  // queue or the MMPS wire is pushed with ContextScope, and the next span
+  // parents under it instead of starting a new trace.
+  TelemetryRegistry reg;
+  reg.set_trace_seed(7, /*stream=*/3);
+  obs::TraceContext carried;
+  carried.trace_id = 0xabcdef01;
+  carried.span_id = 0x1234;
+  {
+    obs::ContextScope scope(carried);
+    Span child(reg, "adopted");
+    EXPECT_EQ(child.context().trace_id, carried.trace_id);
+    EXPECT_EQ(child.context().parent_span_id, carried.span_id);
+  }
+  EXPECT_FALSE(obs::current_context().valid())
+      << "the scope must pop on destruction";
+  {
+    obs::ContextScope scope(obs::TraceContext{});  // invalid: no-op
+    EXPECT_FALSE(obs::current_context().valid());
+  }
+  const std::vector<obs::SpanRecord> spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 0xabcdef01u);
+  EXPECT_EQ(spans[0].parent_span_id, 0x1234u);
+}
+
+TEST(ObsMetricsTest, DimensionedMetricsTextLabelsEveryRow) {
+  TelemetryRegistry reg;
+  reg.counter("requests").add(3);
+  reg.latency("rtt", 0.0, 1000.0, 100).record(10.0);
+  const std::string text = reg.metrics_text("node=2");
+  EXPECT_NE(text.find("counter requests{node=2} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency rtt{node=2} "), std::string::npos);
+  EXPECT_EQ(text.find("counter requests 3"), std::string::npos)
+      << "every row carries the label";
+  // The plain overload is unchanged (tier-1 tooling greps its format).
+  EXPECT_NE(reg.metrics_text().find("counter requests 3"),
+            std::string::npos);
+}
+
 TEST(ObsChromeTraceTest, RoundTripsThroughJsonParser) {
   TelemetryRegistry reg;
   {
@@ -227,6 +322,49 @@ TEST(ObsChromeTraceTest, RoundTripsThroughJsonParser) {
   EXPECT_TRUE(saw_args);
 }
 
+TEST(ObsChromeTraceTest, SpanArgsCarryTraceIdsAsHexStrings) {
+  // JSON doubles cannot hold a u64, so the exporter writes ids as
+  // 16-hex-digit strings; 0 (untraced) omits the keys entirely to keep
+  // pre-tracing traces byte-stable.
+  TelemetryRegistry reg;
+  reg.set_trace_seed(5);
+  {
+    Span outer(reg, "parent", SimTime::millis(1), "t");
+    outer.end_at(SimTime::millis(2));
+  }
+  obs::SpanRecord untraced;
+  untraced.name = "untraced";
+  untraced.sim_clock = true;
+  reg.record_span(untraced);
+
+  EXPECT_EQ(obs::trace_id_hex(0x1f), "000000000000001f");
+  const JsonValue parsed =
+      JsonValue::parse(obs::chrome_trace_json(reg).dump(1));
+  const JsonValue* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_traced = false, saw_untraced = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    if (e.find("ph")->as_string() != "X") continue;
+    const JsonValue* args = e.find("args");
+    if (e.find("name")->as_string() == "parent") {
+      saw_traced = true;
+      ASSERT_NE(args, nullptr);
+      const JsonValue* trace_id = args->find("trace_id");
+      ASSERT_NE(trace_id, nullptr);
+      EXPECT_EQ(trace_id->as_string().size(), 16u);
+      ASSERT_NE(args->find("span_id"), nullptr);
+      EXPECT_EQ(args->find("parent_span_id"), nullptr)
+          << "roots omit the parent key";
+    } else {
+      saw_untraced = true;
+      EXPECT_TRUE(args == nullptr || args->find("trace_id") == nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_traced);
+  EXPECT_TRUE(saw_untraced);
+}
+
 // ---------------------------------------------------------- sim bridge
 
 TEST(ObsSimBridgeTest, MatchesSendDeliveredPairsIntoSpans) {
@@ -269,6 +407,29 @@ TEST(ObsSimBridgeTest, ToleratesOrphanDeliveriesFromBoundedLogs) {
   obs::bridge_trace_log(log, reg);
   EXPECT_EQ(reg.span_count(), 0u);  // no matched pair survives the ring
   EXPECT_EQ(reg.counter("sim.trace_dropped_events").value(), 1u);
+  EXPECT_EQ(reg.counter("obs.trace.dropped").value(), 1u)
+      << "the loss rides the telemetry snapshot under its canonical name";
+}
+
+TEST(ObsSimBridgeTest, LossBridgesExportSimAndTraceDrops) {
+  sim::TraceLog log(/*capacity=*/1);
+  sim::Tracer tracer = log.tracer();
+  const ProcessorRef a{0, 0}, b{1, 0};
+  tracer({sim::TraceEvent::Kind::SendInitiated, SimTime::millis(1), a, b, 8});
+  tracer({sim::TraceEvent::Kind::Delivered, SimTime::millis(2), a, b, 8});
+  tracer({sim::TraceEvent::Kind::Delivered, SimTime::millis(3), a, b, 8});
+  ASSERT_EQ(log.dropped_events(), 2u);
+
+  TelemetryRegistry reg;
+  obs::bridge_trace_loss(log, reg);
+  EXPECT_EQ(reg.counter("obs.trace.dropped").value(), 2u);
+
+  const Network net = presets::paper_testbed();
+  sim::Engine engine;
+  sim::NetSim netsim(engine, net, sim::NetSimParams{}, Rng(1));
+  obs::bridge_net_loss(netsim, reg);
+  EXPECT_EQ(reg.counter("sim.messages_dropped").value(),
+            netsim.messages_dropped());
 }
 
 // ------------------------------------------------- deterministic export

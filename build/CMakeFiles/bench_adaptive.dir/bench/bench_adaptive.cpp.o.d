@@ -239,6 +239,6 @@ CMakeFiles/bench_adaptive.dir/bench/bench_adaptive.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/exec/adaptive.hpp /root/repo/src/util/string_util.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/util/config.hpp /root/repo/src/exec/adaptive.hpp \
+ /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp

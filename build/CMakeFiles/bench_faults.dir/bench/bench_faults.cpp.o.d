@@ -244,7 +244,7 @@ CMakeFiles/bench_faults.dir/bench/bench_faults.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/exec/adaptive.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/util/config.hpp /root/repo/src/exec/adaptive.hpp \
  /root/repo/src/mmps/manager_protocol.hpp /root/repo/src/sim/faults.hpp \
  /root/repo/src/util/table.hpp

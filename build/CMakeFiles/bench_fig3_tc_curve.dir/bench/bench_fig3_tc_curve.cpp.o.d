@@ -243,6 +243,6 @@ CMakeFiles/bench_fig3_tc_curve.dir/bench/bench_fig3_tc_curve.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/util/csv.hpp /root/repo/src/util/string_util.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/util/config.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp

@@ -250,6 +250,7 @@ CMakeFiles/bench_partition_hotpath.dir/bench/bench_partition_hotpath.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/util/config.hpp /root/repo/src/net/builder.hpp \
- /root/repo/src/svc/validate.hpp /root/repo/src/svc/request.hpp \
- /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/util/config.hpp \
+ /root/repo/src/net/builder.hpp /root/repo/src/svc/validate.hpp \
+ /root/repo/src/svc/request.hpp /root/repo/src/util/string_util.hpp \
+ /root/repo/src/util/table.hpp

@@ -278,10 +278,11 @@ src/apps/CMakeFiles/netpartd.dir/netpartd.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/obs/sim_bridge.hpp /root/repo/src/svc/service.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/future \
- /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/svc/cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/svc/metrics.hpp \
- /root/repo/src/svc/request.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/util/string_util.hpp /root/repo/src/util/table.hpp
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/obs/sim_bridge.hpp \
+ /root/repo/src/svc/service.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/svc/metrics.hpp /root/repo/src/svc/request.hpp \
+ /root/repo/src/util/config.hpp /root/repo/src/util/string_util.hpp \
+ /root/repo/src/util/table.hpp

@@ -255,4 +255,4 @@ src/core/CMakeFiles/np_core.dir/estimator.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp

@@ -263,4 +263,4 @@ src/core/CMakeFiles/np_core.dir/partitioner.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
  /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/util/log.hpp
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/util/log.hpp

@@ -240,5 +240,5 @@ src/exec/CMakeFiles/np_exec.dir/adaptive.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/sim/faults.hpp \
- /root/repo/src/util/log.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/sim/faults.hpp /root/repo/src/util/log.hpp

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/fleet/driver.cpp" "src/fleet/CMakeFiles/np_fleet.dir/driver.cpp.o" "gcc" "src/fleet/CMakeFiles/np_fleet.dir/driver.cpp.o.d"
   "/root/repo/src/fleet/fleet.cpp" "src/fleet/CMakeFiles/np_fleet.dir/fleet.cpp.o" "gcc" "src/fleet/CMakeFiles/np_fleet.dir/fleet.cpp.o.d"
+  "/root/repo/src/fleet/fleet_telemetry.cpp" "src/fleet/CMakeFiles/np_fleet.dir/fleet_telemetry.cpp.o" "gcc" "src/fleet/CMakeFiles/np_fleet.dir/fleet_telemetry.cpp.o.d"
   "/root/repo/src/fleet/hash_ring.cpp" "src/fleet/CMakeFiles/np_fleet.dir/hash_ring.cpp.o" "gcc" "src/fleet/CMakeFiles/np_fleet.dir/hash_ring.cpp.o.d"
   "/root/repo/src/fleet/node.cpp" "src/fleet/CMakeFiles/np_fleet.dir/node.cpp.o" "gcc" "src/fleet/CMakeFiles/np_fleet.dir/node.cpp.o.d"
   "/root/repo/src/fleet/peer_table.cpp" "src/fleet/CMakeFiles/np_fleet.dir/peer_table.cpp.o" "gcc" "src/fleet/CMakeFiles/np_fleet.dir/peer_table.cpp.o.d"

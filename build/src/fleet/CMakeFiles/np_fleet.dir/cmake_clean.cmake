@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/np_fleet.dir/driver.cpp.o.d"
   "CMakeFiles/np_fleet.dir/fleet.cpp.o"
   "CMakeFiles/np_fleet.dir/fleet.cpp.o.d"
+  "CMakeFiles/np_fleet.dir/fleet_telemetry.cpp.o"
+  "CMakeFiles/np_fleet.dir/fleet_telemetry.cpp.o.d"
   "CMakeFiles/np_fleet.dir/hash_ring.cpp.o"
   "CMakeFiles/np_fleet.dir/hash_ring.cpp.o.d"
   "CMakeFiles/np_fleet.dir/node.cpp.o"

@@ -238,4 +238,4 @@ src/mmps/CMakeFiles/np_mmps.dir/manager_protocol.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp

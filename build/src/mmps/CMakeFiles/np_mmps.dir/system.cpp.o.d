@@ -231,4 +231,5 @@ src/mmps/CMakeFiles/np_mmps.dir/system.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /usr/include/c++/12/span
+ /root/repo/src/util/stats.hpp /usr/include/c++/12/span \
+ /root/repo/src/obs/trace_context.hpp

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/obs/sim_bridge.cpp" "src/obs/CMakeFiles/np_obs.dir/sim_bridge.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/sim_bridge.cpp.o.d"
   "/root/repo/src/obs/span.cpp" "src/obs/CMakeFiles/np_obs.dir/span.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/span.cpp.o.d"
   "/root/repo/src/obs/telemetry.cpp" "src/obs/CMakeFiles/np_obs.dir/telemetry.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/telemetry.cpp.o.d"
+  "/root/repo/src/obs/trace_context.cpp" "src/obs/CMakeFiles/np_obs.dir/trace_context.cpp.o" "gcc" "src/obs/CMakeFiles/np_obs.dir/trace_context.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -152,7 +152,11 @@ src/obs/CMakeFiles/np_obs.dir/chrome_trace.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/telemetry.hpp \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -181,7 +185,6 @@ src/obs/CMakeFiles/np_obs.dir/chrome_trace.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -206,11 +209,9 @@ src/obs/CMakeFiles/np_obs.dir/chrome_trace.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/util/time.hpp /root/repo/src/util/error.hpp
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/util/time.hpp \
+ /root/repo/src/util/error.hpp

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/np_obs.dir/span.cpp.o.d"
   "CMakeFiles/np_obs.dir/telemetry.cpp.o"
   "CMakeFiles/np_obs.dir/telemetry.cpp.o.d"
+  "CMakeFiles/np_obs.dir/trace_context.cpp.o"
+  "CMakeFiles/np_obs.dir/trace_context.cpp.o.d"
   "libnp_obs.a"
   "libnp_obs.pdb"
 )

@@ -213,9 +213,9 @@ src/obs/CMakeFiles/np_obs.dir/sim_bridge.cpp.o: \
  /root/repo/src/util/histogram.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/util/time.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/sim/trace.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/util/time.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/sim/netsim.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -223,4 +223,10 @@ src/obs/CMakeFiles/np_obs.dir/sim_bridge.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/ids.hpp
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/ids.hpp \
+ /root/repo/src/net/network.hpp /usr/include/c++/12/optional \
+ /root/repo/src/net/cluster.hpp /root/repo/src/net/processor.hpp \
+ /root/repo/src/sim/channel.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/host.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/rng.hpp

@@ -215,4 +215,5 @@ src/obs/CMakeFiles/np_obs.dir/span.cpp.o: /root/repo/src/obs/span.cpp \
  /root/repo/src/util/histogram.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/util/time.hpp /root/repo/src/util/error.hpp
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/util/time.hpp \
+ /root/repo/src/util/error.hpp

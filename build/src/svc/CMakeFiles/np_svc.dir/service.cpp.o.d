@@ -233,13 +233,14 @@ src/svc/CMakeFiles/np_svc.dir/service.cpp.o: \
  /root/repo/src/net/network.hpp /root/repo/src/net/cluster.hpp \
  /root/repo/src/net/processor.hpp /root/repo/src/util/time.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
- /root/repo/src/core/decompose.hpp /root/repo/src/dp/partition_vector.hpp \
- /root/repo/src/topo/placement.hpp /root/repo/src/svc/metrics.hpp \
- /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/svc/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/core/partitioner.hpp \
+ /root/repo/src/core/estimator.hpp /root/repo/src/core/decompose.hpp \
+ /root/repo/src/dp/partition_vector.hpp /root/repo/src/topo/placement.hpp \
+ /root/repo/src/svc/metrics.hpp /root/repo/src/obs/telemetry.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/svc/request.hpp \

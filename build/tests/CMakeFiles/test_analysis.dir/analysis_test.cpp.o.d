@@ -353,10 +353,10 @@ tests/CMakeFiles/test_analysis.dir/analysis_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
- /root/repo/src/net/availability.hpp /root/repo/src/svc/cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/core/partitioner.hpp \
- /root/repo/src/svc/metrics.hpp /root/repo/src/obs/telemetry.hpp \
- /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/svc/request.hpp \
- /root/repo/src/svc/validate.hpp
+ /root/repo/src/net/availability.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/partitioner.hpp /root/repo/src/svc/metrics.hpp \
+ /root/repo/src/obs/telemetry.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/svc/request.hpp /root/repo/src/svc/validate.hpp

@@ -320,5 +320,5 @@ tests/CMakeFiles/test_chaos.dir/chaos_test.cpp.o: \
  /root/repo/src/obs/chrome_trace.hpp /root/repo/src/obs/telemetry.hpp \
  /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/obs/sim_bridge.hpp \
- /root/repo/src/sim/faults.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/obs/sim_bridge.hpp /root/repo/src/sim/faults.hpp

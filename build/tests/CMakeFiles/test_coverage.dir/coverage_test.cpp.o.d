@@ -323,6 +323,7 @@ tests/CMakeFiles/test_coverage.dir/coverage_test.cpp.o: \
  /root/repo/src/net/presets.hpp /root/repo/src/obs/telemetry.hpp \
  /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp \
- /root/repo/src/dp/spec_parser.hpp /root/repo/src/dp/expr.hpp \
- /root/repo/src/exec/adaptive.hpp /root/repo/src/net/builder.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/util/config.hpp /root/repo/src/dp/spec_parser.hpp \
+ /root/repo/src/dp/expr.hpp /root/repo/src/exec/adaptive.hpp \
+ /root/repo/src/net/builder.hpp

@@ -323,25 +323,27 @@ tests/CMakeFiles/test_fleet.dir/fleet_test.cpp.o: \
  /root/repo/src/fleet/node.hpp /root/repo/src/fleet/hash_ring.hpp \
  /root/repo/src/net/ids.hpp /root/repo/src/fleet/peer_table.hpp \
  /root/repo/src/util/time.hpp /root/repo/src/util/error.hpp \
+ /root/repo/src/obs/telemetry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/span /root/repo/src/obs/trace_context.hpp \
  /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/partitioner.hpp /root/repo/src/core/estimator.hpp \
  /root/repo/src/calib/cost_model.hpp /root/repo/src/topo/topology.hpp \
- /root/repo/src/util/least_squares.hpp /usr/include/c++/12/span \
- /root/repo/src/core/decompose.hpp /root/repo/src/dp/partition_vector.hpp \
- /root/repo/src/net/network.hpp /root/repo/src/net/cluster.hpp \
- /root/repo/src/net/processor.hpp /root/repo/src/topo/placement.hpp \
- /root/repo/src/dp/phases.hpp /root/repo/src/dp/callbacks.hpp \
- /root/repo/src/net/availability.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/svc/request.hpp /root/repo/src/fleet/wire.hpp \
- /root/repo/src/mmps/system.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/least_squares.hpp /root/repo/src/core/decompose.hpp \
+ /root/repo/src/dp/partition_vector.hpp /root/repo/src/net/network.hpp \
+ /root/repo/src/net/cluster.hpp /root/repo/src/net/processor.hpp \
+ /root/repo/src/topo/placement.hpp /root/repo/src/dp/phases.hpp \
+ /root/repo/src/dp/callbacks.hpp /root/repo/src/net/availability.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/svc/request.hpp \
+ /root/repo/src/fleet/wire.hpp /root/repo/src/mmps/system.hpp \
  /root/repo/src/sim/netsim.hpp /root/repo/src/sim/channel.hpp \
  /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/host.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/obs/telemetry.hpp \
- /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
- /root/repo/src/util/histogram.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/fleet/fleet_telemetry.hpp \
+ /root/repo/src/obs/chrome_trace.hpp \
  /root/repo/src/mmps/manager_protocol.hpp

@@ -25,6 +25,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/apps/CMakeFiles/np_apps.dir/DependInfo.cmake"
   "/root/repo/build/CMakeFiles/np_bench_common.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/np_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/np_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/np_svc.dir/DependInfo.cmake"
   "/root/repo/build/src/obs/CMakeFiles/np_obs.dir/DependInfo.cmake"
   )
 

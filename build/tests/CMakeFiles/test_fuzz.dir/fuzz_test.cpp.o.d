@@ -335,4 +335,8 @@ tests/CMakeFiles/test_fuzz.dir/fuzz_test.cpp.o: \
  /root/repo/src/core/decompose.hpp /root/repo/src/net/availability.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/fleet/wire.hpp /root/repo/src/fleet/hash_ring.hpp \
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/svc/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/svc/request.hpp \
  /root/repo/src/mmps/system.hpp /root/repo/src/net/presets.hpp

@@ -316,4 +316,5 @@ tests/CMakeFiles/test_paper.dir/paper_test.cpp.o: \
  /root/repo/src/net/presets.hpp /root/repo/src/obs/telemetry.hpp \
  /usr/include/c++/12/chrono /root/repo/src/obs/metrics.hpp \
  /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/config.hpp
+ /root/repo/src/util/stats.hpp /root/repo/src/obs/trace_context.hpp \
+ /root/repo/src/util/config.hpp

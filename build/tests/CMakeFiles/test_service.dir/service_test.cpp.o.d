@@ -323,9 +323,9 @@ tests/CMakeFiles/test_service.dir/service_test.cpp.o: \
  /root/repo/src/exec/executor.hpp /root/repo/src/exec/load.hpp \
  /root/repo/src/net/presets.hpp /root/repo/src/sim/faults.hpp \
  /root/repo/src/svc/client.hpp /root/repo/src/svc/service.hpp \
- /root/repo/src/svc/cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/svc/metrics.hpp /root/repo/src/obs/telemetry.hpp \
- /root/repo/src/obs/metrics.hpp /root/repo/src/util/histogram.hpp \
- /root/repo/src/util/json.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/svc/request.hpp
+ /root/repo/src/obs/trace_context.hpp /root/repo/src/svc/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/svc/metrics.hpp \
+ /root/repo/src/obs/telemetry.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/svc/request.hpp

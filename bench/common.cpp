@@ -147,6 +147,23 @@ const char* to_string(SpeedupGate gate) {
   return "unknown";
 }
 
+void GateSet::require(const std::string& name, bool ok) {
+  if (!ok) failed_.push_back(name);
+  pass_ = pass_ && ok;
+}
+
+void GateSet::skip(const std::string& name, const std::string& reason) {
+  skipped_.emplace_back(name, reason);
+}
+
+JsonValue GateSet::skipped_json() const {
+  JsonValue out = JsonValue::array();
+  for (const auto& [name, reason] : skipped_) {
+    out.push(name + ": " + reason);
+  }
+  return out;
+}
+
 double sample_quantile(std::vector<double> samples, double q) {
   NP_REQUIRE(!samples.empty(), "sample_quantile needs samples");
   NP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");

@@ -114,6 +114,33 @@ SpeedupEvaluation evaluate_parallel_speedup(bool smoke, int threads,
                                             double speedup,
                                             double required_per_thread = 0.8);
 
+/// Pass/fail ledger for a bench's gate block, separating "gate failed"
+/// from "gate skipped".  A gate either ran (require(): its verdict feeds
+/// pass()) or was skipped with a recorded reason (skip(): its measured
+/// value may still be reported, but it must not drive pass()).  pass() is
+/// the AND over gates that ran -- a run whose only red mark is a skipped
+/// wall-clock gate is a passing run, and `gates_skipped` says exactly what
+/// was not checked and why.  Coverage tests pin this logic.
+class GateSet {
+ public:
+  /// Record a gate that ran with its verdict.
+  void require(const std::string& name, bool ok);
+  /// Record a gate that was skipped and why (e.g. "skipped_single_core").
+  void skip(const std::string& name, const std::string& reason);
+  /// AND over gates that ran; vacuously true if every gate was skipped.
+  bool pass() const { return pass_; }
+  /// Names of gates that ran and failed, insertion order.
+  const std::vector<std::string>& failed() const { return failed_; }
+  /// JSON array of "name: reason" entries, insertion order -- the
+  /// `gates_skipped` field of the bench's checks block.
+  JsonValue skipped_json() const;
+
+ private:
+  bool pass_ = true;
+  std::vector<std::string> failed_;
+  std::vector<std::pair<std::string, std::string>> skipped_;
+};
+
 /// Per-phase telemetry for BENCH_*.json artifacts: snapshots the global
 /// registry at construction, and each phase() call records the counter
 /// deltas since the previous call under the given name.  Only changed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dp/rank_kernel.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
@@ -13,6 +14,32 @@ namespace {
 /// Process-unique identities for BatchScratch binding.  Stack-allocated
 /// estimators can reuse addresses, so pointers cannot tell two apart.
 std::atomic<std::uint64_t> g_next_binding_id{1};
+
+/// The memoised bytes_per_message lookup shared by the lane engine and the
+/// delta path: the dominant communication phase's callback (a
+/// std::function, the one indirect call the batch cannot hoist) is
+/// deterministic for the estimator's lifetime, so caching by A_i is exact.
+/// Direct-indexed table when num_PDUs is small (one load, no hashing),
+/// direct-mapped hash memo otherwise; both are cleared on rebinding.
+inline std::int64_t memoized_bytes(const CommunicationPhaseSpec& comm,
+                                   BatchScratch& batch, std::int64_t a) {
+  if (!batch.bytes_cache.empty()) {
+    std::int64_t bytes = batch.bytes_cache[static_cast<std::size_t>(a)];
+    if (bytes >= 0) return bytes;
+    bytes = comm.bytes_per_message(a);
+    batch.bytes_cache[static_cast<std::size_t>(a)] = bytes;
+    return bytes;
+  }
+  const auto slot = static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(a) * 0x9E3779B97F4A7C15ull) >>
+      (64 - BatchScratch::kBytesMemoBits));
+  if (batch.memo_key[slot] == a + 1) return batch.memo_val[slot];
+  const std::int64_t bytes = comm.bytes_per_message(a);
+  batch.memo_key[slot] = a + 1;
+  batch.memo_val[slot] = bytes;
+  return bytes;
+}
+
 }  // namespace
 
 CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
@@ -49,6 +76,11 @@ CycleEstimator::CycleEstimator(const Network& network, const CostModelDb& db,
         fitted_clusters_.push_back(c);
       }
     }
+  }
+  order_pos_.resize(static_cast<std::size_t>(network.num_clusters()), 0);
+  for (std::size_t i = 0; i < cluster_order_.size(); ++i) {
+    order_pos_[static_cast<std::size_t>(cluster_order_[i])] =
+        static_cast<int>(i);
   }
   binding_id_ = g_next_binding_id.fetch_add(1, std::memory_order_relaxed);
 }
@@ -267,6 +299,7 @@ void CycleEstimator::ensure_batch_bound(BatchScratch& batch) const {
   batch.group_c.resize(lanes * k);
   batch.share_base.resize(lanes * k);
   batch.share_frac.resize(lanes * k);
+  batch.ranks_before.resize(lanes * k);
   batch.group_bytes.resize(lanes * k);
   batch.max_a.resize(lanes * k);
   // A different estimator means a different spec: the bytes caches keyed
@@ -350,35 +383,16 @@ void CycleEstimator::estimate_lanes(const ProcessorConfig* configs,
   const bool has_comm = dominant_comm_ != nullptr;
   const Topology topo = comm_topology_;
   const bool bw_limited = comm_bw_limited_;
-  std::int64_t* bytes_cache =
-      batch.bytes_cache.empty() ? nullptr : batch.bytes_cache.data();
-  std::int64_t* memo_key = batch.memo_key.data();
-  std::int64_t* memo_val = batch.memo_val.data();
   std::int64_t* share_base = batch.share_base.data();
   double* share_frac = batch.share_frac.data();
   double* group_bytes = batch.group_bytes.data();
   const char* has_fit = batch.has_fit.data();
   const Eq1Fit* fit = batch.fit.data();
   // Memoised bytes_per_message: the sole std::function call per group the
-  // batch cannot precompute.  Deterministic callback, so caching by A_i is
-  // exact: a direct-indexed table when num_PDUs is small (the common case
-  // -- one load, no hashing), the direct-mapped hash memo otherwise.
+  // batch cannot precompute (memoized_bytes above, shared with the delta
+  // path).
   const auto bytes_for = [&](std::int64_t a) {
-    if (bytes_cache != nullptr) {
-      std::int64_t bytes = bytes_cache[a];
-      if (bytes >= 0) return bytes;
-      bytes = dominant_comm_->bytes_per_message(a);
-      bytes_cache[a] = bytes;
-      return bytes;
-    }
-    const auto slot = static_cast<std::size_t>(
-        (static_cast<std::uint64_t>(a) * 0x9E3779B97F4A7C15ull) >>
-        (64 - BatchScratch::kBytesMemoBits));
-    if (memo_key[slot] == a + 1) return memo_val[slot];
-    const std::int64_t bytes = dominant_comm_->bytes_per_message(a);
-    memo_key[slot] = a + 1;
-    memo_val[slot] = bytes;
-    return bytes;
+    return memoized_bytes(*dominant_comm_, batch, a);
   };
   // Stage B runs stage-major: all lanes advance through each small stage
   // together, so the eight per-lane dependency chains (share divisions,
@@ -393,18 +407,21 @@ void CycleEstimator::estimate_lanes(const ProcessorConfig* configs,
 
   // B1: the closed-form share divisions (proportional_group_shares'
   // division pass, bitwise).  Division throughput is the floor here; the
-  // independent lanes keep the divider fed.
+  // independent lanes keep the divider fed, and InvariantDivider turns the
+  // per-group divisions into one reciprocal per lane plus two FMAs per
+  // group where the toolchain has hardware FMA (bitwise by Markstein's
+  // correction; plain division otherwise -- see dp/rank_kernel.hpp).
   for (int lane = 0; lane < kLanes; ++lane) {
     const std::size_t base = static_cast<std::size_t>(lane) * k;
     const double* gw = &batch.group_w[base];
     const int* gp = &batch.group_p[base];
     std::int64_t* sb = &share_base[base];
     double* sf = &share_frac[base];
-    const double wsum = weight_sum[lane];
+    const InvariantDivider div(weight_sum[lane]);
     const int groups = lane_groups[lane];
     std::int64_t used = 0;
     for (int g = 0; g < groups; ++g) {
-      const double ideal = pdus * gw[g] / wsum;
+      const double ideal = div.divide(pdus * gw[g]);
       const auto whole = static_cast<std::int64_t>(ideal);
       sb[g] = whole;
       sf[g] = ideal - static_cast<double>(whole);
@@ -417,7 +434,11 @@ void CycleEstimator::estimate_lanes(const ProcessorConfig* configs,
 
   // B2: largest-remainder extras -> per-group max A_i and starvation,
   // with the Eq. 4 computation maximum folded in (max_a is in a register
-  // the moment it is stored; a separate pass would reload it).
+  // the moment it is stored; a separate pass would reload it).  The rank
+  // counts come from the branchless sorting-network kernel (<= 4 groups;
+  // quadratic branch-free pass above) -- the old O(G^2) compare loop here
+  // was the dominant term of the batched per-eval profile.
+  std::int64_t* ranks_before = batch.ranks_before.data();
   for (int lane = 0; lane < kLanes; ++lane) {
     const std::size_t base = static_cast<std::size_t>(lane) * k;
     const int* gp = &batch.group_p[base];
@@ -425,30 +446,17 @@ void CycleEstimator::estimate_lanes(const ProcessorConfig* configs,
     const std::int64_t* sb = &share_base[base];
     const double* sf = &share_frac[base];
     std::int64_t* max_a = &batch.max_a[base];
+    std::int64_t* rb = &ranks_before[base];
     const std::int64_t remainder = lane_remainder[lane];
     const int groups = lane_groups[lane];
+    largest_remainder_ranks(sf, gp, groups, rb);
     int starved = 0;
     double t_comp = 0.0;
     for (int g = 0; g < groups; ++g) {
-      const double fg = sf[g];
-      std::int64_t ranks_before = 0;
-      for (int h = 0; h < groups; ++h) {
-        // At h == g all clauses are false, so the self-term contributes
-        // nothing and needs no explicit skip.  Bitwise &/| instead of
-        // &&/||: the fraction comparisons are data-dependent coin flips,
-        // and short-circuit evaluation would plant an unpredictable
-        // branch in the hottest loop of the engine.
-        const double fh = sf[h];
-        const auto ahead =
-            static_cast<std::int64_t>(fh > fg) |
-            (static_cast<std::int64_t>(fh == fg) &
-             static_cast<std::int64_t>(h < g));
-        ranks_before += ahead * gp[h];
-      }
       // extras = clamp(remainder - ranks_before, 0, P_g), but only its
       // sign (an extra exists) and saturation (the group filled up) are
       // consumed, so two comparisons replace the clamp.
-      const std::int64_t d = remainder - ranks_before;
+      const std::int64_t d = remainder - rb[g];
       starved |= static_cast<int>(sb[g] == 0) &
                  static_cast<int>(d < gp[g]);
       const std::int64_t a = sb[g] + static_cast<std::int64_t>(d > 0);
@@ -572,6 +580,245 @@ void CycleEstimator::estimate_batch(const ProcessorConfig* configs,
   for (; i < count; ++i) {
     out[i] = estimate_into(configs[i], scratch);
   }
+}
+
+void CycleEstimator::rebuild_delta_cache(DeltaScratch& d,
+                                         EstimatorScratch& scratch) const {
+  const BatchScratch& batch = scratch.batch;
+  const auto k = static_cast<std::size_t>(network_.num_clusters());
+  // Patched-lane staging: at most every cluster active, +1 slack so the
+  // insertion case never reallocates mid-evaluation.
+  d.lane_w.resize(k + 1);
+  d.lane_p.resize(k + 1);
+  d.lane_c.resize(k + 1);
+  d.lane_base.resize(k + 1);
+  d.lane_frac.resize(k + 1);
+  d.lane_rb.resize(k + 1);
+  d.lane_max_a.resize(k + 1);
+  d.lane_bytes.resize(k + 1);
+  d.group_w.clear();
+  d.group_p.clear();
+  d.group_c.clear();
+  d.prefix_w.clear();
+  int total = 0;
+  double sum = 0.0;
+  for (ClusterId c : cluster_order_) {
+    const int p = d.config[static_cast<std::size_t>(c)];
+    if (p == 0) continue;
+    const double w = batch.inv_s[static_cast<std::size_t>(c)];
+    d.prefix_w.push_back(sum);
+    d.group_w.push_back(w);
+    d.group_p.push_back(p);
+    d.group_c.push_back(c);
+    // Eq. 3 weight sum: rank-major repeated adds, so every prefix is the
+    // exact double the from-scratch gather reaches at that group.
+    for (int i = 0; i < p; ++i) sum += w;
+    total += p;
+  }
+  d.prefix_w.push_back(sum);
+  d.total_p = total;
+}
+
+FastEstimate CycleEstimator::bind_delta(const ProcessorConfig& config,
+                                        DeltaScratch& d,
+                                        EstimatorScratch& scratch) const {
+  // estimate_into validates and counts the baseline evaluation; the bound
+  // batch tables supply the per-cluster constants the cache keeps.
+  const FastEstimate out = estimate_into(config, scratch);
+  ensure_batch_bound(scratch.batch);
+  d.config = config;
+  d.bound_id = binding_id_;
+  rebuild_delta_cache(d, scratch);
+  return out;
+}
+
+FastEstimate CycleEstimator::estimate_delta(ClusterId cluster, int delta,
+                                            DeltaScratch& d,
+                                            EstimatorScratch& scratch) const {
+  NP_REQUIRE(d.bound_id == binding_id_,
+             "delta scratch is not bound to this estimator "
+             "(call bind_delta first)");
+  ensure_batch_bound(scratch.batch);
+  BatchScratch& batch = scratch.batch;
+  const auto k = static_cast<std::size_t>(network_.num_clusters());
+  const auto ci = static_cast<std::size_t>(cluster);
+  NP_REQUIRE(ci < k, "cluster id out of range");
+  const int moved_p = d.config[ci] + delta;
+  NP_REQUIRE(moved_p >= 0 && moved_p <= batch.capacity[ci],
+             "configuration exceeds cluster capacity");
+  const int total = d.total_p + delta;
+  NP_REQUIRE(total > 0, "configuration must select at least one processor");
+  NP_REQUIRE(num_pdus_ >= total,
+             "cannot give every selected processor a PDU");
+
+  // Patched gather: groups strictly before the moved cluster in placement
+  // order are the baseline's, byte for byte; the Eq. 3 weight-sum chain
+  // resumes from the cached partial at the splice point, so the full sum
+  // is the exact double a from-scratch gather of the moved configuration
+  // produces.
+  const int baseline_groups = static_cast<int>(d.group_c.size());
+  const int pos = order_pos_[ci];
+  int j = 0;
+  while (j < baseline_groups &&
+         order_pos_[static_cast<std::size_t>(d.group_c[j])] < pos) {
+    ++j;
+  }
+  const bool was_active = j < baseline_groups && d.group_c[j] == cluster;
+  double* lw = d.lane_w.data();
+  int* lp = d.lane_p.data();
+  ClusterId* lc = d.lane_c.data();
+  for (int g = 0; g < j; ++g) {
+    lw[g] = d.group_w[static_cast<std::size_t>(g)];
+    lp[g] = d.group_p[static_cast<std::size_t>(g)];
+    lc[g] = d.group_c[static_cast<std::size_t>(g)];
+  }
+  int groups = j;
+  double sum = d.prefix_w[static_cast<std::size_t>(j)];
+  if (moved_p > 0) {
+    const double w = batch.inv_s[ci];
+    lw[groups] = w;
+    lp[groups] = moved_p;
+    lc[groups] = cluster;
+    ++groups;
+    for (int i = 0; i < moved_p; ++i) sum += w;
+  }
+  for (int g = j + (was_active ? 1 : 0); g < baseline_groups; ++g) {
+    const double w = d.group_w[static_cast<std::size_t>(g)];
+    const int p = d.group_p[static_cast<std::size_t>(g)];
+    lw[groups] = w;
+    lp[groups] = p;
+    lc[groups] = d.group_c[static_cast<std::size_t>(g)];
+    ++groups;
+    for (int i = 0; i < p; ++i) sum += w;
+  }
+
+  // Shares, rank kernel, starvation, Eq. 4 fold: the single-lane mirror of
+  // estimate_lanes' Stage B (same kernels, same bitwise contract).
+  const double pdus = static_cast<double>(num_pdus_);
+  const InvariantDivider div(sum);
+  std::int64_t* lb = d.lane_base.data();
+  double* lf = d.lane_frac.data();
+  std::int64_t used = 0;
+  for (int g = 0; g < groups; ++g) {
+    const double ideal = div.divide(pdus * lw[g]);
+    const auto whole = static_cast<std::int64_t>(ideal);
+    lb[g] = whole;
+    lf[g] = ideal - static_cast<double>(whole);
+    used += whole * lp[g];
+  }
+  const std::int64_t remainder = num_pdus_ - used;
+  NP_ASSERT(remainder >= 0 && remainder <= total);
+
+  largest_remainder_ranks(lf, lp, groups, d.lane_rb.data());
+  const std::int64_t* rb = d.lane_rb.data();
+  std::int64_t* la = d.lane_max_a.data();
+  const double* comp_ms = batch.comp_ms.data();
+  int starved = 0;
+  double t_comp = 0.0;
+  for (int g = 0; g < groups; ++g) {
+    const std::int64_t dd = remainder - rb[g];
+    starved |= static_cast<int>(lb[g] == 0) & static_cast<int>(dd < lp[g]);
+    const std::int64_t a = lb[g] + static_cast<std::int64_t>(dd > 0);
+    la[g] = a;
+    t_comp = std::max(t_comp, comp_ms[static_cast<std::size_t>(lc[g])] *
+                                  static_cast<double>(a));
+  }
+  if (starved != 0) {
+    // Starvation repair (extreme speed skew, rare): the closed form cannot
+    // reproduce the donor-stealing loop; replay the moved configuration
+    // through the scalar path, which counts itself.
+    d.moved = d.config;
+    d.moved[ci] = moved_p;
+    return estimate_into(d.moved, scratch);
+  }
+  ++scratch.evaluations;
+  ++scratch.delta_evaluations;
+
+  // Eq. 2/5 communication over the bound coefficient tables (the
+  // single-lane mirror of Stage B3).
+  double t_comm = 0.0;
+  if (dominant_comm_ != nullptr && total > 1) {
+    const Topology topo = comm_topology_;
+    const bool bw_limited = comm_bw_limited_;
+    const char* has_fit = batch.has_fit.data();
+    const Eq1Fit* fit = batch.fit.data();
+    double* gb = d.lane_bytes.data();
+    double worst = 0.0;
+    for (int g = 0; g < groups; ++g) {
+      const double bytes =
+          static_cast<double>(memoized_bytes(*dominant_comm_, batch, la[g]));
+      gb[g] = bytes;
+      int adj = 0;
+      if (groups > 1) {
+        switch (topo) {
+          case Topology::OneD:
+          case Topology::TwoD:
+            adj = (g > 0 ? 1 : 0) + (g + 1 < groups ? 1 : 0);
+            break;
+          case Topology::Ring:
+            adj = 2;
+            break;
+          case Topology::Tree:
+          case Topology::Broadcast:
+            adj = g == 0 ? groups - 1 : 1;
+            break;
+        }
+      }
+      const double p_param =
+          (bw_limited ? static_cast<double>(total)
+                      : static_cast<double>(lp[g])) +
+          static_cast<double>(adj);
+      const auto c = static_cast<std::size_t>(lc[g]);
+      double cost;
+      if (has_fit[c]) {
+        cost = p_param <= 1.0
+                   ? 0.0
+                   : std::abs(fit[c].evaluate(bytes, p_param));
+      } else {
+        cost = cluster_cost_ms(lc[g], bytes, p_param);  // proxy (rare)
+      }
+      worst = std::max(worst, cost);
+    }
+    double penalty = 0.0;
+    for (int g = 0; g + 1 < groups; ++g) {
+      const ClusterId ca = lc[g];
+      const ClusterId cb = lc[g + 1];
+      const double bytes = la[g] >= la[g + 1] ? gb[g] : gb[g + 1];
+      const std::size_t slot =
+          static_cast<std::size_t>(ca) * k + static_cast<std::size_t>(cb);
+      const double router =
+          batch.has_router[slot]
+              ? std::max(0.0, batch.router_i[slot] +
+                                  batch.router_s[slot] * bytes)
+              : db_.router_ms(ca, cb, bytes);
+      const double coerce = std::max(
+          0.0, batch.coerce_i[slot] + batch.coerce_s[slot] * bytes);
+      penalty = std::max(penalty, router + coerce);
+    }
+    t_comm = worst + penalty;
+  }
+
+  const double t_overlap = phases_overlap_ ? std::min(t_comp, t_comm) : 0.0;
+  FastEstimate out{t_comp, t_comm, t_overlap, 0.0, 0.0};
+  out.t_c_ms = t_comp + t_comm - t_overlap;
+  out.t_elapsed_ms = out.t_c_ms * spec_.iterations();
+  return out;
+}
+
+void CycleEstimator::commit_delta(ClusterId cluster, int delta,
+                                  DeltaScratch& d,
+                                  EstimatorScratch& scratch) const {
+  NP_REQUIRE(d.bound_id == binding_id_,
+             "delta scratch is not bound to this estimator "
+             "(call bind_delta first)");
+  ensure_batch_bound(scratch.batch);
+  const auto ci = static_cast<std::size_t>(cluster);
+  NP_REQUIRE(ci < d.config.size(), "cluster id out of range");
+  const int moved_p = d.config[ci] + delta;
+  NP_REQUIRE(moved_p >= 0 && moved_p <= scratch.batch.capacity[ci],
+             "configuration exceeds cluster capacity");
+  d.config[ci] = moved_p;
+  rebuild_delta_cache(d, scratch);
 }
 
 double CycleEstimator::cluster_cost_ms(ClusterId c, double bytes,

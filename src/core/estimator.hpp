@@ -11,7 +11,7 @@
 // using only the program callbacks and the offline-calibrated cost model --
 // no network activity happens at estimation time.
 //
-// Three evaluation paths:
+// Four evaluation paths:
 //
 //   * estimate() -- the reference path: materialises the full Eq. 3
 //     partition vector and scans it rank by rank.  One heap-allocating
@@ -31,6 +31,12 @@
 //     is not a whole number of lanes finishes on a scalar remainder lane
 //     (estimate_into).  Every lane is bitwise identical to estimate_into()
 //     -- the differential property tier asserts this across batch sizes.
+//   * estimate_delta() -- the incremental path the hill climb and the
+//     adaptive repartition scorer run on: a configuration one +/-1 move
+//     away from a cached baseline (bind_delta) is scored by reusing the
+//     baseline's validation, active-group gather, and weight-sum prefix,
+//     recomputing only the Eq. 3 shares and the Eq. 4/5 folds.  Bitwise
+//     identical to estimate_into() on the moved configuration.
 #pragma once
 
 #include <atomic>
@@ -78,10 +84,14 @@ struct FastEstimate {
 struct BatchScratch {
   /// Lane width: candidate configurations evaluated per SoA pass.  The
   /// per-lane dependent chains (Eq. 3 weight sum, share divisions) are
-  /// mutually independent across lanes, so eight of them roughly fill an
-  /// out-of-order window; wider batches would spill the reorder buffer
-  /// without shortening any chain.
-  static constexpr int kLanes = 8;
+  /// mutually independent across lanes; sixteen of them keep the divider
+  /// and the out-of-order window fed while amortising each stage's loop
+  /// setup (bounds loads, pointer arithmetic, the starved-mask fold) over
+  /// twice the work of the original 8-wide engine.  The per-lane state the
+  /// stages keep live is a handful of scalars, so 16 lanes still fit the
+  /// register file comfortably; widening further showed no gain on the
+  /// hotpath bench while growing the scratch footprint.
+  static constexpr int kLanes = 16;
 
   /// Identity of the estimator the constant tables below were built for
   /// (CycleEstimator::binding_id(); 0 = unbound).  Address comparison is
@@ -108,6 +118,7 @@ struct BatchScratch {
   std::vector<ClusterId> group_c;  ///< active-group cluster ids
   std::vector<std::int64_t> share_base;  ///< Eq. 3 floor shares
   std::vector<double> share_frac;        ///< matching fractional parts
+  std::vector<std::int64_t> ranks_before;  ///< rank-kernel output per lane
   std::vector<double> group_bytes; ///< per-group message bytes (as double)
   std::vector<std::int64_t> max_a; ///< per-lane per-group max A_i
 
@@ -124,6 +135,54 @@ struct BatchScratch {
   static constexpr int kBytesMemoBits = 9;
   std::vector<std::int64_t> memo_key;  ///< A_i + 1; 0 = empty
   std::vector<std::int64_t> memo_val;
+};
+
+/// Cached baseline for CycleEstimator::estimate_delta(): one evaluated
+/// configuration plus the gather-stage state a single +/-1 rescoring can
+/// reuse.  A move changes the Eq. 3 weight sum, hence every group's ideal
+/// share -- so the divisions and the rank kernel must rerun -- but the
+/// validation scan, the active-group gather, and the weight-sum prefix up
+/// to the moved cluster are pure functions of the baseline and are served
+/// from this cache.  Bound to one (estimator, baseline) pair via
+/// bind_delta(); rebind after the estimator or the baseline changes by any
+/// path other than commit_delta().
+struct DeltaScratch {
+  /// Estimator the cache belongs to (CycleEstimator::binding_id();
+  /// 0 = unbound).
+  std::uint64_t bound_id = 0;
+
+  ProcessorConfig config;  ///< the cached baseline configuration
+  int total_p = 0;         ///< config_total(config)
+
+  // Active groups of the baseline in placement (rank-major) order -- the
+  // gather pass estimate_into performs per evaluation, done once here.
+  std::vector<double> group_w;
+  std::vector<int> group_p;
+  std::vector<ClusterId> group_c;
+
+  /// Eq. 3 weight-sum partials: prefix_w[g] is the sum over the ranks of
+  /// groups 0..g-1 in the exact rank-major repeated-add order (float
+  /// addition is not associative; resuming the chain at the moved group
+  /// from this partial reproduces the from-scratch sum bitwise).
+  /// prefix_w[groups] is the full baseline sum.
+  std::vector<double> prefix_w;
+
+  // Patched-lane staging (the moved configuration's groups and shares).
+  // Sized to the cluster count + 1 on first bind; steady-state delta
+  // evaluations allocate nothing.
+  std::vector<double> lane_w;
+  std::vector<int> lane_p;
+  std::vector<ClusterId> lane_c;
+  std::vector<std::int64_t> lane_base;
+  std::vector<double> lane_frac;
+  std::vector<std::int64_t> lane_rb;
+  std::vector<std::int64_t> lane_max_a;
+  std::vector<double> lane_bytes;
+
+  /// Staging for the starvation fallback (the rare configuration the
+  /// closed form cannot serve replays through estimate_into on this
+  /// buffer, keeping the fallback allocation-free too).
+  ProcessorConfig moved;
 };
 
 /// Reusable buffers for CycleEstimator::estimate_into() /
@@ -145,6 +204,12 @@ struct EstimatorScratch {
   /// `estimator.batch_evals` telemetry counter.
   std::uint64_t batch_evaluations = 0;
 
+  /// Of `evaluations`, how many ran through estimate_delta()'s patched
+  /// single-lane path (the starvation fallback replays through
+  /// estimate_into and counts as a plain fast-path evaluation).  Drivers
+  /// fold the delta into the `estimator.delta_evals` telemetry counter.
+  std::uint64_t delta_evaluations = 0;
+
   // Internal buffers (estimator + partitioner use; sizes are per-network).
   std::vector<double> group_weights;     ///< 1/S_i per active cluster
   std::vector<int> group_sizes;          ///< P_i per active cluster
@@ -158,8 +223,13 @@ struct EstimatorScratch {
   /// buffers without new plumbing.
   BatchScratch batch;
 
-  /// Candidate/result staging for batched search drivers (hill-climb
-  /// neighbourhoods, linear-scan prefills).  Reused across searches.
+  /// Delta-evaluation baseline cache (see DeltaScratch).  Embedded so the
+  /// hill climb and the adaptive repartition scorer reuse warm buffers
+  /// through the scratch they already hold.
+  DeltaScratch delta;
+
+  /// Candidate/result staging for batched search drivers (start-set
+  /// assembly, linear-scan prefills).  Reused across searches.
   std::vector<ProcessorConfig> batch_configs;
   std::vector<FastEstimate> batch_results;
 };
@@ -196,6 +266,35 @@ class CycleEstimator {
   void estimate_batch(const ProcessorConfig* configs, std::size_t count,
                       FastEstimate* out, EstimatorScratch& scratch) const;
 
+  /// Cache `config` as `d`'s delta baseline and return its estimate
+  /// (bitwise estimate_into; counts one evaluation).  Subsequent
+  /// estimate_delta()/commit_delta() calls against `d` are valid until the
+  /// estimator or the baseline changes by any other path.
+  FastEstimate bind_delta(const ProcessorConfig& config, DeltaScratch& d,
+                          EstimatorScratch& scratch) const;
+
+  /// Score baseline-with-one-move -- the configuration equal to `d`'s
+  /// baseline except cluster `cluster` gains `delta` processors -- without
+  /// touching the baseline.  Bitwise identical to estimate_into() on the
+  /// moved configuration (the property tier asserts this across randomised
+  /// move sequences), at a fraction of the cost: validation, the
+  /// active-group gather, and the weight-sum prefix before the moved
+  /// cluster come from the cache; only the share divisions, the rank
+  /// kernel, and the Eq. 4/5 folds rerun.  Throws InvalidArgument exactly
+  /// where estimate_into would (capacity exceeded, nothing selected, more
+  /// ranks than PDUs).  Moves that empty or activate a cluster are
+  /// supported; a move the closed form cannot serve (starvation repair)
+  /// replays through estimate_into transparently.
+  FastEstimate estimate_delta(ClusterId cluster, int delta, DeltaScratch& d,
+                              EstimatorScratch& scratch) const;
+
+  /// Apply a move to `d`'s cached baseline: the baseline becomes the moved
+  /// configuration and the gather cache is refreshed.  No evaluation is
+  /// performed (the caller already holds the move's estimate from
+  /// estimate_delta).
+  void commit_delta(ClusterId cluster, int delta, DeltaScratch& d,
+                    EstimatorScratch& scratch) const;
+
   /// Identity for BatchScratch binding (never 0; see
   /// BatchScratch::bound_id).
   std::uint64_t binding_id() const { return binding_id_; }
@@ -231,6 +330,9 @@ class CycleEstimator {
   /// estimate_into.
   void estimate_lanes(const ProcessorConfig* configs, FastEstimate* out,
                       EstimatorScratch& scratch) const;
+  /// Rebuild `d`'s gather cache (active groups, weight-sum prefixes) from
+  /// d.config.  Reads the bound per-cluster tables in scratch.batch.
+  void rebuild_delta_cache(DeltaScratch& d, EstimatorScratch& scratch) const;
   double comm_cost_ms(const ProcessorConfig& config,
                       const PartitionVector& partition) const;
   /// Shared Eq. 1/2/5 evaluation once the per-cluster max A_i are known.
@@ -247,6 +349,7 @@ class CycleEstimator {
   const CostModelDb& db_;
   const ComputationSpec& spec_;
   std::vector<ClusterId> cluster_order_;
+  std::vector<int> order_pos_;  ///< cluster id -> index in cluster_order_
 
   // Constructor-resolved invariants of the spec and cost model: the hot
   // path must not re-run phase-dominance scans, callback invocations with

@@ -1,7 +1,7 @@
 #include "core/general.hpp"
 
+#include <algorithm>
 #include <limits>
-#include <set>
 
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
@@ -13,50 +13,49 @@ namespace {
 
 /// Hill-climb from `config` with +/-1 moves until a local minimum; returns
 /// the local minimum's objective value and mutates `config` in place.
-/// Each round's whole +/-1 neighborhood (at most 2K configs) is scored in
-/// one estimate_batch pass; the winner is then chosen scanning the results
-/// in the scalar climb's probe order (cluster ascending, +1 before -1), so
-/// move sequences -- and evaluation counts -- match the scalar climb
-/// exactly.  The caller reads scratch.evaluations for budget accounting.
+/// Every candidate is one move away from the current configuration, so
+/// each is scored through estimate_delta against the bound baseline --
+/// validation, gather, and the weight-sum prefix are reused instead of
+/// recomputed 2K times per round.  Probing order (cluster ascending, +1
+/// before -1) and the strict improvement bar match the original batched
+/// climb, so move sequences -- and evaluation counts -- are unchanged.
+/// The caller reads scratch.evaluations for budget accounting.
 double hill_climb(const CycleEstimator& estimator,
                   const AvailabilitySnapshot& snapshot,
                   ProcessorConfig& config, std::uint64_t budget,
                   std::uint64_t* evaluations, EstimatorScratch& scratch) {
-  auto& neighbors = scratch.batch_configs;
-  auto& results = scratch.batch_results;
-  const std::size_t max_neighbors = 2 * config.size();
-  if (neighbors.size() < max_neighbors) neighbors.resize(max_neighbors);
-  if (results.size() < max_neighbors) results.resize(max_neighbors);
-
+  DeltaScratch& d = scratch.delta;
   ++*evaluations;
-  double current = estimator.estimate_into(config, scratch).t_c_ms;
+  double current = estimator.bind_delta(config, d, scratch).t_c_ms;
+  int total = config_total(config);
   bool improved = true;
   while (improved && *evaluations < budget) {
     improved = false;
-    std::size_t n = 0;
+    int best_cluster = -1;
+    int best_delta = 0;
+    double best_value = current;
     for (std::size_t c = 0; c < config.size(); ++c) {
       for (const int delta : {+1, -1}) {
         const int moved = config[c] + delta;
         if (moved < 0 || moved > snapshot.available[c]) continue;
-        ProcessorConfig& candidate = neighbors[n];
-        candidate = config;
-        candidate[c] = moved;
-        if (config_total(candidate) == 0) continue;
-        ++n;
+        if (total + delta == 0) continue;
+        const double value =
+            estimator
+                .estimate_delta(static_cast<ClusterId>(c), delta, d, scratch)
+                .t_c_ms;
+        ++*evaluations;
+        if (value < best_value - 1e-12) {
+          best_value = value;
+          best_cluster = static_cast<int>(c);
+          best_delta = delta;
+        }
       }
     }
-    estimator.estimate_batch(neighbors.data(), n, results.data(), scratch);
-    *evaluations += n;
-    std::size_t best_neighbor = n;
-    double best_value = current;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (results[i].t_c_ms < best_value - 1e-12) {
-        best_value = results[i].t_c_ms;
-        best_neighbor = i;
-      }
-    }
-    if (best_neighbor != n) {
-      config = neighbors[best_neighbor];
+    if (best_cluster >= 0) {
+      estimator.commit_delta(static_cast<ClusterId>(best_cluster),
+                             best_delta, d, scratch);
+      config[static_cast<std::size_t>(best_cluster)] += best_delta;
+      total += best_delta;
       current = best_value;
       improved = true;
     }
@@ -68,69 +67,93 @@ double hill_climb(const CycleEstimator& estimator,
 
 PartitionResult general_partition(const CycleEstimator& estimator,
                                   const AvailabilitySnapshot& snapshot,
-                                  const GeneralPartitionOptions& options) {
+                                  const GeneralPartitionOptions& options,
+                                  EstimatorScratch* scratch) {
   const Network& net = estimator.network();
   NP_REQUIRE(static_cast<int>(snapshot.available.size()) ==
                  net.num_clusters(),
              "availability snapshot does not match the network");
   NP_REQUIRE(snapshot.total() > 0, "no processors available");
   std::uint64_t evaluations = 0;
-  EstimatorScratch scratch;
+  EstimatorScratch local_scratch;
+  EstimatorScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  const std::uint64_t batch_evals_before = sc.batch_evaluations;
+  const std::uint64_t delta_evals_before = sc.delta_evaluations;
 
-  // Deterministic starting points.
-  std::set<ProcessorConfig> starts;
+  // Deterministic starting points, staged in the scratch's reusable
+  // config buffer (assignment into a retained ProcessorConfig reuses its
+  // capacity, so a warm scratch assembles the start set allocation-free).
+  auto& starts = sc.batch_configs;
+  std::size_t num_starts = 0;
+  const auto add_start = [&](const ProcessorConfig& config) {
+    if (starts.size() <= num_starts) starts.resize(num_starts + 1);
+    starts[num_starts++] = config;
+  };
   const PartitionResult heuristic_start =
-      partition(estimator, snapshot, {}, &scratch);
-  starts.insert(heuristic_start.config);
-  starts.insert(config_all_available(snapshot));
-  for (ClusterId c = 0; c < net.num_clusters(); ++c) {
-    const int n = snapshot.available[static_cast<std::size_t>(c)];
-    if (n == 0) continue;
+      partition(estimator, snapshot, {}, &sc);
+  add_start(heuristic_start.config);
+  add_start(config_all_available(snapshot));
+  {
     ProcessorConfig single(snapshot.available.size(), 0);
-    single[static_cast<std::size_t>(c)] = n;
-    starts.insert(std::move(single));
-  }
-
-  // Random starts widen the basin coverage.
-  Rng rng(options.seed);
-  for (int s = 0; s < options.random_starts; ++s) {
-    ProcessorConfig config(snapshot.available.size(), 0);
-    int total = 0;
-    for (std::size_t c = 0; c < config.size(); ++c) {
-      config[c] = static_cast<int>(
-          rng.next_int(0, snapshot.available[c]));
-      total += config[c];
+    for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+      const int n = snapshot.available[static_cast<std::size_t>(c)];
+      if (n == 0) continue;
+      std::fill(single.begin(), single.end(), 0);
+      single[static_cast<std::size_t>(c)] = n;
+      add_start(single);
     }
-    if (total == 0) continue;
-    starts.insert(std::move(config));
+
+    // Random starts widen the basin coverage.
+    Rng rng(options.seed);
+    for (int s = 0; s < options.random_starts; ++s) {
+      int total = 0;
+      for (std::size_t c = 0; c < single.size(); ++c) {
+        single[c] =
+            static_cast<int>(rng.next_int(0, snapshot.available[c]));
+        total += single[c];
+      }
+      if (total == 0) continue;
+      add_start(single);
+    }
   }
+  // Sorted + deduplicated: the exact sequence the former std::set visited,
+  // without its per-node allocations.
+  std::sort(starts.begin(), starts.begin() + num_starts);
+  num_starts = static_cast<std::size_t>(
+      std::unique(starts.begin(), starts.begin() + num_starts) -
+      starts.begin());
 
   ProcessorConfig best_config;
+  ProcessorConfig config;
   double best_value = std::numeric_limits<double>::infinity();
-  for (const ProcessorConfig& start : starts) {
-    ProcessorConfig config = start;
+  for (std::size_t s = 0; s < num_starts; ++s) {
+    config = starts[s];
     const double value =
         hill_climb(estimator, snapshot, config, options.max_evaluations,
-                   &evaluations, scratch);
+                   &evaluations, sc);
     if (value < best_value) {
       best_value = value;
-      best_config = std::move(config);
+      std::swap(best_config, config);
     }
   }
   NP_ASSERT(!best_config.empty());
   NP_LOG_DEBUG << "general partitioner: T_c=" << best_value << "ms from "
-               << starts.size() << " starts";
+               << num_starts << " starts";
 
   // Fold the climb's fast-path evaluations into the estimator's tally and
-  // the batched counter (partition() above already accounted for its own;
-  // +1 covers the final reference materialisation).
+  // the per-path counters (partition() above already accounted for its
+  // own; +1 covers the final reference materialisation).  Deltas, not
+  // totals: a caller-provided scratch carries counts from prior searches.
   estimator.merge_evaluations(evaluations);
   obs::TelemetryRegistry::global()
       .counter("estimator.evaluations")
       .add(evaluations + 1);
   obs::TelemetryRegistry::global()
       .counter("estimator.batch_evals")
-      .add(scratch.batch_evaluations);
+      .add(sc.batch_evaluations - batch_evals_before);
+  obs::TelemetryRegistry::global()
+      .counter("estimator.delta_evals")
+      .add(sc.delta_evaluations - delta_evals_before);
   return PartitionResult{
       best_config, estimator.estimate(best_config),
       contiguous_placement(net, best_config, estimator.cluster_order()),

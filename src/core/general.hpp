@@ -34,9 +34,15 @@ struct GeneralPartitionOptions {
 
 /// Multi-start local search over the full configuration space.  Never
 /// returns a configuration worse than the locality heuristic's (it is one
-/// of the starting points).
+/// of the starting points).  Each start's +/-1 neighbourhood is scored
+/// through the estimator's delta path (estimate_delta against the current
+/// climb position), so a probe costs a fraction of a from-scratch
+/// evaluation.  Pass a long-lived `scratch` to reuse warm buffers across
+/// searches (the bench and service drivers do); nullptr uses a call-local
+/// one.
 PartitionResult general_partition(
     const CycleEstimator& estimator, const AvailabilitySnapshot& snapshot,
-    const GeneralPartitionOptions& options = {});
+    const GeneralPartitionOptions& options = {},
+    EstimatorScratch* scratch = nullptr);
 
 }  // namespace netpart

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "dp/rank_kernel.hpp"
 #include "util/error.hpp"
 
 namespace netpart {
@@ -129,20 +130,42 @@ bool proportional_group_shares(std::span<const double> group_weights,
   // Largest-remainder distribution: the stable per-rank sort (frac
   // descending, original rank order on ties) never interleaves two groups,
   // so group g's ranks are preceded by exactly the ranks of groups with a
-  // strictly larger frac, plus equal-frac groups appearing earlier.  O(n^2)
-  // over groups, allocation-free; group counts are small (clusters).
-  for (std::size_t g = 0; g < group_weights.size(); ++g) {
-    std::int64_t ranks_before = 0;
-    for (std::size_t h = 0; h < group_weights.size(); ++h) {
-      if (h == g) continue;
-      if (out[h].frac > out[g].frac ||
-          (out[h].frac == out[g].frac && h < g)) {
-        ranks_before += group_sizes[h];
+  // strictly larger frac, plus equal-frac groups appearing earlier.  The
+  // count comes from the branchless rank kernel (sorting network up to 4
+  // groups, quadratic pass above); both paths are allocation-free, and the
+  // <= 4 staging below keeps this function's span-only signature.
+  const std::size_t n = group_weights.size();
+  std::int64_t ranks_before_small[4];
+  const std::int64_t* ranks_before = nullptr;
+  if (n <= 4) {
+    double frac[4];
+    int sizes[4];
+    for (std::size_t g = 0; g < n; ++g) {
+      frac[g] = out[g].frac;
+      sizes[g] = group_sizes[g];
+    }
+    largest_remainder_ranks(frac, sizes, static_cast<int>(n),
+                            ranks_before_small);
+    ranks_before = ranks_before_small;
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    std::int64_t before;
+    if (ranks_before != nullptr) {
+      before = ranks_before[g];
+    } else {
+      // > 4 groups: the quadratic pass, inline over the AoS shares so no
+      // scratch buffer is needed.
+      before = 0;
+      for (std::size_t h = 0; h < n; ++h) {
+        if (h == g) continue;
+        if (out[h].frac > out[g].frac ||
+            (out[h].frac == out[g].frac && h < g)) {
+          before += group_sizes[h];
+        }
       }
     }
     const std::int64_t extras =
-        std::clamp<std::int64_t>(remainder - ranks_before, 0,
-                                 group_sizes[g]);
+        std::clamp<std::int64_t>(remainder - before, 0, group_sizes[g]);
     out[g].extras = static_cast<int>(extras);
     if (out[g].base == 0 && extras < group_sizes[g]) {
       return false;  // a rank would starve; caller must materialise

@@ -1,0 +1,169 @@
+// Branchless kernels for the largest-remainder rounding of Eq. 3.
+//
+// proportional_partition() realises the ideal (fractional) Eq. 3 shares as
+// integers by handing the leftover PDUs to the ranks with the largest
+// fractional parts, stable on ties.  Everything the closed-form evaluators
+// need from that sort is one number per group: how many ranks precede the
+// group in the frac-descending order ("ranks_before") -- the remainder is
+// then compared against it to decide whether the group receives an extra.
+//
+// Two implementations of that count, bitwise-identical by construction
+// (both implement the same exact-double comparisons; the differential tier
+// in tests/property_test.cpp asserts equality over every tie pattern):
+//
+//   * largest_remainder_ranks() -- the hot entry point.  For <= 4 groups
+//     (every paper testbed, and the 4-cluster bench preset) it sorts the
+//     (frac, index) keys through a 5-comparator sorting network of
+//     conditional moves -- no data-dependent branch anywhere, so the
+//     mistrained-predictor cost of the old quadratic compare loop (the
+//     dominant term of the batched per-eval profile) disappears.  Above 4
+//     groups it falls back to the quadratic pass.
+//   * detail::largest_remainder_ranks_general() -- the branch-free O(G^2)
+//     pass, kept as the any-size fallback and as the differential oracle.
+//
+// Also here: InvariantDivider, the reciprocal-multiply division used by the
+// batched share stage (see the class comment for the bitwise contract).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace netpart {
+
+namespace detail {
+
+/// ranks_before[g] = sum of sizes[h] over groups h that precede g in the
+/// stable frac-descending order: frac[h] > frac[g], or frac[h] == frac[g]
+/// with h < g.  Branch-free |/& arithmetic -- the fraction comparisons are
+/// data-dependent coin flips, and short-circuit evaluation would plant an
+/// unpredictable branch in the hottest loop of the engine.  Quadratic in
+/// the group count; any size.
+inline void largest_remainder_ranks_general(const double* frac,
+                                            const int* sizes, int groups,
+                                            std::int64_t* ranks_before) {
+  for (int g = 0; g < groups; ++g) {
+    const double fg = frac[g];
+    std::int64_t before = 0;
+    for (int h = 0; h < groups; ++h) {
+      // At h == g both clauses are false, so the self-term contributes
+      // nothing and needs no explicit skip.
+      const double fh = frac[h];
+      const auto ahead = static_cast<std::int64_t>(fh > fg) |
+                         (static_cast<std::int64_t>(fh == fg) &
+                          static_cast<std::int64_t>(h < g));
+      before += ahead * sizes[h];
+    }
+    ranks_before[g] = before;
+  }
+}
+
+}  // namespace detail
+
+/// Largest-remainder rank counts (see file comment).  Preconditions:
+/// groups >= 1, sizes[g] >= 0, and frac[g] in [0, 1) -- the fractional
+/// part of a finite non-negative ideal share, which is what both callers
+/// (proportional_group_shares and the batched Stage B) compute.  Writes
+/// exactly `groups` entries of ranks_before.
+inline void largest_remainder_ranks(const double* frac, const int* sizes,
+                                    int groups,
+                                    std::int64_t* ranks_before) {
+  if (groups > 4) {
+    detail::largest_remainder_ranks_general(frac, sizes, groups,
+                                            ranks_before);
+    return;
+  }
+  // Pad to a fixed 4 lanes.  The sentinel frac -1.0 is strictly below
+  // every real fractional part (they live in [0, 1)), so dead lanes sort
+  // last; their size 0 keeps them out of every prefix sum.
+  double f[4];
+  int idx[4];
+  std::int64_t p[4];
+  for (int g = 0; g < 4; ++g) {
+    const bool live = g < groups;
+    f[g] = live ? frac[g] : -1.0;
+    idx[g] = g;
+    p[g] = live ? static_cast<std::int64_t>(sizes[g]) : 0;
+  }
+  // 5-comparator sorting network for 4 keys: (0,1)(2,3)(0,2)(1,3)(1,2).
+  // Order: frac descending, index ascending on equal fracs -- exactly the
+  // stable sort proportional_partition performs.  Keys are unique (the
+  // index breaks every tie), so the network's output order is the stable
+  // order even though the network itself is not stable.  Each comparator
+  // is a predicated swap (conditional moves, no branch).
+  const auto cswap = [&](int a, int b) {
+    const bool sw = (f[a] < f[b]) | ((f[a] == f[b]) & (idx[a] > idx[b]));
+    const double fa = sw ? f[b] : f[a];
+    const double fb = sw ? f[a] : f[b];
+    const int ia = sw ? idx[b] : idx[a];
+    const int ib = sw ? idx[a] : idx[b];
+    const std::int64_t pa = sw ? p[b] : p[a];
+    const std::int64_t pb = sw ? p[a] : p[b];
+    f[a] = fa;
+    f[b] = fb;
+    idx[a] = ia;
+    idx[b] = ib;
+    p[a] = pa;
+    p[b] = pb;
+  };
+  cswap(0, 1);
+  cswap(2, 3);
+  cswap(0, 2);
+  cswap(1, 3);
+  cswap(1, 2);
+  // Exclusive prefix sum over the sorted sizes, scattered back to input
+  // order.  Dead lanes land in out[idx >= groups], which exists only in
+  // the local staging -- callers get exactly `groups` entries.
+  std::int64_t out[4];
+  std::int64_t before = 0;
+  for (int k = 0; k < 4; ++k) {
+    out[idx[k]] = before;
+    before += p[k];
+  }
+  for (int g = 0; g < groups; ++g) ranks_before[g] = out[g];
+}
+
+/// True when InvariantDivider runs its fused reciprocal-multiply path;
+/// false on toolchains without hardware FMA, where it degrades to plain
+/// division (see below).  Exposed so tests can assert the active path's
+/// bitwise contract.
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+inline constexpr bool kInvariantDividerFused = true;
+#else
+inline constexpr bool kInvariantDividerFused = false;
+#endif
+
+/// Division by a loop-invariant divisor, as the batched share stage needs
+/// it: one real division (the reciprocal) amortised over a whole group of
+/// numerators, each served by two FMAs.
+///
+/// Bitwise contract: divide(x) == x / d exactly.  With hardware FMA this
+/// holds by Markstein's round-to-nearest correction: r = RN(1/d) is the
+/// correctly rounded reciprocal, q0 = RN(x*r) is within an ulp of the
+/// quotient, and the residual rem = fma(-d, q0, x) is exact, so
+/// fma(rem, r, q0) rounds to RN(x/d) for normal x/d -- the range Eq. 3
+/// shares live in (num_pdus * weight over a positive weight sum).  Without
+/// hardware FMA the correction would go through libm's software fma --
+/// slower than the division it replaces and, worse, a libm soft-fma is not
+/// guaranteed exact on every platform; that configuration falls back to
+/// plain division at compile time (kInvariantDividerFused == false), which
+/// is trivially bitwise.  The property tier asserts divide(x) == x / d on
+/// whichever path is compiled in.
+struct InvariantDivider {
+  double d;
+  double r;  ///< RN(1/d), correctly rounded by IEEE division
+
+  explicit InvariantDivider(double divisor)
+      : d(divisor), r(1.0 / divisor) {}
+
+  double divide(double x) const {
+    if constexpr (kInvariantDividerFused) {
+      const double q0 = x * r;
+      const double rem = std::fma(-d, q0, x);
+      return std::fma(rem, r, q0);
+    } else {
+      return x / d;
+    }
+  }
+};
+
+}  // namespace netpart

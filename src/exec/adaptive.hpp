@@ -100,6 +100,19 @@ struct ConfigRecoveryReport {
   double ratio = 1.0;
   ProcessorConfig oracle_config;
   std::uint64_t oracle_evaluations = 0;  ///< sweep size (cost of the oracle)
+
+  // Local +/-1 repair, scored through the estimator's delta path with the
+  // achieved configuration as the bound baseline.  One move is the unit of
+  // migration-cost-aware adaptation (a repartition that moves one
+  // processor's worth of PDUs), so "does any single move help, and how
+  // much" is the cheap signal the adaptive loop can act on without paying
+  // for the exhaustive oracle.
+  double local_best_t_c_ms = 0.0;   ///< best T_c within one +/-1 move
+  ProcessorConfig local_best_config;  ///< the move's configuration
+  /// True when no single +/-1 move improves the achieved configuration
+  /// (always true when achieved == oracle: a global optimum is locally
+  /// optimal).
+  bool locally_optimal = false;
 };
 
 /// Score a post-fault configuration against the exhaustive ground truth.

@@ -297,5 +297,39 @@ TEST(SpeedupGateCoverage, MalformedConcurrencyOverrideFallsBackToHardware) {
   }
 }
 
+TEST(GateSetCoverage, PassReflectsOnlyGatesThatRan) {
+  // The bench's pass verdict is the AND over gates that ran: a skipped
+  // gate records its reason but must not drive pass() either way.
+  bench::GateSet gates;
+  EXPECT_TRUE(gates.pass()) << "no gates yet: vacuously passing";
+  gates.require("bitwise_match", true);
+  gates.skip("batched_under_40ns", "skipped_single_core");
+  EXPECT_TRUE(gates.pass())
+      << "a skipped wall-clock gate must not fail the run";
+  EXPECT_TRUE(gates.failed().empty());
+
+  gates.require("zero_alloc_per_eval", false);
+  EXPECT_FALSE(gates.pass());
+  ASSERT_EQ(gates.failed().size(), 1u);
+  EXPECT_EQ(gates.failed().front(), "zero_alloc_per_eval");
+
+  // A later success never un-fails the set.
+  gates.require("fast_speedup_3x", true);
+  EXPECT_FALSE(gates.pass());
+}
+
+TEST(GateSetCoverage, SkippedJsonRecordsNameAndReasonInOrder) {
+  bench::GateSet gates;
+  gates.skip("fast_speedup_3x", "skipped_smoke");
+  gates.skip("parallel_speedup", "skipped_single_core");
+  const JsonValue skipped = gates.skipped_json();
+  ASSERT_EQ(skipped.size(), 2u);
+  EXPECT_EQ(skipped.at(0).as_string(), "fast_speedup_3x: skipped_smoke");
+  EXPECT_EQ(skipped.at(1).as_string(),
+            "parallel_speedup: skipped_single_core");
+  // All-skipped is a passing run; the artifact says what was not checked.
+  EXPECT_TRUE(gates.pass());
+}
+
 }  // namespace
 }  // namespace netpart

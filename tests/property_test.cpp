@@ -9,10 +9,14 @@
 //    the estimate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "apps/stencil.hpp"
 #include "calib/calibrate.hpp"
 #include "core/decompose.hpp"
 #include "core/partitioner.hpp"
+#include "dp/rank_kernel.hpp"
 #include "exec/executor.hpp"
 #include "net/presets.hpp"
 
@@ -384,6 +388,310 @@ TEST(GroupShares, MatchesProportionalPartitionExactly) {
   }
   // The closed form must cover the overwhelming majority of draws.
   EXPECT_GT(closed_form, 350);
+}
+
+// Stable-sort oracle for the rank kernel: ranks_before[g] as
+// proportional_partition's per-rank stable sort defines it.
+std::vector<std::int64_t> ranks_before_oracle(
+    const std::vector<double>& frac, const std::vector<int>& sizes) {
+  std::vector<int> order(frac.size());
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    order[g] = static_cast<int>(g);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return frac[a] > frac[b]; });
+  std::vector<std::int64_t> out(frac.size());
+  std::int64_t before = 0;
+  for (const int g : order) {
+    out[static_cast<std::size_t>(g)] = before;
+    before += sizes[static_cast<std::size_t>(g)];
+  }
+  return out;
+}
+
+TEST(RankKernel, MatchesGeneralOnAllTiePatternsUpTo4) {
+  // Exhaustive differential over the sorting network's whole input space
+  // modulo magnitude: with 4 lanes, only the pattern of equalities and
+  // orderings among the fracs matters, so drawing every frac from a
+  // 4-value palette covers every tie pattern (including all-equal), and
+  // every size from {0, 1, 3} covers empty and uneven groups.  The
+  // network must agree with the quadratic general pass AND the
+  // stable-sort oracle exactly.
+  const double palette[] = {0.0, 0.25, 0.5, 0.999};
+  const int size_palette[] = {0, 1, 3};
+  for (int groups = 1; groups <= 4; ++groups) {
+    int frac_combos = 1;
+    int size_combos = 1;
+    for (int g = 0; g < groups; ++g) {
+      frac_combos *= 4;
+      size_combos *= 3;
+    }
+    for (int fc = 0; fc < frac_combos; ++fc) {
+      std::vector<double> frac(static_cast<std::size_t>(groups));
+      int f = fc;
+      for (int g = 0; g < groups; ++g, f /= 4) frac[g] = palette[f % 4];
+      for (int sc = 0; sc < size_combos; ++sc) {
+        std::vector<int> sizes(static_cast<std::size_t>(groups));
+        int s = sc;
+        for (int g = 0; g < groups; ++g, s /= 3) {
+          sizes[g] = size_palette[s % 3];
+        }
+        std::int64_t kernel[4];
+        std::int64_t general[4];
+        largest_remainder_ranks(frac.data(), sizes.data(), groups, kernel);
+        detail::largest_remainder_ranks_general(frac.data(), sizes.data(),
+                                                groups, general);
+        const std::vector<std::int64_t> oracle =
+            ranks_before_oracle(frac, sizes);
+        for (int g = 0; g < groups; ++g) {
+          ASSERT_EQ(kernel[g], general[g])
+              << "groups " << groups << " fc " << fc << " sc " << sc
+              << " g " << g;
+          ASSERT_EQ(kernel[g], oracle[static_cast<std::size_t>(g)])
+              << "groups " << groups << " fc " << fc << " sc " << sc
+              << " g " << g;
+        }
+      }
+    }
+  }
+}
+
+TEST(RankKernel, AllEqualFracsUseOriginalGroupOrder) {
+  // Equal fracs everywhere (the all-equal-remainder pattern): the stable
+  // order is the original group order, so ranks_before must be the plain
+  // exclusive prefix sum of the sizes.
+  const std::vector<double> frac = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> sizes = {2, 5, 1, 3};
+  std::int64_t rb[4];
+  largest_remainder_ranks(frac.data(), sizes.data(), 4, rb);
+  EXPECT_EQ(rb[0], 0);
+  EXPECT_EQ(rb[1], 2);
+  EXPECT_EQ(rb[2], 7);
+  EXPECT_EQ(rb[3], 8);
+}
+
+TEST(RankKernel, GeneralPathAboveFourGroupsMatchesOracle) {
+  // Above 4 groups the entry point must dispatch to the quadratic pass;
+  // both must still equal the stable-sort oracle on random draws with
+  // forced ties.
+  Rng rng(0x9A9A);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int groups = static_cast<int>(rng.next_int(5, 9));
+    std::vector<double> frac(static_cast<std::size_t>(groups));
+    std::vector<int> sizes(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g) {
+      // Quantised draws force frequent cross-group ties.
+      frac[g] = static_cast<double>(rng.next_int(0, 4)) * 0.25;
+      sizes[g] = static_cast<int>(rng.next_int(0, 4));
+    }
+    std::vector<std::int64_t> kernel(static_cast<std::size_t>(groups));
+    largest_remainder_ranks(frac.data(), sizes.data(), groups,
+                            kernel.data());
+    const std::vector<std::int64_t> oracle =
+        ranks_before_oracle(frac, sizes);
+    for (int g = 0; g < groups; ++g) {
+      ASSERT_EQ(kernel[static_cast<std::size_t>(g)],
+                oracle[static_cast<std::size_t>(g)])
+          << "trial " << trial << " g " << g;
+    }
+  }
+}
+
+TEST(RankKernel, InvariantDividerBitwiseMatchesDivision) {
+  // The batched share stage replaces x / d with divide(x); the engine's
+  // bitwise contract requires exact equality on whichever path the
+  // toolchain compiled in (Markstein correction under hardware FMA, plain
+  // division otherwise).
+  Rng rng(0xD1F1);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Magnitudes spanning the Eq. 3 share range and well beyond it.
+    const double x = std::ldexp(0.5 + rng.next_double(),
+                                static_cast<int>(rng.next_int(-30, 60)));
+    const double d = std::ldexp(0.5 + rng.next_double(),
+                                static_cast<int>(rng.next_int(-30, 60)));
+    const InvariantDivider div(d);
+    ASSERT_EQ(div.divide(x), x / d)
+        << "trial " << trial << " x " << x << " d " << d
+        << " fused " << kInvariantDividerFused;
+  }
+}
+
+TEST(GroupShares, StarvationEdges) {
+  // The closed form must refuse exactly when a rank would starve: base 0
+  // with fewer extras than ranks.  Pin both sides of the edge.
+  const auto run = [](std::vector<double> w, std::vector<int> sz,
+                      std::int64_t pdus) {
+    std::vector<GroupShare> shares(w.size());
+    return proportional_group_shares(w, sz, pdus, shares);
+  };
+  // pdus == total ranks with equal weights: every rank gets exactly one
+  // (base 0, extras == size everywhere) -- no starvation.
+  EXPECT_TRUE(run({1.0, 1.0}, {3, 3}, 6));
+  // A tiny-weight group at the remainder boundary: base 0 and the
+  // remainder runs out before reaching it.
+  EXPECT_FALSE(run({1000.0, 0.001}, {2, 2}, 100));
+  // Same weights, enough PDUs that the small group's base rises above 0.
+  EXPECT_TRUE(run({1000.0, 0.001}, {2, 2}, 4000000));
+  // Starvation must also be detected past the 4-group sorting network, on
+  // the inline quadratic path.
+  EXPECT_FALSE(
+      run({100.0, 100.0, 100.0, 100.0, 0.001}, {1, 1, 1, 1, 2}, 7));
+}
+
+class DeltaEvalProperties : public RandomNetworkProperties {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DeltaEvalProperties,
+    ::testing::Values(RandomNetCase{11, 2}, RandomNetCase{12, 3},
+                      RandomNetCase{13, 4}, RandomNetCase{14, 5}),
+    [](const auto& test_info) {
+      return "seed" + std::to_string(test_info.param.seed) + "_k" +
+             std::to_string(test_info.param.clusters);
+    });
+
+TEST_P(DeltaEvalProperties, DeltaBitwiseMatchesFromScratch) {
+  // The delta engine's contract: estimate_delta(c, +/-1) returns the
+  // exact FastEstimate estimate_into() computes for the moved
+  // configuration -- bitwise on every cost field -- across randomized
+  // single-move sequences, including moves that empty a cluster and
+  // moves that activate one.
+  Rng rng(GetParam().seed ^ 0xDE17A);
+  const Network net =
+      presets::random_network(rng, GetParam().clusters, 6);
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  Rng config_rng = rng.stream(4);
+  for (const auto& [n, overlap] :
+       std::vector<std::pair<int, bool>>{{300, false}, {1200, true}}) {
+    const ComputationSpec spec = apps::make_stencil_spec(
+        apps::StencilConfig{.n = n, .iterations = 10, .overlap = overlap});
+    CycleEstimator est(net, cal.db, spec);
+    EstimatorScratch scratch;
+    DeltaScratch& d = scratch.delta;
+    EstimatorScratch ref_scratch;
+
+    // Random non-empty starting configuration.
+    ProcessorConfig config(static_cast<std::size_t>(net.num_clusters()),
+                           0);
+    int total = 0;
+    while (total == 0) {
+      for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+        config[static_cast<std::size_t>(c)] = static_cast<int>(
+            config_rng.next_int(0, net.cluster(c).size()));
+        total += config[static_cast<std::size_t>(c)];
+      }
+    }
+    const FastEstimate bound = est.bind_delta(config, d, scratch);
+    const FastEstimate bound_ref = est.estimate_into(config, ref_scratch);
+    ASSERT_EQ(bound.t_c_ms, bound_ref.t_c_ms);
+
+    for (int move = 0; move < 60; ++move) {
+      // Probe every legal +/-1 around the current baseline.
+      std::vector<std::pair<ClusterId, int>> legal;
+      for (ClusterId c = 0; c < net.num_clusters(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        for (const int delta : {+1, -1}) {
+          const int moved = config[ci] + delta;
+          if (moved < 0 || moved > net.cluster(c).size()) continue;
+          if (total + delta == 0) continue;
+          legal.emplace_back(c, delta);
+          const FastEstimate got =
+              est.estimate_delta(c, delta, d, scratch);
+          ProcessorConfig moved_config = config;
+          moved_config[ci] = moved;
+          const FastEstimate want =
+              est.estimate_into(moved_config, ref_scratch);
+          ASSERT_EQ(want.t_comp_ms, got.t_comp_ms)
+              << "seed " << GetParam().seed << " move " << move << " c "
+              << c << " delta " << delta;
+          ASSERT_EQ(want.t_comm_ms, got.t_comm_ms)
+              << "seed " << GetParam().seed << " move " << move << " c "
+              << c << " delta " << delta;
+          ASSERT_EQ(want.t_overlap_ms, got.t_overlap_ms)
+              << "seed " << GetParam().seed << " move " << move << " c "
+              << c << " delta " << delta;
+          ASSERT_EQ(want.t_c_ms, got.t_c_ms)
+              << "seed " << GetParam().seed << " move " << move << " c "
+              << c << " delta " << delta;
+          ASSERT_EQ(want.t_elapsed_ms, got.t_elapsed_ms)
+              << "seed " << GetParam().seed << " move " << move << " c "
+              << c << " delta " << delta;
+        }
+      }
+      ASSERT_FALSE(legal.empty());
+      // Commit a random legal move (biased towards draining so the walk
+      // visits empty-cluster states) and keep walking.
+      const auto& [cc, cd] =
+          legal[static_cast<std::size_t>(config_rng.next_int(
+              0, static_cast<std::int64_t>(legal.size()) - 1))];
+      est.commit_delta(cc, cd, d, scratch);
+      config[static_cast<std::size_t>(cc)] += cd;
+      total += cd;
+      // After a commit the new baseline must itself score bitwise.
+      const FastEstimate rebased = est.estimate_delta(cc, 0, d, scratch);
+      const FastEstimate rebased_ref =
+          est.estimate_into(config, ref_scratch);
+      ASSERT_EQ(rebased.t_c_ms, rebased_ref.t_c_ms)
+          << "seed " << GetParam().seed << " move " << move;
+    }
+  }
+}
+
+TEST(DeltaEval, EmptyAndRefillCluster) {
+  // The splice cases the randomized walk may or may not hit, pinned
+  // deterministically: removing the last processor of a cluster (its
+  // group vanishes from the gather) and re-activating an empty cluster
+  // (a group is inserted), both bitwise against from-scratch.
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 600, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  EstimatorScratch scratch;
+  DeltaScratch& d = scratch.delta;
+  EstimatorScratch ref_scratch;
+
+  est.bind_delta({1, 1}, d, scratch);
+  const FastEstimate drained = est.estimate_delta(0, -1, d, scratch);
+  const FastEstimate drained_ref = est.estimate_into({0, 1}, ref_scratch);
+  EXPECT_EQ(drained.t_c_ms, drained_ref.t_c_ms);
+  EXPECT_EQ(drained.t_comm_ms, drained_ref.t_comm_ms);
+
+  est.commit_delta(0, -1, d, scratch);  // baseline now {0, 1}
+  const FastEstimate refilled = est.estimate_delta(0, +1, d, scratch);
+  const FastEstimate refilled_ref = est.estimate_into({1, 1}, ref_scratch);
+  EXPECT_EQ(refilled.t_c_ms, refilled_ref.t_c_ms);
+  EXPECT_EQ(refilled.t_comm_ms, refilled_ref.t_comm_ms);
+
+  // Draining the only remaining cluster must be rejected, and the
+  // capacity edge must hold on the high side too.
+  EXPECT_THROW(est.estimate_delta(1, -1, d, scratch), Error);
+  est.commit_delta(0, +1, d, scratch);  // baseline {1, 1}
+  EXPECT_THROW(est.estimate_delta(0, net.cluster(0).size(), d, scratch),
+               Error);
+}
+
+TEST(DeltaEval, CountsEvaluationsAndRequiresBinding) {
+  const Network net = presets::paper_testbed();
+  CalibrationParams params;
+  params.topologies = {Topology::OneD};
+  const CalibrationResult cal = calibrate(net, params);
+  const ComputationSpec spec = apps::make_stencil_spec(
+      apps::StencilConfig{.n = 600, .iterations = 10, .overlap = false});
+  CycleEstimator est(net, cal.db, spec);
+  EstimatorScratch scratch;
+  DeltaScratch& d = scratch.delta;
+  EXPECT_THROW(est.estimate_delta(0, 1, d, scratch), Error);
+
+  est.bind_delta({3, 2}, d, scratch);
+  const std::uint64_t evals_after_bind = scratch.evaluations;
+  est.estimate_delta(0, 1, d, scratch);
+  est.estimate_delta(1, -1, d, scratch);
+  EXPECT_EQ(scratch.evaluations, evals_after_bind + 2);
+  EXPECT_GE(scratch.delta_evaluations, 0u);
 }
 
 TEST(EstimatorMonotonicity, MoreWorkNeverCheaper) {

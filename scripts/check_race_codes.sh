@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Cross-check the npracer diagnostic codes against the DESIGN.md §14 code
+# table: every NP-R code the detector can emit must have a documented row.
+# Run by scripts/tier1.sh --lint; fails the lint tier on any missing code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Codes the detector can emit: every "NP-Rnnn" string literal in the
+# analyzer sources.  (The docs/tests may mention more codes than the
+# analyzer emits; only emitted-but-undocumented is an error.)
+emitted="$(grep -rhoE '"NP-R[0-9]{3}"' src/analysis/race/ |
+  tr -d '"' | sort -u)"
+if [[ -z "$emitted" ]]; then
+  echo "check_race_codes: no NP-R codes found in src/analysis/race/" >&2
+  exit 1
+fi
+
+missing=0
+for code in $emitted; do
+  if ! grep -q "$code" DESIGN.md; then
+    echo "check_race_codes: $code is emitted by src/analysis/race/" \
+         "but has no row in the DESIGN.md §14 code table" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" == 1 ]]; then
+  exit 1
+fi
+echo "check_race_codes: all $(echo "$emitted" | wc -l) NP-R codes documented"

@@ -35,7 +35,22 @@
 #   scripts/tier1.sh --lint     # Strict build (-Wshadow -Werror, preset
 #                               # `strict`) plus clang-tidy over src/ when
 #                               # clang-tidy is installed (the gcc-only CI
-#                               # image skips that half gracefully)
+#                               # image skips that half gracefully), plus
+#                               # the NP-R diagnostic-code cross-check
+#                               # (every code npracer can emit must be
+#                               # documented in DESIGN.md §14)
+#   scripts/tier1.sh --race     # npracer interleaving tier (preset
+#                               # `race`: Release + NETPART_RACE=ON, in
+#                               # build-race/).  Runs the detector suite:
+#                               # known-racy fixtures must produce their
+#                               # expected NP-R diagnostics, and the
+#                               # instrumented shipped surfaces (service,
+#                               # cache, sweep, telemetry, fleet sim) must
+#                               # report ZERO unannotated findings across
+#                               # every perturbed schedule -- any finding
+#                               # fails the tier.  test_race_macros_off
+#                               # then re-proves the compile-out contract
+#                               # inside the instrumented build.
 #   scripts/tier1.sh --fleet    # Release build, then the fleet lockdown:
 #                               # the fleet unit suite, the 20-seed
 #                               # crash/failover chaos tier, the npcheck
@@ -65,6 +80,7 @@ bench_stage=0
 lint_stage=0
 batch_stage=0
 fleet_stage=0
+race_stage=0
 if [[ "$preset" == "--tsan" ]]; then
   preset="tsan"
 elif [[ "$preset" == "--obs" ]]; then
@@ -82,6 +98,9 @@ elif [[ "$preset" == "--fleet" ]]; then
 elif [[ "$preset" == "--lint" ]]; then
   preset="strict"
   lint_stage=1
+elif [[ "$preset" == "--race" ]]; then
+  preset="race"
+  race_stage=1
 fi
 
 cmake --preset "$preset"
@@ -130,6 +149,22 @@ if [[ "$fleet_stage" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$race_stage" == 1 ]]; then
+  # npracer lockdown (DESIGN.md §14).  test_race carries both halves of
+  # the tier's contract: the known-racy fixtures (which must light up
+  # with their exact NP-R codes, proving the detector sees what it claims
+  # to see) and the quiet gates over the instrumented shipped surfaces,
+  # which explore() across perturbed schedules and hard-fail on any
+  # finding.  test_race_macros_off runs here too: its translation unit
+  # defines NETPART_RACE_FORCE_OFF, so even inside the instrumented
+  # build it must observe every macro expanding to nothing.
+  echo "== npracer interleaving tier =="
+  ./build-race/tests/test_race
+  ./build-race/tests/test_race_macros_off
+  echo "race tier ok"
+  exit 0
+fi
+
 if [[ "$lint_stage" == 1 ]]; then
   # The strict build above IS the first half of the lint tier (-Werror).
   # The second half needs clang-tidy, which the gcc-only toolchain image
@@ -143,6 +178,8 @@ if [[ "$lint_stage" == 1 ]]; then
   else
     echo "clang-tidy not installed; skipping tidy half of --lint" >&2
   fi
+  echo "== NP-R code table cross-check =="
+  scripts/check_race_codes.sh
   echo "lint tier ok (strict -Werror build passed)"
   exit 0
 fi

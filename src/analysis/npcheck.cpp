@@ -16,7 +16,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: npcheck [options] [spec files...]\n"
-    "  --json            machine-readable diagnostics\n"
+    "  --format=FMT      report format: text (default) | json\n"
+    "  --json            shorthand for --format=json\n"
     "  --network NAME    lint a preset: paper|fig1|coercion|metasystem\n"
     "  --model PATH      lint a saved cost model against --network\n"
     "  --fleet SPEC      lint a fleet config (key=value[,...]; keys:\n"
@@ -57,6 +58,25 @@ NpcheckResult run_npcheck(const std::vector<std::string>& args,
     };
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      std::string value;
+      if (arg == "--format") {
+        const std::string* v = take_value("--format");
+        if (v == nullptr) return NpcheckResult{2, {}};
+        value = *v;
+      } else {
+        value = arg.substr(std::string("--format=").size());
+      }
+      if (value == "json") {
+        json = true;
+      } else if (value == "text") {
+        json = false;
+      } else {
+        err << "npcheck: unknown --format value '" << value
+            << "' (expected text|json)\n"
+            << kUsage;
+        return NpcheckResult{2, {}};
+      }
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--network") {

@@ -6,7 +6,9 @@
 // without spawning processes.
 //
 //   npcheck [options] [spec files...]
-//     --json            machine-readable diagnostics (JSON, deterministic)
+//     --format=FMT      report format: text (default) | json; a bad value
+//                       is a usage error (exit 2)
+//     --json            shorthand for --format=json (kept for scripts)
 //     --network NAME    lint a canned preset: paper|fig1|coercion|metasystem
 //     --model PATH      lint a saved cost model against --network
 //     --strict          treat warnings as errors

@@ -1,0 +1,546 @@
+#include "analysis/race/detector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace netpart::analysis::race {
+
+namespace {
+
+using VectorClock = std::vector<std::uint64_t>;
+
+void join_into(VectorClock& into, const VectorClock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+/// Strip the build-machine path prefix: diagnostics must read the same on
+/// every host, so everything before the repo-relative `src/`, `tests/`, or
+/// `bench/` component goes.
+std::string trim_path(const char* file) {
+  const std::string path = file == nullptr ? "" : file;
+  for (const char* root : {"/src/", "/tests/", "/bench/"}) {
+    if (const auto pos = path.rfind(root); pos != std::string::npos) {
+      return path.substr(pos + 1);
+    }
+  }
+  return path;
+}
+
+std::string site_of(const Event& event) {
+  if (event.line <= 0) return std::string("<") + to_string(event.kind) + ">";
+  return trim_path(event.file) + ":" + std::to_string(event.line);
+}
+
+std::string hex_id(std::uint64_t id) {
+  if (id == 0) return "-";
+  char buffer[20];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+/// One prior access to a shared address, with everything a race report
+/// needs to describe it.
+struct Access {
+  std::uint32_t thread = 0;
+  std::uint64_t clock = 0;  ///< accessing thread's own component
+  bool is_write = false;
+  const char* name = "";
+  std::string site;
+  std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+struct AddrState {
+  bool has_write = false;
+  Access last_write;
+  /// Last read per thread since the last write (cleared on write).
+  std::unordered_map<std::uint32_t, Access> reads;
+  /// Guarded-by declaration (nullptr = undeclared).
+  const void* guard = nullptr;
+  const char* guard_name = "";
+  /// Benign-race declaration.
+  bool benign = false;
+  const char* benign_reason = nullptr;
+  std::string benign_site;
+  bool benign_conflict_seen = false;
+  const char* benign_name = "";
+};
+
+struct HeldLock {
+  const void* addr = nullptr;
+  const char* name = "";
+  std::string site;  ///< where this thread acquired it
+};
+
+struct ThreadState {
+  VectorClock clock;
+  std::vector<HeldLock> held;
+};
+
+/// Lock-order graph edge example: `to` was acquired at `to_site` while
+/// `from` was held (acquired at `from_site`) -- the first observation is
+/// kept so reports are deterministic.
+struct OrderEdge {
+  std::string from_site;
+  std::string to_site;
+};
+
+struct LockNode {
+  const void* addr = nullptr;
+  const char* name = "";
+  std::map<std::size_t, OrderEdge> out;  ///< key: target node index
+};
+
+class Detector {
+ public:
+  Detector(DiagnosticSink& sink, const DetectorOptions& options)
+      : sink_(sink), options_(options) {}
+
+  void run(const std::vector<Event>& log) {
+    for (const Event& event : log) process(event);
+    report_lock_cycles();
+    report_unused_benign();
+  }
+
+ private:
+  // --- bookkeeping ------------------------------------------------------
+
+  std::size_t thread_index(std::uint32_t thread) {
+    const auto [it, inserted] =
+        thread_index_.emplace(thread, threads_.size());
+    if (inserted) threads_.emplace_back();
+    return it->second;
+  }
+
+  ThreadState& state_of(std::uint32_t thread) {
+    return threads_[thread_index(thread)];
+  }
+
+  std::uint64_t tick(const Event& event) {
+    const std::size_t index = thread_index(event.thread);
+    ThreadState& state = threads_[index];
+    if (state.clock.size() <= index) state.clock.resize(index + 1, 0);
+    return ++state.clock[index];
+  }
+
+  bool ordered_before(const Access& prior, const ThreadState& current) {
+    const std::size_t index = thread_index(prior.thread);
+    if (current.clock.size() <= index) return false;
+    return prior.clock <= current.clock[index];
+  }
+
+  std::size_t lock_node(const void* addr, const char* name) {
+    const auto [it, inserted] = lock_index_.emplace(addr, locks_.size());
+    if (inserted) locks_.push_back(LockNode{addr, name, {}});
+    return it->second;
+  }
+
+  bool report(Severity severity, const char* code, const std::string& site,
+              std::string message, std::string hint,
+              const std::string& fingerprint) {
+    if (!fingerprints_.insert(fingerprint).second) return false;
+    if (reported_ >= options_.max_reports) return false;
+    ++reported_;
+    SourceLoc loc;
+    const auto colon = site.rfind(':');
+    if (colon != std::string::npos && site.find('<') == std::string::npos) {
+      loc.file = site.substr(0, colon);
+      loc.line = std::atoi(site.c_str() + colon + 1);
+      loc.column = 1;
+    } else {
+      loc.file = site;
+    }
+    sink_.report(Diagnostic{severity, code, std::move(loc),
+                            std::move(message), std::move(hint)});
+    return true;
+  }
+
+  // --- event processing -------------------------------------------------
+
+  void process(const Event& event) {
+    switch (event.kind) {
+      case EventKind::kRead:
+      case EventKind::kWrite:
+        on_access(event);
+        break;
+      case EventKind::kLockAcquire:
+        on_lock_acquire(event);
+        break;
+      case EventKind::kLockRelease:
+        on_lock_release(event);
+        break;
+      case EventKind::kAtomicAcquire: {
+        tick(event);
+        join_into(state_of(event.thread).clock, sync_[event.addr]);
+        break;
+      }
+      case EventKind::kAtomicRelease: {
+        tick(event);
+        join_into(sync_[event.addr], state_of(event.thread).clock);
+        break;
+      }
+      case EventKind::kAtomicRmw: {
+        tick(event);
+        ThreadState& state = state_of(event.thread);
+        join_into(state.clock, sync_[event.addr]);
+        join_into(sync_[event.addr], state.clock);
+        break;
+      }
+      case EventKind::kThreadFork: {
+        tick(event);
+        join_into(fork_[event.addr], state_of(event.thread).clock);
+        break;
+      }
+      case EventKind::kThreadStart: {
+        tick(event);
+        join_into(state_of(event.thread).clock, fork_[event.addr]);
+        break;
+      }
+      case EventKind::kThreadEnd: {
+        tick(event);
+        join_into(end_[event.addr], state_of(event.thread).clock);
+        break;
+      }
+      case EventKind::kThreadJoin: {
+        tick(event);
+        join_into(state_of(event.thread).clock, end_[event.addr]);
+        break;
+      }
+      case EventKind::kGuardedBy: {
+        AddrState& addr = addrs_[event.addr];
+        addr.guard = event.aux;
+        addr.guard_name = event.name;
+        break;
+      }
+      case EventKind::kBenignRace: {
+        AddrState& addr = addrs_[event.addr];
+        addr.benign = true;
+        addr.benign_reason = event.detail;
+        addr.benign_site = site_of(event);
+        addr.benign_name = event.name;
+        break;
+      }
+    }
+  }
+
+  void on_access(const Event& event) {
+    const bool is_write = event.kind == EventKind::kWrite;
+    const std::uint64_t clock = tick(event);
+    ThreadState& state = state_of(event.thread);
+    AddrState& addr = addrs_[event.addr];
+
+    check_guard(event, addr, state);
+
+    Access access;
+    access.thread = event.thread;
+    access.clock = clock;
+    access.is_write = is_write;
+    access.name = event.name;
+    access.site = site_of(event);
+    access.seq = event.seq;
+    access.trace_id = event.trace_id;
+    access.span_id = event.span_id;
+
+    if (is_write) {
+      if (addr.has_write) check_pair(addr, addr.last_write, access, state);
+      // Thread-id order, not unordered_map order: report order (and thus
+      // sink contents under the report cap) must be deterministic.
+      std::vector<const Access*> reads;
+      reads.reserve(addr.reads.size());
+      for (const auto& [thread, read] : addr.reads) {
+        if (thread != event.thread) reads.push_back(&read);
+      }
+      std::sort(reads.begin(), reads.end(),
+                [](const Access* a, const Access* b) {
+                  return a->thread < b->thread;
+                });
+      for (const Access* read : reads) {
+        check_pair(addr, *read, access, state);
+      }
+      addr.last_write = access;
+      addr.has_write = true;
+      addr.reads.clear();
+    } else {
+      if (addr.has_write) check_pair(addr, addr.last_write, access, state);
+      addr.reads[event.thread] = access;
+    }
+  }
+
+  void check_guard(const Event& event, AddrState& addr,
+                   const ThreadState& state) {
+    if (addr.guard == nullptr) return;
+    for (const HeldLock& held : state.held) {
+      if (held.addr == addr.guard) return;
+    }
+    const std::string site = site_of(event);
+    report(
+        Severity::Error, "NP-R004", site,
+        std::string("`") + event.name + "` is declared NP_GUARDED_BY(`" +
+            addr.guard_name + "`) but is " +
+            (event.kind == EventKind::kWrite ? "written" : "read") +
+            " at " + site + " without it held",
+        "take the declared lock around this access, or fix the "
+        "NP_GUARDED_BY declaration if the guard changed",
+        std::string("NP-R004|") + event.name + "|" + site);
+  }
+
+  void check_pair(AddrState& addr, const Access& prior,
+                  const Access& current, const ThreadState& state) {
+    if (prior.thread == current.thread) return;
+    if (ordered_before(prior, state)) return;
+    if (addr.benign) {
+      addr.benign_conflict_seen = true;
+      return;
+    }
+    const bool both_writes = prior.is_write && current.is_write;
+    const char* code = both_writes ? "NP-R001" : "NP-R002";
+    // Stable fingerprint: the unordered site pair.  Threads, sequence
+    // numbers, and span ids vary between schedules; the *pair of source
+    // sites* is what identifies the bug.
+    std::string a = prior.site;
+    std::string b = current.site;
+    if (b < a) std::swap(a, b);
+    report(
+        Severity::Error, code, current.site,
+        std::string(both_writes ? "write-write" : "read-write") +
+            " data race on `" + current.name + "`: " +
+            (current.is_write ? "write" : "read") + " at " + current.site +
+            " is unordered against prior " +
+            (prior.is_write ? "write" : "read") + " at " + prior.site +
+            " (threads " + std::to_string(current.thread) + "/" +
+            std::to_string(prior.thread) + ", seq " +
+            std::to_string(current.seq) + "/" + std::to_string(prior.seq) +
+            ", spans " + hex_id(current.span_id) + "/" +
+            hex_id(prior.span_id) + ")",
+        "order the two accesses (common lock, acquire/release pair, or "
+        "fork/join edge), or declare NP_BENIGN_RACE with a justification",
+        std::string(code) + "|" + current.name + "|" + a + "|" + b);
+  }
+
+  void on_lock_acquire(const Event& event) {
+    tick(event);
+    ThreadState& state = state_of(event.thread);
+    const std::string site = site_of(event);
+    for (const HeldLock& held : state.held) {
+      if (held.addr == event.addr) {
+        report(Severity::Error, "NP-R005", site,
+               std::string("lock `") + event.name + "` re-acquired at " +
+                   site + " while already held (acquired at " + held.site +
+                   "); non-recursive locks self-deadlock here",
+               "split the critical sections or pass the lock down instead "
+               "of re-taking it",
+               std::string("NP-R005|reacquire|") + event.name + "|" + site);
+        return;
+      }
+    }
+    // Happens-before: fold in the clock the last release published.
+    if (const auto it = sync_.find(event.addr); it != sync_.end()) {
+      join_into(state.clock, it->second);
+    }
+    // Lock-order graph: an edge from every lock already held.
+    const std::size_t to = lock_node(event.addr, event.name);
+    for (const HeldLock& held : state.held) {
+      const std::size_t from = lock_node(held.addr, held.name);
+      locks_[from].out.emplace(to, OrderEdge{held.site, site});
+    }
+    state.held.push_back(HeldLock{event.addr, event.name, site});
+  }
+
+  void on_lock_release(const Event& event) {
+    tick(event);
+    ThreadState& state = state_of(event.thread);
+    const auto it = std::find_if(
+        state.held.begin(), state.held.end(),
+        [&](const HeldLock& held) { return held.addr == event.addr; });
+    if (it == state.held.end()) {
+      const std::string site = site_of(event);
+      report(Severity::Error, "NP-R005", site,
+             std::string("lock `") + event.name + "` released at " + site +
+                 " but this thread does not hold it",
+             "pair every NP_LOCK_RELEASE with an acquire on the same "
+             "thread (or use NP_LOCK_SCOPE, which cannot unbalance)",
+             std::string("NP-R005|release|") + event.name + "|" + site);
+      return;
+    }
+    state.held.erase(it);
+    // Publish this thread's clock for the next acquirer.
+    sync_[event.addr] = state.clock;
+  }
+
+  // --- end-of-log reports ----------------------------------------------
+
+  /// Tarjan SCC over the lock-order graph; any component with two or more
+  /// locks contains a cycle (self-edges cannot occur: re-acquisition is
+  /// reported as NP-R005 and not added to the graph).
+  void report_lock_cycles() {
+    const std::size_t n = locks_.size();
+    std::vector<int> index(n, -1);
+    std::vector<int> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    std::vector<std::vector<std::size_t>> components;
+    int next_index = 0;
+
+    // Iterative Tarjan (explicit frame stack): the lock graph is tiny, but
+    // recursion depth should never depend on input shape.
+    struct Frame {
+      std::size_t node;
+      std::map<std::size_t, OrderEdge>::const_iterator edge;
+    };
+    for (std::size_t root = 0; root < n; ++root) {
+      if (index[root] != -1) continue;
+      std::vector<Frame> frames{{root, locks_[root].out.begin()}};
+      index[root] = low[root] = next_index++;
+      stack.push_back(root);
+      on_stack[root] = true;
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const std::size_t v = frame.node;
+        if (frame.edge != locks_[v].out.end()) {
+          const std::size_t w = frame.edge->first;
+          ++frame.edge;
+          if (index[w] == -1) {
+            index[w] = low[w] = next_index++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            frames.push_back(Frame{w, locks_[w].out.begin()});
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            std::vector<std::size_t> component;
+            for (;;) {
+              const std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              component.push_back(w);
+              if (w == v) break;
+            }
+            if (component.size() >= 2) {
+              std::sort(component.begin(), component.end());
+              components.push_back(std::move(component));
+            }
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            Frame& parent = frames.back();
+            low[parent.node] = std::min(low[parent.node], low[v]);
+          }
+        }
+      }
+    }
+
+    std::sort(components.begin(), components.end());
+    for (const std::vector<std::size_t>& component : components) {
+      std::string names;
+      std::string edges;
+      std::string fingerprint = "NP-R003";
+      std::string loc_site;
+      for (const std::size_t v : component) {
+        if (!names.empty()) names += ", ";
+        names += '`';
+        names += locks_[v].name;
+        names += '`';
+        fingerprint += '|';
+        fingerprint += locks_[v].name;
+        for (const auto& [w, edge] : locks_[v].out) {
+          if (!std::binary_search(component.begin(), component.end(), w)) {
+            continue;
+          }
+          if (loc_site.empty()) loc_site = edge.to_site;
+          edges += "; `";
+          edges += locks_[w].name;
+          edges += "` acquired at ";
+          edges += edge.to_site;
+          edges += " while holding `";
+          edges += locks_[v].name;
+          edges += "` (acquired at ";
+          edges += edge.from_site;
+          edges += ")";
+        }
+      }
+      report(Severity::Error, "NP-R003", loc_site,
+             "lock-order cycle between " + names +
+                 " -- some interleaving of the recorded threads deadlocks" +
+                 edges,
+             "pick one global acquisition order for these locks and "
+             "enforce it at every site listed",
+             fingerprint);
+    }
+  }
+
+  void report_unused_benign() {
+    if (!options_.report_unused_benign) return;
+    // addrs_ iterates in pointer order, which is not stable across runs;
+    // collect and sort by declaration site for deterministic output.
+    std::vector<const AddrState*> unused;
+    for (const auto& [addr, state] : addrs_) {
+      if (state.benign && !state.benign_conflict_seen) {
+        unused.push_back(&state);
+      }
+    }
+    std::sort(unused.begin(), unused.end(),
+              [](const AddrState* a, const AddrState* b) {
+                return std::tie(a->benign_site, a->benign_name) <
+                       std::tie(b->benign_site, b->benign_name);
+              });
+    for (const AddrState* state : unused) {
+      report(Severity::Note, "NP-R006", state->benign_site,
+             std::string("NP_BENIGN_RACE on `") + state->benign_name +
+                 "` (\"" +
+                 (state->benign_reason == nullptr ? ""
+                                                  : state->benign_reason) +
+                 "\") never observed a concurrent conflict in this log",
+             "if no schedule ever conflicts here, the annotation (and "
+             "perhaps the sharing) may be stale",
+             std::string("NP-R006|") + state->benign_name + "|" +
+                 state->benign_site);
+    }
+  }
+
+  DiagnosticSink& sink_;
+  const DetectorOptions& options_;
+
+  std::unordered_map<std::uint32_t, std::size_t> thread_index_;
+  std::vector<ThreadState> threads_;
+  std::unordered_map<const void*, VectorClock> sync_;  ///< locks + atomics
+  std::unordered_map<const void*, VectorClock> fork_;
+  std::unordered_map<const void*, VectorClock> end_;
+  std::unordered_map<const void*, AddrState> addrs_;
+
+  std::unordered_map<const void*, std::size_t> lock_index_;
+  std::vector<LockNode> locks_;
+
+  std::set<std::string> fingerprints_;
+  std::size_t reported_ = 0;
+};
+
+}  // namespace
+
+void analyze_into(const std::vector<Event>& log, DiagnosticSink& sink,
+                  const DetectorOptions& options) {
+  Detector(sink, options).run(log);
+}
+
+DiagnosticSink analyze(const std::vector<Event>& log,
+                       const DetectorOptions& options) {
+  DiagnosticSink sink;
+  analyze_into(log, sink, options);
+  return sink;
+}
+
+}  // namespace netpart::analysis::race

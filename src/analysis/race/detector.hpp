@@ -1,0 +1,67 @@
+// npracer analysis pass: happens-before races + lock-order deadlocks
+// (see DESIGN.md §14).
+//
+// Input: one RaceRecorder event log (a total order over every annotation
+// event a run produced).  Output: stable NP-R diagnostics through the same
+// analysis::Diagnostic machinery npcheck and the pre-flight gate use, so
+// CI consumes one format.
+//
+// The happens-before half is a vector-clock detector in the
+// DJIT+/FastTrack family: each thread carries a vector clock, advanced on
+// every event; lock releases, atomic release-stores, thread forks and
+// thread ends publish the releasing thread's clock into a per-object sync
+// clock; lock acquires, atomic acquire-loads, thread starts and joins fold
+// the matching sync clock back in.  Two accesses to the same address race
+// when neither's clock is contained in the other's -- a property of the
+// annotations, not of the particular interleaving the run scheduled, which
+// is what lets a near-serial single-vCPU run still prove an ordering
+// violation.
+//
+// The deadlock half builds a lock-order graph: an edge A->B for every
+// acquisition of B while A is held (one example acquisition pair is kept
+// per edge).  Any strongly connected component with a cycle is a
+// lock-order inversion: some interleaving of the recorded threads can
+// deadlock, even if this run did not.
+//
+// Codes (the table in DESIGN.md §14 is the contract; scripts/
+// check_race_codes.sh cross-checks it):
+//
+//   NP-R001  error    write-write data race
+//   NP-R002  error    read-write data race
+//   NP-R003  error    lock-order cycle (potential deadlock)
+//   NP-R004  error    guarded-by violation: access without the declared
+//                     lock held
+//   NP-R005  error    lock discipline: release without acquire, or
+//                     re-acquire of a held non-recursive lock
+//   NP-R006  note     benign-race annotation that never saw a concurrent
+//                     conflict (candidate for deletion); off by default
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/race/recorder.hpp"
+
+namespace netpart::analysis::race {
+
+struct DetectorOptions {
+  /// Cap on reported findings (dedup happens first; the cap bounds
+  /// pathological logs, not normal ones).
+  std::size_t max_reports = 64;
+  /// Emit NP-R006 notes for benign-race declarations that never observed
+  /// a concurrent conflict.  Off by default: a quiet run of an
+  /// uncontended surface is not evidence the annotation is stale.
+  bool report_unused_benign = false;
+};
+
+/// Analyze one recorded log into `sink`.  Deterministic: identical logs
+/// produce byte-identical diagnostics.
+void analyze_into(const std::vector<Event>& log, DiagnosticSink& sink,
+                  const DetectorOptions& options = {});
+
+/// Convenience wrapper returning a fresh sink.
+DiagnosticSink analyze(const std::vector<Event>& log,
+                       const DetectorOptions& options = {});
+
+}  // namespace netpart::analysis::race

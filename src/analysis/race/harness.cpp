@@ -1,0 +1,73 @@
+#include "analysis/race/harness.hpp"
+
+#include <set>
+#include <string>
+
+namespace netpart::analysis::race {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Stable identity of a finding across schedules: code + location + the
+/// message up to the volatile tail ("(threads ...)" carries thread ids,
+/// sequence numbers, and span ids, which legitimately differ from
+/// schedule to schedule).
+std::string finding_key(const Diagnostic& diagnostic) {
+  std::string message = diagnostic.message;
+  if (const auto tail = message.rfind(" (threads ");
+      tail != std::string::npos) {
+    message.resize(tail);
+  }
+  return diagnostic.code + "|" + diagnostic.loc.file + ":" +
+         std::to_string(diagnostic.loc.line) + "|" + message;
+}
+
+}  // namespace
+
+ExploreResult explore(const std::function<void(std::uint64_t)>& scenario,
+                      const ExploreOptions& options) {
+  ExploreResult result;
+  std::set<std::string> seen;
+  RaceRecorder& recorder = RaceRecorder::instance();
+  const int schedules = options.schedules < 1 ? 1 : options.schedules;
+  for (int schedule = 0; schedule < schedules; ++schedule) {
+    RecorderOptions recorder_options = options.recorder;
+    // Schedule 0 records the natural interleaving; later schedules
+    // perturb it with distinct non-zero seeds.
+    recorder_options.yield_seed =
+        schedule == 0
+            ? 0
+            : splitmix64(options.base_seed +
+                         static_cast<std::uint64_t>(schedule));
+    recorder.start(recorder_options);
+    const std::uint64_t seed =
+        splitmix64(options.base_seed ^
+                   (static_cast<std::uint64_t>(schedule) << 32));
+    try {
+      scenario(seed);
+    } catch (...) {
+      recorder.stop();
+      throw;
+    }
+    result.dropped += recorder.dropped();
+    const std::vector<Event> log = recorder.stop();
+    result.events += static_cast<std::uint64_t>(log.size());
+    ++result.schedules;
+
+    const DiagnosticSink schedule_sink = analyze(log, options.detector);
+    for (const Diagnostic& diagnostic : schedule_sink.diagnostics()) {
+      if (seen.insert(finding_key(diagnostic)).second) {
+        result.sink.report(diagnostic);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace netpart::analysis::race

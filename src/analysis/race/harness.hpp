@@ -1,0 +1,53 @@
+// Deterministic interleaving exploration (see DESIGN.md §14).
+//
+// One run of a concurrent scenario observes one schedule; a race that
+// needs a particular interleaving can hide forever on a near-serial
+// single-vCPU host.  explore() runs the scenario under a sweep of seeded
+// schedule perturbations -- the recorder yields the recording thread on a
+// SplitMix64 pattern keyed by (seed, event sequence), the same seam PR 6's
+// chaos_yield gives the work-stealing sweep -- and analyzes every recorded
+// log, merging the findings.
+//
+// The scenario receives the schedule seed, so it can thread the same seed
+// into its own chaos seams (ExhaustiveOptions.chaos_yield_seed, FaultPlan
+// seeds) and vary *both* the OS interleaving and the workload shape.
+//
+// Findings are deduplicated across schedules by their stable identity
+// (code + source sites): thread ids, sequence numbers, and span ids vary
+// from schedule to schedule, but the site pair that races is the bug.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/race/detector.hpp"
+#include "analysis/race/recorder.hpp"
+
+namespace netpart::analysis::race {
+
+struct ExploreOptions {
+  /// Distinct perturbation seeds to sweep (schedule 0 runs unperturbed --
+  /// the "natural" interleaving is always in the set).
+  int schedules = 8;
+  std::uint64_t base_seed = 1;
+  RecorderOptions recorder;
+  DetectorOptions detector;
+};
+
+struct ExploreResult {
+  /// Union of findings across schedules, deduplicated; error-free means
+  /// every explored schedule was proven quiet.
+  DiagnosticSink sink;
+  int schedules = 0;
+  std::uint64_t events = 0;   ///< total events recorded across schedules
+  std::uint64_t dropped = 0;  ///< events lost to the capacity bound
+};
+
+/// Run `scenario` once per schedule under the armed recorder and analyze
+/// each log.  The scenario must create and join its threads inside the
+/// call (leaked threads would bleed events into the next schedule).
+ExploreResult explore(const std::function<void(std::uint64_t seed)>& scenario,
+                      const ExploreOptions& options = {});
+
+}  // namespace netpart::analysis::race

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/race/annotations.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
@@ -252,10 +253,12 @@ void run_sweep_worker(const CycleEstimator& estimator,
     }
     std::uint64_t lane_index[kLanes];
     for (;;) {
+      NP_ATOMIC_RMW(&cursor, "core.sweep.cursor");
       const std::uint64_t begin =
           cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= space) break;
       const std::uint64_t end = std::min(begin + chunk, space);
+      NP_WRITE(&worker, "core.sweep.worker_slot");
       ++worker.chunks;
       if (chaos_yield_seed != 0) {
         // Seeded schedule perturbation for the chaos/TSan tier: yield on a
@@ -302,6 +305,7 @@ void run_sweep_worker(const CycleEstimator& estimator,
           // Strict improvement keeps the first (lowest-index) minimum the
           // worker has seen, which is what the serial scan returns on ties.
           if (tc < worker.best_tc) {
+            NP_WRITE(&worker, "core.sweep.worker_slot");
             worker.best_tc = tc;
             worker.best_config = lane_configs[static_cast<std::size_t>(j)];
             worker.best_index = lane_index[j];
@@ -310,6 +314,7 @@ void run_sweep_worker(const CycleEstimator& estimator,
       }
     }
   } catch (...) {
+    NP_WRITE(&worker, "core.sweep.worker_slot");
     worker.error = std::current_exception();
   }
 }
@@ -377,14 +382,21 @@ PartitionResult exhaustive_partition(const CycleEstimator& estimator,
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers.size());
+    // The cursor doubles as the npracer fork/join token: worker-slot
+    // writes in the pool are ordered before the merge loop's reads only
+    // through this fork -> start ... end -> join chain.
+    NP_THREAD_FORK(&cursor, "core.sweep.pool");
     for (auto& worker : workers) {
       pool.emplace_back([&estimator, &snapshot, &cursor, space, chunk,
                          &options, &worker] {
+        NP_THREAD_START(&cursor, "core.sweep.pool");
         run_sweep_worker(estimator, snapshot, cursor, space, chunk,
                          options.chaos_yield_seed, worker);
+        NP_THREAD_END(&cursor, "core.sweep.pool");
       });
     }
     for (auto& t : pool) t.join();
+    NP_THREAD_JOIN(&cursor, "core.sweep.pool");
   }
 
   ProcessorConfig best_config;
@@ -394,6 +406,7 @@ PartitionResult exhaustive_partition(const CycleEstimator& estimator,
   std::uint64_t total_batch_evals = 0;
   std::uint64_t steals = 0;
   for (auto& worker : workers) {
+    NP_READ(&worker, "core.sweep.worker_slot");
     if (worker.error) std::rethrow_exception(worker.error);
     total_evals += worker.scratch.evaluations;
     total_batch_evals += worker.scratch.batch_evaluations;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/race/annotations.hpp"
+
 namespace netpart::fleet {
 
 namespace {
@@ -54,9 +56,15 @@ obs::TraceContext FleetNode::child_of(const obs::TraceContext& parent) {
 }
 
 bool FleetNode::observe_epoch(std::uint64_t epoch) {
+  // npracer: gossip epoch and hot-key stats are per-node state, touched
+  // only from this node's handlers on the simulator thread.  Quiet today;
+  // flagged immediately if the fleet driver ever goes multi-threaded.
+  NP_READ(&epoch_, "fleet.node.epoch");
   if (epoch <= epoch_) return false;
+  NP_WRITE(&epoch_, "fleet.node.epoch");
   epoch_ = epoch;
   cache_.invalidate_before(epoch);
+  NP_WRITE(&hits_, "fleet.node.hot_stats");
   hits_.clear();
   return true;
 }
@@ -71,6 +79,7 @@ const HashRing& FleetNode::ring() {
 
 bool FleetNode::record_hit(std::uint64_t cache_key,
                            std::uint64_t routing_key) {
+  NP_WRITE(&hits_, "fleet.node.hot_stats");
   HotStat& stat = hits_[cache_key];
   stat.routing_key = routing_key;
   return ++stat.count == options_.hot_threshold;
@@ -79,6 +88,7 @@ bool FleetNode::record_hit(std::uint64_t cache_key,
 std::vector<std::pair<std::uint64_t, std::uint64_t>> FleetNode::hot_entries()
     const {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  NP_READ(&hits_, "fleet.node.hot_stats");
   for (const auto& [key, stat] : hits_) {
     if (stat.count >= options_.hot_threshold) {
       entries.emplace_back(key, stat.routing_key);

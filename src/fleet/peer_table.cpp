@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/race/annotations.hpp"
 #include "util/error.hpp"
 
 namespace netpart::fleet {
@@ -51,6 +52,10 @@ const PeerTable::Peer& PeerTable::find(NodeId peer) const {
 
 void PeerTable::transition(Peer& peer, PeerHealth next) {
   if (peer.health == next) return;
+  // npracer: each fleet node owns its table and mutates it only from that
+  // node's event handlers.  Single-threaded in the simulator, so these
+  // stay quiet; they become load-bearing if the fleet is ever threaded.
+  NP_WRITE(&peers_, "fleet.peer_table.peers");
   peer.health = next;
   ++version_;
 }
@@ -58,6 +63,7 @@ void PeerTable::transition(Peer& peer, PeerHealth next) {
 void PeerTable::record_heartbeat(NodeId peer, SimTime now) {
   Peer& p = find(peer);
   if (p.health == PeerHealth::Dead) return;  // fail-stop: no resurrection
+  NP_WRITE(&peers_, "fleet.peer_table.peers");
   p.heard = std::max(p.heard, now);
   transition(p, PeerHealth::Alive);
 }
@@ -68,6 +74,7 @@ void PeerTable::report_dead(NodeId peer) {
 }
 
 void PeerTable::tick(SimTime now) {
+  NP_WRITE(&peers_, "fleet.peer_table.peers");
   for (Peer& p : peers_) {
     if (p.id == self_ || p.health == PeerHealth::Dead) continue;
     const SimTime silent = now - p.heard;
@@ -80,14 +87,17 @@ void PeerTable::tick(SimTime now) {
 }
 
 PeerHealth PeerTable::health(NodeId peer) const {
+  NP_READ(&peers_, "fleet.peer_table.peers");
   return find(peer).health;
 }
 
 SimTime PeerTable::last_heard(NodeId peer) const {
+  NP_READ(&peers_, "fleet.peer_table.peers");
   return find(peer).heard;
 }
 
 std::vector<NodeId> PeerTable::ring_members() const {
+  NP_READ(&peers_, "fleet.peer_table.peers");
   std::vector<NodeId> members;
   members.reserve(peers_.size());
   for (const Peer& p : peers_) {

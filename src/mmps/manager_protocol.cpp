@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/race/annotations.hpp"
 #include "mmps/coercion.hpp"
 #include "mmps/system.hpp"
 #include "obs/telemetry.hpp"
@@ -51,6 +52,10 @@ struct Ring : std::enable_shared_from_this<Ring> {
   }
 
   void merge(const Message& msg) {
+    // npracer: all ring-state mutation happens in sim-engine callbacks.
+    // Single-threaded today (always happens-before), but the annotations
+    // light up the moment anyone drives the engine from multiple threads.
+    NP_WRITE(&counts, "mmps.ring.state");
     const std::vector<std::int32_t> buf =
         decode_array<std::int32_t>(msg.payload);
     NP_ASSERT(static_cast<ClusterId>(buf.size()) == 2 * k);
@@ -98,6 +103,7 @@ struct Ring : std::enable_shared_from_this<Ring> {
             self->send_token(holder, target, attempt + 1);
             return;
           }
+          NP_WRITE(&self->counts, "mmps.ring.state");
           self->dead[static_cast<std::size_t>(target)] = 1;
           self->counts[static_cast<std::size_t>(target)] = 0;
           if (target == 0) {
@@ -120,6 +126,7 @@ struct Ring : std::enable_shared_from_this<Ring> {
       self->post_token_recv(c);
       const auto i = static_cast<std::size_t>(c);
       if (self->got_token[i]) return;  // duplicate: ack was enough
+      NP_WRITE(&self->counts, "mmps.ring.state");
       self->got_token[i] = 1;
       self->merge(msg);
       self->counts[i] = self->own[i];
@@ -134,6 +141,7 @@ struct Ring : std::enable_shared_from_this<Ring> {
       if (self->done) return;
       self->mmps.send(manager_host(0), msg.source, kAckTag, {});
       self->merge(msg);
+      NP_WRITE(&self->counts, "mmps.ring.state");
       self->done = true;
       self->completed = true;
       // Broadcast the final snapshot to the surviving managers
@@ -277,6 +285,7 @@ ProtocolResult run_fault_tolerant_protocol(
   ring->post_result_recv();
 
   // The initiator holds the token first.
+  NP_WRITE(&ring->counts, "mmps.ring.state");
   ring->got_token[0] = 1;
   ring->counts[0] = ring->own[0];
   ring->send_token(0, ring->next_target(0), 0);
@@ -287,9 +296,11 @@ ProtocolResult run_fault_tolerant_protocol(
   while (!ring->done && !engine.idle() && engine.now() < deadline) {
     engine.step();
   }
+  NP_READ(&ring->counts, "mmps.ring.state");
   result.completed = ring->completed;
   // Neuter every handler still queued in the engine, and release the ones
   // stored in the mailbox (they hold the Ring alive via shared_ptr).
+  NP_WRITE(&ring->counts, "mmps.ring.state");
   ring->done = true;
   ring->mmps.reset();
 

@@ -1,39 +1,57 @@
 #include "obs/metrics.hpp"
 
+#include "analysis/race/annotations.hpp"
+
 namespace netpart::obs {
 
 LatencyHistogram::LatencyHistogram(double lo_us, double hi_us,
                                    std::size_t buckets)
-    : histogram_(lo_us, hi_us, buckets) {}
+    : histogram_(lo_us, hi_us, buckets) {
+  // npracer contract: the histogram and running stats (tracked as one
+  // location) move only under mutex_.
+  NP_GUARDED_BY(&stats_, &mutex_, "obs.latency.stats");
+}
 
 void LatencyHistogram::record(double us) {
   std::lock_guard lock(mutex_);
+  NP_LOCK_SCOPE(&mutex_, "obs.latency.mutex");
+  NP_WRITE(&stats_, "obs.latency.stats");
   histogram_.add(us);
   stats_.add(us);
 }
 
 std::size_t LatencyHistogram::count() const {
   std::lock_guard lock(mutex_);
+  NP_LOCK_SCOPE(&mutex_, "obs.latency.mutex");
+  NP_READ(&stats_, "obs.latency.stats");
   return stats_.count();
 }
 
 double LatencyHistogram::mean_us() const {
   std::lock_guard lock(mutex_);
+  NP_LOCK_SCOPE(&mutex_, "obs.latency.mutex");
+  NP_READ(&stats_, "obs.latency.stats");
   return stats_.mean();
 }
 
 double LatencyHistogram::min_us() const {
   std::lock_guard lock(mutex_);
+  NP_LOCK_SCOPE(&mutex_, "obs.latency.mutex");
+  NP_READ(&stats_, "obs.latency.stats");
   return stats_.min();
 }
 
 double LatencyHistogram::max_us() const {
   std::lock_guard lock(mutex_);
+  NP_LOCK_SCOPE(&mutex_, "obs.latency.mutex");
+  NP_READ(&stats_, "obs.latency.stats");
   return stats_.max();
 }
 
 QuantileSummary LatencyHistogram::quantiles() const {
   std::lock_guard lock(mutex_);
+  NP_LOCK_SCOPE(&mutex_, "obs.latency.mutex");
+  NP_READ(&stats_, "obs.latency.stats");
   if (stats_.count() == 0) return {};
   return summarize_quantiles(histogram_);
 }

@@ -1,5 +1,6 @@
 #include "obs/telemetry.hpp"
 
+#include "analysis/race/annotations.hpp"
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
 
@@ -20,7 +21,12 @@ std::uint32_t this_thread_id() {
 TelemetryRegistry::TelemetryRegistry(bool enabled)
     : enabled_(enabled),
       record_capacity_(kDefaultRecordCapacity),
-      wall_origin_(std::chrono::steady_clock::now()) {}
+      wall_origin_(std::chrono::steady_clock::now()) {
+  // npracer contract: the metric maps move under metrics_mutex_; the span
+  // and instant buffers (tracked as one location) under events_mutex_.
+  NP_GUARDED_BY(&counters_, &metrics_mutex_, "obs.telemetry.counters");
+  NP_GUARDED_BY(&spans_, &events_mutex_, "obs.telemetry.events");
+}
 
 TelemetryRegistry& TelemetryRegistry::global() {
   static TelemetryRegistry* registry =
@@ -42,8 +48,17 @@ void TelemetryRegistry::set_enabled(bool enabled) {
 
 Counter& TelemetryRegistry::counter(const std::string& name) {
   std::lock_guard lock(metrics_mutex_);
+  NP_LOCK_SCOPE(&metrics_mutex_, "obs.telemetry.metrics_mutex");
+  NP_WRITE(&counters_, "obs.telemetry.counters");
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    // Counter::add is a relaxed fetch_add by design: metric increments
+    // are deliberately unordered against each other, and readers only see
+    // totals through value()'s own atomic load.
+    NP_BENIGN_RACE(slot.get(), "obs.counter",
+                   "relaxed fetch_add counter; increments need no ordering");
+  }
   return *slot;
 }
 
@@ -51,6 +66,8 @@ LatencyHistogram& TelemetryRegistry::latency(const std::string& name,
                                              double lo_us, double hi_us,
                                              std::size_t buckets) {
   std::lock_guard lock(metrics_mutex_);
+  NP_LOCK_SCOPE(&metrics_mutex_, "obs.telemetry.metrics_mutex");
+  NP_WRITE(&counters_, "obs.telemetry.counters");
   auto& slot = latencies_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>(lo_us, hi_us, buckets);
   return *slot;
@@ -58,6 +75,8 @@ LatencyHistogram& TelemetryRegistry::latency(const std::string& name,
 
 MetricsSnapshot TelemetryRegistry::snapshot() const {
   std::lock_guard lock(metrics_mutex_);
+  NP_LOCK_SCOPE(&metrics_mutex_, "obs.telemetry.metrics_mutex");
+  NP_READ(&counters_, "obs.telemetry.counters");
   MetricsSnapshot snapshot;
   for (const auto& [name, c] : counters_) {
     snapshot.counters.emplace(name, c->value());
@@ -71,6 +90,8 @@ MetricsSnapshot TelemetryRegistry::snapshot() const {
 
 JsonValue TelemetryRegistry::to_json() const {
   std::lock_guard lock(metrics_mutex_);
+  NP_LOCK_SCOPE(&metrics_mutex_, "obs.telemetry.metrics_mutex");
+  NP_READ(&counters_, "obs.telemetry.counters");
   JsonValue counters = JsonValue::object();
   for (const auto& [name, c] : counters_) {
     counters.set(name, c->value());
@@ -96,6 +117,8 @@ JsonValue TelemetryRegistry::to_json() const {
 
 void TelemetryRegistry::write_csv(std::ostream& os) const {
   std::lock_guard lock(metrics_mutex_);
+  NP_LOCK_SCOPE(&metrics_mutex_, "obs.telemetry.metrics_mutex");
+  NP_READ(&counters_, "obs.telemetry.counters");
   CsvWriter csv(os, {"kind", "name", "field", "value"});
   for (const auto& [name, c] : counters_) {
     csv.write_row({"counter", name, "value", std::to_string(c->value())});
@@ -122,10 +145,19 @@ std::string TelemetryRegistry::metrics_text() const {
 }
 
 std::string TelemetryRegistry::metrics_text(std::string_view dimension) const {
-  const std::string label =
-      dimension.empty() ? std::string{}
-                        : "{" + std::string(dimension) + "}";
+  // Built piecewise rather than via `"{" + std::string(dimension) + "}"`:
+  // that operator+ chain trips GCC 12's -Wrestrict false positive
+  // (PR 105329) under -Werror in the strict preset.
+  std::string label;
+  if (!dimension.empty()) {
+    label.reserve(dimension.size() + 2);
+    label.push_back('{');
+    label.append(dimension);
+    label.push_back('}');
+  }
   std::lock_guard lock(metrics_mutex_);
+  NP_LOCK_SCOPE(&metrics_mutex_, "obs.telemetry.metrics_mutex");
+  NP_READ(&counters_, "obs.telemetry.counters");
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += "counter " + name + label + " " + std::to_string(c->value()) +
@@ -147,6 +179,8 @@ std::string TelemetryRegistry::metrics_text(std::string_view dimension) const {
 
 void TelemetryRegistry::record_span(SpanRecord record) {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_WRITE(&spans_, "obs.telemetry.events");
   if (spans_.size() + instants_.size() >= record_capacity_) {
     ++dropped_;
     return;
@@ -156,6 +190,8 @@ void TelemetryRegistry::record_span(SpanRecord record) {
 
 void TelemetryRegistry::record_instant(InstantRecord record) {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_WRITE(&spans_, "obs.telemetry.events");
   if (spans_.size() + instants_.size() >= record_capacity_) {
     ++dropped_;
     return;
@@ -165,31 +201,43 @@ void TelemetryRegistry::record_instant(InstantRecord record) {
 
 std::vector<SpanRecord> TelemetryRegistry::spans() const {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_READ(&spans_, "obs.telemetry.events");
   return {spans_.begin(), spans_.end()};
 }
 
 std::vector<InstantRecord> TelemetryRegistry::instants() const {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_READ(&spans_, "obs.telemetry.events");
   return {instants_.begin(), instants_.end()};
 }
 
 std::size_t TelemetryRegistry::span_count() const {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_READ(&spans_, "obs.telemetry.events");
   return spans_.size();
 }
 
 std::uint64_t TelemetryRegistry::dropped_records() const {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_READ(&spans_, "obs.telemetry.events");
   return dropped_;
 }
 
 void TelemetryRegistry::set_record_capacity(std::size_t capacity) {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_WRITE(&spans_, "obs.telemetry.events");
   record_capacity_ = capacity;
 }
 
 void TelemetryRegistry::clear_events() {
   std::lock_guard lock(events_mutex_);
+  NP_LOCK_SCOPE(&events_mutex_, "obs.telemetry.events_mutex");
+  NP_WRITE(&spans_, "obs.telemetry.events");
   spans_.clear();
   instants_.clear();
   dropped_ = 0;

@@ -2,9 +2,26 @@
 
 #include <vector>
 
+#include "analysis/race/recorder.hpp"
+
 namespace netpart::obs {
 
 namespace {
+
+// npracer's recorder is a leaf library and cannot link obs; it learns the
+// active span through this probe instead, so every recorded annotation
+// event carries its (trace_id, span_id) and race reports can name both
+// stacks' span context.  Registered at static-init: the probe target is a
+// constant-initialized atomic in np_race, so order does not matter.
+[[maybe_unused]] const bool kRaceProbeRegistered = [] {
+  analysis::race::set_context_probe(
+      [](std::uint64_t* trace_id, std::uint64_t* span_id) {
+        const TraceContext ctx = current_context();
+        *trace_id = ctx.trace_id;
+        *span_id = ctx.span_id;
+      });
+  return true;
+}();
 
 constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;  // SplitMix64 step
 

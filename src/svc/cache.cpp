@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/race/annotations.hpp"
 #include "util/error.hpp"
 
 namespace netpart::svc {
@@ -14,6 +15,11 @@ DecisionCache::DecisionCache(std::size_t capacity, int shards) {
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    // npracer contract: everything behind a shard -- the LRU list, the
+    // key index, and the counters -- moves only under that shard's mutex.
+    [[maybe_unused]] Shard& shard = *shards_.back();
+    NP_GUARDED_BY(&shard.lru, &shard.mutex, "svc.cache.shard.lru");
+    NP_GUARDED_BY(&shard.stats, &shard.mutex, "svc.cache.shard.stats");
   }
   shard_capacity_ = (capacity + n - 1) / n;  // ceil: never below 1
 }
@@ -28,12 +34,16 @@ std::shared_ptr<const PartitionDecision> DecisionCache::lookup(
     std::uint64_t key) {
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
+  NP_LOCK_SCOPE(&shard.mutex, "svc.cache.shard.mutex");
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
+    NP_WRITE(&shard.stats, "svc.cache.shard.stats");
     ++shard.stats.misses;
     return nullptr;
   }
+  NP_WRITE(&shard.lru, "svc.cache.shard.lru");
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  NP_WRITE(&shard.stats, "svc.cache.shard.stats");
   ++shard.stats.hits;
   return it->second->decision;
 }
@@ -42,6 +52,8 @@ std::shared_ptr<const PartitionDecision> DecisionCache::peek(
     std::uint64_t key) const {
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
+  NP_LOCK_SCOPE(&shard.mutex, "svc.cache.shard.mutex");
+  NP_READ(&shard.lru, "svc.cache.shard.lru");
   const auto it = shard.index.find(key);
   return it == shard.index.end() ? nullptr : it->second->decision;
 }
@@ -52,6 +64,8 @@ void DecisionCache::insert(
   const std::uint64_t key = decision->key;
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
+  NP_LOCK_SCOPE(&shard.mutex, "svc.cache.shard.mutex");
+  NP_WRITE(&shard.lru, "svc.cache.shard.lru");
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     it->second->decision = std::move(decision);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -62,6 +76,7 @@ void DecisionCache::insert(
   if (shard.index.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
+    NP_WRITE(&shard.stats, "svc.cache.shard.stats");
     ++shard.stats.evictions;
   }
 }
@@ -70,10 +85,13 @@ std::size_t DecisionCache::invalidate_before(std::uint64_t epoch) {
   std::size_t purged = 0;
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
+    NP_LOCK_SCOPE(&shard->mutex, "svc.cache.shard.mutex");
+    NP_WRITE(&shard->lru, "svc.cache.shard.lru");
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->decision->epoch < epoch) {
         shard->index.erase(it->key);
         it = shard->lru.erase(it);
+        NP_WRITE(&shard->stats, "svc.cache.shard.stats");
         ++shard->stats.invalidated;
         ++purged;
       } else {
@@ -88,6 +106,8 @@ std::size_t DecisionCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
+    NP_LOCK_SCOPE(&shard->mutex, "svc.cache.shard.mutex");
+    NP_READ(&shard->lru, "svc.cache.shard.lru");
     total += shard->index.size();
   }
   return total;
@@ -98,6 +118,9 @@ std::vector<DecisionCache::ShardSnapshot> DecisionCache::shard_stats() const {
   snapshots.reserve(shards_.size());
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
+    NP_LOCK_SCOPE(&shard->mutex, "svc.cache.shard.mutex");
+    NP_READ(&shard->lru, "svc.cache.shard.lru");
+    NP_READ(&shard->stats, "svc.cache.shard.stats");
     snapshots.push_back(ShardSnapshot{shard->index.size(), shard->stats});
   }
   return snapshots;
@@ -107,6 +130,8 @@ DecisionCache::Stats DecisionCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
+    NP_LOCK_SCOPE(&shard->mutex, "svc.cache.shard.mutex");
+    NP_READ(&shard->stats, "svc.cache.shard.stats");
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.evictions += shard->stats.evictions;

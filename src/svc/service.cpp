@@ -1,5 +1,6 @@
 #include "svc/service.hpp"
 
+#include "analysis/race/annotations.hpp"
 #include "core/estimator.hpp"
 #include "obs/span.hpp"
 #include "svc/validate.hpp"
@@ -41,8 +42,16 @@ PartitionService::PartitionService(const Network& net, const CostModelDb& db,
   NP_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   NP_REQUIRE(options_.queue_capacity >= 1,
              "service queue capacity must be positive");
+  // npracer contract: queue_, inflight_, and stopping_ move only under
+  // mutex_; everything the constructor wrote before the fork is visible to
+  // the workers through the fork/start edge.
+  NP_GUARDED_BY(&queue_, &mutex_, "svc.service.queue");
+  NP_GUARDED_BY(&inflight_, &mutex_, "svc.service.inflight");
+  NP_GUARDED_BY(&stopping_, &mutex_, "svc.service.stopping");
+  NP_ATOMIC_RELEASE(&seen_epoch_, "svc.service.seen_epoch");
   seen_epoch_.store(feed_.epoch(), std::memory_order_release);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
+  NP_THREAD_FORK(this, "svc.service.workers");
   for (int w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -51,10 +60,13 @@ PartitionService::PartitionService(const Network& net, const CostModelDb& db,
 PartitionService::~PartitionService() {
   {
     std::lock_guard lock(mutex_);
+    NP_LOCK_SCOPE(&mutex_, "svc.service.mutex");
+    NP_WRITE(&stopping_, "svc.service.stopping");
     stopping_ = true;
   }
   work_ready_.notify_all();
   for (std::thread& t : workers_) t.join();
+  NP_THREAD_JOIN(this, "svc.service.workers");
 }
 
 std::shared_future<ServiceReply> PartitionService::ready(ServiceReply reply) {
@@ -64,8 +76,10 @@ std::shared_future<ServiceReply> PartitionService::ready(ServiceReply reply) {
 }
 
 void PartitionService::observe_epoch(std::uint64_t epoch) {
+  NP_ATOMIC_ACQUIRE(&seen_epoch_, "svc.service.seen_epoch");
   std::uint64_t seen = seen_epoch_.load(std::memory_order_acquire);
   while (epoch > seen) {
+    NP_ATOMIC_RMW(&seen_epoch_, "svc.service.seen_epoch");
     if (seen_epoch_.compare_exchange_weak(seen, epoch,
                                           std::memory_order_acq_rel)) {
       cache_.invalidate_before(epoch);
@@ -104,20 +118,29 @@ std::shared_future<ServiceReply> PartitionService::submit(
   }
 
   std::unique_lock lock(mutex_);
+  // Explicit acquire/release (not NP_LOCK_SCOPE): this function unlocks
+  // early on several paths, and the annotation must track the *real* lock
+  // state or the detector would model critical sections that never were.
+  NP_LOCK_ACQUIRE(&mutex_, "svc.service.mutex");
+  NP_READ(&stopping_, "svc.service.stopping");
   if (stopping_) {
+    NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
     lock.unlock();
     span.attr("outcome", JsonValue("rejected"));
     return ready(ServiceReply{ServiceStatus::Failed, nullptr, false,
                               "service shutting down"});
   }
+  NP_READ(&inflight_, "svc.service.inflight");
   if (const auto it = inflight_.find(key); it != inflight_.end()) {
     coalesced_.add();
     span.attr("outcome", JsonValue("coalesced"));
+    NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
     return it->second->future;
   }
   // Double-checked: a worker may have completed this key between the
   // lock-free miss above and acquiring the lock.
   if (auto hit = cache_.peek(key)) {
+    NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
     lock.unlock();
     hits_.add();
     hit_latency_.record(us_since(t0));
@@ -125,7 +148,9 @@ std::shared_future<ServiceReply> PartitionService::submit(
     return ready(ServiceReply{ServiceStatus::Ok, std::move(hit),
                               /*cache_hit=*/true, {}});
   }
+  NP_READ(&queue_, "svc.service.queue");
   if (queue_.size() >= options_.queue_capacity) {
+    NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
     lock.unlock();
     shed_.add();
     span.attr("outcome", JsonValue("shed"));
@@ -140,8 +165,11 @@ std::shared_future<ServiceReply> PartitionService::submit(
   job->enqueued = t0;
   job->trace = span.context();
   job->future = job->promise.get_future().share();
+  NP_WRITE(&inflight_, "svc.service.inflight");
   inflight_.emplace(key, job);
+  NP_WRITE(&queue_, "svc.service.queue");
   queue_.push_back(job);
+  NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
   lock.unlock();
   work_ready_.notify_one();
   span.attr("outcome", JsonValue("enqueued"));
@@ -159,14 +187,34 @@ void PartitionService::worker_loop() {
   // CycleEstimator changes (binding id, not address), so batch buffers and
   // coefficient tables also amortise across requests.
   EstimatorScratch scratch;
+  NP_THREAD_START(this, "svc.service.workers");
   for (;;) {
     JobPtr job;
     {
       std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+      // Explicit acquire/release: the condition wait below drops and
+      // retakes the real mutex, and the annotations must mirror that or
+      // the detector would see one long critical section that never
+      // happened (and miss the happens-before edges the re-acquisition
+      // creates).
+      NP_LOCK_ACQUIRE(&mutex_, "svc.service.mutex");
+      for (;;) {
+        NP_READ(&stopping_, "svc.service.stopping");
+        NP_READ(&queue_, "svc.service.queue");
+        if (stopping_ || !queue_.empty()) break;
+        NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
+        work_ready_.wait(lock);
+        NP_LOCK_ACQUIRE(&mutex_, "svc.service.mutex");
+      }
+      if (queue_.empty()) {
+        NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
+        NP_THREAD_END(this, "svc.service.workers");
+        return;  // stopping and fully drained
+      }
+      NP_WRITE(&queue_, "svc.service.queue");
       job = std::move(queue_.front());
       queue_.pop_front();
+      NP_LOCK_RELEASE(&mutex_, "svc.service.mutex");
     }
     run_cold(*job, scratch);
   }
@@ -202,6 +250,8 @@ void PartitionService::run_cold(Job& job, EstimatorScratch& scratch) {
   }
   {
     std::lock_guard lock(mutex_);
+    NP_LOCK_SCOPE(&mutex_, "svc.service.mutex");
+    NP_WRITE(&inflight_, "svc.service.inflight");
     inflight_.erase(job.key);
   }
   job.promise.set_value(std::move(reply));

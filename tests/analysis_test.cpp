@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/fleet_lint.hpp"
 #include "analysis/model_lint.hpp"
 #include "analysis/net_lint.hpp"
 #include "analysis/npcheck.hpp"
@@ -387,6 +388,52 @@ TEST(NpcheckTest, JsonOutputParsesShape) {
   EXPECT_NE(out.str().find("\"clean\": false"), std::string::npos);
 }
 
+TEST(NpcheckTest, FormatFlagMatchesJsonShorthand) {
+  // --format=json and the legacy --json shorthand must be byte-identical;
+  // scripts migrating between them must see no diff.
+  const std::string bad =
+      kSourceDir + "/tests/data/bad_specs/zero_bytes.spec";
+  std::ostringstream json_out, json_err, fmt_out, fmt_err;
+  const NpcheckResult via_json = run_npcheck({"--json", bad}, json_out,
+                                             json_err);
+  const NpcheckResult via_format = run_npcheck({"--format=json", bad},
+                                               fmt_out, fmt_err);
+  EXPECT_EQ(via_json.exit_code, via_format.exit_code);
+  EXPECT_EQ(json_out.str(), fmt_out.str());
+  // Separated-value spelling too.
+  std::ostringstream sep_out, sep_err;
+  run_npcheck({"--format", "json", bad}, sep_out, sep_err);
+  EXPECT_EQ(sep_out.str(), fmt_out.str());
+}
+
+TEST(NpcheckTest, FormatTextIsDefaultAndExplicit) {
+  const std::string bad =
+      kSourceDir + "/tests/data/bad_specs/zero_bytes.spec";
+  std::ostringstream default_out, default_err, text_out, text_err;
+  run_npcheck({bad}, default_out, default_err);
+  run_npcheck({"--format=text", bad}, text_out, text_err);
+  EXPECT_EQ(default_out.str(), text_out.str());
+  EXPECT_NE(text_out.str().find("error:"), std::string::npos);
+  EXPECT_EQ(text_out.str().find("\"code\""), std::string::npos)
+      << "text format must not emit JSON";
+  // --format=text after --json wins (last flag takes effect).
+  std::ostringstream late_out, late_err;
+  run_npcheck({"--json", "--format=text", bad}, late_out, late_err);
+  EXPECT_EQ(late_out.str(), text_out.str());
+}
+
+TEST(NpcheckTest, FormatFlagRejectsUnknownValue) {
+  const std::string good = kSourceDir + "/specs/stencil.spec";
+  std::ostringstream out, err;
+  const NpcheckResult result =
+      run_npcheck({"--format=yaml", good}, out, err);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(err.str().find("unknown --format value 'yaml'"),
+            std::string::npos)
+      << err.str();
+  EXPECT_EQ(run({"--format"}).exit_code, 2) << "missing value";
+}
+
 // --- pre-flight gate + service admission ---------------------------------
 
 TEST(PreflightTest, CalibratedTestbedPasses) {
@@ -405,6 +452,83 @@ TEST(PreflightTest, PoisonedModelRefusesToServe) {
     FAIL() << "expected InvalidArgument";
   } catch (const InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("NP-M001"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PreflightTest, WarningsPassTheGate) {
+  // The gate short-circuits on *errors only*: a warning-severity finding
+  // (here a suspicious fit residual, NP-M005) is reported in the sink but
+  // must not stop the service from starting.
+  const Testbed& bed = testbed();
+  CostModelDb sloppy = bed.db;
+  Eq1Fit fit = sloppy.comm_fit(0, Topology::OneD);
+  fit.r2 = 0.5;  // below the 0.9 NP-M005 threshold; coefficients stay sane
+  sloppy.set_comm(0, Topology::OneD, fit);
+
+  const DiagnosticSink sink = preflight(bed.net, sloppy);
+  EXPECT_TRUE(sink.clean());
+  EXPECT_GE(sink.warnings(), 1);
+  bool found = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == "NP-M005") found = true;
+  }
+  EXPECT_TRUE(found) << sink.render_text();
+  EXPECT_NO_THROW(require_preflight(bed.net, sloppy));
+}
+
+TEST(PreflightTest, CollectsEveryFindingBeforeFailing) {
+  // No short-circuit *within* the report: poisoning two independent
+  // clusters must surface both in one pre-flight pass, so an operator
+  // fixes the whole config in one round trip instead of one error per
+  // restart.
+  const Testbed& bed = testbed();
+  CostModelDb poisoned = bed.db;
+  poisoned.set_comm(0, Topology::OneD,
+                    Eq1Fit{std::nan(""), 0.0, 0.0, 0.0, 0.0});
+  poisoned.set_comm(1, Topology::OneD,
+                    Eq1Fit{std::nan(""), 0.0, 0.0, 0.0, 0.0});
+  const DiagnosticSink sink = preflight(bed.net, poisoned);
+  EXPECT_FALSE(sink.clean());
+  int nan_findings = 0;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == "NP-M001") ++nan_findings;
+  }
+  EXPECT_GE(nan_findings, 2) << sink.render_text();
+  try {
+    require_preflight(bed.net, poisoned);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // The thrown message carries the full rendered report; both poisoned
+    // clusters are named (the paper testbed's sparc2 and ipc).
+    const std::string what = e.what();
+    EXPECT_NE(what.find("T_comm[sparc2"), std::string::npos) << what;
+    EXPECT_NE(what.find("T_comm[ipc"), std::string::npos) << what;
+  }
+}
+
+// --- fleet config pre-flight (`fleetd --check`) ---------------------------
+
+TEST(FleetCheckTest, ObservabilityPathClashTripsNPF007) {
+  // The exact config fleetd --check runs through require_fleet: two
+  // exports aimed at one file.  Golden-matched byte-for-byte so the
+  // operator-facing message cannot silently regress.
+  const std::string config =
+      "nodes=4,replication=2,trace_out=fleet.json,metrics_out=fleet.json";
+  std::ostringstream out, err;
+  const NpcheckResult result = run_npcheck({"--fleet", config}, out, err);
+  EXPECT_EQ(result.exit_code, 1);
+  const std::string golden = read_file(
+      kSourceDir + "/tests/data/fleet_check/np_f007_clash.txt");
+  EXPECT_EQ(out.str(), golden);
+
+  // fleetd's own gate sees the identical finding and refuses to start.
+  const FleetLintConfig lint = parse_fleet_config(config);
+  try {
+    require_fleet(lint);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("NP-F007"), std::string::npos)
         << e.what();
   }
 }

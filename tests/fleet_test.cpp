@@ -314,7 +314,9 @@ TEST(DecisionCacheShardTest, ShardSnapshotsSumToTheGlobalView) {
     d->key = k * 0x9e3779b97f4a7c15ULL;  // spread across shards
     d->epoch = 1;
     cache.insert(d);
-    if (k % 2 == 0) EXPECT_NE(cache.lookup(d->key), nullptr);
+    if (k % 2 == 0) {
+      EXPECT_NE(cache.lookup(d->key), nullptr);
+    }
   }
   (void)cache.lookup(0xdead);  // one global miss
 
